@@ -1,0 +1,50 @@
+// Shared plumbing for the figure-regeneration benches.
+//
+// Every bench prints the series/rows of one figure or table from the paper's
+// evaluation (§4). Latencies and rates are reported in *modelled* time, so
+// results are invariant to the wall-clock compression factor
+// (TIERA_TIME_SCALE, default per bench).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace tiera::bench {
+
+// Scratch directory for one bench run (wiped at start). Prefer tmpfs: the
+// file-backed tiers write one file per object, and real disk metadata costs
+// would pollute the modelled service times.
+inline std::string scratch_dir(const std::string& name) {
+  std::error_code ec;
+  const std::string base = std::filesystem::exists("/dev/shm", ec)
+                               ? "/dev/shm/tiera-bench/"
+                               : "/tmp/tiera-bench/";
+  const std::string path = base + name;
+  std::filesystem::remove_all(path, ec);
+  std::filesystem::create_directories(path, ec);
+  return path;
+}
+
+// Install the time scale: env override wins, otherwise the bench default.
+inline double setup_time_scale(double default_scale) {
+  double scale = default_scale;
+  if (const char* env = std::getenv("TIERA_TIME_SCALE")) {
+    scale = std::atof(env);
+    if (scale <= 0) scale = default_scale;
+  }
+  set_time_scale(scale);
+  set_log_level(LogLevel::kError);
+  return scale;
+}
+
+inline void print_title(const std::string& figure, const std::string& what) {
+  std::printf("\n=== %s — %s ===\n", figure.c_str(), what.c_str());
+  std::printf("(modelled time; wall-clock scale %.3f)\n", time_scale());
+}
+
+}  // namespace tiera::bench

@@ -1,0 +1,65 @@
+// Figure 9: cost optimization. MySQL (minidb) on EBS vs on the MemcachedS3
+// Tiera instance (small LRU Memcached cache, S3 persistent store). OLTP at
+// 10% hot / 80% of accesses, 8 threads, read-only and read-write mixes.
+// Reports TPS (the paper plots it on a log scale) and the monthly storage
+// cost of each deployment, total and per GB of data.
+#include "bench_util.h"
+#include "mysql_deployments.h"
+#include "workload/oltp_workload.h"
+
+using namespace tiera;
+using bench::make_db_deployment;
+
+int main() {
+  bench::setup_time_scale(0.15);
+  bench::print_title("Figure 9", "TPS and storage cost: EBS vs MemcachedS3");
+
+  OltpOptions options;
+  options.table_rows = 40'000;
+  options.hot_fraction = 0.10;
+  options.threads = 8;
+  options.duration = std::chrono::seconds(15);
+
+  const char* kinds[] = {"ebs", "memcached_s3"};
+  const char* labels[] = {"MySQL On EBS", "MySQL On Tiera (MemcachedS3)"};
+
+  std::printf("%-30s %12s %12s %12s %12s\n", "deployment", "RO TPS",
+              "RW TPS", "$/month", "$/GB-month");
+  for (int k = 0; k < 2; ++k) {
+    double tps[2] = {0, 0};
+    double cost = 0, cost_per_gb = 0;
+    int which = 0;
+    for (const bool read_only : {true, false}) {
+      bench::DbDeploymentKnobs knobs;
+      // The paper's standard deployment provisions an 8 GB EBS volume; the
+      // Tiera instance is sized to the data (cache) and billed by usage (S3).
+      knobs.tier_bytes = kinds[k] == std::string("ebs") ? (8ull << 30)
+                                                        : (512ull << 20);
+      auto deployment = make_db_deployment(
+          kinds[k],
+          bench::scratch_dir(std::string("fig09-") + kinds[k] +
+                             (read_only ? "-ro" : "-rw")),
+          knobs);
+      options.read_only = read_only;
+      options.journal_readonly = read_only;
+      if (!load_oltp_table(*deployment.db, options).ok()) return 1;
+      const OltpResult result = run_oltp(*deployment.db, options);
+      deployment.instance->control().drain();
+      tps[which++] = result.tps();
+      // Cost: storage only, the paper's fig-9b/11b methodology (request
+      // charges are excluded there; our CostModel can extrapolate them,
+      // see EXPERIMENTS.md for that analysis).
+      cost = deployment.instance->monthly_cost(0);
+      const double data_gb =
+          static_cast<double>(options.table_rows) * options.record_size /
+          (1024.0 * 1024.0 * 1024.0);
+      cost_per_gb = cost / data_gb;
+    }
+    std::printf("%-30s %12.1f %12.1f %12.2f %12.2f\n", labels[k], tps[0],
+                tps[1], cost, cost_per_gb);
+  }
+  std::printf("expected shape: comparable read-only TPS; Tiera sacrifices "
+              "read-write TPS\n(synchronous S3 persistence) but costs a "
+              "fraction of the EBS deployment.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) for the primitives under everything:
+// tier data path (no modelled latency), metadata updates, policy firing,
+// hashing, compression, and encryption. These quantify the engine's real
+// CPU overhead — the part of the Fig. 18 "control layer" cost that is not
+// modelled service time.
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+
+#include "common/compress.h"
+#include "common/crypto.h"
+#include "common/hash.h"
+#include "core/responses.h"
+#include "core/templates.h"
+#include "store/mem_tier.h"
+
+namespace tiera {
+namespace {
+
+void BM_TierPut4K(benchmark::State& state) {
+  set_time_scale(0.0);
+  MemTier tier("m", 1ull << 32);
+  const Bytes payload = make_payload(4096, 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tier.put("k" + std::to_string(i++ % 1000), as_view(payload)));
+  }
+}
+BENCHMARK(BM_TierPut4K);
+
+void BM_TierGet4K(benchmark::State& state) {
+  set_time_scale(0.0);
+  MemTier tier("m", 1ull << 32);
+  const Bytes payload = make_payload(4096, 1);
+  for (int i = 0; i < 1000; ++i) {
+    (void)tier.put("k" + std::to_string(i), as_view(payload));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tier.get("k" + std::to_string(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_TierGet4K);
+
+void BM_InstancePut4K(benchmark::State& state) {
+  set_time_scale(0.0);
+  set_log_level(LogLevel::kError);
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = "/tmp/tiera-bench/micro-instance"}, 1ull << 32, 1ull << 32);
+  if (!instance.ok()) {
+    state.SkipWithError("instance creation failed");
+    return;
+  }
+  const Bytes payload = make_payload(4096, 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*instance)->put("k" + std::to_string(i++ % 1000), as_view(payload)));
+  }
+  state.SetLabel("write-through policy, no modelled latency");
+}
+BENCHMARK(BM_InstancePut4K);
+
+void BM_InstanceGet4K(benchmark::State& state) {
+  set_time_scale(0.0);
+  set_log_level(LogLevel::kError);
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = "/tmp/tiera-bench/micro-instance-get"}, 1ull << 32,
+      1ull << 32);
+  if (!instance.ok()) {
+    state.SkipWithError("instance creation failed");
+    return;
+  }
+  const Bytes payload = make_payload(4096, 1);
+  for (int i = 0; i < 1000; ++i) {
+    (void)(*instance)->put("k" + std::to_string(i), as_view(payload));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*instance)->get("k" + std::to_string(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_InstanceGet4K);
+
+void BM_Sha256_4K(benchmark::State& state) {
+  const Bytes payload = make_payload(4096, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::digest(as_view(payload)));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Sha256_4K);
+
+void BM_Crc32c_4K(benchmark::State& state) {
+  const Bytes payload = make_payload(4096, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(as_view(payload)));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Crc32c_4K);
+
+void BM_LzCompress4K(benchmark::State& state) {
+  Bytes redundant;
+  while (redundant.size() < 4096) {
+    append(redundant, std::string_view("tiera tiered storage "));
+  }
+  redundant.resize(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lz_compress(as_view(redundant)));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_LzCompress4K);
+
+void BM_ChaChaEncrypt4K(benchmark::State& state) {
+  const ChaChaKey key = derive_key("bench");
+  const Bytes payload = make_payload(4096, 4);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chacha_encrypt(as_view(payload), key, ++nonce));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ChaChaEncrypt4K);
+
+}  // namespace
+}  // namespace tiera
+
+BENCHMARK_MAIN();

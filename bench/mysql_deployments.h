@@ -1,0 +1,86 @@
+// The database deployments compared in §4.1: an unmodified database engine
+// (minidb in MySQL's role) whose files live on different storage stacks.
+//
+//   EBS            — the standard cloud deployment: database files on one
+//                    EBS volume, aided only by the instance's OS buffer
+//                    cache (modelled in BlockTier).
+//   MemcachedRepl  — Tiera instance replicating across two AZ-separated
+//                    Memcached tiers before acknowledging.
+//   MemcachedEBS   — Tiera instance writing through to Memcached + EBS.
+//   MemcachedS3    — cost-oriented Tiera instance: small LRU Memcached
+//                    cache over S3.
+//   MemoryEngine   — MySQL's Memory Engine: no Tiera, whole DB pinned in
+//                    RAM, table-level locks, no transactions.
+#pragma once
+
+#include <memory>
+
+#include "bench_util.h"
+#include "core/templates.h"
+#include "sql/minidb.h"
+
+namespace tiera::bench {
+
+struct DbDeployment {
+  InstancePtr instance;
+  std::unique_ptr<FileAdapter> files;
+  std::unique_ptr<MiniDb> db;
+};
+
+struct DbDeploymentKnobs {
+  std::size_t buffer_pool_pages = 96;       // the engine's own cache
+  std::uint64_t os_page_cache_bytes = 2 << 20;  // EBS deployments only
+  std::uint64_t tier_bytes = 512ull << 20;
+  bool memory_engine = false;
+};
+
+inline DbDeployment make_db_deployment(const std::string& kind,
+                                       const std::string& dir,
+                                       const DbDeploymentKnobs& knobs = {}) {
+  DbDeployment deployment;
+  Result<InstancePtr> instance = Status::Internal("unset");
+  if (kind == "ebs" || kind == "memory_engine") {
+    InstanceConfig config;
+    config.data_dir = dir;
+    config.tiers = {{"EBS", "tier1", knobs.tier_bytes}};
+    instance = TieraInstance::create(std::move(config));
+    if (instance.ok()) {
+      if (auto* block =
+              dynamic_cast<BlockTier*>((*instance)->tier("tier1").get())) {
+        block->set_page_cache_bytes(knobs.os_page_cache_bytes);
+      }
+    }
+  } else if (kind == "memcached_replicated") {
+    instance = make_memcached_replicated_instance({.data_dir = dir},
+                                                  knobs.tier_bytes);
+  } else if (kind == "memcached_ebs") {
+    instance = make_memcached_ebs_instance({.data_dir = dir},
+                                           knobs.tier_bytes, knobs.tier_bytes);
+  } else if (kind == "memcached_s3") {
+    // Cache too small for the database: the LRU policy earns its keep.
+    instance = make_memcached_s3_instance({.data_dir = dir},
+                                          knobs.tier_bytes / 32,
+                                          knobs.tier_bytes * 4);
+  } else {
+    std::fprintf(stderr, "unknown deployment kind %s\n", kind.c_str());
+    std::exit(1);
+  }
+  if (!instance.ok()) {
+    std::fprintf(stderr, "deployment %s failed: %s\n", kind.c_str(),
+                 instance.status().to_string().c_str());
+    std::exit(1);
+  }
+  deployment.instance = std::move(instance).value();
+  deployment.files = std::make_unique<FileAdapter>(*deployment.instance, 4096);
+  MiniDbOptions options;
+  options.buffer_pool_pages = knobs.buffer_pool_pages;
+  options.memory_engine = knobs.memory_engine || kind == "memory_engine";
+  deployment.db = std::make_unique<MiniDb>(*deployment.files, options);
+  if (!deployment.db->open().ok()) {
+    std::fprintf(stderr, "minidb open failed for %s\n", kind.c_str());
+    std::exit(1);
+  }
+  return deployment;
+}
+
+}  // namespace tiera::bench

@@ -1,0 +1,97 @@
+// Instance specification files, end to end: parse a .tiera spec (the
+// paper's Figure 3-6 syntax), instantiate it, and exercise the policy.
+//
+//   $ ./spec_compiler [path/to/spec.tiera]
+//
+// Defaults to examples/specs/low_latency.tiera next to the binary's source
+// tree, falling back to an embedded copy of the Figure 3 spec.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+
+#include "core/spec_parser.h"
+
+using namespace tiera;
+
+namespace {
+constexpr std::string_view kEmbeddedSpec = R"(
+Tiera LowLatencyInstance(time t) {
+  tier1: { name: Memcached, size: 64M };
+  tier2: { name: EBS, size: 256M };
+  event(insert.into) : response {
+    insert.object.dirty = true;
+    store(what: insert.object, to: tier1);
+  }
+  event(time=t) : response {
+    copy(what: object.location == tier1 && object.dirty == true,
+         to: tier2);
+  }
+}
+)";
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Start from a clean slate: examples are re-runnable demos.
+  std::error_code wipe_ec;
+  std::filesystem::remove_all("/tmp/tiera-spec-demo", wipe_ec);
+
+  set_log_level(LogLevel::kWarn);
+  set_time_scale(0.1);
+
+  Result<InstanceSpec> spec = Status::NotFound("no spec");
+  if (argc > 1) {
+    spec = InstanceSpec::parse_file(argv[1]);
+  } else {
+    spec = InstanceSpec::parse_file("examples/specs/low_latency.tiera");
+    if (!spec.ok()) spec = InstanceSpec::parse(kEmbeddedSpec);
+  }
+  if (!spec.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 spec.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("parsed instance '%s': %zu tiers, %zu rules, %zu parameters\n",
+              spec->instance_name().c_str(), spec->tier_count(),
+              spec->rule_count(), spec->parameters().size());
+
+  // Bind every declared parameter to a demo value (here: 2s write-back).
+  std::map<std::string, std::string> args;
+  for (const auto& param : spec->parameters()) args[param] = "2s";
+
+  auto instance =
+      spec->instantiate({.data_dir = "/tmp/tiera-spec-demo"}, args);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "instantiate failed: %s\n",
+                 instance.status().to_string().c_str());
+    return 1;
+  }
+
+  // Drive the policy: insert objects, then watch the write-back (or
+  // whatever the spec declares) move data between tiers.
+  for (int i = 0; i < 32; ++i) {
+    const std::string id = "object" + std::to_string(i);
+    if (!(*instance)->put(id, as_view(make_payload(64 << 10, i))).ok()) {
+      std::fprintf(stderr, "put %s failed\n", id.c_str());
+      return 1;
+    }
+  }
+  std::printf("inserted 32 objects (2 MB)\n");
+  const auto report = [&] {
+    for (const auto& label : (*instance)->tier_labels()) {
+      const auto tier = (*instance)->tier(label);
+      std::printf("  %-8s %4zu objects, %6.2f MB used\n", label.c_str(),
+                  tier->object_count(), tier->used() / (1024.0 * 1024.0));
+    }
+  };
+  std::printf("immediately after inserts:\n");
+  report();
+
+  // Give timer/background rules a chance to run (3 modelled seconds).
+  precise_sleep(std::chrono::duration_cast<Duration>(
+      std::chrono::seconds(3) * time_scale()));
+  (*instance)->control().drain();
+  std::printf("after the policy's timers fired:\n");
+  report();
+  return 0;
+}

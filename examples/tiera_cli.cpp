@@ -1,0 +1,104 @@
+// tiera_cli: command-line client for a running tierad server.
+//
+//   $ ./tiera_cli <port> put <id> <text> [tag ...]
+//   $ ./tiera_cli <port> get <id>
+//   $ ./tiera_cli <port> rm <id>
+//   $ ./tiera_cli <port> stat <id>
+//   $ ./tiera_cli <port> tiers
+//   $ ./tiera_cli <port> grow <tier> <percent>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "net/tiera_service.h"
+
+using namespace tiera;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kError);
+  set_time_scale(0.0);  // the server models latency, not the CLI
+
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <port> put|get|rm|stat|tiers|grow ...\n", argv[0]);
+    return 2;
+  }
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  auto client = RemoteTieraClient::connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().to_string().c_str());
+    return 1;
+  }
+  const std::string command = argv[2];
+
+  if (command == "put" && argc >= 5) {
+    std::vector<std::string> tags;
+    for (int i = 5; i < argc; ++i) tags.emplace_back(argv[i]);
+    const Status s =
+        (*client)->put(argv[3], as_view(std::string_view(argv[4])), tags);
+    if (!s.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "get" && argc == 4) {
+    auto bytes = (*client)->get(argv[3]);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "get failed: %s\n",
+                   bytes.status().to_string().c_str());
+      return 1;
+    }
+    std::fwrite(bytes->data(), 1, bytes->size(), stdout);
+    std::printf("\n");
+    return 0;
+  }
+  if (command == "rm" && argc == 4) {
+    const Status s = (*client)->remove(argv[3]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "rm failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "stat" && argc == 4) {
+    auto info = (*client)->stat(argv[3]);
+    if (!info.ok()) {
+      std::fprintf(stderr, "stat failed: %s\n",
+                   info.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("id: %s\nsize: %llu\naccess_count: %llu\ndirty: %s\n",
+                info->id.c_str(),
+                static_cast<unsigned long long>(info->size),
+                static_cast<unsigned long long>(info->access_count),
+                info->dirty ? "true" : "false");
+    std::printf("locations:");
+    for (const auto& tier : info->locations) std::printf(" %s", tier.c_str());
+    std::printf("\ntags:");
+    for (const auto& tag : info->tags) std::printf(" %s", tag.c_str());
+    std::printf("\n");
+    return 0;
+  }
+  if (command == "tiers" && argc == 3) {
+    auto tiers = (*client)->list_tiers();
+    if (!tiers.ok()) return 1;
+    for (const auto& tier : *tiers) std::printf("%s\n", tier.c_str());
+    return 0;
+  }
+  if (command == "grow" && argc == 5) {
+    const Status s = (*client)->grow_tier(argv[3], std::atof(argv[4]));
+    if (!s.ok()) {
+      std::fprintf(stderr, "grow failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  std::fprintf(stderr, "bad command/arguments\n");
+  return 2;
+}

@@ -1,0 +1,231 @@
+#include "apps/bookstore.h"
+
+#include <cmath>
+#include <thread>
+
+namespace tiera {
+
+namespace {
+constexpr std::string_view kItems = "bs_items";
+constexpr std::string_view kCustomers = "bs_customers";
+constexpr std::string_view kCarts = "bs_carts";
+constexpr std::string_view kOrders = "bs_orders";
+}  // namespace
+
+Bookstore::Bookstore(MiniDb& db, FileAdapter& files, BookstoreOptions options)
+    : db_(db), files_(files), options_(options) {}
+
+std::string Bookstore::html_path(std::uint64_t item) const {
+  return "static/item" + std::to_string(item) + ".html";
+}
+
+std::string Bookstore::image_path(std::uint64_t item) const {
+  return "img/item" + std::to_string(item) + ".jpg";
+}
+
+Status Bookstore::initialize() {
+  TIERA_RETURN_IF_ERROR(
+      db_.create_table(std::string(kItems), options_.item_record));
+  TIERA_RETURN_IF_ERROR(
+      db_.create_table(std::string(kCustomers), options_.customer_record));
+  TIERA_RETURN_IF_ERROR(
+      db_.create_table(std::string(kCarts), options_.cart_record));
+  TIERA_RETURN_IF_ERROR(
+      db_.create_table(std::string(kOrders), options_.order_record));
+
+  // Item and customer rows in bulk transactions.
+  const std::uint64_t batch = 64;
+  for (std::uint64_t first = 0; first < options_.items; first += batch) {
+    MiniDb::Transaction txn = db_.begin();
+    for (std::uint64_t i = first;
+         i < std::min(options_.items, first + batch); ++i) {
+      TIERA_RETURN_IF_ERROR(
+          txn.write(std::string(kItems), i,
+                    as_view(make_payload(options_.item_record, i))));
+    }
+    TIERA_RETURN_IF_ERROR(db_.commit(txn));
+  }
+  for (std::uint64_t first = 0; first < options_.customers; first += batch) {
+    MiniDb::Transaction txn = db_.begin();
+    for (std::uint64_t i = first;
+         i < std::min(options_.customers, first + batch); ++i) {
+      TIERA_RETURN_IF_ERROR(
+          txn.write(std::string(kCustomers), i,
+                    as_view(make_payload(options_.customer_record, i ^ 7))));
+    }
+    TIERA_RETURN_IF_ERROR(db_.commit(txn));
+  }
+
+  // Static pages and images.
+  for (std::uint64_t i = 0; i < options_.items; ++i) {
+    TIERA_RETURN_IF_ERROR(files_.create(html_path(i), {"static"}));
+    TIERA_RETURN_IF_ERROR(files_.write(
+        html_path(i), 0, as_view(make_payload(options_.html_bytes, i * 3))));
+    TIERA_RETURN_IF_ERROR(files_.create(image_path(i), {"static"}));
+    TIERA_RETURN_IF_ERROR(
+        files_.write(image_path(i), 0,
+                     as_view(make_payload(options_.image_bytes, i * 5))));
+  }
+  return db_.checkpoint();
+}
+
+Status Bookstore::home(Rng& rng) {
+  // Home page: one static page + the customer's record.
+  const std::uint64_t item = rng.next_below(options_.items);
+  TIERA_RETURN_IF_ERROR(
+      files_.read(html_path(item), 0, options_.html_bytes).status());
+  MiniDb::Transaction txn = db_.begin();
+  (void)txn.read(std::string(kCustomers),
+                 rng.next_below(options_.customers));
+  return Status::Ok();
+}
+
+Status Bookstore::product_detail(Rng& rng) {
+  const std::uint64_t item = rng.next_below(options_.items);
+  MiniDb::Transaction txn = db_.begin();
+  Result<Bytes> row = txn.read(std::string(kItems), item);
+  if (!row.ok()) return row.status();
+  TIERA_RETURN_IF_ERROR(
+      files_.read(html_path(item), 0, options_.html_bytes).status());
+  return files_.read(image_path(item), 0, options_.image_bytes).status();
+}
+
+Status Bookstore::search(Rng& rng) {
+  // A result page: scan a window of items plus the listing page.
+  const std::uint64_t first =
+      rng.next_below(std::max<std::uint64_t>(1, options_.items - 20));
+  MiniDb::Transaction txn = db_.begin();
+  TIERA_RETURN_IF_ERROR(
+      txn.range_read(std::string(kItems), first, 20).status());
+  return files_.read(html_path(first), 0, options_.html_bytes).status();
+}
+
+Status Bookstore::best_sellers(Rng& rng) {
+  MiniDb::Transaction txn = db_.begin();
+  TIERA_RETURN_IF_ERROR(
+      txn.range_read(std::string(kItems), 0, 30).status());
+  TIERA_RETURN_IF_ERROR(
+      files_.read(html_path(rng.next_below(options_.items)), 0,
+                  options_.html_bytes)
+          .status());
+  return Status::Ok();
+}
+
+Status Bookstore::add_to_cart(Rng& rng) {
+  const std::uint64_t customer = rng.next_below(options_.customers);
+  const std::uint64_t item = rng.next_below(options_.items);
+  MiniDb::Transaction txn = db_.begin();
+  (void)txn.read(std::string(kItems), item);
+  (void)txn.read(std::string(kCarts), customer);
+  TIERA_RETURN_IF_ERROR(
+      txn.write(std::string(kCarts), customer,
+                as_view(make_payload(options_.cart_record, customer ^ item))));
+  return db_.commit(txn);
+}
+
+Status Bookstore::buy_confirm(Rng& rng) {
+  const std::uint64_t customer = rng.next_below(options_.customers);
+  const std::uint64_t order = next_order_.fetch_add(1);
+  MiniDb::Transaction txn = db_.begin();
+  (void)txn.read(std::string(kCarts), customer);
+  (void)txn.read(std::string(kCustomers), customer);
+  // Record the order, update stock on the purchased item, clear the cart.
+  TIERA_RETURN_IF_ERROR(
+      txn.write(std::string(kOrders), order,
+                as_view(make_payload(options_.order_record, order))));
+  const std::uint64_t item = rng.next_below(options_.items);
+  TIERA_RETURN_IF_ERROR(
+      txn.write(std::string(kItems), item,
+                as_view(make_payload(options_.item_record, item + order))));
+  TIERA_RETURN_IF_ERROR(txn.remove(std::string(kCarts), customer));
+  return db_.commit(txn);
+}
+
+Status Bookstore::interaction(Rng& rng) {
+  // TPC-W shopping mix, collapsed to this implementation's interactions:
+  // read-dominant browsing with a 20% ordering component.
+  const double p = rng.next_double();
+  if (p < 0.25) return home(rng);
+  if (p < 0.55) return product_detail(rng);
+  if (p < 0.72) return search(rng);
+  if (p < 0.80) return best_sellers(rng);
+  if (p < 0.93) return add_to_cart(rng);
+  return buy_confirm(rng);
+}
+
+namespace {
+
+// Counting semaphore for the modelled server cores.
+class CpuSlots {
+ public:
+  explicit CpuSlots(std::size_t slots) : slots_(slots) {}
+  void run(Duration cpu_cost) {
+    if (slots_ == 0) return;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return in_use_ < slots_; });
+      ++in_use_;
+    }
+    apply_model_delay(cpu_cost);
+    {
+      std::lock_guard lock(mu_);
+      --in_use_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  const std::size_t slots_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace
+
+BrowserRunResult run_emulated_browsers(Bookstore& store, std::size_t browsers,
+                                       Duration duration, Duration think_time,
+                                       std::uint64_t seed,
+                                       ServerModel server) {
+  BrowserRunResult result;
+  const double scale = time_scale() > 0 ? time_scale() : 1.0;
+  const TimePoint deadline =
+      now() + std::chrono::duration_cast<Duration>(duration * scale);
+
+  CpuSlots cpu(server.cpu_slots);
+  std::vector<std::thread> threads;
+  std::vector<BrowserRunResult> partials(browsers);
+  for (std::size_t b = 0; b < browsers; ++b) {
+    threads.emplace_back([&, b] {
+      BrowserRunResult& local = partials[b];
+      Rng rng(seed * 31 + b);
+      while (now() < deadline) {
+        Stopwatch watch;
+        cpu.run(server.cpu_per_interaction);
+        const Status s = store.interaction(rng);
+        local.interaction_latency.record_ms(watch.elapsed_ms() / scale);
+        if (s.ok()) {
+          ++local.interactions;
+        } else {
+          ++local.errors;
+        }
+        // Exponentially distributed think time around the mean.
+        const double u = std::max(1e-6, rng.next_double());
+        apply_model_delay(std::chrono::duration_cast<Duration>(
+            think_time * (-std::log(u))));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& partial : partials) {
+    result.interaction_latency.merge(partial.interaction_latency);
+    result.interactions += partial.interactions;
+    result.errors += partial.errors;
+  }
+  result.wips =
+      static_cast<double>(result.interactions) / to_seconds(duration);
+  return result;
+}
+
+}  // namespace tiera

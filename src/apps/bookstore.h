@@ -1,0 +1,90 @@
+// Online bookstore: the TPC-W web application of §4.1.2.
+//
+// The paper deploys the bookstore bundled with TPC-W: MySQL behind Apache
+// Tomcat, static HTML and images on disk, and emulated browsers driving the
+// *shopping mix* of web interactions. This module reproduces the parts the
+// storage stack sees:
+//   * database tables (items, customers, carts, orders) in minidb,
+//   * static HTML pages and item images as files through the FileAdapter,
+//   * a web-interaction processor whose interactions combine static content
+//     reads with database transactions,
+//   * emulated browsers (one thread each, fixed think time) and the WIPS
+//     metric (web interactions per second).
+#pragma once
+
+#include <atomic>
+
+#include "common/histogram.h"
+#include "sql/minidb.h"
+
+namespace tiera {
+
+struct BookstoreOptions {
+  std::uint64_t items = 1000;       // paper: 10,000 (scaled by benches)
+  std::uint64_t customers = 10'000; // paper: 100,000
+  std::size_t html_bytes = 6 << 10;
+  std::size_t image_bytes = 12 << 10;
+  std::uint32_t item_record = 192;
+  std::uint32_t customer_record = 192;
+  std::uint32_t cart_record = 256;
+  std::uint32_t order_record = 256;
+};
+
+class Bookstore {
+ public:
+  Bookstore(MiniDb& db, FileAdapter& files, BookstoreOptions options = {});
+
+  // Create tables, load rows, and publish the static content.
+  Status initialize();
+
+  // --- Web interactions (shopping-mix subset) -------------------------------
+  // Browsing interactions (read-only): home page, product detail with
+  // image, search result listing, best sellers.
+  Status home(Rng& rng);
+  Status product_detail(Rng& rng);
+  Status search(Rng& rng);
+  Status best_sellers(Rng& rng);
+  // Ordering interactions (read-write): cart update and buy confirm.
+  Status add_to_cart(Rng& rng);
+  Status buy_confirm(Rng& rng);
+
+  // One interaction drawn from the shopping mix (read-dominant: ~80%
+  // browsing / 20% ordering, TPC-W's shopping profile).
+  Status interaction(Rng& rng);
+
+  const BookstoreOptions& options() const { return options_; }
+
+ private:
+  std::string html_path(std::uint64_t item) const;
+  std::string image_path(std::uint64_t item) const;
+
+  MiniDb& db_;
+  FileAdapter& files_;
+  BookstoreOptions options_;
+  std::atomic<std::uint64_t> next_order_{0};
+};
+
+struct BrowserRunResult {
+  double wips = 0;                 // web interactions per modelled second
+  LatencyHistogram interaction_latency;  // modelled ms
+  std::uint64_t interactions = 0;
+  std::uint64_t errors = 0;
+};
+
+// Models the web/application server's compute: each interaction burns
+// `cpu_per_interaction` of modelled CPU while holding one of `cpu_slots`
+// cores. Zero slots disables the model (storage-bound only).
+struct ServerModel {
+  Duration cpu_per_interaction = Duration::zero();
+  std::size_t cpu_slots = 0;
+};
+
+// Runs `browsers` emulated-browser threads for `duration` (modelled time)
+// with the given think time between interactions.
+BrowserRunResult run_emulated_browsers(Bookstore& store, std::size_t browsers,
+                                       Duration duration,
+                                       Duration think_time,
+                                       std::uint64_t seed = 17,
+                                       ServerModel server = {});
+
+}  // namespace tiera

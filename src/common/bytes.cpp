@@ -1,0 +1,22 @@
+#include "common/bytes.h"
+
+#include "common/random.h"
+
+namespace tiera {
+
+Bytes make_payload(std::size_t size, std::uint64_t seed) {
+  Bytes out(size);
+  std::uint64_t x = mix64(seed);
+  std::size_t i = 0;
+  while (i + 8 <= size) {
+    std::memcpy(out.data() + i, &x, 8);
+    x = mix64(x);
+    i += 8;
+  }
+  for (; i < size; ++i) {
+    out[i] = static_cast<std::uint8_t>(x >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+}  // namespace tiera

@@ -1,0 +1,43 @@
+// Byte-buffer aliases and helpers shared across the storage stack.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tiera {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline ByteView as_view(const Bytes& b) { return ByteView(b.data(), b.size()); }
+
+inline ByteView as_view(std::string_view s) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+// Append helpers used by the serializers.
+inline void append(Bytes& out, ByteView data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+inline void append(Bytes& out, std::string_view data) {
+  append(out, as_view(data));
+}
+
+// Deterministic pseudo-random payload of a given size; `seed` selects the
+// content so tests and dedup experiments can create equal or distinct blobs.
+Bytes make_payload(std::size_t size, std::uint64_t seed);
+
+}  // namespace tiera

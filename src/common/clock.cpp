@@ -1,0 +1,57 @@
+#include "common/clock.h"
+
+#include <sys/prctl.h>
+
+#include <atomic>
+#include <thread>
+
+namespace tiera {
+namespace {
+
+std::atomic<double> g_time_scale{1.0};
+
+// Linux pads sleeps by the thread's timer slack (50us default), which is
+// fatal for sub-millisecond modelled latencies. Request 1us slack once per
+// thread so sleep_for wakes close to the deadline and threads stay *blocked*
+// while they wait (a busy spin would serialise everything on small hosts —
+// this repo's benches must run faithfully even on one core).
+void ensure_tight_timer_slack() {
+  thread_local bool done = [] {
+#ifdef PR_SET_TIMERSLACK
+    ::prctl(PR_SET_TIMERSLACK, 1000UL, 0, 0, 0);
+#endif
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void precise_sleep(Duration d) {
+  if (d <= Duration::zero()) return;
+  ensure_tight_timer_slack();
+  const TimePoint deadline = now() + d;
+  // Block for the bulk; spin only the last sliver.
+  constexpr Duration kSpinWindow = std::chrono::microseconds(15);
+  if (d > kSpinWindow) {
+    std::this_thread::sleep_for(d - kSpinWindow);
+  }
+  while (now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+void set_time_scale(double scale) {
+  g_time_scale.store(scale > 0 ? scale : 0.0, std::memory_order_relaxed);
+}
+
+double time_scale() { return g_time_scale.load(std::memory_order_relaxed); }
+
+void apply_model_delay(Duration modelled) {
+  if (modelled <= Duration::zero()) return;
+  const double scale = time_scale();
+  if (scale <= 0) return;
+  precise_sleep(std::chrono::duration_cast<Duration>(modelled * scale));
+}
+
+}  // namespace tiera

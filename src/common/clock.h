@@ -1,0 +1,56 @@
+// Wall-clock utilities and the global latency time scale.
+//
+// Every simulated tier charges its modelled service time through
+// apply_model_delay(), which multiplies by the process-wide time scale. A
+// scale of 1.0 emulates AWS-era latencies in real time; benches use smaller
+// scales so all figures regenerate in seconds while preserving latency ratios.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tiera {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = std::chrono::nanoseconds;
+
+inline TimePoint now() { return Clock::now(); }
+
+inline double to_ms(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+inline Duration from_ms(double ms) {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+inline double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+// Sleep that stays accurate below the scheduler quantum: coarse sleep for the
+// bulk, then spin for the remainder. Used to emulate tier service times.
+void precise_sleep(Duration d);
+
+// Process-wide multiplier applied to modelled tier latencies (default 1.0).
+void set_time_scale(double scale);
+double time_scale();
+
+// Sleeps `modelled * time_scale()`. No-op for non-positive durations.
+void apply_model_delay(Duration modelled);
+
+// Stopwatch for latency measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now()) {}
+  void reset() { start_ = now(); }
+  Duration elapsed() const { return now() - start_; }
+  double elapsed_ms() const { return to_ms(elapsed()); }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace tiera

@@ -1,0 +1,175 @@
+#include "common/compress.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace tiera {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'T', 'L', 'Z', '1'};
+constexpr std::size_t kHeaderSize = 4 /*magic*/ + 8 /*raw len*/ + 4 /*crc*/;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 255 + kMinMatch;
+constexpr std::size_t kWindow = 1 << 16;
+constexpr std::size_t kHashBits = 15;
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+// Token format:
+//   literal run : 0x00, varint len, bytes
+//   match       : 0x01, u8 (len - kMinMatch), u16 LE distance
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(std::uint8_t(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(std::uint8_t(v));
+}
+
+bool get_varint(const std::uint8_t*& p, const std::uint8_t* end,
+                std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (p < end && shift < 64) {
+    const std::uint8_t byte = *p++;
+    v |= std::uint64_t(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+void flush_literals(Bytes& out, const std::uint8_t* base, std::size_t start,
+                    std::size_t end_pos) {
+  if (end_pos <= start) return;
+  out.push_back(0x00);
+  put_varint(out, end_pos - start);
+  out.insert(out.end(), base + start, base + end_pos);
+}
+
+}  // namespace
+
+Bytes lz_compress(ByteView input) {
+  Bytes out;
+  out.reserve(kHeaderSize + input.size() / 2 + 64);
+  append(out, ByteView(kMagic, 4));
+  put_u64(out, input.size());
+  put_u32(out, crc32c(input));
+
+  const std::uint8_t* src = input.data();
+  const std::size_t n = input.size();
+  std::vector<std::int64_t> head(std::size_t{1} << kHashBits, -1);
+
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+  while (i + kMinMatch <= n) {
+    const std::uint32_t h = hash4(src + i);
+    const std::int64_t cand = head[h];
+    head[h] = static_cast<std::int64_t>(i);
+    if (cand >= 0 && i - static_cast<std::size_t>(cand) <= kWindow - 1 &&
+        std::memcmp(src + cand, src + i, kMinMatch) == 0) {
+      // Extend the match.
+      std::size_t len = kMinMatch;
+      const std::size_t max_len = std::min(kMaxMatch, n - i);
+      while (len < max_len && src[cand + len] == src[i + len]) ++len;
+      flush_literals(out, src, literal_start, i);
+      out.push_back(0x01);
+      out.push_back(std::uint8_t(len - kMinMatch));
+      const auto dist = static_cast<std::uint16_t>(i - cand);
+      out.push_back(std::uint8_t(dist & 0xFF));
+      out.push_back(std::uint8_t(dist >> 8));
+      // Insert hash entries inside the match region (sparsely, every 2nd
+      // position, a common speed/ratio tradeoff).
+      for (std::size_t j = i + 1; j + kMinMatch <= n && j < i + len; j += 2) {
+        head[hash4(src + j)] = static_cast<std::int64_t>(j);
+      }
+      i += len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(out, src, literal_start, n);
+  return out;
+}
+
+bool lz_is_compressed(ByteView input) {
+  return input.size() >= kHeaderSize &&
+         std::memcmp(input.data(), kMagic, 4) == 0;
+}
+
+Result<Bytes> lz_decompress(ByteView input) {
+  if (!lz_is_compressed(input)) {
+    return Status::Corruption("lz: bad magic");
+  }
+  const std::uint64_t raw_len = get_u64(input.data() + 4);
+  const std::uint32_t expect_crc = get_u32(input.data() + 12);
+  // Guard against absurd lengths from corrupt headers (1 GiB cap).
+  if (raw_len > (1ull << 30)) return Status::Corruption("lz: bad length");
+
+  Bytes out;
+  out.reserve(raw_len);
+  const std::uint8_t* p = input.data() + kHeaderSize;
+  const std::uint8_t* end = input.data() + input.size();
+  while (p < end) {
+    const std::uint8_t tag = *p++;
+    if (tag == 0x00) {
+      std::uint64_t len = 0;
+      if (!get_varint(p, end, len) ||
+          len > static_cast<std::uint64_t>(end - p)) {
+        return Status::Corruption("lz: truncated literal run");
+      }
+      out.insert(out.end(), p, p + len);
+      p += len;
+    } else if (tag == 0x01) {
+      if (end - p < 3) return Status::Corruption("lz: truncated match");
+      const std::size_t len = std::size_t(*p++) + kMinMatch;
+      const std::size_t dist = std::size_t(p[0]) | (std::size_t(p[1]) << 8);
+      p += 2;
+      if (dist == 0 || dist > out.size()) {
+        return Status::Corruption("lz: bad match distance");
+      }
+      // Byte-by-byte copy: overlapping matches are legal (RLE-style).
+      std::size_t from = out.size() - dist;
+      for (std::size_t k = 0; k < len; ++k) {
+        out.push_back(out[from + k]);
+      }
+    } else {
+      return Status::Corruption("lz: bad token tag");
+    }
+    if (out.size() > raw_len) return Status::Corruption("lz: output overrun");
+  }
+  if (out.size() != raw_len) return Status::Corruption("lz: length mismatch");
+  if (crc32c(as_view(out)) != expect_crc) {
+    return Status::Corruption("lz: crc mismatch");
+  }
+  return out;
+}
+
+}  // namespace tiera

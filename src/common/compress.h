@@ -1,0 +1,27 @@
+// Byte-oriented LZ compressor backing Tiera's compress/uncompress responses.
+//
+// The paper uses ZLIB; offline we implement an LZ77-family codec (greedy
+// hash-chain matcher, byte-aligned token stream) with the same contract:
+// lossless, framed with the original length, and able to reject corrupt
+// input. Compression ratio on redundant data is what the responses exploit;
+// exact ratios versus DEFLATE are immaterial to the reproduction.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tiera {
+
+// Compresses `input`. Output is self-describing (header + token stream) and
+// is never more than input.size() + input.size()/255 + 16 bytes.
+Bytes lz_compress(ByteView input);
+
+// Decompresses a buffer produced by lz_compress. Fails with kCorruption on
+// malformed input.
+Result<Bytes> lz_decompress(ByteView input);
+
+// True if `input` carries the lz frame magic (used to detect double
+// compression and accidental decompression of plain data).
+bool lz_is_compressed(ByteView input);
+
+}  // namespace tiera

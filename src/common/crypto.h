@@ -1,0 +1,34 @@
+// Symmetric encryption backing Tiera's encrypt/decrypt responses.
+//
+// ChaCha20 (RFC 8439 block function) implemented locally since no crypto
+// library is available offline. Objects are framed with a magic, a random
+// nonce, and a keyed integrity tag so decrypt-with-wrong-key is detected —
+// matching the response contract (encrypt(objects, key) / decrypt(objects,
+// key)) in Table 1 of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tiera {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+
+// Derive a 256-bit key from a passphrase (SHA-256 of the phrase).
+ChaChaKey derive_key(std::string_view passphrase);
+
+// Encrypts `plain` with a fresh nonce; output is framed and self-describing.
+Bytes chacha_encrypt(ByteView plain, const ChaChaKey& key,
+                     std::uint64_t nonce_seed);
+
+// Decrypts a frame produced by chacha_encrypt. Fails with kCorruption when
+// the frame is malformed or the key is wrong.
+Result<Bytes> chacha_decrypt(ByteView framed, const ChaChaKey& key);
+
+bool chacha_is_encrypted(ByteView data);
+
+}  // namespace tiera

@@ -1,0 +1,134 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tiera {
+
+namespace {
+// Geometric bucket growth factor: 512 buckets covering 1us to ~1.1e8us.
+constexpr double kGrowth = 1.0368;
+const double kLogGrowth = std::log(kGrowth);
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogram& other)
+    : buckets_(kBuckets, 0) {
+  merge(other);
+}
+
+LatencyHistogram& LatencyHistogram::operator=(const LatencyHistogram& other) {
+  if (this == &other) return *this;
+  reset();
+  merge(other);
+  return *this;
+}
+
+int LatencyHistogram::bucket_for(double us) {
+  if (us <= 1.0) return 0;
+  const int b = static_cast<int>(std::log(us) / kLogGrowth) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_upper_us(int bucket) {
+  return std::pow(kGrowth, bucket);
+}
+
+void LatencyHistogram::record(Duration latency) {
+  record_ms(to_ms(latency));
+}
+
+void LatencyHistogram::record_ms(double ms) {
+  const double us = std::max(0.0, ms * 1000.0);
+  std::lock_guard lock(mu_);
+  buckets_[bucket_for(us)]++;
+  if (count_ == 0 || us < min_us_) min_us_ = us;
+  if (count_ == 0 || us > max_us_) max_us_ = us;
+  sum_us_ += us;
+  ++count_;
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::lock_guard lock(mu_);
+  return count_;
+}
+
+double LatencyHistogram::mean_ms() const {
+  std::lock_guard lock(mu_);
+  return count_ ? sum_us_ / static_cast<double>(count_) / 1000.0 : 0.0;
+}
+
+double LatencyHistogram::min_ms() const {
+  std::lock_guard lock(mu_);
+  return min_us_ / 1000.0;
+}
+
+double LatencyHistogram::max_ms() const {
+  std::lock_guard lock(mu_);
+  return max_us_ / 1000.0;
+}
+
+double LatencyHistogram::percentile_ms(double q) const {
+  std::lock_guard lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target && buckets_[b] > 0) {
+      return std::min(bucket_upper_us(b), max_us_) / 1000.0;
+    }
+  }
+  return max_us_ / 1000.0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  // Copy out under other's lock first to avoid lock-order issues.
+  std::vector<std::uint64_t> other_buckets;
+  std::uint64_t other_count;
+  double other_sum, other_min, other_max;
+  {
+    std::lock_guard lock(other.mu_);
+    other_buckets = other.buckets_;
+    other_count = other.count_;
+    other_sum = other.sum_us_;
+    other_min = other.min_us_;
+    other_max = other.max_us_;
+  }
+  if (other_count == 0) return;
+  std::lock_guard lock(mu_);
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other_buckets[b];
+  if (count_ == 0) {
+    min_us_ = other_min;
+    max_us_ = other_max;
+  } else {
+    min_us_ = std::min(min_us_, other_min);
+    max_us_ = std::max(max_us_, other_max);
+  }
+  count_ += other_count;
+  sum_us_ += other_sum;
+}
+
+void LatencyHistogram::reset() {
+  std::lock_guard lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_us_ = min_us_ = max_us_ = 0;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+                "max=%.3fms",
+                static_cast<unsigned long long>(count()), mean_ms(),
+                percentile_ms(0.50), percentile_ms(0.95), percentile_ms(0.99),
+                max_ms());
+  return buf;
+}
+
+}  // namespace tiera

@@ -1,0 +1,81 @@
+// Latency histogram and throughput recorder used by all benches and the
+// instance statistics endpoint. Log-bucketed so tail percentiles (p95/p99,
+// which the paper reports) stay accurate across microseconds..seconds.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace tiera {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+  // Copyable (snapshot semantics) so result structs can be returned by
+  // value; the mutex itself is not copied.
+  LatencyHistogram(const LatencyHistogram& other);
+  LatencyHistogram& operator=(const LatencyHistogram& other);
+
+  void record(Duration latency);
+  void record_ms(double ms);
+
+  std::uint64_t count() const;
+  double mean_ms() const;
+  double min_ms() const;
+  double max_ms() const;
+  // q in [0,1]; returns 0 when empty.
+  double percentile_ms(double q) const;
+
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  std::string summary() const;
+
+ private:
+  // Buckets span 1us..~110s with ~4.6% relative width.
+  static constexpr int kBuckets = 512;
+  static int bucket_for(double us);
+  static double bucket_upper_us(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0;
+  double min_us_ = 0;
+  double max_us_ = 0;
+};
+
+// Counts operations over a wall-clock window; reports ops/sec.
+class ThroughputMeter {
+ public:
+  ThroughputMeter() : start_(now()) {}
+
+  void add(std::uint64_t n = 1) {
+    std::lock_guard lock(mu_);
+    ops_ += n;
+  }
+  std::uint64_t total() const {
+    std::lock_guard lock(mu_);
+    return ops_;
+  }
+  double ops_per_sec() const {
+    const double secs = to_seconds(now() - start_);
+    return secs > 0 ? static_cast<double>(total()) / secs : 0.0;
+  }
+  void reset() {
+    std::lock_guard lock(mu_);
+    ops_ = 0;
+    start_ = now();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t ops_ = 0;
+  TimePoint start_;
+};
+
+}  // namespace tiera

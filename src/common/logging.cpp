@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace tiera {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mu;
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace internal {
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_sink_mu);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(level).size()),
+               level_name(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+}  // namespace internal
+
+}  // namespace tiera

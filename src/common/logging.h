@@ -1,0 +1,43 @@
+// Minimal leveled logger. Thread-safe, printf-free, stderr sink.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace tiera {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+// Usage: TIERA_LOG(kInfo, "core") << "instance started, tiers=" << n;
+#define TIERA_LOG(level, component)                              \
+  if (::tiera::LogLevel::level >= ::tiera::log_level())          \
+  ::tiera::internal::LogMessage(::tiera::LogLevel::level, (component))
+
+}  // namespace tiera

@@ -1,0 +1,138 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tiera {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    s = z ^ (z >> 31);
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  return lo + next_below(hi - lo + 1);
+}
+
+ZipfianDistribution::ZipfianDistribution(std::uint64_t n, double theta,
+                                         bool scrambled)
+    : n_(n), theta_(theta), scrambled_(scrambled) {
+  assert(n_ > 0);
+  zetan_ = zeta(n_, theta_);
+  zeta2theta_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfianDistribution::next(Rng& rng) {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  std::uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_) rank = n_ - 1;
+  }
+  if (!scrambled_) return rank;
+  return mix64(rank) % n_;
+}
+
+SpecialDistribution::SpecialDistribution(std::uint64_t n, double hot_fraction,
+                                         double hot_probability)
+    : n_(n),
+      hot_n_(static_cast<std::uint64_t>(
+          static_cast<double>(n) * hot_fraction)),
+      hot_probability_(hot_probability) {
+  if (hot_n_ == 0) hot_n_ = 1;
+  if (hot_n_ > n_) hot_n_ = n_;
+}
+
+std::uint64_t SpecialDistribution::next(Rng& rng) {
+  if (rng.next_double() < hot_probability_) {
+    return rng.next_below(hot_n_);
+  }
+  return rng.next_below(n_);
+}
+
+LatestDistribution::LatestDistribution(std::uint64_t n, double theta)
+    : n_(n ? n : 1), theta_(theta), zipf_(n_, theta_, /*scrambled=*/false) {}
+
+std::uint64_t LatestDistribution::next(Rng& rng) {
+  const std::uint64_t rank = zipf_.next(rng);
+  return n_ - 1 - (rank % n_);
+}
+
+std::uint64_t LatestDistribution::key_count() const { return n_; }
+
+void LatestDistribution::set_max(std::uint64_t n) {
+  if (n == 0) n = 1;
+  if (n == n_) return;
+  n_ = n;
+  zipf_ = ZipfianDistribution(n_, theta_, /*scrambled=*/false);
+}
+
+}  // namespace tiera

@@ -1,0 +1,107 @@
+// Random number generation and the key-popularity distributions used by the
+// paper's workload generators:
+//   * Uniform           — YCSB uniform
+//   * Zipfian           — YCSB zipfian (theta 0.99 default, 1.2 in Fig. 12)
+//   * Special           — sysbench "special": a hot fraction of the keyspace
+//                         receives 80% of accesses (the x-axis of Figs. 7/8)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tiera {
+
+// splitmix64-seeded xoshiro256**; fast, decent quality, reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next();
+  // Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound);
+  // Uniform double in [0, 1).
+  double next_double();
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Interface for key-index generators over [0, n).
+class KeyDistribution {
+ public:
+  virtual ~KeyDistribution() = default;
+  virtual std::uint64_t next(Rng& rng) = 0;
+  virtual std::uint64_t key_count() const = 0;
+};
+
+class UniformDistribution final : public KeyDistribution {
+ public:
+  explicit UniformDistribution(std::uint64_t n) : n_(n) {}
+  std::uint64_t next(Rng& rng) override { return rng.next_below(n_); }
+  std::uint64_t key_count() const override { return n_; }
+
+ private:
+  std::uint64_t n_;
+};
+
+// YCSB-style Zipfian generator (Gray et al. rejection-free method), with the
+// YCSB scrambled variant available so hot keys spread over the keyspace.
+class ZipfianDistribution final : public KeyDistribution {
+ public:
+  ZipfianDistribution(std::uint64_t n, double theta = 0.99,
+                      bool scrambled = true);
+  std::uint64_t next(Rng& rng) override;
+  std::uint64_t key_count() const override { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  bool scrambled_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2theta_;
+};
+
+// sysbench-like "special" distribution: `hot_fraction` of the keyspace is
+// accessed with probability `hot_probability` (0.80 in the paper), the rest
+// uniformly.
+class SpecialDistribution final : public KeyDistribution {
+ public:
+  SpecialDistribution(std::uint64_t n, double hot_fraction,
+                      double hot_probability = 0.80);
+  std::uint64_t next(Rng& rng) override;
+  std::uint64_t key_count() const override { return n_; }
+  std::uint64_t hot_count() const { return hot_n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t hot_n_;
+  double hot_probability_;
+};
+
+// Latest-skewed distribution (YCSB "latest"): favors recently inserted keys.
+class LatestDistribution final : public KeyDistribution {
+ public:
+  explicit LatestDistribution(std::uint64_t n, double theta = 0.99);
+  std::uint64_t next(Rng& rng) override;
+  std::uint64_t key_count() const override;
+  void set_max(std::uint64_t n);
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  ZipfianDistribution zipf_;
+};
+
+// 64-bit avalanche hash (used for key scrambling and payload seeding).
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace tiera

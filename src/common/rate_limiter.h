@@ -1,0 +1,44 @@
+// Token-bucket rate limiter.
+//
+// Implements the bandwidth caps that Tiera's copy/move responses accept
+// ("bandwidth: 40KB/s" in the paper's specs). Callers acquire permission for
+// a byte count and are blocked until the bucket can cover it, throttling
+// background replication so foreground I/O keeps uniform latency (Fig. 14).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace tiera {
+
+class RateLimiter {
+ public:
+  // bytes_per_second <= 0 means unlimited. The bucket allows short bursts of
+  // up to `burst_seconds` worth of tokens.
+  explicit RateLimiter(double bytes_per_second, double burst_seconds = 0.25);
+
+  // Block until `bytes` tokens are available, then consume them. Sleeps are
+  // subject to the global time scale so scaled benches throttle consistently
+  // with their scaled tier latencies.
+  void acquire(std::uint64_t bytes);
+
+  // Non-blocking variant: consume if available, otherwise return false.
+  // (Bucket-bound: requests larger than the burst capacity always fail.)
+  bool try_acquire(std::uint64_t bytes);
+
+  bool unlimited() const { return rate_ <= 0; }
+  double bytes_per_second() const { return rate_; }
+
+ private:
+  void refill_locked();
+
+  const double rate_;
+  const double capacity_;
+  double tokens_;
+  TimePoint last_refill_;
+  std::mutex mu_;
+};
+
+}  // namespace tiera

@@ -1,0 +1,29 @@
+#include "common/status.h"
+
+namespace tiera {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kCapacityExceeded: return "CAPACITY_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kTimedOut: return "TIMED_OUT";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{tiera::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace tiera

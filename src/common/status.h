@@ -1,0 +1,133 @@
+// Status and Result<T>: error propagation without exceptions on hot paths.
+//
+// Tiera tier operations can fail for reasons that are expected at runtime
+// (tier full, object missing, injected service outage), so the storage and
+// control layers return Status/Result values rather than throwing. Exceptions
+// remain in use for programming errors and unrecoverable setup failures.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace tiera {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // object/key does not exist in the addressed tier
+  kAlreadyExists,   // create-only semantics violated
+  kCapacityExceeded,// tier cannot hold the object
+  kUnavailable,     // tier failed or timed out (e.g. injected outage)
+  kTimedOut,        // operation exceeded its deadline
+  kInvalidArgument, // malformed request / spec
+  kCorruption,      // checksum mismatch, bad file, failed decrypt/inflate
+  kInternal,        // bug or unexpected condition
+};
+
+std::string_view to_string(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m = "not found") {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status CapacityExceeded(std::string m = "capacity exceeded") {
+    return {StatusCode::kCapacityExceeded, std::move(m)};
+  }
+  static Status Unavailable(std::string m = "unavailable") {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status TimedOut(std::string m = "timed out") {
+    return {StatusCode::kTimedOut, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m = "invalid argument") {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status Corruption(std::string m = "corruption") {
+    return {StatusCode::kCorruption, std::move(m)};
+  }
+  static Status Internal(std::string m = "internal error") {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool is_not_found() const { return code_ == StatusCode::kNotFound; }
+  bool is_unavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool is_timed_out() const { return code_ == StatusCode::kTimedOut; }
+  bool is_capacity_exceeded() const {
+    return code_ == StatusCode::kCapacityExceeded;
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagate a non-OK status from an expression, like absl's RETURN_IF_ERROR.
+#define TIERA_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::tiera::Status tiera_status_ = (expr);          \
+    if (!tiera_status_.ok()) return tiera_status_;   \
+  } while (false)
+
+}  // namespace tiera

@@ -1,0 +1,65 @@
+// Fixed-size worker pool.
+//
+// The Tiera server owns two of these, mirroring the prototype in the paper:
+// one pool services client requests (behind the RPC layer) and one services
+// background events and responses (control layer).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tiera {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  // Enqueue a task and get a future for its completion.
+  template <typename F>
+  auto submit_with_result(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    if (!submit([task] { (*task)(); })) {
+      // Run inline on shutdown so the future is never abandoned.
+      (*task)();
+    }
+    return future;
+  }
+
+  // Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  // Stop accepting work, drain the queue, join workers. Idempotent.
+  void shutdown();
+
+  std::size_t size() const { return workers_.size(); }
+  std::size_t queue_depth() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::string name_;
+};
+
+}  // namespace tiera

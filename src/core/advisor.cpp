@@ -1,0 +1,164 @@
+#include "core/advisor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "store/latency_model.h"
+#include "store/mem_tier.h"
+#include "store/file_tier.h"
+
+namespace tiera {
+
+namespace {
+
+struct ServiceModel {
+  const char* name;
+  double latency_ms;          // per-read, object-sized
+  double dollars_per_gb;      // capacity-billed monthly price
+};
+
+// Read latencies for the requirement's object size, from the same models
+// the tiers charge at runtime.
+ServiceModel memcached_model(std::size_t object_bytes) {
+  Rng rng(1);
+  LatencyModel m = LatencyModel::memcached_local();
+  m.jitter = 0;
+  return {"Memcached", to_ms(m.sample_read(object_bytes, rng)),
+          MemTier::default_pricing().dollars_per_gb_month};
+}
+ServiceModel ebs_model(std::size_t object_bytes) {
+  Rng rng(1);
+  LatencyModel m = LatencyModel::ebs();
+  m.jitter = 0;
+  return {"EBS", to_ms(m.sample_read(object_bytes, rng)),
+          BlockTier::default_pricing().dollars_per_gb_month};
+}
+ServiceModel s3_model(std::size_t object_bytes) {
+  Rng rng(1);
+  LatencyModel m = LatencyModel::s3();
+  m.jitter = 0;
+  return {"S3", to_ms(m.sample_read(object_bytes, rng)),
+          ObjectTier::default_pricing().dollars_per_gb_month};
+}
+
+}  // namespace
+
+double predicted_hit_fraction(Requirements::Distribution distribution,
+                              double zipf_theta, double capacity_fraction,
+                              double key_count) {
+  capacity_fraction = std::clamp(capacity_fraction, 0.0, 1.0);
+  if (distribution == Requirements::Distribution::kUniform) {
+    return capacity_fraction;  // an LRU cache holds a uniform random subset
+  }
+  if (capacity_fraction <= 0) return 0;
+  if (key_count < 2) return 1.0;
+  // Zipfian mass of the hottest x*N ranks: H_theta(xN)/H_theta(N) with the
+  // integral approximation H_theta(n) ≈ (n^(1-theta) - 1)/(1 - theta)
+  // (ln n when theta = 1).
+  const auto harmonic = [&](double n) {
+    n = std::max(n, 1.0);
+    if (std::abs(1.0 - zipf_theta) < 1e-6) return std::log(n) + 1.0;
+    return (std::pow(n, 1.0 - zipf_theta) - 1.0) / (1.0 - zipf_theta) + 1.0;
+  };
+  return std::clamp(
+      harmonic(capacity_fraction * key_count) / harmonic(key_count), 0.0,
+      1.0);
+}
+
+std::string InstancePlan::summary() const {
+  std::ostringstream out;
+  out << "plan:";
+  for (const auto& tier : tiers) {
+    out << " " << tier.service << "=" << static_cast<int>(tier.fraction * 100)
+        << "%";
+  }
+  out << "  predicted p-latency " << predicted_latency_ms << " ms, mean "
+      << predicted_mean_ms << " ms, $" << monthly_cost << "/month";
+  return out.str();
+}
+
+Result<InstancePtr> InstancePlan::instantiate(
+    const TemplateOptions& opts, std::uint64_t working_set_bytes) const {
+  double mem = 0, ebs = 0, s3 = 0;
+  for (const auto& tier : tiers) {
+    if (tier.service == std::string("Memcached")) mem = tier.fraction;
+    if (tier.service == std::string("EBS")) ebs = tier.fraction;
+    if (tier.service == std::string("S3")) s3 = tier.fraction;
+  }
+  // Zero-capacity tiers would be unbounded in the tier model; clamp every
+  // share to a small positive floor so the template's LRU chain stays
+  // capacity-bounded end to end.
+  return make_tiered_lru_instance(opts, working_set_bytes,
+                                  std::max(mem, 0.01), std::max(ebs, 0.01),
+                                  std::max(s3, 0.05));
+}
+
+Result<InstancePlan> advise(const Requirements& req) {
+  if (req.read_latency_ms <= 0 || req.working_set_bytes == 0) {
+    return Status::InvalidArgument("bad requirements");
+  }
+  const ServiceModel mem = memcached_model(req.object_bytes);
+  const ServiceModel ebs = ebs_model(req.object_bytes);
+  const ServiceModel s3 = s3_model(req.object_bytes);
+  const double gb =
+      static_cast<double>(req.working_set_bytes) / (1024.0 * 1024.0 * 1024.0);
+  const double keys = std::max<double>(
+      2.0, static_cast<double>(req.working_set_bytes) /
+               static_cast<double>(req.object_bytes));
+
+  std::optional<InstancePlan> best;
+  // Grid search over memcached/EBS shares in 5% steps; S3 absorbs the rest.
+  for (int mem_pct = 0; mem_pct <= 100; mem_pct += 5) {
+    for (int ebs_pct = 0; ebs_pct + mem_pct <= 100; ebs_pct += 5) {
+      const double mem_fraction = mem_pct / 100.0;
+      const double ebs_fraction = ebs_pct / 100.0;
+      const double s3_fraction = 1.0 - mem_fraction - ebs_fraction;
+
+      // Share of reads served per tier under the LRU stack: the hottest
+      // mem_fraction of the working set hits Memcached, the next slice
+      // EBS, the cold tail S3.
+      const double mem_hits = predicted_hit_fraction(
+          req.distribution, req.zipf_theta, mem_fraction, keys);
+      const double mem_ebs_hits = predicted_hit_fraction(
+          req.distribution, req.zipf_theta, mem_fraction + ebs_fraction,
+          keys);
+      const double ebs_hits = std::max(0.0, mem_ebs_hits - mem_hits);
+      const double s3_hits = std::max(0.0, 1.0 - mem_ebs_hits);
+
+      // Latency at the requested percentile: the slowest tier still needed
+      // to cover `percentile` of reads.
+      double percentile_latency = mem.latency_ms;
+      if (req.percentile > mem_hits) percentile_latency = ebs.latency_ms;
+      if (req.percentile > mem_ebs_hits) percentile_latency = s3.latency_ms;
+      if (s3_fraction <= 0 && req.percentile > mem_ebs_hits) {
+        continue;  // infeasible split (uncovered tail with no S3)
+      }
+      const double mean = mem_hits * mem.latency_ms +
+                          ebs_hits * ebs.latency_ms + s3_hits * s3.latency_ms;
+      const double cost = gb * (mem_fraction * mem.dollars_per_gb +
+                                ebs_fraction * ebs.dollars_per_gb +
+                                s3_fraction * s3.dollars_per_gb);
+      if (percentile_latency > req.read_latency_ms) continue;
+      if (req.budget_dollars && cost > *req.budget_dollars) continue;
+      if (best && best->monthly_cost <= cost) continue;
+
+      InstancePlan plan;
+      plan.tiers = {
+          {"Memcached", mem_fraction, mem_hits, mem.latency_ms},
+          {"EBS", ebs_fraction, ebs_hits, ebs.latency_ms},
+          {"S3", s3_fraction, s3_hits, s3.latency_ms},
+      };
+      plan.predicted_latency_ms = percentile_latency;
+      plan.predicted_mean_ms = mean;
+      plan.monthly_cost = cost;
+      best = plan;
+    }
+  }
+  if (!best) {
+    return Status::InvalidArgument(
+        "no tier mix meets the latency/budget requirements");
+  }
+  return *best;
+}
+
+}  // namespace tiera

@@ -1,0 +1,73 @@
+// Instance advisor: from abstract application requirements to an instance
+// configuration.
+//
+// The paper's §6: "we plan to explore techniques for generating appropriate
+// instance configuration and data management policies using abstract
+// application requirements and workload characteristics, e.g. 99 percentile
+// read latency < 10 ms with read requests following a uniform distribution".
+//
+// The advisor searches tier mixes (Memcached / EBS / S3 capacity fractions
+// of the working set) against an analytic model of the tier latency and
+// pricing tables, and returns the cheapest mix that meets the latency
+// requirement — together with a ready-to-run InstanceConfig and the LRU
+// policy that realises it (the Table 2 template).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/templates.h"
+
+namespace tiera {
+
+struct Requirements {
+  // Upper bound on the requested read-latency percentile, in modelled ms.
+  double read_latency_ms = 10.0;
+  // Which percentile the bound applies to (0.5, 0.95, 0.99, or 1.0 ≈ mean
+  // of the miss path; the paper's example uses p99).
+  double percentile = 0.99;
+  // Workload characteristics.
+  std::uint64_t working_set_bytes = 1 << 30;
+  std::size_t object_bytes = 4096;
+  enum class Distribution { kUniform, kZipfian };
+  Distribution distribution = Distribution::kUniform;
+  double zipf_theta = 0.99;
+  // Optional monthly budget; plans above it are rejected.
+  std::optional<double> budget_dollars;
+};
+
+struct TierPlanEntry {
+  std::string service;   // "Memcached", "EBS", "S3"
+  double fraction;       // of the working set provisioned in this tier
+  double hit_fraction;   // predicted share of reads served here
+  double latency_ms;     // modelled per-read latency of this tier
+};
+
+struct InstancePlan {
+  std::vector<TierPlanEntry> tiers;
+  double predicted_latency_ms = 0;   // at the requested percentile
+  double predicted_mean_ms = 0;
+  double monthly_cost = 0;
+  std::string summary() const;
+
+  // Materialise the plan as a running instance (exclusive LRU chain with
+  // promote-on-read, sized by the plan's fractions).
+  Result<InstancePtr> instantiate(const TemplateOptions& opts,
+                                  std::uint64_t working_set_bytes) const;
+};
+
+// Returns the cheapest plan meeting the requirements, or kInvalidArgument
+// when no mix of the known services can (e.g. sub-millisecond p99 with a
+// budget below the required Memcached capacity).
+Result<InstancePlan> advise(const Requirements& requirements);
+
+// Predicted fraction of reads that land in the hottest `capacity_fraction`
+// of a `key_count`-key keyspace (the cache-hit model the advisor uses;
+// exposed for tests). For zipf this is the generalized-harmonic mass ratio
+// H_theta(x*N) / H_theta(N).
+double predicted_hit_fraction(Requirements::Distribution distribution,
+                              double zipf_theta, double capacity_fraction,
+                              double key_count = 1e6);
+
+}  // namespace tiera

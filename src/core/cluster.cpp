@@ -1,0 +1,199 @@
+#include "core/cluster.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tiera {
+
+TieraCluster::TieraCluster(std::size_t vnodes_per_node)
+    : vnodes_(vnodes_per_node ? vnodes_per_node : 1) {}
+
+std::uint64_t TieraCluster::ring_hash(std::string_view key) {
+  return mix64(fnv1a64(key));
+}
+
+TieraCluster::Node* TieraCluster::node_for_locked(std::string_view id) const {
+  if (ring_.empty()) return nullptr;
+  auto it = ring_.lower_bound(ring_hash(id));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+Status TieraCluster::add_node(std::string name, InstancePtr instance) {
+  if (!instance) return Status::InvalidArgument("null instance");
+  std::unique_lock lock(mu_);
+  for (const auto& node : nodes_) {
+    if (node->name == name) return Status::AlreadyExists("node " + name);
+  }
+  auto node = std::make_unique<Node>();
+  node->name = std::move(name);
+  node->instance = std::move(instance);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    ring_[ring_hash(node->name + "#" + std::to_string(v))] = node.get();
+  }
+  nodes_.push_back(std::move(node));
+  // Objects on existing nodes whose ownership moved to the new node.
+  return migrate_locked();
+}
+
+Status TieraCluster::remove_node(std::string_view name) {
+  std::unique_lock lock(mu_);
+  auto it = std::find_if(nodes_.begin(), nodes_.end(), [&](const auto& node) {
+    return node->name == name;
+  });
+  if (it == nodes_.end()) return Status::NotFound("no such node");
+  if (nodes_.size() == 1) {
+    return Status::InvalidArgument("cannot remove the last node");
+  }
+  // Take the node off the ring first so migration routes around it, but
+  // keep the instance alive as the migration source.
+  std::unique_ptr<Node> leaving = std::move(*it);
+  nodes_.erase(it);
+  for (auto ring_it = ring_.begin(); ring_it != ring_.end();) {
+    if (ring_it->second == leaving.get()) {
+      ring_it = ring_.erase(ring_it);
+    } else {
+      ++ring_it;
+    }
+  }
+  // Drain the leaving node to the survivors.
+  std::uint64_t moved = 0;
+  Status last = Status::Ok();
+  std::vector<std::string> ids;
+  leaving->instance->metadata().for_each(
+      [&](const ObjectMeta& meta) { ids.push_back(meta.id); });
+  for (const auto& id : ids) {
+    Node* target = node_for_locked(id);
+    if (!target) continue;
+    auto bytes = leaving->instance->get(id);
+    if (!bytes.ok()) {
+      last = bytes.status();
+      continue;
+    }
+    const auto meta = leaving->instance->stat(id);
+    const std::vector<std::string> tags =
+        meta.ok() ? std::vector<std::string>(meta->tags.begin(),
+                                             meta->tags.end())
+                  : std::vector<std::string>{};
+    const Status s = target->instance->put(id, as_view(*bytes), tags);
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    ++moved;
+  }
+  last_migration_ = moved;
+  TIERA_LOG(kInfo, "cluster") << "drained " << moved << " objects from node "
+                              << leaving->name;
+  return last;
+}
+
+Status TieraCluster::migrate_locked() {
+  std::uint64_t moved = 0;
+  Status last = Status::Ok();
+  for (const auto& node : nodes_) {
+    std::vector<std::string> ids;
+    node->instance->metadata().for_each(
+        [&](const ObjectMeta& meta) { ids.push_back(meta.id); });
+    for (const auto& id : ids) {
+      Node* owner = node_for_locked(id);
+      if (!owner || owner == node.get()) continue;
+      auto bytes = node->instance->get(id);
+      if (!bytes.ok()) {
+        last = bytes.status();
+        continue;
+      }
+      const auto meta = node->instance->stat(id);
+      const std::vector<std::string> tags =
+          meta.ok() ? std::vector<std::string>(meta->tags.begin(),
+                                               meta->tags.end())
+                    : std::vector<std::string>{};
+      Status s = owner->instance->put(id, as_view(*bytes), tags);
+      if (!s.ok()) {
+        last = s;
+        continue;
+      }
+      s = node->instance->remove(id);
+      if (!s.ok()) last = s;
+      ++moved;
+    }
+  }
+  last_migration_ = moved;
+  if (moved > 0) {
+    TIERA_LOG(kInfo, "cluster") << "rebalanced " << moved << " objects";
+  }
+  return last;
+}
+
+std::size_t TieraCluster::node_count() const {
+  std::shared_lock lock(mu_);
+  return nodes_.size();
+}
+
+std::vector<std::string> TieraCluster::node_names() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& node : nodes_) names.push_back(node->name);
+  return names;
+}
+
+Status TieraCluster::put(std::string_view id, ByteView data,
+                         const std::vector<std::string>& tags) {
+  std::shared_lock lock(mu_);
+  Node* node = node_for_locked(id);
+  if (!node) return Status::Unavailable("cluster has no nodes");
+  return node->instance->put(id, data, tags);
+}
+
+Result<Bytes> TieraCluster::get(std::string_view id) {
+  std::shared_lock lock(mu_);
+  Node* node = node_for_locked(id);
+  if (!node) return Status::Unavailable("cluster has no nodes");
+  return node->instance->get(id);
+}
+
+Status TieraCluster::remove(std::string_view id) {
+  std::shared_lock lock(mu_);
+  Node* node = node_for_locked(id);
+  if (!node) return Status::Unavailable("cluster has no nodes");
+  return node->instance->remove(id);
+}
+
+bool TieraCluster::contains(std::string_view id) const {
+  std::shared_lock lock(mu_);
+  Node* node = node_for_locked(id);
+  return node && node->instance->contains(id);
+}
+
+Result<ObjectMeta> TieraCluster::stat(std::string_view id) const {
+  std::shared_lock lock(mu_);
+  Node* node = node_for_locked(id);
+  if (!node) return Status::Unavailable("cluster has no nodes");
+  return node->instance->stat(id);
+}
+
+Result<std::string> TieraCluster::owner_of(std::string_view id) const {
+  std::shared_lock lock(mu_);
+  Node* node = node_for_locked(id);
+  if (!node) return Status::Unavailable("cluster has no nodes");
+  return node->name;
+}
+
+std::size_t TieraCluster::object_count() const {
+  std::shared_lock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node->instance->object_count();
+  return total;
+}
+
+double TieraCluster::monthly_cost(double observed_seconds) const {
+  std::shared_lock lock(mu_);
+  double total = 0;
+  for (const auto& node : nodes_) {
+    total += node->instance->monthly_cost(observed_seconds);
+  }
+  return total;
+}
+
+}  // namespace tiera

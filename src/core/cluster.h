@@ -1,0 +1,75 @@
+// TieraCluster: horizontally scaled control layer (the paper's §6 future
+// work: "we plan to employ horizontal scaling to scale the Tiera control
+// layer to be able to store a very large number of objects", citing
+// Dynamo/Cassandra-style designs).
+//
+// A cluster shards the object namespace across several TieraInstances with
+// a consistent-hash ring (virtual nodes), routing PUT/GET/DELETE to the
+// owning instance. Nodes can be added or removed at runtime; the cluster
+// migrates the objects whose ownership changed, through each instance's
+// normal data path, while the rest keep serving.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace tiera {
+
+class TieraCluster {
+ public:
+  // Virtual nodes per instance on the hash ring; more = smoother balance.
+  explicit TieraCluster(std::size_t vnodes_per_node = 64);
+
+  // Nodes are owned by the cluster. `name` identifies the node for
+  // removal and diagnostics.
+  Status add_node(std::string name, InstancePtr instance);
+  // Removing a node migrates its objects to their new owners first.
+  Status remove_node(std::string_view name);
+
+  std::size_t node_count() const;
+  std::vector<std::string> node_names() const;
+
+  // --- Routed application interface -----------------------------------------
+  Status put(std::string_view id, ByteView data,
+             const std::vector<std::string>& tags = {});
+  Result<Bytes> get(std::string_view id);
+  Status remove(std::string_view id);
+  bool contains(std::string_view id) const;
+  Result<ObjectMeta> stat(std::string_view id) const;
+
+  // Name of the node that owns `id` under the current ring.
+  Result<std::string> owner_of(std::string_view id) const;
+
+  // Total objects across all nodes.
+  std::size_t object_count() const;
+  double monthly_cost(double observed_seconds = 0) const;
+
+  // Objects moved by the last add/remove rebalance.
+  std::uint64_t last_migration_count() const { return last_migration_; }
+
+ private:
+  struct Node {
+    std::string name;
+    InstancePtr instance;
+  };
+
+  // Requires lock held (shared is fine): owning node for a key, or null.
+  Node* node_for_locked(std::string_view id) const;
+  static std::uint64_t ring_hash(std::string_view key);
+
+  // Move every object whose owner changed to its new owner. Requires
+  // exclusive lock held by the caller; releases nothing.
+  Status migrate_locked();
+
+  const std::size_t vnodes_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::uint64_t, Node*> ring_;
+  std::uint64_t last_migration_ = 0;
+};
+
+}  // namespace tiera

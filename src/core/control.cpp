@@ -1,0 +1,230 @@
+#include "core/control.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/instance.h"
+
+namespace tiera {
+
+ControlLayer::ControlLayer(TieraInstance& instance,
+                           std::size_t response_threads, Duration timer_tick)
+    : instance_(instance),
+      response_pool_(response_threads, "tiera-responses"),
+      timer_tick_(timer_tick) {}
+
+ControlLayer::~ControlLayer() { stop(); }
+
+void ControlLayer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  timer_thread_ = std::thread([this] { timer_loop(); });
+}
+
+void ControlLayer::stop() {
+  if (!running_.exchange(false)) return;
+  if (timer_thread_.joinable()) timer_thread_.join();
+  response_pool_.shutdown();
+}
+
+std::uint64_t ControlLayer::add_rule(Rule rule) {
+  rule.id = next_rule_id_.fetch_add(1);
+  if (rule.event.kind == EventKind::kTimer) {
+    const auto scaled = std::chrono::duration_cast<Duration>(
+        rule.event.timer.period * time_scale());
+    rule.next_deadline_ns->store((now() + scaled).time_since_epoch().count());
+  }
+  if (rule.event.kind == EventKind::kThreshold) {
+    rule.threshold_state->store(rule.event.threshold.threshold);
+  }
+  auto shared = std::make_shared<Rule>(std::move(rule));
+  std::unique_lock lock(rules_mu_);
+  rules_.push_back(shared);
+  return shared->id;
+}
+
+Status ControlLayer::remove_rule(std::uint64_t rule_id) {
+  std::unique_lock lock(rules_mu_);
+  auto it = std::find_if(
+      rules_.begin(), rules_.end(),
+      [rule_id](const auto& rule) { return rule->id == rule_id; });
+  if (it == rules_.end()) return Status::NotFound("no such rule");
+  rules_.erase(it);
+  return Status::Ok();
+}
+
+void ControlLayer::clear_rules() {
+  std::unique_lock lock(rules_mu_);
+  rules_.clear();
+}
+
+std::size_t ControlLayer::rule_count() const {
+  std::shared_lock lock(rules_mu_);
+  return rules_.size();
+}
+
+void ControlLayer::run_responses(const std::shared_ptr<Rule>& rule,
+                                 EventContext& ctx) {
+  events_fired_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& response : rule->responses) {
+    const Status s = response->execute(ctx);
+    if (!s.ok()) {
+      responses_failed_.fetch_add(1, std::memory_order_relaxed);
+      TIERA_LOG(kDebug, "control")
+          << "response failed: " << response->describe() << " -> "
+          << s.to_string();
+    }
+  }
+}
+
+void ControlLayer::execute_rule(const std::shared_ptr<Rule>& rule,
+                                EventContext ctx) {
+  run_responses(rule, ctx);
+}
+
+bool ControlLayer::action_rule_matches(const Rule& rule, ActionType action,
+                                       const EventContext& ctx,
+                                       std::string_view tier) const {
+  if (rule.event.kind != EventKind::kAction) return false;
+  if (rule.event.action.action != action) return false;
+  if (rule.event.action.tier_filter != tier) return false;
+  if (!rule.event.action.tag_filter.empty()) {
+    const auto meta = instance_.metadata().get(ctx.object_id);
+    if (!meta || !meta->has_tag(rule.event.action.tag_filter)) return false;
+  }
+  return true;
+}
+
+void ControlLayer::on_action(ActionType action, EventContext& ctx,
+                             const std::vector<std::string>& tiers_touched,
+                             MatchScope scope) {
+  // Snapshot matching rules under the shared lock, run them outside it (a
+  // response may itself add/remove rules — dynamic policy change).
+  std::vector<std::shared_ptr<Rule>> foreground;
+  std::vector<std::shared_ptr<Rule>> background;
+  {
+    std::shared_lock lock(rules_mu_);
+    for (const auto& rule : rules_) {
+      bool matches = false;
+      if (scope != MatchScope::kFilteredOnly) {
+        matches = action_rule_matches(*rule, action, ctx, "");
+      }
+      if (!matches && scope != MatchScope::kUnfilteredOnly) {
+        for (const auto& tier : tiers_touched) {
+          if (action_rule_matches(*rule, action, ctx, tier)) {
+            matches = true;
+            break;
+          }
+        }
+      }
+      if (!matches) continue;
+      (rule->event.background ? background : foreground).push_back(rule);
+    }
+  }
+  for (const auto& rule : foreground) {
+    run_responses(rule, ctx);
+  }
+  for (const auto& rule : background) {
+    // Background responses get their own context copy; the payload is shared
+    // (immutable) so inserts can still be stored asynchronously.
+    response_pool_.submit(
+        [this, rule, ctx_copy = ctx]() mutable { execute_rule(rule, ctx_copy); });
+  }
+}
+
+void ControlLayer::evaluate_thresholds() {
+  std::vector<std::shared_ptr<Rule>> to_fire_fg;
+  std::vector<std::shared_ptr<Rule>> to_fire_bg;
+  {
+    std::shared_lock lock(rules_mu_);
+    for (const auto& rule : rules_) {
+      if (rule->event.kind != EventKind::kThreshold) continue;
+      const ThresholdEventDef& def = rule->event.threshold;
+      const TierPtr tier = instance_.tier(def.tier);
+      if (!tier) continue;
+      double value = 0;
+      switch (def.attribute) {
+        case TierAttribute::kFillFraction:
+          value = tier->fill_fraction();
+          break;
+        case TierAttribute::kUsedBytes:
+          value = static_cast<double>(tier->used());
+          break;
+        case TierAttribute::kObjectCount:
+          value = static_cast<double>(tier->object_count());
+          break;
+      }
+      const double current = rule->threshold_state->load();
+      const bool over = value >= current;
+      if (over) {
+        if (def.sliding) {
+          // Advance to the next multiple beyond the observed value so a burst
+          // fires once, then fire.
+          double next = current;
+          while (next <= value) next += def.threshold;
+          double expected_thr = current;
+          if (rule->threshold_state->compare_exchange_strong(expected_thr,
+                                                             next)) {
+            (rule->event.background ? to_fire_bg : to_fire_fg).push_back(rule);
+          }
+        } else {
+          bool expected = true;
+          if (rule->armed->compare_exchange_strong(expected, false)) {
+            (rule->event.background ? to_fire_bg : to_fire_fg).push_back(rule);
+          }
+        }
+      } else if (!def.sliding) {
+        rule->armed->store(true);  // re-arm once back below the threshold
+      }
+    }
+  }
+  EventContext ctx;
+  ctx.instance = &instance_;
+  for (const auto& rule : to_fire_fg) run_responses(rule, ctx);
+  for (const auto& rule : to_fire_bg) {
+    response_pool_.submit([this, rule] {
+      EventContext bg_ctx;
+      bg_ctx.instance = &instance_;
+      execute_rule(rule, bg_ctx);
+    });
+  }
+}
+
+void ControlLayer::timer_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    // Tick in scaled wall time so modelled timer periods stay proportional.
+    const double scale = time_scale();
+    const auto wall_tick = std::chrono::duration_cast<Duration>(
+        timer_tick_ * (scale > 0 ? scale : 1.0));
+    precise_sleep(std::max<Duration>(wall_tick, from_ms(1)));
+
+    std::vector<std::shared_ptr<Rule>> due;
+    {
+      std::shared_lock lock(rules_mu_);
+      const auto t = now().time_since_epoch().count();
+      for (const auto& rule : rules_) {
+        if (rule->event.kind != EventKind::kTimer) continue;
+        if (rule->next_deadline_ns->load() <= t) {
+          const auto period_scaled = std::chrono::duration_cast<Duration>(
+              rule->event.timer.period * (scale > 0 ? scale : 1.0));
+          rule->next_deadline_ns->store(
+              (now() + period_scaled).time_since_epoch().count());
+          due.push_back(rule);
+        }
+      }
+    }
+    for (const auto& rule : due) {
+      // Paper: the timer thread signals a free pool thread to service the
+      // response and keeps checking other timer events.
+      response_pool_.submit([this, rule] {
+        EventContext ctx;
+        ctx.instance = &instance_;
+        execute_rule(rule, ctx);
+      });
+    }
+  }
+}
+
+void ControlLayer::drain() { response_pool_.wait_idle(); }
+
+}  // namespace tiera

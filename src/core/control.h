@@ -1,0 +1,84 @@
+// ControlLayer: evaluates events and dispatches responses (§2.2, §3).
+//
+// Implementation mirrors the paper's prototype: a dedicated thread examines
+// timer events; threshold events are evaluated when mutations touch the
+// attributes they watch; action events fire in the thread servicing the
+// client request. Foreground responses run inline (they gate the request);
+// background responses are handed to the response thread pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/policy.h"
+
+namespace tiera {
+
+class TieraInstance;
+
+class ControlLayer {
+ public:
+  ControlLayer(TieraInstance& instance, std::size_t response_threads,
+               Duration timer_tick);
+  ~ControlLayer();
+
+  ControlLayer(const ControlLayer&) = delete;
+  ControlLayer& operator=(const ControlLayer&) = delete;
+
+  void start();
+  void stop();
+
+  // --- Rule management (dynamic: usable while serving) ----------------------
+  std::uint64_t add_rule(Rule rule);
+  Status remove_rule(std::uint64_t rule_id);
+  void clear_rules();
+  std::size_t rule_count() const;
+
+  // --- Event entry points ----------------------------------------------------
+  // Which action rules a dispatch pass considers. PUT runs two passes:
+  // unfiltered rules first (placement logic), then tier-filtered rules for
+  // the tiers the object actually landed in.
+  enum class MatchScope { kUnfilteredOnly, kFilteredOnly, kBoth };
+
+  void on_action(ActionType action, EventContext& ctx,
+                 const std::vector<std::string>& tiers_touched,
+                 MatchScope scope = MatchScope::kBoth);
+
+  // Re-evaluate all threshold rules (call after any mutation).
+  void evaluate_thresholds();
+
+  // Wait until queued background responses have drained (tests/benches).
+  void drain();
+
+  std::uint64_t events_fired() const { return events_fired_.load(); }
+  std::uint64_t responses_failed() const { return responses_failed_.load(); }
+
+ private:
+  void execute_rule(const std::shared_ptr<Rule>& rule, EventContext ctx);
+  void run_responses(const std::shared_ptr<Rule>& rule, EventContext& ctx);
+  void timer_loop();
+  bool action_rule_matches(const Rule& rule, ActionType action,
+                           const EventContext& ctx,
+                           std::string_view tier) const;
+
+  TieraInstance& instance_;
+  ThreadPool response_pool_;
+  const Duration timer_tick_;
+
+  mutable std::shared_mutex rules_mu_;
+  std::vector<std::shared_ptr<Rule>> rules_;
+  std::atomic<std::uint64_t> next_rule_id_{1};
+
+  std::atomic<bool> running_{false};
+  std::thread timer_thread_;
+
+  std::atomic<std::uint64_t> events_fired_{0};
+  std::atomic<std::uint64_t> responses_failed_{0};
+};
+
+}  // namespace tiera

@@ -1,0 +1,98 @@
+// Event definitions — the left-hand side of Tiera's event : response pairs.
+//
+// Three kinds, exactly as in the paper (§2.2/§3):
+//   * action events    — fire when an insert/get/delete is performed,
+//                        optionally filtered by tier and/or object tag;
+//   * timer events     — fire every `period` of modelled time;
+//   * threshold events — fire when a tier attribute crosses a value
+//                        (edge-triggered: they re-arm after the attribute
+//                        falls back below the threshold).
+// Events are foreground by default; background events are serviced by the
+// control layer's response thread pool.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+
+namespace tiera {
+
+enum class ActionType { kInsert, kGet, kDelete };
+
+std::string_view to_string(ActionType a);
+
+struct ActionEventDef {
+  ActionType action = ActionType::kInsert;
+  // Restrict to actions touching this tier (e.g. `insert.into == tier1`).
+  // Empty = any tier (`insert.into`).
+  std::string tier_filter;
+  // Restrict to objects carrying this tag (object-class policies).
+  std::string tag_filter;
+};
+
+struct TimerEventDef {
+  Duration period{};
+};
+
+enum class TierAttribute {
+  kFillFraction,  // used/capacity      (tierX.filled == 75%)
+  kUsedBytes,     // bytes stored       (tierX.used == 50M)
+  kObjectCount,   // number of objects  (tierX.objects == 1000)
+};
+
+struct ThresholdEventDef {
+  std::string tier;
+  TierAttribute attribute = TierAttribute::kFillFraction;
+  double threshold = 1.0;  // fraction for kFillFraction, absolute otherwise
+  // Sliding thresholds advance by the original step each time they fire:
+  // "after every 50 MB of new data" instead of "once at 50 MB" (Fig. 14's
+  // replication trigger).
+  bool sliding = false;
+};
+
+enum class EventKind { kAction, kTimer, kThreshold };
+
+struct EventDef {
+  EventKind kind = EventKind::kAction;
+  ActionEventDef action;
+  TimerEventDef timer;
+  ThresholdEventDef threshold;
+  bool background = false;
+
+  static EventDef on_action(ActionType a, std::string tier_filter = "",
+                            std::string tag_filter = "") {
+    EventDef e;
+    e.kind = EventKind::kAction;
+    e.action = {a, std::move(tier_filter), std::move(tag_filter)};
+    return e;
+  }
+  static EventDef on_insert(std::string tier_filter = "",
+                            std::string tag_filter = "") {
+    return on_action(ActionType::kInsert, std::move(tier_filter),
+                     std::move(tag_filter));
+  }
+  static EventDef on_timer(Duration period) {
+    EventDef e;
+    e.kind = EventKind::kTimer;
+    e.timer = {period};
+    e.background = true;  // timers are serviced off the request path
+    return e;
+  }
+  static EventDef on_threshold(std::string tier, TierAttribute attribute,
+                               double threshold, bool sliding = false) {
+    EventDef e;
+    e.kind = EventKind::kThreshold;
+    e.threshold = {std::move(tier), attribute, threshold, sliding};
+    return e;
+  }
+
+  EventDef& in_background() {
+    background = true;
+    return *this;
+  }
+
+  std::string describe() const;
+};
+
+}  // namespace tiera

@@ -1,0 +1,940 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/compress.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tiera {
+
+TieraInstance::TieraInstance(InstanceConfig config)
+    : config_(std::move(config)), factory_(config_.data_dir) {}
+
+TieraInstance::~TieraInstance() {
+  if (control_) control_->stop();
+}
+
+Result<std::unique_ptr<TieraInstance>> TieraInstance::create(
+    InstanceConfig config) {
+  std::unique_ptr<TieraInstance> instance(new TieraInstance(std::move(config)));
+  TIERA_RETURN_IF_ERROR(instance->init());
+  return instance;
+}
+
+Status TieraInstance::init() {
+  std::error_code ec;
+  std::filesystem::create_directories(config_.data_dir, ec);
+  for (const auto& spec : config_.tiers) {
+    TIERA_RETURN_IF_ERROR(add_tier(spec));
+  }
+  if (config_.persist_metadata) {
+    auto db = MetaDb::open(config_.data_dir + "/metadata.db");
+    if (!db.ok()) return db.status();
+    meta_.attach_db(std::move(db).value());
+    TIERA_RETURN_IF_ERROR(meta_.recover());
+  }
+  control_ = std::make_unique<ControlLayer>(*this, config_.response_threads,
+                                            config_.timer_tick);
+  control_->start();
+  TIERA_LOG(kInfo, "core") << "instance '" << config_.name << "' up with "
+                           << tiers_.size() << " tiers";
+  return Status::Ok();
+}
+
+// --- Tier management ---------------------------------------------------------
+
+Status TieraInstance::add_tier(const TierSpec& spec) {
+  if (spec.label.empty()) {
+    return Status::InvalidArgument("tier label required");
+  }
+  Result<TierPtr> tier = factory_.create(spec);
+  if (!tier.ok()) return tier.status();
+  std::unique_lock lock(tiers_mu_);
+  for (const auto& entry : tiers_) {
+    if (entry.label == spec.label) {
+      return Status::AlreadyExists("tier " + spec.label);
+    }
+  }
+  tiers_.push_back({spec.label, std::move(tier).value()});
+  return Status::Ok();
+}
+
+Status TieraInstance::remove_tier(std::string_view label) {
+  {
+    std::unique_lock lock(tiers_mu_);
+    auto it = std::find_if(
+        tiers_.begin(), tiers_.end(),
+        [&](const TierEntry& entry) { return entry.label == label; });
+    if (it == tiers_.end()) return Status::NotFound("no such tier");
+    tiers_.erase(it);
+  }
+  // Metadata forgets the tier; objects whose only copy lived there become
+  // unreachable (exactly what a real service outage looks like).
+  const std::string tier_name(label);
+  meta_.for_each([&](const ObjectMeta& m) {
+    if (m.in_tier(tier_name)) {
+      (void)meta_.update(m.id, [&](ObjectMeta& cur) {
+        cur.locations.erase(tier_name);
+        return true;
+      });
+    }
+  });
+  meta_.drop_tier(tier_name);
+  return Status::Ok();
+}
+
+TierPtr TieraInstance::tier(std::string_view label) const {
+  std::shared_lock lock(tiers_mu_);
+  for (const auto& entry : tiers_) {
+    if (entry.label == label) return entry.tier;
+  }
+  return nullptr;
+}
+
+Result<TierPtr> TieraInstance::find_tier(std::string_view label) const {
+  TierPtr t = tier(label);
+  if (!t) return Status::NotFound("no tier " + std::string(label));
+  return t;
+}
+
+std::vector<TieraInstance::TierEntry> TieraInstance::tier_snapshot() const {
+  std::shared_lock lock(tiers_mu_);
+  return tiers_;
+}
+
+std::vector<TierPtr> TieraInstance::tiers() const {
+  std::shared_lock lock(tiers_mu_);
+  std::vector<TierPtr> out;
+  out.reserve(tiers_.size());
+  for (const auto& entry : tiers_) out.push_back(entry.tier);
+  return out;
+}
+
+std::vector<std::string> TieraInstance::tier_labels() const {
+  std::shared_lock lock(tiers_mu_);
+  std::vector<std::string> out;
+  out.reserve(tiers_.size());
+  for (const auto& entry : tiers_) out.push_back(entry.label);
+  return out;
+}
+
+// --- Application interface ---------------------------------------------------
+
+Status TieraInstance::put(std::string_view id, ByteView data,
+                          const std::vector<std::string>& tags) {
+  Stopwatch watch;
+  const std::string object_id(id);
+
+  // Objects are immutable but may be overwritten. Overwrite happens in
+  // place: the new bytes land under the same storage key, so concurrent
+  // readers always observe either the old or the new version (never a
+  // missing object). Content-addressed (storeOnce) objects cannot be
+  // overwritten in place — their storage key derives from the content —
+  // so those drop the old incarnation first (no delete event: this is a
+  // replacement, not an application delete).
+  std::set<std::string> stale_locations;
+  auto old = meta_.get(object_id);
+  if (old && !old->content_hash.empty()) {
+    (void)engine_delete({object_id}, {}, nullptr);
+    old.reset();
+  }
+  if (old) {
+    stale_locations = old->locations;
+    TIERA_RETURN_IF_ERROR(meta_.update(object_id, [&](ObjectMeta& cur) {
+      cur.size = data.size();
+      cur.dirty = true;
+      cur.last_access = now();
+      cur.compressed = false;
+      cur.encrypted = false;
+      cur.tags.insert(tags.begin(), tags.end());
+      return true;
+    }));
+  } else {
+    ObjectMeta meta;
+    meta.id = object_id;
+    meta.size = data.size();
+    meta.dirty = true;
+    meta.created = meta.last_access = now();
+    meta.tags.insert(tags.begin(), tags.end());
+    TIERA_RETURN_IF_ERROR(meta_.put(meta));
+  }
+
+  EventContext ctx;
+  ctx.instance = this;
+  ctx.object_id = object_id;
+  ctx.payload = std::make_shared<const Bytes>(data.begin(), data.end());
+
+  // Pass 1: placement logic (`event(insert.into)` rules).
+  control_->on_action(ActionType::kInsert, ctx, {},
+                      ControlLayer::MatchScope::kUnfilteredOnly);
+  if (!ctx.stored && config_.default_placement) {
+    const auto snapshot = tier_snapshot();
+    if (!snapshot.empty()) {
+      (void)engine_store(object_id, ctx.payload, {snapshot.front().label},
+                         /*dedup=*/false, &ctx);
+    }
+  }
+  // Pass 2: reactions to where it landed (`insert.into == tierX`).
+  control_->on_action(ActionType::kInsert, ctx, ctx.stored_tiers,
+                      ControlLayer::MatchScope::kFilteredOnly);
+
+  control_->evaluate_thresholds();
+
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.ops.add();
+  stats_.put_latency.record(watch.elapsed());
+
+  if (!ctx.stored) {
+    stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    if (stale_locations.empty()) (void)meta_.erase(object_id);
+    return Status::Unavailable("no tier accepted object " + object_id);
+  }
+  // Drop stale copies left in tiers the new placement did not touch (the
+  // overwrite landed elsewhere); same storage key, so tiers that were
+  // re-stored already hold the new bytes.
+  {
+    std::lock_guard object_guard(object_lock(object_id));
+    for (const auto& label : stale_locations) {
+      if (std::find(ctx.stored_tiers.begin(), ctx.stored_tiers.end(),
+                    label) != ctx.stored_tiers.end()) {
+        continue;
+      }
+      (void)meta_.update(object_id, [&](ObjectMeta& cur) {
+        cur.locations.erase(label);
+        return true;
+      });
+      meta_.remove_from_tier(label, object_id);
+      if (TierPtr stale_tier = tier(label)) {
+        (void)stale_tier->remove(object_id);
+      }
+    }
+  }
+  if (!ctx.placement_error.ok()) {
+    // Part of the synchronous policy (a replica or write-through copy)
+    // failed: the write is not acknowledged, though any bytes that did land
+    // stay readable.
+    stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    return ctx.placement_error;
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> TieraInstance::get(std::string_view id) {
+  Stopwatch watch;
+  const std::string object_id(id);
+  const auto meta = meta_.get(object_id);
+  if (!meta) {
+    stats_.get_misses.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("no object " + object_id);
+  }
+
+  std::string served_tier;
+  Result<Bytes> at_rest = read_at_rest(*meta, &served_tier);
+  if (!at_rest.ok()) {
+    stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    return at_rest.status();
+  }
+
+  // Undo at-rest transforms (applied compress-first, so undo decrypt-first).
+  Bytes bytes = std::move(at_rest).value();
+  if (meta->encrypted) {
+    std::optional<ChaChaKey> key;
+    {
+      std::lock_guard lock(key_mu_);
+      key = encryption_key_;
+    }
+    if (!key) return Status::Corruption("object encrypted, no key registered");
+    Result<Bytes> plain = chacha_decrypt(as_view(bytes), *key);
+    if (!plain.ok()) return plain.status();
+    bytes = std::move(plain).value();
+  }
+  if (meta->compressed) {
+    Result<Bytes> inflated = lz_decompress(as_view(bytes));
+    if (!inflated.ok()) return inflated.status();
+    bytes = std::move(inflated).value();
+  }
+
+  (void)meta_.update(object_id, [&](ObjectMeta& cur) {
+    cur.access_count += 1;
+    cur.last_access = now();
+    return true;
+  });
+  meta_.touch_in_tier(served_tier, object_id);
+
+  EventContext ctx;
+  ctx.instance = this;
+  ctx.object_id = object_id;
+  ctx.action_tier = served_tier;
+  control_->on_action(ActionType::kGet, ctx, {served_tier});
+
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  stats_.ops.add();
+  stats_.get_latency.record(watch.elapsed());
+  return bytes;
+}
+
+Status TieraInstance::remove(std::string_view id) {
+  const std::string object_id(id);
+  if (!meta_.contains(object_id)) return Status::NotFound("no such object");
+
+  EventContext ctx;
+  ctx.instance = this;
+  ctx.object_id = object_id;
+  // Delete events fire before the object disappears so responses can still
+  // act on it (archive-on-delete policies).
+  control_->on_action(ActionType::kDelete, ctx, {});
+
+  TIERA_RETURN_IF_ERROR(engine_delete({object_id}, {}, &ctx));
+  control_->evaluate_thresholds();
+  stats_.removes.fetch_add(1, std::memory_order_relaxed);
+  stats_.ops.add();
+  return Status::Ok();
+}
+
+bool TieraInstance::contains(std::string_view id) const {
+  return meta_.contains(id);
+}
+
+Result<ObjectMeta> TieraInstance::stat(std::string_view id) const {
+  const auto meta = meta_.get(id);
+  if (!meta) return Status::NotFound("no such object");
+  return *meta;
+}
+
+Status TieraInstance::add_tags(std::string_view id,
+                               const std::vector<std::string>& tags) {
+  return meta_.update(id, [&](ObjectMeta& meta) {
+    meta.tags.insert(tags.begin(), tags.end());
+    return true;
+  });
+}
+
+// --- Data-path helpers -------------------------------------------------------
+
+Result<Bytes> TieraInstance::read_at_rest(const ObjectMeta& meta,
+                                          std::string* served_tier) {
+  const std::string key = meta.storage_key();
+  Status last = Status::NotFound("object has no live location");
+  for (const auto& entry : tier_snapshot()) {
+    if (!meta.in_tier(entry.label)) continue;
+    Result<Bytes> bytes = entry.tier->get(key);
+    if (bytes.ok()) {
+      if (served_tier) *served_tier = entry.label;
+      return bytes;
+    }
+    last = bytes.status();
+  }
+  return last;
+}
+
+Status TieraInstance::rewrite_at_rest(const ObjectMeta& meta, ByteView bytes) {
+  const std::string key = meta.storage_key();
+  Status last = Status::Ok();
+  for (const auto& entry : tier_snapshot()) {
+    if (!meta.in_tier(entry.label)) continue;
+    const Status s = entry.tier->put(key, bytes);
+    if (!s.ok()) last = s;
+  }
+  return last;
+}
+
+std::mutex& TieraInstance::object_lock(std::string_view id) const {
+  return object_stripes_[fnv1a64(id) % kObjectStripes];
+}
+
+bool TieraInstance::content_needed_in_tier(const ObjectMeta& meta,
+                                           const std::string& label) {
+  if (meta.content_hash.empty()) return false;
+  for (const auto& id : meta_.content_ref_ids(meta.content_hash)) {
+    if (id == meta.id) continue;
+    const auto other = meta_.get(id);
+    if (other && other->in_tier(label)) return true;
+  }
+  return false;
+}
+
+// --- Engine operations -------------------------------------------------------
+
+Status TieraInstance::engine_store(std::string_view id,
+                                   std::shared_ptr<const Bytes> payload,
+                                   const std::vector<std::string>& tier_labels,
+                                   bool dedup, EventContext* ctx) {
+  const std::string object_id(id);
+  std::lock_guard object_guard(object_lock(object_id));
+  auto meta = meta_.get(object_id);
+  if (!meta) {
+    if (!payload) return Status::NotFound("no metadata and no payload");
+    ObjectMeta fresh;
+    fresh.id = object_id;
+    fresh.size = payload->size();
+    fresh.dirty = true;
+    fresh.created = fresh.last_access = now();
+    TIERA_RETURN_IF_ERROR(meta_.put(fresh));
+    meta = fresh;
+  }
+
+  // Bytes to place: the insert payload, or the current at-rest bytes.
+  Bytes at_rest_storage;
+  ByteView at_rest;
+  if (payload) {
+    at_rest = as_view(*payload);
+  } else {
+    Result<Bytes> current = read_at_rest(*meta, nullptr);
+    if (!current.ok()) return current.status();
+    at_rest_storage = std::move(current).value();
+    at_rest = as_view(at_rest_storage);
+  }
+
+  bool maybe_resident = false;
+  std::string storage_key = meta->storage_key();
+  if (dedup) {
+    if (meta->content_hash.empty()) {
+      const std::string hash = Sha256::hex_digest(at_rest);
+      maybe_resident = !meta_.add_content_ref(hash, object_id);
+      TIERA_RETURN_IF_ERROR(meta_.update(object_id, [&](ObjectMeta& cur) {
+        cur.content_hash = hash;
+        return true;
+      }));
+      storage_key = "cas:" + hash;
+    } else {
+      // Hash already assigned (e.g. an earlier storeOnce on another tier):
+      // the content-addressed bytes may already be where we're headed.
+      maybe_resident = true;
+    }
+  }
+
+  Status last = Status::Ok();
+  bool durable_dest = false;
+  for (const auto& label : tier_labels) {
+    Result<TierPtr> t = find_tier(label);
+    if (!t.ok()) {
+      last = t.status();
+      continue;
+    }
+    // storeOnce: when the content is already resident in this tier (another
+    // object carries it), only metadata changes — no billable tier request.
+    const bool bytes_present = maybe_resident && (*t)->contains(storage_key);
+    if (!bytes_present) {
+      const Status s = (*t)->put(storage_key, at_rest);
+      if (!s.ok()) {
+        last = s;
+        continue;
+      }
+    }
+    durable_dest = durable_dest || (*t)->durable();
+    (void)meta_.update(object_id, [&](ObjectMeta& cur) {
+      cur.locations.insert(label);
+      return true;
+    });
+    meta_.touch_in_tier(label, object_id);
+    if (ctx) {
+      ctx->stored = true;
+      ctx->stored_tiers.push_back(label);
+      ++ctx->mutations;
+    }
+  }
+  if (durable_dest) {
+    (void)meta_.update(object_id, [&](ObjectMeta& cur) {
+      cur.dirty = false;
+      return true;
+    });
+  }
+  return last;
+}
+
+// Copies one object into `dest_tiers`; when `remove_sources` is set, also
+// drops it from `from_tiers` (or every non-destination location when that is
+// empty). Runs entirely under the object's stripe so concurrent overwrites,
+// evictions and promotions of the same object serialize.
+Status TieraInstance::replicate_locked(const std::string& id,
+                                       const std::vector<std::string>& dest_tiers,
+                                       const std::vector<std::string>& from_tiers,
+                                       bool remove_sources,
+                                       EventContext* ctx) {
+  std::lock_guard object_guard(object_lock(id));
+  const auto meta = meta_.get(id);
+  if (!meta) return Status::Ok();  // deleted since selection
+
+  Status last = Status::Ok();
+  bool all_present = true;
+  for (const auto& label : dest_tiers) {
+    if (!meta->in_tier(label)) {
+      all_present = false;
+      break;
+    }
+  }
+  if (!all_present) {
+    Result<Bytes> bytes = read_at_rest(*meta, nullptr);
+    if (!bytes.ok()) return bytes.status();
+    const std::string storage_key = meta->storage_key();
+    for (const auto& label : dest_tiers) {
+      if (meta->in_tier(label)) continue;
+      Result<TierPtr> t = find_tier(label);
+      if (!t.ok()) {
+        last = t.status();
+        continue;
+      }
+      const Status s = (*t)->put(storage_key, as_view(*bytes));
+      if (!s.ok()) {
+        last = s;
+        continue;
+      }
+      const bool durable_dest = (*t)->durable();
+      (void)meta_.update(id, [&](ObjectMeta& cur) {
+        cur.locations.insert(label);
+        if (durable_dest) cur.dirty = false;
+        return true;
+      });
+      meta_.touch_in_tier(label, id);
+      if (ctx) ++ctx->mutations;
+    }
+  }
+  if (!remove_sources) return last;
+
+  const auto fresh = meta_.get(id);
+  if (!fresh) return last;
+  // A move only gives up its sources once the object actually resides in a
+  // destination — a failed copy (e.g. the destination was full) must never
+  // drop the last remaining replica.
+  bool in_dest = false;
+  for (const auto& label : dest_tiers) {
+    in_dest = in_dest || fresh->in_tier(label);
+  }
+  if (!in_dest) {
+    return last.ok() ? Status::CapacityExceeded(
+                           "move aborted: no destination holds " + id)
+                     : last;
+  }
+  std::vector<std::string> sources;
+  if (from_tiers.empty()) {
+    for (const auto& loc : fresh->locations) {
+      if (std::find(dest_tiers.begin(), dest_tiers.end(), loc) ==
+          dest_tiers.end()) {
+        sources.push_back(loc);
+      }
+    }
+  } else {
+    sources = from_tiers;
+  }
+  for (const auto& label : sources) {
+    if (std::find(dest_tiers.begin(), dest_tiers.end(), label) !=
+        dest_tiers.end()) {
+      continue;  // never remove from a destination
+    }
+    if (!fresh->in_tier(label)) continue;
+    Result<TierPtr> t = find_tier(label);
+    if (t.ok()) {
+      // Shared (dedup'd) bytes stay physically present while another
+      // object in this tier still references the content.
+      if (!content_needed_in_tier(*fresh, label)) {
+        const Status s = (*t)->remove(fresh->storage_key());
+        if (!s.ok() && !s.is_not_found()) last = s;
+      }
+    }
+    (void)meta_.update(id, [&](ObjectMeta& cur) {
+      cur.locations.erase(label);
+      return true;
+    });
+    meta_.remove_from_tier(label, id);
+    if (ctx) ++ctx->mutations;
+  }
+  return last;
+}
+
+Status TieraInstance::engine_copy(const std::vector<std::string>& ids,
+                                  const std::vector<std::string>& dest_tiers,
+                                  RateLimiter* limiter, EventContext* ctx) {
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    // The bandwidth cap throttles the whole replication stream (source
+    // reads included), and paces outside the object lock so foreground
+    // operations on a colliding stripe never wait behind the throttle.
+    if (limiter) {
+      const auto meta = meta_.get(id);
+      if (!meta) continue;
+      bool all_present = true;
+      for (const auto& label : dest_tiers) {
+        all_present = all_present && meta->in_tier(label);
+      }
+      if (all_present) continue;
+      limiter->acquire(meta->size);
+    }
+    const Status s = replicate_locked(id, dest_tiers, {},
+                                      /*remove_sources=*/false, ctx);
+    if (!s.ok()) last = s;
+  }
+  return last;
+}
+
+Status TieraInstance::engine_move(const std::vector<std::string>& ids,
+                                  const std::vector<std::string>& dest_tiers,
+                                  const std::vector<std::string>& from_tiers,
+                                  RateLimiter* limiter, EventContext* ctx) {
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    if (limiter) {
+      const auto meta = meta_.get(id);
+      if (!meta) continue;
+      limiter->acquire(meta->size);
+    }
+    const Status s = replicate_locked(id, dest_tiers, from_tiers,
+                                      /*remove_sources=*/true, ctx);
+    if (!s.ok()) last = s;
+  }
+  return last;
+}
+
+Status TieraInstance::engine_delete(const std::vector<std::string>& ids,
+                                    const std::vector<std::string>& tier_labels,
+                                    EventContext* ctx) {
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    std::lock_guard object_guard(object_lock(id));
+    const auto meta = meta_.get(id);
+    if (!meta) {
+      last = Status::NotFound("no object " + id);
+      continue;
+    }
+    const std::vector<std::string> targets =
+        tier_labels.empty()
+            ? std::vector<std::string>(meta->locations.begin(),
+                                       meta->locations.end())
+            : tier_labels;
+    for (const auto& label : targets) {
+      if (!meta->in_tier(label)) continue;
+      Result<TierPtr> t = find_tier(label);
+      if (t.ok() && !content_needed_in_tier(*meta, label)) {
+        const Status s = (*t)->remove(meta->storage_key());
+        if (!s.ok() && !s.is_not_found()) last = s;
+      }
+      (void)meta_.update(id, [&](ObjectMeta& cur) {
+        cur.locations.erase(label);
+        return true;
+      });
+      meta_.remove_from_tier(label, id);
+      if (ctx) ++ctx->mutations;
+    }
+    const auto after = meta_.get(id);
+    if (after && after->locations.empty()) {
+      if (!after->content_hash.empty()) {
+        meta_.drop_content_ref(after->content_hash, id);
+      }
+      (void)meta_.erase(id);
+    }
+  }
+  return last;
+}
+
+Status TieraInstance::engine_retrieve(const std::vector<std::string>& ids) {
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    const auto meta = meta_.get(id);
+    if (!meta) continue;
+    std::string served;
+    Result<Bytes> bytes = read_at_rest(*meta, &served);
+    if (!bytes.ok()) {
+      last = bytes.status();
+      continue;
+    }
+    (void)meta_.update(id, [&](ObjectMeta& cur) {
+      cur.access_count += 1;
+      cur.last_access = now();
+      return true;
+    });
+    meta_.touch_in_tier(served, id);
+  }
+  return last;
+}
+
+Status TieraInstance::engine_encrypt(const std::vector<std::string>& ids,
+                                     const ChaChaKey& key) {
+  set_encryption_key(key);
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    std::lock_guard object_guard(object_lock(id));
+    const auto meta = meta_.get(id);
+    if (!meta || meta->encrypted) continue;
+    if (!meta->content_hash.empty()) {
+      // Content-addressed bytes are shared; transforming them would corrupt
+      // other objects' views.
+      last = Status::InvalidArgument("cannot encrypt dedup'd object " + id);
+      continue;
+    }
+    Result<Bytes> bytes = read_at_rest(*meta, nullptr);
+    if (!bytes.ok()) {
+      last = bytes.status();
+      continue;
+    }
+    const Bytes cipher =
+        chacha_encrypt(as_view(*bytes), key, fnv1a64(id) ^ bytes->size());
+    const Status s = rewrite_at_rest(*meta, as_view(cipher));
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    (void)meta_.update(id, [&](ObjectMeta& cur) {
+      cur.encrypted = true;
+      return true;
+    });
+  }
+  return last;
+}
+
+Status TieraInstance::engine_decrypt(const std::vector<std::string>& ids,
+                                     const ChaChaKey& key) {
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    std::lock_guard object_guard(object_lock(id));
+    const auto meta = meta_.get(id);
+    if (!meta || !meta->encrypted) continue;
+    Result<Bytes> bytes = read_at_rest(*meta, nullptr);
+    if (!bytes.ok()) {
+      last = bytes.status();
+      continue;
+    }
+    Result<Bytes> plain = chacha_decrypt(as_view(*bytes), key);
+    if (!plain.ok()) {
+      last = plain.status();
+      continue;
+    }
+    const Status s = rewrite_at_rest(*meta, as_view(*plain));
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    (void)meta_.update(id, [&](ObjectMeta& cur) {
+      cur.encrypted = false;
+      return true;
+    });
+  }
+  return last;
+}
+
+Status TieraInstance::engine_compress(const std::vector<std::string>& ids) {
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    std::lock_guard object_guard(object_lock(id));
+    const auto meta = meta_.get(id);
+    if (!meta || meta->compressed) continue;
+    if (meta->encrypted) {
+      last = Status::InvalidArgument(
+          "compress before encrypt (object already encrypted): " + id);
+      continue;
+    }
+    if (!meta->content_hash.empty()) {
+      last = Status::InvalidArgument("cannot compress dedup'd object " + id);
+      continue;
+    }
+    Result<Bytes> bytes = read_at_rest(*meta, nullptr);
+    if (!bytes.ok()) {
+      last = bytes.status();
+      continue;
+    }
+    const Bytes packed = lz_compress(as_view(*bytes));
+    const Status s = rewrite_at_rest(*meta, as_view(packed));
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    (void)meta_.update(id, [&](ObjectMeta& cur) {
+      cur.compressed = true;
+      return true;
+    });
+  }
+  return last;
+}
+
+Status TieraInstance::engine_uncompress(const std::vector<std::string>& ids) {
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    std::lock_guard object_guard(object_lock(id));
+    const auto meta = meta_.get(id);
+    if (!meta || !meta->compressed) continue;
+    if (meta->encrypted) {
+      last = Status::InvalidArgument("decrypt before uncompress: " + id);
+      continue;
+    }
+    Result<Bytes> bytes = read_at_rest(*meta, nullptr);
+    if (!bytes.ok()) {
+      last = bytes.status();
+      continue;
+    }
+    Result<Bytes> inflated = lz_decompress(as_view(*bytes));
+    if (!inflated.ok()) {
+      last = inflated.status();
+      continue;
+    }
+    const Status s = rewrite_at_rest(*meta, as_view(*inflated));
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    (void)meta_.update(id, [&](ObjectMeta& cur) {
+      cur.compressed = false;
+      return true;
+    });
+  }
+  return last;
+}
+
+Status TieraInstance::engine_grow(std::string_view tier_label, double percent,
+                                  Duration provisioning_delay) {
+  Result<TierPtr> t = find_tier(tier_label);
+  if (!t.ok()) return t.status();
+  // Provisioning a bigger backing node takes real time (≈1 min in Fig. 16).
+  apply_model_delay(provisioning_delay);
+  return (*t)->grow(percent);
+}
+
+Status TieraInstance::engine_shrink(std::string_view tier_label,
+                                    double percent) {
+  Result<TierPtr> t = find_tier(tier_label);
+  if (!t.ok()) return t.status();
+  return (*t)->shrink(percent);
+}
+
+Status TieraInstance::engine_set_dirty(const std::vector<std::string>& ids,
+                                       bool dirty) {
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    const Status s = meta_.update(id, [&](ObjectMeta& cur) {
+      cur.dirty = dirty;
+      return true;
+    });
+    if (!s.ok()) last = s;
+  }
+  return last;
+}
+
+Status TieraInstance::engine_snapshot(const std::vector<std::string>& ids,
+                                      std::string_view name,
+                                      const std::vector<std::string>& dest) {
+  if (name.empty() || name.find('/') != std::string_view::npos) {
+    return Status::InvalidArgument("bad snapshot name");
+  }
+  Status last = Status::Ok();
+  for (const auto& id : ids) {
+    if (id.find("@snap/") != std::string::npos) continue;  // no snap-of-snap
+    std::lock_guard object_guard(object_lock(id));
+    const auto meta = meta_.get(id);
+    if (!meta) continue;
+    Result<Bytes> at_rest = read_at_rest(*meta, nullptr);
+    if (!at_rest.ok()) {
+      last = at_rest.status();
+      continue;
+    }
+    const std::string snap_id = id + "@snap/" + std::string(name);
+    ObjectMeta snap;
+    snap.id = snap_id;
+    snap.size = meta->size;
+    snap.created = snap.last_access = now();
+    snap.tags = meta->tags;
+    snap.tags.insert("snapshot");
+    snap.compressed = meta->compressed;
+    snap.encrypted = meta->encrypted;
+    const std::vector<std::string> targets =
+        dest.empty() ? std::vector<std::string>(meta->locations.begin(),
+                                                meta->locations.end())
+                     : dest;
+    bool stored = false;
+    for (const auto& label : targets) {
+      Result<TierPtr> t = find_tier(label);
+      if (!t.ok()) {
+        last = t.status();
+        continue;
+      }
+      const Status s = (*t)->put(snap_id, as_view(*at_rest));
+      if (!s.ok()) {
+        last = s;
+        continue;
+      }
+      snap.locations.insert(label);
+      stored = true;
+    }
+    if (!stored) {
+      last = Status::Unavailable("no tier accepted snapshot " + snap_id);
+      continue;
+    }
+    const Status s = meta_.put(snap);
+    if (!s.ok()) last = s;
+    for (const auto& label : snap.locations) {
+      meta_.touch_in_tier(label, snap_id);
+    }
+  }
+  return last;
+}
+
+Status TieraInstance::restore_snapshot(std::string_view id,
+                                       std::string_view name) {
+  const std::string snap_id =
+      std::string(id) + "@snap/" + std::string(name);
+  Result<Bytes> bytes = get(snap_id);
+  if (!bytes.ok()) return bytes.status();
+  return put(id, as_view(*bytes));
+}
+
+std::vector<std::string> TieraInstance::list_snapshots(
+    std::string_view id) const {
+  const std::string prefix = std::string(id) + "@snap/";
+  std::vector<std::string> names;
+  meta_.for_each([&](const ObjectMeta& meta) {
+    if (meta.id.size() > prefix.size() &&
+        meta.id.compare(0, prefix.size(), prefix) == 0) {
+      names.push_back(meta.id.substr(prefix.size()));
+    }
+  });
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void TieraInstance::set_encryption_key(const ChaChaKey& key) {
+  std::lock_guard lock(key_mu_);
+  encryption_key_ = key;
+}
+
+std::size_t TieraInstance::remap_invalidate(std::string_view tier_label,
+                                            double fraction,
+                                            std::uint64_t seed) {
+  Result<TierPtr> t = find_tier(tier_label);
+  if (!t.ok()) return 0;
+  Rng rng(seed);
+  const std::string label(tier_label);
+  const auto candidates = meta_.select([&](const ObjectMeta& m) {
+    return m.in_tier(label) && m.locations.size() > 1;
+  });
+  std::size_t invalidated = 0;
+  for (const auto& id : candidates) {
+    if (rng.next_double() >= fraction) continue;
+    std::lock_guard object_guard(object_lock(id));
+    const auto meta = meta_.get(id);
+    if (!meta || meta->locations.size() < 2 || !meta->in_tier(label)) {
+      continue;
+    }
+    if (!content_needed_in_tier(*meta, label)) {
+      (void)(*t)->remove(meta->storage_key());
+    }
+    (void)meta_.update(id, [&](ObjectMeta& cur) {
+      cur.locations.erase(label);
+      return true;
+    });
+    meta_.remove_from_tier(label, id);
+    ++invalidated;
+  }
+  TIERA_LOG(kInfo, "core") << "remap invalidated " << invalidated
+                           << " objects in " << tier_label;
+  return invalidated;
+}
+
+double TieraInstance::monthly_cost(double observed_seconds) const {
+  return CostModel::total_monthly_cost(tiers(), observed_seconds);
+}
+
+std::vector<TierCost> TieraInstance::cost_breakdown(
+    double observed_seconds) const {
+  return CostModel::cost_breakdown(tiers(), observed_seconds);
+}
+
+}  // namespace tiera

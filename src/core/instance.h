@@ -1,0 +1,216 @@
+// TieraInstance: an encapsulated multi-tiered storage instance.
+//
+// This is the paper's central abstraction: a set of storage tiers plus a
+// policy (event : response rules) behind a simple PUT/GET application
+// interface (§2). The class also exposes the "engine" operations that
+// responses are built from (store, storeOnce, copy, move, delete, encrypt,
+// compress, grow, ...), so applications and policies share one data path and
+// metadata stays consistent with tier contents.
+//
+// Tiers and rules can be added, removed, or replaced while the instance is
+// serving requests — the dynamic reconfiguration the paper demonstrates in
+// the failover experiment (Fig. 17).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/crypto.h"
+#include "common/histogram.h"
+#include "common/rate_limiter.h"
+#include "core/control.h"
+#include "core/metadata_store.h"
+#include "core/policy.h"
+#include "store/cost_model.h"
+#include "store/tier_factory.h"
+
+namespace tiera {
+
+struct InstanceConfig {
+  std::string name = "tiera";
+  // Root for file-backed tiers and (optionally) persisted metadata.
+  std::string data_dir = "/tmp/tiera-instance";
+  std::vector<TierSpec> tiers;
+  // Control-layer pool servicing background events and responses (§3).
+  std::size_t response_threads = 4;
+  // Persist object metadata through metadb (BerkeleyDB's role in the paper).
+  bool persist_metadata = false;
+  // When no placement rule stores an inserted object, fall back to the first
+  // tier (the paper's specs always include a placement rule; this keeps
+  // partially configured instances usable).
+  bool default_placement = true;
+  // Granularity of the timer-event thread, in modelled time. The paper's
+  // prototype supports seconds granularity; we default finer so scaled
+  // benches stay accurate.
+  Duration timer_tick = from_ms(50);
+};
+
+struct InstanceStats {
+  LatencyHistogram put_latency;
+  LatencyHistogram get_latency;
+  ThroughputMeter ops;
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> removes{0};
+  std::atomic<std::uint64_t> get_misses{0};
+  std::atomic<std::uint64_t> failures{0};
+};
+
+class TieraInstance;
+using InstancePtr = std::unique_ptr<TieraInstance>;
+
+class TieraInstance {
+ public:
+  static Result<std::unique_ptr<TieraInstance>> create(InstanceConfig config);
+  ~TieraInstance();
+
+  TieraInstance(const TieraInstance&) = delete;
+  TieraInstance& operator=(const TieraInstance&) = delete;
+
+  const std::string& name() const { return config_.name; }
+
+  // --- Application interface layer (PUT/GET API) ---------------------------
+  Status put(std::string_view id, ByteView data,
+             const std::vector<std::string>& tags = {});
+  Result<Bytes> get(std::string_view id);
+  Status remove(std::string_view id);
+
+  bool contains(std::string_view id) const;
+  Result<ObjectMeta> stat(std::string_view id) const;
+  Status add_tags(std::string_view id, const std::vector<std::string>& tags);
+  std::size_t object_count() const { return meta_.size(); }
+
+  // --- Tier management -------------------------------------------------------
+  Status add_tier(const TierSpec& spec);
+  // Detach a tier; object metadata forgets it (bytes in other tiers remain).
+  Status remove_tier(std::string_view label);
+  TierPtr tier(std::string_view label) const;
+  std::vector<TierPtr> tiers() const;
+  std::vector<std::string> tier_labels() const;
+
+  // --- Policy management -----------------------------------------------------
+  std::uint64_t add_rule(Rule rule) { return control_->add_rule(std::move(rule)); }
+  Status remove_rule(std::uint64_t rule_id) {
+    return control_->remove_rule(rule_id);
+  }
+  void clear_rules() { control_->clear_rules(); }
+  ControlLayer& control() { return *control_; }
+
+  // --- Engine operations (the verbs of Table 1) ------------------------------
+  // These keep metadata and tier contents consistent; responses are thin
+  // wrappers over them and applications may call them directly.
+  Status engine_store(std::string_view id,
+                      std::shared_ptr<const Bytes> payload,
+                      const std::vector<std::string>& tier_labels,
+                      bool dedup, EventContext* ctx = nullptr);
+  Status engine_copy(const std::vector<std::string>& ids,
+                     const std::vector<std::string>& dest_tiers,
+                     RateLimiter* limiter = nullptr,
+                     EventContext* ctx = nullptr);
+  Status engine_move(const std::vector<std::string>& ids,
+                     const std::vector<std::string>& dest_tiers,
+                     const std::vector<std::string>& from_tiers,
+                     RateLimiter* limiter = nullptr,
+                     EventContext* ctx = nullptr);
+  Status engine_delete(const std::vector<std::string>& ids,
+                       const std::vector<std::string>& tier_labels,
+                       EventContext* ctx = nullptr);
+  Status engine_retrieve(const std::vector<std::string>& ids);
+  Status engine_encrypt(const std::vector<std::string>& ids,
+                        const ChaChaKey& key);
+  Status engine_decrypt(const std::vector<std::string>& ids,
+                        const ChaChaKey& key);
+  Status engine_compress(const std::vector<std::string>& ids);
+  Status engine_uncompress(const std::vector<std::string>& ids);
+  Status engine_grow(std::string_view tier_label, double percent,
+                     Duration provisioning_delay = Duration::zero());
+  Status engine_shrink(std::string_view tier_label, double percent);
+  Status engine_set_dirty(const std::vector<std::string>& ids, bool dirty);
+
+  // Snapshotting (one of the responses the paper plans beyond Table 1).
+  // A snapshot is an immutable copy stored as `<id>@snap/<name>`, tagged
+  // "snapshot", placed in `dest_tiers` (or the object's current locations
+  // when empty). Snapshots survive overwrites and deletes of the original.
+  Status engine_snapshot(const std::vector<std::string>& ids,
+                         std::string_view name,
+                         const std::vector<std::string>& dest_tiers = {});
+  // Overwrites `id` with the content of its snapshot (normal PUT path, so
+  // the placement policy runs).
+  Status restore_snapshot(std::string_view id, std::string_view name);
+  std::vector<std::string> list_snapshots(std::string_view id) const;
+
+  // Key used to transparently decrypt at-rest-encrypted objects on GET.
+  void set_encryption_key(const ChaChaKey& key);
+
+  // Consistent-hash remap after a memory-tier resize: a `fraction` of the
+  // objects in `tier_label` that also live elsewhere are dropped from that
+  // tier (they re-warm via subsequent policy/promotion). Returns the number
+  // of invalidated objects. Drives the cache-miss spike of Fig. 16.
+  std::size_t remap_invalidate(std::string_view tier_label, double fraction,
+                               std::uint64_t seed = 42);
+
+  // --- Introspection ----------------------------------------------------------
+  MetadataStore& metadata() { return meta_; }
+  const MetadataStore& metadata() const { return meta_; }
+  InstanceStats& stats() { return stats_; }
+  double monthly_cost(double observed_seconds = 0) const;
+  std::vector<TierCost> cost_breakdown(double observed_seconds = 0) const;
+
+ private:
+  explicit TieraInstance(InstanceConfig config);
+  Status init();
+
+  struct TierEntry {
+    std::string label;
+    TierPtr tier;
+  };
+
+  // Tier lookup helpers (shared lock).
+  Result<TierPtr> find_tier(std::string_view label) const;
+  std::vector<TierEntry> tier_snapshot() const;
+
+  // Shared implementation of copy/move for one object, under its stripe.
+  Status replicate_locked(const std::string& id,
+                          const std::vector<std::string>& dest_tiers,
+                          const std::vector<std::string>& from_tiers,
+                          bool remove_sources, EventContext* ctx);
+
+  // True when another object still references this (dedup'd) content in the
+  // given tier, so the bytes must stay although `meta.id` is leaving.
+  bool content_needed_in_tier(const ObjectMeta& meta,
+                              const std::string& label);
+
+  // Reads the at-rest bytes of `meta` from the fastest live location.
+  Result<Bytes> read_at_rest(const ObjectMeta& meta, std::string* served_tier);
+  // Rewrites at-rest bytes in every location tier (used by the transform
+  // engine ops).
+  Status rewrite_at_rest(const ObjectMeta& meta, ByteView bytes);
+
+  // Per-object mutation lock: every engine operation that reads an
+  // object's bytes and rewrites tier contents/metadata holds the object's
+  // stripe for its whole read-modify-write, so a background migration
+  // (promotion, eviction, write-back copy) can never interleave with a
+  // foreground overwrite and resurrect stale bytes. Exactly one stripe is
+  // ever held at a time (engine ops do not nest under a lock), so the
+  // scheme is deadlock-free.
+  static constexpr std::size_t kObjectStripes = 256;
+  std::mutex& object_lock(std::string_view id) const;
+
+  InstanceConfig config_;
+  TierFactory factory_;
+  mutable std::array<std::mutex, kObjectStripes> object_stripes_;
+
+  mutable std::shared_mutex tiers_mu_;
+  std::vector<TierEntry> tiers_;
+
+  MetadataStore meta_;
+  std::unique_ptr<ControlLayer> control_;
+  InstanceStats stats_;
+
+  mutable std::mutex key_mu_;
+  std::optional<ChaChaKey> encryption_key_;
+};
+
+}  // namespace tiera

@@ -1,0 +1,60 @@
+#include "core/monitor.h"
+
+#include "common/logging.h"
+
+namespace tiera {
+
+StorageMonitor::StorageMonitor(TieraInstance& instance, Options options,
+                               std::function<void(TieraInstance&)> on_failure)
+    : instance_(instance),
+      options_(std::move(options)),
+      on_failure_(std::move(on_failure)) {}
+
+StorageMonitor::~StorageMonitor() { stop(); }
+
+void StorageMonitor::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void StorageMonitor::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+bool StorageMonitor::probe() {
+  const Bytes canary = to_bytes("tiera-monitor-probe");
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    if (instance_.put(options_.canary_id, as_view(canary)).ok()) {
+      outage_latched_ = false;
+      return true;
+    }
+  }
+  if (!outage_latched_) {
+    outage_latched_ = true;
+    failures_detected_.fetch_add(1);
+    TIERA_LOG(kWarn, "monitor") << "storage failure detected on instance '"
+                                << instance_.name() << "', reconfiguring";
+    if (on_failure_) on_failure_(instance_);
+  }
+  return false;
+}
+
+void StorageMonitor::loop() {
+  // Probe on the modelled schedule; poll the running flag at a finer grain
+  // so stop() stays responsive under large periods.
+  while (running_.load(std::memory_order_relaxed)) {
+    const double scale = time_scale();
+    const auto wall_period = std::chrono::duration_cast<Duration>(
+        options_.probe_period * (scale > 0 ? scale : 1.0));
+    const TimePoint deadline = now() + wall_period;
+    while (running_.load(std::memory_order_relaxed) && now() < deadline) {
+      precise_sleep(std::min<Duration>(from_ms(5), deadline - now()));
+    }
+    if (!running_.load(std::memory_order_relaxed)) break;
+    probe();
+  }
+}
+
+}  // namespace tiera

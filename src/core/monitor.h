@@ -1,0 +1,57 @@
+// External monitoring application (§4.2.3, Fig. 17).
+//
+// Writes a canary object to the instance on a schedule; when a write fails
+// after `max_retries` successive attempts, declares the storage service
+// failed and invokes the reconfiguration callback (which typically swaps
+// tiers/policies via the instance's dynamic-reconfiguration API).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "core/instance.h"
+
+namespace tiera {
+
+class StorageMonitor {
+ public:
+  struct Options {
+    Duration probe_period = std::chrono::minutes(2);  // modelled time
+    int max_retries = 3;
+    std::string canary_id = "__tiera_monitor_canary";
+  };
+
+  // `on_failure` runs once per detected outage (re-armed after a subsequent
+  // successful probe).
+  StorageMonitor(TieraInstance& instance, Options options,
+                 std::function<void(TieraInstance&)> on_failure);
+  ~StorageMonitor();
+
+  StorageMonitor(const StorageMonitor&) = delete;
+  StorageMonitor& operator=(const StorageMonitor&) = delete;
+
+  void start();
+  void stop();
+
+  // One probe cycle (also used directly by tests): returns true if the
+  // write eventually succeeded.
+  bool probe();
+
+  int failures_detected() const { return failures_detected_.load(); }
+
+ private:
+  void loop();
+
+  TieraInstance& instance_;
+  Options options_;
+  std::function<void(TieraInstance&)> on_failure_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<int> failures_detected_{0};
+  bool outage_latched_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tiera

@@ -1,0 +1,90 @@
+#include "core/object_meta.h"
+
+#include <cstring>
+
+namespace tiera {
+
+namespace {
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_str(Bytes& out, std::string_view s) {
+  put_u64(out, s.size());
+  append(out, s);
+}
+
+void put_set(Bytes& out, const std::set<std::string>& set) {
+  put_u64(out, set.size());
+  for (const auto& s : set) put_str(out, s);
+}
+
+struct Reader {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+
+  bool u64(std::uint64_t& v) {
+    if (end - p < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+    p += 8;
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint64_t n;
+    if (!u64(n) || n > static_cast<std::uint64_t>(end - p)) return false;
+    s.assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    return true;
+  }
+  bool set(std::set<std::string>& out) {
+    std::uint64_t n;
+    if (!u64(n) || n > 1u << 20) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string s;
+      if (!str(s)) return false;
+      out.insert(std::move(s));
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Bytes ObjectMeta::encode() const {
+  Bytes out;
+  put_str(out, id);
+  put_u64(out, size);
+  put_u64(out, access_count);
+  put_u64(out, dirty ? 1 : 0);
+  put_set(out, locations);
+  put_u64(out, static_cast<std::uint64_t>(
+                   last_access.time_since_epoch().count()));
+  put_u64(out,
+          static_cast<std::uint64_t>(created.time_since_epoch().count()));
+  put_set(out, tags);
+  put_u64(out, (compressed ? 1u : 0u) | (encrypted ? 2u : 0u));
+  put_str(out, content_hash);
+  return out;
+}
+
+Result<ObjectMeta> ObjectMeta::decode(ByteView data) {
+  Reader r{data.data(), data.data() + data.size()};
+  ObjectMeta m;
+  std::uint64_t dirty_flag = 0, access_ns = 0, created_ns = 0, flags = 0;
+  if (!r.str(m.id) || !r.u64(m.size) || !r.u64(m.access_count) ||
+      !r.u64(dirty_flag) || !r.set(m.locations) || !r.u64(access_ns) ||
+      !r.u64(created_ns) || !r.set(m.tags) || !r.u64(flags) ||
+      !r.str(m.content_hash)) {
+    return Status::Corruption("bad object metadata record");
+  }
+  m.dirty = dirty_flag != 0;
+  m.last_access = TimePoint(Duration(static_cast<std::int64_t>(access_ns)));
+  m.created = TimePoint(Duration(static_cast<std::int64_t>(created_ns)));
+  m.compressed = (flags & 1) != 0;
+  m.encrypted = (flags & 2) != 0;
+  return m;
+}
+
+}  // namespace tiera

@@ -1,0 +1,53 @@
+// Object metadata, exactly the attribute set the paper tracks (§2.1):
+// size, access frequency, dirty flag, location (which tiers), time of last
+// access — plus tags, which add structure to the object namespace and let
+// one policy govern an object class.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace tiera {
+
+struct ObjectMeta {
+  std::string id;
+  std::uint64_t size = 0;
+  std::uint64_t access_count = 0;
+  bool dirty = false;
+  std::set<std::string> locations;  // tier labels currently holding the bytes
+  TimePoint last_access{};
+  TimePoint created{};
+  std::set<std::string> tags;
+
+  // At-rest transforms applied by policy responses. GET undoes them
+  // transparently so clients always see the bytes they stored.
+  bool compressed = false;
+  bool encrypted = false;
+
+  // Content hash assigned by storeOnce; non-empty means the bytes live under
+  // a content-addressed storage key shared with any duplicate objects.
+  std::string content_hash;
+
+  bool in_tier(std::string_view tier) const {
+    return locations.count(std::string(tier)) > 0;
+  }
+  bool has_tag(std::string_view tag) const {
+    return tags.count(std::string(tag)) > 0;
+  }
+
+  // Storage key under which this object's bytes live in tiers.
+  std::string storage_key() const {
+    return content_hash.empty() ? id : "cas:" + content_hash;
+  }
+
+  // Serialization for the metadb-backed persistence of the metadata layer.
+  Bytes encode() const;
+  static Result<ObjectMeta> decode(ByteView data);
+};
+
+}  // namespace tiera

@@ -1,0 +1,160 @@
+#include "core/policy.h"
+
+#include <sstream>
+
+#include "core/instance.h"
+
+namespace tiera {
+
+std::string_view to_string(ActionType a) {
+  switch (a) {
+    case ActionType::kInsert: return "insert";
+    case ActionType::kGet: return "get";
+    case ActionType::kDelete: return "delete";
+  }
+  return "?";
+}
+
+std::string EventDef::describe() const {
+  std::ostringstream out;
+  if (background) out << "background ";
+  switch (kind) {
+    case EventKind::kAction:
+      out << "event(" << to_string(action.action);
+      if (!action.tier_filter.empty()) out << ".into == " << action.tier_filter;
+      if (!action.tag_filter.empty()) out << " && tag == " << action.tag_filter;
+      out << ")";
+      break;
+    case EventKind::kTimer:
+      out << "event(time=" << to_seconds(timer.period) << "s)";
+      break;
+    case EventKind::kThreshold: {
+      out << "event(" << threshold.tier;
+      switch (threshold.attribute) {
+        case TierAttribute::kFillFraction:
+          out << ".filled == " << threshold.threshold * 100 << "%";
+          break;
+        case TierAttribute::kUsedBytes:
+          out << ".used == " << threshold.threshold << "B";
+          break;
+        case TierAttribute::kObjectCount:
+          out << ".objects == " << threshold.threshold;
+          break;
+      }
+      out << ")";
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> Selector::resolve(EventContext& ctx) const {
+  switch (pick) {
+    case Pick::kActionObject:
+      if (ctx.object_id.empty()) return {};
+      return {ctx.object_id};
+    case Pick::kById:
+      return {id};
+    case Pick::kOldest: {
+      // Never pick the object of the triggering action: an overwrite's
+      // stale copy may top the LRU list, and evicting it would smuggle old
+      // bytes past the overwrite.
+      auto oldest =
+          ctx.instance->metadata().oldest_in_tier(tier, ctx.object_id);
+      if (!oldest) return {};
+      return {*oldest};
+    }
+    case Pick::kNewest: {
+      auto newest =
+          ctx.instance->metadata().newest_in_tier(tier, ctx.object_id);
+      if (!newest) return {};
+      return {*newest};
+    }
+    case Pick::kFilter: {
+      return ctx.instance->metadata().select([&](const ObjectMeta& m) {
+        if (!tier.empty() && !m.in_tier(tier)) return false;
+        if (dirty.has_value() && m.dirty != *dirty) return false;
+        if (tag.has_value() && !m.has_tag(*tag)) return false;
+        return true;
+      });
+    }
+  }
+  return {};
+}
+
+std::string Selector::describe() const {
+  switch (pick) {
+    case Pick::kActionObject: return "insert.object";
+    case Pick::kById: return "\"" + id + "\"";
+    case Pick::kOldest: return tier + ".oldest";
+    case Pick::kNewest: return tier + ".newest";
+    case Pick::kFilter: {
+      std::string out;
+      if (!tier.empty()) out += "object.location == " + tier;
+      if (dirty.has_value()) {
+        if (!out.empty()) out += " && ";
+        out += std::string("object.dirty == ") + (*dirty ? "true" : "false");
+      }
+      if (tag.has_value()) {
+        if (!out.empty()) out += " && ";
+        out += "object.tag == \"" + *tag + "\"";
+      }
+      return out.empty() ? "all objects" : out;
+    }
+  }
+  return "?";
+}
+
+bool Condition::evaluate(const EventContext& ctx) const {
+  switch (kind) {
+    case Kind::kAlways:
+      return true;
+    case Kind::kTierCannotFit: {
+      TierPtr t = ctx.instance->tier(tier);
+      if (!t) return false;
+      const std::uint64_t cap = t->capacity();
+      if (cap == 0) return false;  // unbounded tier always fits
+      std::uint64_t need = 0;
+      if (ctx.payload) {
+        need = ctx.payload->size();
+      } else if (!ctx.object_id.empty()) {
+        // Promotion/move events carry the object but not its bytes.
+        const auto meta = ctx.instance->metadata().get(ctx.object_id);
+        if (meta) need = meta->size;
+      }
+      if (need == 0) return t->used() >= cap;
+      return t->used() + need > cap;
+    }
+    case Kind::kTierFillAtLeast: {
+      TierPtr t = ctx.instance->tier(tier);
+      if (!t) return false;
+      return t->fill_fraction() >= threshold;
+    }
+    case Kind::kTierUsedAtLeast: {
+      TierPtr t = ctx.instance->tier(tier);
+      if (!t) return false;
+      return static_cast<double>(t->used()) >= threshold;
+    }
+  }
+  return false;
+}
+
+std::string Condition::describe() const {
+  switch (kind) {
+    case Kind::kAlways: return "always";
+    case Kind::kTierCannotFit: return tier + ".filled";
+    case Kind::kTierFillAtLeast: {
+      std::ostringstream out;
+      out << tier << ".filled >= " << threshold * 100 << "%";
+      return out.str();
+    }
+    case Kind::kTierUsedAtLeast: {
+      std::ostringstream out;
+      out << tier << ".used >= " << threshold << "B";
+      return out.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace tiera

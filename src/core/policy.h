@@ -1,0 +1,174 @@
+// Policy building blocks: selectors ("what"), conditions, responses, rules.
+//
+// A Rule is one `event : response { ... }` pair from an instance
+// specification. The control layer evaluates rule events and executes the
+// attached responses, which act on objects chosen by Selectors.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/events.h"
+
+namespace tiera {
+
+class TieraInstance;
+
+// Context handed to responses when an event fires. For action events it
+// names the object and (for inserts) carries the payload.
+struct EventContext {
+  TieraInstance* instance = nullptr;
+
+  // Action-event fields.
+  std::string object_id;
+  std::shared_ptr<const Bytes> payload;  // insert payload (may be null)
+  std::string action_tier;               // tier named by the action, if any
+
+  // Set true by placement responses so PUT knows the object was stored.
+  bool stored = false;
+  // Tiers the object was stored into during this event (drives the second
+  // matching pass for `insert.into == tierX` rules).
+  std::vector<std::string> stored_tiers;
+  // Incremented by any response that moved/added/removed bytes; the
+  // conditional-loop executor uses it to detect progress.
+  std::uint64_t mutations = 0;
+  // First error reported by a foreground placement/replication response.
+  // PUT acknowledges only writes whose whole synchronous policy succeeded
+  // (a write-through copy to a failed tier fails the PUT, as in Fig. 17).
+  Status placement_error = Status::Ok();
+};
+
+// --- Selectors ---------------------------------------------------------------
+
+// Describes which objects a response acts on. Mirrors the "what:" argument
+// forms appearing in the paper's specs:
+//   insert.object                       -> kActionObject
+//   object.location == tierX [&& ...]   -> kFilter with in_tier
+//   tierX.oldest / tierX.newest         -> kOldest / kNewest
+//   "literal-id"                        -> kById
+struct Selector {
+  enum class Pick { kActionObject, kById, kOldest, kNewest, kFilter };
+
+  Pick pick = Pick::kFilter;
+  std::string id;                        // kById
+  std::string tier;                      // kOldest/kNewest; kFilter location
+  std::optional<bool> dirty;             // kFilter: object.dirty == ...
+  std::optional<std::string> tag;        // kFilter: object.tag == ...
+
+  static Selector action_object() {
+    Selector s;
+    s.pick = Pick::kActionObject;
+    return s;
+  }
+  static Selector by_id(std::string object_id) {
+    Selector s;
+    s.pick = Pick::kById;
+    s.id = std::move(object_id);
+    return s;
+  }
+  static Selector oldest_in(std::string tier) {
+    Selector s;
+    s.pick = Pick::kOldest;
+    s.tier = std::move(tier);
+    return s;
+  }
+  static Selector newest_in(std::string tier) {
+    Selector s;
+    s.pick = Pick::kNewest;
+    s.tier = std::move(tier);
+    return s;
+  }
+  static Selector in_tier(std::string tier,
+                          std::optional<bool> dirty = std::nullopt,
+                          std::optional<std::string> tag = std::nullopt) {
+    Selector s;
+    s.pick = Pick::kFilter;
+    s.tier = std::move(tier);
+    s.dirty = dirty;
+    s.tag = std::move(tag);
+    return s;
+  }
+  static Selector all() { return Selector{}; }
+  static Selector with_tag(std::string tag) {
+    Selector s;
+    s.tag = std::move(tag);
+    return s;
+  }
+
+  // Resolve to object ids in the context of a firing event.
+  std::vector<std::string> resolve(EventContext& ctx) const;
+  std::string describe() const;
+};
+
+// --- Conditions --------------------------------------------------------------
+
+// Guard for conditional responses (`if (tier1.filled) { ... }` in Fig. 5).
+struct Condition {
+  enum class Kind {
+    kAlways,
+    // Tier cannot fit the insert payload (or is at/over the fraction when no
+    // payload is in context). This is what `tierX.filled` means inside an
+    // insert-event response.
+    kTierCannotFit,
+    kTierFillAtLeast,   // fill fraction >= threshold
+    kTierUsedAtLeast,   // used bytes   >= threshold
+  };
+
+  Kind kind = Kind::kAlways;
+  std::string tier;
+  double threshold = 1.0;
+
+  static Condition always() { return {}; }
+  static Condition tier_cannot_fit(std::string tier) {
+    return {Kind::kTierCannotFit, std::move(tier), 1.0};
+  }
+  static Condition tier_fill_at_least(std::string tier, double fraction) {
+    return {Kind::kTierFillAtLeast, std::move(tier), fraction};
+  }
+  static Condition tier_used_at_least(std::string tier, double bytes) {
+    return {Kind::kTierUsedAtLeast, std::move(tier), bytes};
+  }
+
+  bool evaluate(const EventContext& ctx) const;
+  std::string describe() const;
+};
+
+// --- Responses ---------------------------------------------------------------
+
+class Response {
+ public:
+  virtual ~Response() = default;
+  virtual Status execute(EventContext& ctx) = 0;
+  virtual std::string describe() const = 0;
+};
+
+using ResponsePtr = std::unique_ptr<Response>;
+using ResponseList = std::vector<ResponsePtr>;
+
+// --- Rules -------------------------------------------------------------------
+
+struct Rule {
+  std::uint64_t id = 0;  // assigned by the control layer
+  std::string name;      // optional human label
+  EventDef event;
+  ResponseList responses;
+
+  // Runtime state for threshold rules: armed means the threshold may fire on
+  // the next crossing. (Edge-triggered semantics.)
+  std::shared_ptr<std::atomic<bool>> armed =
+      std::make_shared<std::atomic<bool>>(true);
+  // Runtime state for timer rules: next wall-clock deadline.
+  std::shared_ptr<std::atomic<std::int64_t>> next_deadline_ns =
+      std::make_shared<std::atomic<std::int64_t>>(0);
+  // Runtime threshold value (advances for sliding thresholds).
+  std::shared_ptr<std::atomic<double>> threshold_state =
+      std::make_shared<std::atomic<double>>(0);
+};
+
+}  // namespace tiera

@@ -1,0 +1,924 @@
+#include "core/spec_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "core/responses.h"
+
+namespace tiera {
+
+namespace {
+
+// --- Tokenizer ---------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '%') {  // comment to end of line (the paper's style)
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        std::string value;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          value.push_back(text_[pos_++]);
+        }
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument(err("unterminated string"));
+        }
+        ++pos_;
+        tokens.push_back({Token::Kind::kString, value, line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        // Number with unit suffix: 5G, 75%, 30s, 2min, 40KB/s, 0.5 ...
+        std::string value;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '%' || text_[pos_] == '/' ||
+                text_[pos_] == '.')) {
+          value.push_back(text_[pos_++]);
+        }
+        tokens.push_back({Token::Kind::kNumber, value, line_});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        // Identifier; dots join attribute paths (insert.object.dirty).
+        std::string value;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.')) {
+          value.push_back(text_[pos_++]);
+        }
+        tokens.push_back({Token::Kind::kIdent, value, line_});
+        continue;
+      }
+      // Multi-char symbols.
+      if (c == '=' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        tokens.push_back({Token::Kind::kSymbol, "==", line_});
+        pos_ += 2;
+        continue;
+      }
+      if (c == '&' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '&') {
+        tokens.push_back({Token::Kind::kSymbol, "&&", line_});
+        pos_ += 2;
+        continue;
+      }
+      static constexpr std::string_view kSingles = "{}():;,=[]";
+      if (kSingles.find(c) != std::string_view::npos) {
+        tokens.push_back({Token::Kind::kSymbol, std::string(1, c), line_});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument(
+          err(std::string("unexpected character '") + c + "'"));
+    }
+    tokens.push_back({Token::Kind::kEnd, "", line_});
+    return tokens;
+  }
+
+ private:
+  std::string err(const std::string& message) const {
+    std::ostringstream out;
+    out << "spec line " << line_ << ": " << message;
+    return out.str();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// --- Value parsing helpers ---------------------------------------------------
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// "30s", "2min", "500ms", "1h" -> modelled duration.
+Result<Duration> parse_duration(std::string_view text) {
+  double multiplier_ms = 0;
+  std::string_view digits = text;
+  if (ends_with(text, "ms")) {
+    multiplier_ms = 1;
+    digits.remove_suffix(2);
+  } else if (ends_with(text, "min")) {
+    multiplier_ms = 60'000;
+    digits.remove_suffix(3);
+  } else if (ends_with(text, "m")) {
+    multiplier_ms = 60'000;
+    digits.remove_suffix(1);
+  } else if (ends_with(text, "s")) {
+    multiplier_ms = 1'000;
+    digits.remove_suffix(1);
+  } else if (ends_with(text, "h")) {
+    multiplier_ms = 3'600'000;
+    digits.remove_suffix(1);
+  } else {
+    multiplier_ms = 1'000;  // bare numbers are seconds (paper granularity)
+  }
+  if (digits.empty()) return Status::InvalidArgument("empty duration");
+  double value = 0;
+  try {
+    value = std::stod(std::string(digits));
+  } catch (...) {
+    return Status::InvalidArgument("bad duration: " + std::string(text));
+  }
+  return from_ms(value * multiplier_ms);
+}
+
+// "40KB/s", "1MB/s", "500B/s" -> bytes per second.
+Result<double> parse_bandwidth(std::string_view text) {
+  std::string_view body = text;
+  if (!ends_with(body, "/s")) {
+    return Status::InvalidArgument("bandwidth must end in /s: " +
+                                   std::string(text));
+  }
+  body.remove_suffix(2);
+  double multiplier = 1;
+  if (ends_with(body, "KB")) {
+    multiplier = 1024;
+    body.remove_suffix(2);
+  } else if (ends_with(body, "MB")) {
+    multiplier = 1024.0 * 1024;
+    body.remove_suffix(2);
+  } else if (ends_with(body, "GB")) {
+    multiplier = 1024.0 * 1024 * 1024;
+    body.remove_suffix(2);
+  } else if (ends_with(body, "B")) {
+    body.remove_suffix(1);
+  }
+  try {
+    return std::stod(std::string(body)) * multiplier;
+  } catch (...) {
+    return Status::InvalidArgument("bad bandwidth: " + std::string(text));
+  }
+}
+
+// "75%" -> 0.75
+Result<double> parse_percent(std::string_view text) {
+  if (!ends_with(text, "%")) {
+    return Status::InvalidArgument("expected percent: " + std::string(text));
+  }
+  try {
+    return std::stod(std::string(text.substr(0, text.size() - 1))) / 100.0;
+  } catch (...) {
+    return Status::InvalidArgument("bad percent: " + std::string(text));
+  }
+}
+
+std::vector<std::string> split_top_level(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string trim(std::string s) {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c));
+  };
+  while (!s.empty() && is_space(s.front())) s.erase(s.begin());
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+// --- Parser ------------------------------------------------------------------
+
+class SpecParser {
+ public:
+  explicit SpecParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<InstanceSpec> run() {
+    InstanceSpec spec;
+    TIERA_RETURN_IF_ERROR(expect_ident("Tiera"));
+    Result<std::string> name = take_ident();
+    if (!name.ok()) return name.status();
+    spec.name_ = *name;
+
+    TIERA_RETURN_IF_ERROR(expect_symbol("("));
+    while (!peek_symbol(")")) {
+      // Parameters come as `type name` pairs (e.g. `time t`).
+      Result<std::string> type = take_ident();
+      if (!type.ok()) return type.status();
+      Result<std::string> pname = take_ident();
+      if (!pname.ok()) return pname.status();
+      spec.param_names_.push_back(*pname);
+      if (!accept_symbol(",")) break;
+    }
+    TIERA_RETURN_IF_ERROR(expect_symbol(")"));
+    TIERA_RETURN_IF_ERROR(expect_symbol("{"));
+
+    while (!peek_symbol("}")) {
+      if (peek().kind == Token::Kind::kEnd) {
+        return Status::InvalidArgument("spec: unexpected end of input");
+      }
+      if (peek_ident("event") || peek_ident("background")) {
+        Result<InstanceSpec::RuleDecl> rule = parse_rule();
+        if (!rule.ok()) return rule.status();
+        spec.rules_.push_back(std::move(*rule));
+      } else {
+        Result<InstanceSpec::TierDecl> tier = parse_tier();
+        if (!tier.ok()) return tier.status();
+        spec.tiers_.push_back(std::move(*tier));
+      }
+    }
+    TIERA_RETURN_IF_ERROR(expect_symbol("}"));
+    return spec;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool peek_symbol(std::string_view s) const {
+    return peek().kind == Token::Kind::kSymbol && peek().text == s;
+  }
+  bool peek_ident(std::string_view s) const {
+    return peek().kind == Token::Kind::kIdent && peek().text == s;
+  }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool accept_symbol(std::string_view s) {
+    if (!peek_symbol(s)) return false;
+    advance();
+    return true;
+  }
+  Status error(const std::string& message) const {
+    std::ostringstream out;
+    out << "spec line " << peek().line << ": " << message << " (got '"
+        << peek().text << "')";
+    return Status::InvalidArgument(out.str());
+  }
+  Status expect_symbol(std::string_view s) {
+    if (!accept_symbol(s)) return error("expected '" + std::string(s) + "'");
+    return Status::Ok();
+  }
+  Status expect_ident(std::string_view s) {
+    if (!peek_ident(s)) return error("expected '" + std::string(s) + "'");
+    advance();
+    return Status::Ok();
+  }
+  Result<std::string> take_ident() {
+    if (peek().kind != Token::Kind::kIdent) {
+      return error("expected identifier");
+    }
+    std::string text = peek().text;
+    advance();
+    return text;
+  }
+  Result<std::string> take_value() {
+    // Identifier, number, or string literal.
+    if (peek().kind == Token::Kind::kIdent ||
+        peek().kind == Token::Kind::kNumber) {
+      std::string text = peek().text;
+      advance();
+      return text;
+    }
+    if (peek().kind == Token::Kind::kString) {
+      std::string text = "\"" + peek().text + "\"";
+      advance();
+      return text;
+    }
+    return error("expected value");
+  }
+
+  Result<InstanceSpec::TierDecl> parse_tier() {
+    InstanceSpec::TierDecl tier;
+    Result<std::string> label = take_ident();
+    if (!label.ok()) return label.status();
+    tier.label = *label;
+    TIERA_RETURN_IF_ERROR(expect_symbol(":"));
+    TIERA_RETURN_IF_ERROR(expect_symbol("{"));
+    while (!peek_symbol("}")) {
+      Result<std::string> field = take_ident();
+      if (!field.ok()) return field.status();
+      TIERA_RETURN_IF_ERROR(expect_symbol(":"));
+      Result<std::string> value = take_value();
+      if (!value.ok()) return value.status();
+      if (*field == "name") {
+        tier.service = *value;
+      } else if (*field == "size") {
+        tier.size_text = *value;
+      } else {
+        return error("unknown tier field '" + *field + "'");
+      }
+      if (!accept_symbol(",")) break;
+    }
+    TIERA_RETURN_IF_ERROR(expect_symbol("}"));
+    TIERA_RETURN_IF_ERROR(expect_symbol(";"));
+    if (tier.service.empty() || tier.size_text.empty()) {
+      return error("tier needs both name and size");
+    }
+    return tier;
+  }
+
+  // Collect raw text until a closing ')' at depth 0 (used for event
+  // expressions and call arguments, which we re-parse with domain rules).
+  Result<std::string> collect_until_close_paren() {
+    std::string out;
+    int depth = 0;
+    for (;;) {
+      const Token& t = peek();
+      if (t.kind == Token::Kind::kEnd) return error("unterminated '('");
+      if (t.kind == Token::Kind::kSymbol) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")") {
+          if (depth == 0) return out;
+          --depth;
+        }
+      }
+      if (!out.empty()) out += " ";
+      if (t.kind == Token::Kind::kString) {
+        out += "\"" + t.text + "\"";
+      } else {
+        out += t.text;
+      }
+      advance();
+    }
+  }
+
+  Result<InstanceSpec::RuleDecl> parse_rule() {
+    InstanceSpec::RuleDecl rule;
+    rule.line = peek().line;
+    if (peek_ident("background")) {
+      rule.background = true;
+      advance();
+    }
+    TIERA_RETURN_IF_ERROR(expect_ident("event"));
+    TIERA_RETURN_IF_ERROR(expect_symbol("("));
+    Result<std::string> event_text = collect_until_close_paren();
+    if (!event_text.ok()) return event_text.status();
+    rule.event_text = trim(*event_text);
+    TIERA_RETURN_IF_ERROR(expect_symbol(")"));
+    TIERA_RETURN_IF_ERROR(expect_symbol(":"));
+    TIERA_RETURN_IF_ERROR(expect_ident("response"));
+    TIERA_RETURN_IF_ERROR(expect_symbol("{"));
+    Result<std::vector<InstanceSpec::Stmt>> stmts = parse_stmt_block();
+    if (!stmts.ok()) return stmts.status();
+    rule.stmts = std::move(*stmts);
+    TIERA_RETURN_IF_ERROR(expect_symbol("}"));
+    return rule;
+  }
+
+  Result<std::vector<InstanceSpec::Stmt>> parse_stmt_block() {
+    std::vector<InstanceSpec::Stmt> stmts;
+    while (!peek_symbol("}")) {
+      if (peek().kind == Token::Kind::kEnd) {
+        return error("unterminated response block");
+      }
+      Result<InstanceSpec::Stmt> stmt = parse_stmt();
+      if (!stmt.ok()) return stmt.status();
+      stmts.push_back(std::move(*stmt));
+    }
+    return stmts;
+  }
+
+  Result<InstanceSpec::Stmt> parse_stmt() {
+    InstanceSpec::Stmt stmt;
+    stmt.line = peek().line;
+    if (peek_ident("if")) {
+      advance();
+      stmt.kind = InstanceSpec::Stmt::Kind::kIf;
+      TIERA_RETURN_IF_ERROR(expect_symbol("("));
+      Result<std::string> cond = collect_until_close_paren();
+      if (!cond.ok()) return cond.status();
+      stmt.if_condition = trim(*cond);
+      TIERA_RETURN_IF_ERROR(expect_symbol(")"));
+      TIERA_RETURN_IF_ERROR(expect_symbol("{"));
+      Result<std::vector<InstanceSpec::Stmt>> body = parse_stmt_block();
+      if (!body.ok()) return body.status();
+      stmt.body = std::move(*body);
+      TIERA_RETURN_IF_ERROR(expect_symbol("}"));
+      return stmt;
+    }
+
+    Result<std::string> head = take_ident();
+    if (!head.ok()) return head.status();
+
+    if (accept_symbol("=")) {
+      // Assignment: insert.object.dirty = true;
+      stmt.kind = InstanceSpec::Stmt::Kind::kAssign;
+      stmt.assign_target = *head;
+      Result<std::string> value = take_value();
+      if (!value.ok()) return value.status();
+      stmt.assign_value = *value;
+      TIERA_RETURN_IF_ERROR(expect_symbol(";"));
+      return stmt;
+    }
+
+    // Response call: verb(name: value, ...);
+    stmt.kind = InstanceSpec::Stmt::Kind::kCall;
+    stmt.call.verb = *head;
+    stmt.call.line = stmt.line;
+    TIERA_RETURN_IF_ERROR(expect_symbol("("));
+    while (!peek_symbol(")")) {
+      Result<std::string> arg_name = take_ident();
+      if (!arg_name.ok()) return arg_name.status();
+      TIERA_RETURN_IF_ERROR(expect_symbol(":"));
+      // Argument values run until the next top-level ',' or ')'.
+      std::string value;
+      int depth = 0;
+      for (;;) {
+        const Token& t = peek();
+        if (t.kind == Token::Kind::kEnd) return error("unterminated call");
+        if (t.kind == Token::Kind::kSymbol) {
+          if (t.text == "(" || t.text == "[") ++depth;
+          if (t.text == ")" && depth == 0) break;
+          if (t.text == ")" || t.text == "]") --depth;
+          if (t.text == "," && depth == 0) break;
+        }
+        if (!value.empty()) value += " ";
+        value += (t.kind == Token::Kind::kString) ? "\"" + t.text + "\""
+                                                  : t.text;
+        advance();
+      }
+      stmt.call.args[*arg_name] = trim(value);
+      if (!accept_symbol(",")) break;
+    }
+    TIERA_RETURN_IF_ERROR(expect_symbol(")"));
+    TIERA_RETURN_IF_ERROR(expect_symbol(";"));
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// --- Instantiation -----------------------------------------------------------
+
+namespace {
+
+class SpecInstantiator {
+ public:
+  SpecInstantiator(const std::map<std::string, std::string>& args)
+      : args_(args) {}
+
+  // Substitute a declared parameter with its bound argument.
+  std::string subst(std::string text) const {
+    auto it = args_.find(text);
+    return it == args_.end() ? text : it->second;
+  }
+
+  Result<Selector> parse_selector(std::string_view raw_text) const {
+    const std::string text = trim(std::string(raw_text));
+    if (text == "insert.object" || text == "get.object" ||
+        text == "delete.object") {
+      return Selector::action_object();
+    }
+    if (!text.empty() && text.front() == '"' && text.back() == '"') {
+      return Selector::by_id(text.substr(1, text.size() - 2));
+    }
+    if (ends_with(text, ".oldest")) {
+      return Selector::oldest_in(text.substr(0, text.size() - 7));
+    }
+    if (ends_with(text, ".newest")) {
+      return Selector::newest_in(text.substr(0, text.size() - 7));
+    }
+    // Conjunction of object.X == Y clauses.
+    Selector selector = Selector::all();
+    for (std::string clause : split_top_level(text, '&')) {
+      clause = trim(clause);
+      if (clause.empty()) continue;
+      const auto eq = clause.find("==");
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("bad what-clause: " + clause);
+      }
+      const std::string lhs = trim(clause.substr(0, eq));
+      std::string rhs = trim(clause.substr(eq + 2));
+      if (lhs == "object.location") {
+        selector.tier = rhs;
+      } else if (lhs == "object.dirty") {
+        selector.dirty = (rhs == "true");
+      } else if (lhs == "object.tag") {
+        if (rhs.size() >= 2 && rhs.front() == '"') {
+          rhs = rhs.substr(1, rhs.size() - 2);
+        }
+        selector.tag = rhs;
+      } else {
+        return Status::InvalidArgument("unknown object attribute: " + lhs);
+      }
+    }
+    return selector;
+  }
+
+  Result<std::vector<std::string>> parse_tier_list(
+      std::string_view raw_text) const {
+    std::string text = trim(std::string(raw_text));
+    if (!text.empty() && text.front() == '[') {
+      if (text.back() != ']') {
+        return Status::InvalidArgument("unterminated tier list");
+      }
+      text = text.substr(1, text.size() - 2);
+    }
+    std::vector<std::string> tiers;
+    for (std::string part : split_top_level(text, ',')) {
+      part = trim(part);
+      if (!part.empty()) tiers.push_back(part);
+    }
+    if (tiers.empty()) return Status::InvalidArgument("empty tier list");
+    return tiers;
+  }
+
+  Result<Condition> parse_condition(std::string_view raw_text) const {
+    const std::string text = trim(std::string(raw_text));
+    const auto eq = text.find("==");
+    std::string lhs = trim(eq == std::string::npos ? text : text.substr(0, eq));
+    if (ends_with(lhs, ".filled")) {
+      const std::string tier = lhs.substr(0, lhs.size() - 7);
+      if (eq == std::string::npos) return Condition::tier_cannot_fit(tier);
+      Result<double> pct = parse_percent(trim(text.substr(eq + 2)));
+      if (!pct.ok()) return pct.status();
+      return Condition::tier_fill_at_least(tier, *pct);
+    }
+    if (ends_with(lhs, ".used")) {
+      const std::string tier = lhs.substr(0, lhs.size() - 5);
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("'.used' needs a comparison value");
+      }
+      Result<std::uint64_t> bytes = parse_size(trim(text.substr(eq + 2)));
+      if (!bytes.ok()) return bytes.status();
+      return Condition::tier_used_at_least(tier,
+                                           static_cast<double>(*bytes));
+    }
+    return Status::InvalidArgument("unsupported condition: " + text);
+  }
+
+  Result<ResponsePtr> build_call(const InstanceSpec::Call& call) const {
+    const auto arg = [&](const std::string& name) -> std::optional<std::string> {
+      auto it = call.args.find(name);
+      if (it == call.args.end()) return std::nullopt;
+      return subst(it->second);
+    };
+    const auto require_what = [&]() -> Result<Selector> {
+      const auto value = arg("what");
+      if (!value) {
+        return Status::InvalidArgument(call.verb + " needs 'what:'");
+      }
+      return parse_selector(*value);
+    };
+    const auto require_to = [&]() -> Result<std::vector<std::string>> {
+      const auto value = arg("to");
+      if (!value) return Status::InvalidArgument(call.verb + " needs 'to:'");
+      return parse_tier_list(*value);
+    };
+    const auto optional_bandwidth = [&]() -> Result<double> {
+      const auto value = arg("bandwidth");
+      if (!value) return 0.0;
+      return parse_bandwidth(*value);
+    };
+
+    if (call.verb == "store" || call.verb == "storeOnce") {
+      Result<Selector> what = require_what();
+      if (!what.ok()) return what.status();
+      Result<std::vector<std::string>> to = require_to();
+      if (!to.ok()) return to.status();
+      return ResponsePtr(std::make_unique<StoreResponse>(
+          *what, *to, call.verb == "storeOnce"));
+    }
+    if (call.verb == "retrieve") {
+      Result<Selector> what = require_what();
+      if (!what.ok()) return what.status();
+      return ResponsePtr(std::make_unique<RetrieveResponse>(*what));
+    }
+    if (call.verb == "copy" || call.verb == "move") {
+      Result<Selector> what = require_what();
+      if (!what.ok()) return what.status();
+      Result<std::vector<std::string>> to = require_to();
+      if (!to.ok()) return to.status();
+      Result<double> bandwidth = optional_bandwidth();
+      if (!bandwidth.ok()) return bandwidth.status();
+      if (call.verb == "copy") {
+        return ResponsePtr(
+            std::make_unique<CopyResponse>(*what, *to, *bandwidth));
+      }
+      return ResponsePtr(
+          std::make_unique<MoveResponse>(*what, *to, *bandwidth));
+    }
+    if (call.verb == "delete") {
+      Result<Selector> what = require_what();
+      if (!what.ok()) return what.status();
+      std::vector<std::string> from;
+      if (const auto value = arg("from")) {
+        Result<std::vector<std::string>> tiers = parse_tier_list(*value);
+        if (!tiers.ok()) return tiers.status();
+        from = *tiers;
+      }
+      return ResponsePtr(std::make_unique<DeleteResponse>(*what, from));
+    }
+    if (call.verb == "encrypt" || call.verb == "decrypt") {
+      Result<Selector> what = require_what();
+      if (!what.ok()) return what.status();
+      auto key = arg("key");
+      if (!key) return Status::InvalidArgument(call.verb + " needs 'key:'");
+      std::string passphrase = *key;
+      if (passphrase.size() >= 2 && passphrase.front() == '"') {
+        passphrase = passphrase.substr(1, passphrase.size() - 2);
+      }
+      if (call.verb == "encrypt") {
+        return ResponsePtr(std::make_unique<EncryptResponse>(*what, passphrase));
+      }
+      return ResponsePtr(std::make_unique<DecryptResponse>(*what, passphrase));
+    }
+    if (call.verb == "compress") {
+      Result<Selector> what = require_what();
+      if (!what.ok()) return what.status();
+      return ResponsePtr(std::make_unique<CompressResponse>(*what));
+    }
+    if (call.verb == "uncompress") {
+      Result<Selector> what = require_what();
+      if (!what.ok()) return what.status();
+      return ResponsePtr(std::make_unique<UncompressResponse>(*what));
+    }
+    if (call.verb == "prefetch") {
+      const auto lookahead = arg("lookahead");
+      if (!lookahead) {
+        return Status::InvalidArgument("prefetch needs 'lookahead:'");
+      }
+      std::size_t k = 0;
+      try {
+        k = static_cast<std::size_t>(std::stoul(*lookahead));
+      } catch (...) {
+        return Status::InvalidArgument("bad lookahead: " + *lookahead);
+      }
+      Result<std::vector<std::string>> to = require_to();
+      if (!to.ok()) return to.status();
+      return ResponsePtr(std::make_unique<PrefetchResponse>(k, *to));
+    }
+    if (call.verb == "snapshot") {
+      Result<Selector> what = require_what();
+      if (!what.ok()) return what.status();
+      auto name = arg("name");
+      if (!name) return Status::InvalidArgument("snapshot needs 'name:'");
+      std::string label = *name;
+      if (label.size() >= 2 && label.front() == '"') {
+        label = label.substr(1, label.size() - 2);
+      }
+      std::vector<std::string> to;
+      if (const auto value = arg("to")) {
+        Result<std::vector<std::string>> tiers = parse_tier_list(*value);
+        if (!tiers.ok()) return tiers.status();
+        to = *tiers;
+      }
+      return ResponsePtr(
+          std::make_unique<SnapshotResponse>(*what, label, to));
+    }
+    if (call.verb == "grow" || call.verb == "shrink") {
+      const auto what = arg("what");
+      if (!what) return Status::InvalidArgument(call.verb + " needs 'what:'");
+      const auto amount =
+          call.verb == "grow" ? arg("increment") : arg("decrement");
+      if (!amount) {
+        return Status::InvalidArgument(call.verb +
+                                       " needs 'increment:'/'decrement:'");
+      }
+      Result<double> pct = parse_percent(*amount);
+      if (!pct.ok()) return pct.status();
+      if (call.verb == "grow") {
+        return ResponsePtr(
+            std::make_unique<GrowResponse>(*what, *pct * 100.0));
+      }
+      return ResponsePtr(
+          std::make_unique<ShrinkResponse>(*what, *pct * 100.0));
+    }
+    return Status::InvalidArgument("unknown response verb: " + call.verb);
+  }
+
+  Result<ResponseList> build_stmts(
+      const std::vector<InstanceSpec::Stmt>& stmts) const {
+    ResponseList out;
+    for (const auto& stmt : stmts) {
+      switch (stmt.kind) {
+        case InstanceSpec::Stmt::Kind::kCall: {
+          Result<ResponsePtr> response = build_call(stmt.call);
+          if (!response.ok()) return response.status();
+          out.push_back(std::move(*response));
+          break;
+        }
+        case InstanceSpec::Stmt::Kind::kAssign: {
+          if (!ends_with(stmt.assign_target, ".dirty")) {
+            return Status::InvalidArgument("only '.dirty' is assignable: " +
+                                           stmt.assign_target);
+          }
+          const std::string target =
+              stmt.assign_target.substr(0, stmt.assign_target.size() - 6);
+          Result<Selector> what = parse_selector(target);
+          if (!what.ok()) return what.status();
+          out.push_back(std::make_unique<SetDirtyResponse>(
+              *what, stmt.assign_value == "true"));
+          break;
+        }
+        case InstanceSpec::Stmt::Kind::kIf: {
+          Result<Condition> condition = parse_condition(stmt.if_condition);
+          if (!condition.ok()) return condition.status();
+          Result<ResponseList> body = build_stmts(stmt.body);
+          if (!body.ok()) return body.status();
+          out.push_back(std::make_unique<ConditionalResponse>(
+              *condition, std::move(*body)));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  Result<EventDef> build_event(const std::string& raw_text,
+                               bool background) const {
+    std::string text = trim(raw_text);
+    bool sliding = false;
+    constexpr std::string_view kSliding = "sliding ";
+    if (text.rfind(kSliding, 0) == 0) {
+      sliding = true;
+      text = trim(text.substr(kSliding.size()));
+    }
+
+    // Optional tag clause: `<action-expr> && insert.object.tag == "x"`.
+    std::string tag_filter;
+    const auto amp = text.find("&&");
+    if (amp != std::string::npos) {
+      std::string clause = trim(text.substr(amp + 2));
+      text = trim(text.substr(0, amp));
+      const auto tag_eq = clause.find("==");
+      const std::string tag_lhs =
+          trim(tag_eq == std::string::npos ? clause
+                                           : clause.substr(0, tag_eq));
+      if (!ends_with(tag_lhs, ".object.tag") || tag_eq == std::string::npos) {
+        return Status::InvalidArgument("unsupported event clause: " + clause);
+      }
+      tag_filter = trim(clause.substr(tag_eq + 2));
+      if (tag_filter.size() >= 2 && tag_filter.front() == '"') {
+        tag_filter = tag_filter.substr(1, tag_filter.size() - 2);
+      }
+    }
+
+    const auto eq = text.find("==");
+    const auto single_eq = text.find('=');
+    std::string lhs =
+        trim(eq != std::string::npos
+                 ? text.substr(0, eq)
+                 : (single_eq != std::string::npos ? text.substr(0, single_eq)
+                                                   : text));
+    std::string rhs;
+    if (eq != std::string::npos) {
+      rhs = trim(text.substr(eq + 2));
+    } else if (single_eq != std::string::npos) {
+      rhs = trim(text.substr(single_eq + 1));
+    }
+
+    EventDef event;
+    if (lhs == "time") {
+      Result<Duration> period = parse_duration(subst(rhs));
+      if (!period.ok()) return period.status();
+      event = EventDef::on_timer(*period);
+      return event;  // timers are implicitly background
+    }
+    if (lhs == "insert.into" || lhs == "get.from" || lhs == "delete.from") {
+      ActionType action = ActionType::kInsert;
+      if (lhs == "get.from") action = ActionType::kGet;
+      if (lhs == "delete.from") action = ActionType::kDelete;
+      event = EventDef::on_action(action, rhs, tag_filter);
+      event.background = background;
+      return event;
+    }
+    if (!tag_filter.empty()) {
+      return Status::InvalidArgument(
+          "tag clauses only apply to action events: " + text);
+    }
+    if (ends_with(lhs, ".filled")) {
+      Result<double> pct = parse_percent(subst(rhs));
+      if (!pct.ok()) return pct.status();
+      event = EventDef::on_threshold(lhs.substr(0, lhs.size() - 7),
+                                     TierAttribute::kFillFraction, *pct,
+                                     sliding);
+      event.background = background;
+      return event;
+    }
+    if (ends_with(lhs, ".used")) {
+      Result<std::uint64_t> bytes = parse_size(subst(rhs));
+      if (!bytes.ok()) return bytes.status();
+      event = EventDef::on_threshold(lhs.substr(0, lhs.size() - 5),
+                                     TierAttribute::kUsedBytes,
+                                     static_cast<double>(*bytes), sliding);
+      event.background = background;
+      return event;
+    }
+    if (ends_with(lhs, ".objects")) {
+      try {
+        const double count = std::stod(subst(rhs));
+        event = EventDef::on_threshold(lhs.substr(0, lhs.size() - 8),
+                                       TierAttribute::kObjectCount, count,
+                                       sliding);
+        event.background = background;
+        return event;
+      } catch (...) {
+        return Status::InvalidArgument("bad object count: " + rhs);
+      }
+    }
+    return Status::InvalidArgument("unsupported event: " + text);
+  }
+
+ private:
+  const std::map<std::string, std::string>& args_;
+};
+
+}  // namespace
+
+Result<InstanceSpec> InstanceSpec::parse(std::string_view text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.run();
+  if (!tokens.ok()) return tokens.status();
+  SpecParser parser(std::move(*tokens));
+  return parser.run();
+}
+
+Result<InstanceSpec> InstanceSpec::parse_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("spec file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse(buffer.str());
+}
+
+Status InstanceSpec::apply_to(
+    TieraInstance& instance,
+    const std::map<std::string, std::string>& args) const {
+  SpecInstantiator inst(args);
+  for (const auto& rule_decl : rules_) {
+    Result<EventDef> event = inst.build_event(rule_decl.event_text,
+                                              rule_decl.background);
+    if (!event.ok()) return event.status();
+    Result<ResponseList> responses = inst.build_stmts(rule_decl.stmts);
+    if (!responses.ok()) return responses.status();
+    Rule rule;
+    rule.name = name_ + ":" + rule_decl.event_text;
+    rule.event = *event;
+    rule.responses = std::move(*responses);
+    instance.add_rule(std::move(rule));
+  }
+  return Status::Ok();
+}
+
+Result<InstancePtr> InstanceSpec::instantiate(
+    const TemplateOptions& opts,
+    const std::map<std::string, std::string>& args) const {
+  for (const auto& param : param_names_) {
+    if (args.find(param) == args.end()) {
+      return Status::InvalidArgument("missing argument for parameter '" +
+                                     param + "'");
+    }
+  }
+  InstanceConfig config;
+  config.name = name_;
+  config.data_dir = opts.data_dir;
+  config.response_threads = opts.response_threads;
+  config.persist_metadata = opts.persist_metadata;
+  SpecInstantiator inst(args);
+  for (const auto& tier : tiers_) {
+    Result<std::uint64_t> size = parse_size(inst.subst(tier.size_text));
+    if (!size.ok()) return size.status();
+    config.tiers.push_back({tier.service, tier.label, *size});
+  }
+  Result<InstancePtr> instance = TieraInstance::create(std::move(config));
+  if (!instance.ok()) return instance;
+  TIERA_RETURN_IF_ERROR(apply_to(**instance, args));
+  return instance;
+}
+
+}  // namespace tiera

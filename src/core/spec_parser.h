@@ -1,0 +1,105 @@
+// Instance-specification language.
+//
+// The paper configures instances through specification files (Figs. 3-6) but
+// hand-codes the policies in its prototype, leaving "automated compilation
+// of specification files" to future work. This module implements that
+// compiler: it parses the paper's syntax
+//
+//   Tiera LowLatencyInstance(time t) {
+//     % comment
+//     tier1: { name: Memcached, size: 5G };
+//     tier2: { name: EBS, size: 5G };
+//     event(insert.into) : response {
+//       insert.object.dirty = true;
+//       store(what: insert.object, to: tier1);
+//     }
+//     event(time=t) : response {
+//       copy(what: object.location == tier1 && object.dirty == true,
+//            to: tier2);
+//     }
+//   }
+//
+// into a template that can be instantiated (with arguments bound to the
+// declared parameters) as a running TieraInstance.
+//
+// Supported constructs: tier declarations; action events
+// (`insert.into[ == tierX]`, `get.from[ == tierX]`, `delete.from`), timer
+// events (`time=t`, `time=30s`), threshold events (`tierX.filled == 75%`,
+// `tierX.used == 50M`, with optional `sliding` modifier); the `background`
+// event modifier; every Table 1 response verb; `if (tierX.filled) { ... }`
+// blocks; and `insert.object.dirty = true;` assignments.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/templates.h"
+
+namespace tiera {
+
+class InstanceSpec {
+ public:
+  // Parse a specification text. Errors carry line numbers.
+  static Result<InstanceSpec> parse(std::string_view text);
+  static Result<InstanceSpec> parse_file(const std::string& path);
+
+  const std::string& instance_name() const { return name_; }
+  // Declared parameters, in order (e.g. {"t"} for `(time t)`).
+  const std::vector<std::string>& parameters() const { return param_names_; }
+  std::size_t tier_count() const { return tiers_.size(); }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  // Build a running instance. `args` binds parameter names to literal values
+  // (e.g. {{"t", "30s"}}).
+  Result<InstancePtr> instantiate(
+      const TemplateOptions& opts,
+      const std::map<std::string, std::string>& args = {}) const;
+
+  // Install this spec's tiers and rules onto an existing instance (dynamic
+  // reconfiguration from a spec file).
+  Status apply_to(TieraInstance& instance,
+                  const std::map<std::string, std::string>& args = {}) const;
+
+  // Internal representation (public for the parser/instantiator helpers).
+  struct TierDecl {
+    std::string label;
+    std::string service;
+    std::string size_text;
+  };
+
+  struct Call {
+    std::string verb;
+    std::map<std::string, std::string> args;  // raw argument text by name
+    int line = 0;
+  };
+
+  struct Stmt {
+    enum class Kind { kCall, kAssign, kIf };
+    Kind kind = Kind::kCall;
+    Call call;                    // kCall
+    std::string assign_target;    // kAssign: e.g. insert.object.dirty
+    std::string assign_value;     // kAssign: true/false
+    std::string if_condition;     // kIf: raw condition text
+    std::vector<Stmt> body;       // kIf
+    int line = 0;
+  };
+
+  struct RuleDecl {
+    bool background = false;
+    std::string event_text;  // raw event expression
+    std::vector<Stmt> stmts;
+    int line = 0;
+  };
+
+ private:
+  friend class SpecParser;
+
+  std::string name_;
+  std::vector<std::string> param_names_;
+  std::vector<TierDecl> tiers_;
+  std::vector<RuleDecl> rules_;
+};
+
+}  // namespace tiera

@@ -1,0 +1,367 @@
+#include "core/templates.h"
+
+namespace tiera {
+
+namespace {
+
+Result<InstancePtr> create_instance(const TemplateOptions& opts,
+                                    std::string name,
+                                    std::vector<TierSpec> tiers) {
+  InstanceConfig config;
+  config.name = std::move(name);
+  config.data_dir = opts.data_dir;
+  config.response_threads = opts.response_threads;
+  config.persist_metadata = opts.persist_metadata;
+  config.tiers = std::move(tiers);
+  return TieraInstance::create(std::move(config));
+}
+
+Rule placement_rule(std::vector<std::string> to) {
+  Rule rule;
+  rule.name = "placement";
+  rule.event = EventDef::on_insert();
+  rule.responses.push_back(make_store(Selector::action_object(),
+                                      std::move(to)));
+  return rule;
+}
+
+// Background promotion: reads served by `from` move the object into `to`
+// (evicting LRU victims into `from`'s overflow first).
+Rule promote_rule(const std::string& from, const std::string& to,
+                  const std::string& overflow_for_to) {
+  Rule rule;
+  rule.name = "promote-" + from;
+  rule.event = EventDef::on_action(ActionType::kGet, from).in_background();
+  rule.responses.push_back(make_evict_lru(to, overflow_for_to));
+  rule.responses.push_back(make_move(Selector::action_object(), {to}));
+  return rule;
+}
+
+}  // namespace
+
+Result<InstancePtr> make_low_latency_instance(const TemplateOptions& opts,
+                                              std::uint64_t mem_bytes,
+                                              std::uint64_t ebs_bytes,
+                                              Duration writeback_period) {
+  auto instance = create_instance(
+      opts, "LowLatencyInstance",
+      {{"Memcached", "tier1", mem_bytes}, {"EBS", "tier2", ebs_bytes}});
+  if (!instance.ok()) return instance;
+
+  Rule place;
+  place.name = "store-into-memcached";
+  place.event = EventDef::on_insert();
+  place.responses.push_back(
+      std::make_unique<SetDirtyResponse>(Selector::action_object(), true));
+  place.responses.push_back(make_store(Selector::action_object(), {"tier1"}));
+  if (writeback_period <= Duration::zero()) {
+    // Degenerate write-back interval: write through synchronously.
+    place.responses.push_back(
+        make_copy(Selector::action_object(), {"tier2"}));
+  }
+  (*instance)->add_rule(std::move(place));
+
+  if (writeback_period > Duration::zero()) {
+    Rule writeback;
+    writeback.name = "write-back";
+    writeback.event = EventDef::on_timer(writeback_period);
+    writeback.responses.push_back(
+        make_copy(Selector::in_tier("tier1", /*dirty=*/true), {"tier2"}));
+    (*instance)->add_rule(std::move(writeback));
+  }
+  return instance;
+}
+
+Result<InstancePtr> make_persistent_instance(const TemplateOptions& opts,
+                                             std::uint64_t mem_bytes,
+                                             std::uint64_t ebs_bytes,
+                                             std::uint64_t s3_bytes) {
+  auto instance = create_instance(opts, "PersistentInstance",
+                                  {{"Memcached", "tier1", mem_bytes},
+                                   {"EBS", "tier2", ebs_bytes},
+                                   {"S3", "tier3", s3_bytes}});
+  if (!instance.ok()) return instance;
+
+  (*instance)->add_rule(placement_rule({"tier1"}));
+
+  Rule write_through;
+  write_through.name = "write-through";
+  write_through.event = EventDef::on_insert("tier1");
+  write_through.responses.push_back(
+      make_copy(Selector::action_object(), {"tier2"}));
+  (*instance)->add_rule(std::move(write_through));
+
+  Rule backup;
+  backup.name = "backup-to-s3";
+  backup.event =
+      EventDef::on_threshold("tier2", TierAttribute::kFillFraction, 0.5)
+          .in_background();
+  backup.responses.push_back(
+      make_copy(Selector::in_tier("tier2"), {"tier3"}, 40.0 * 1024));
+  (*instance)->add_rule(std::move(backup));
+  return instance;
+}
+
+Result<InstancePtr> make_growing_instance(const TemplateOptions& opts,
+                                          std::uint64_t mem_bytes,
+                                          std::uint64_t ebs_bytes,
+                                          Duration writeback_period,
+                                          Duration provisioning_delay,
+                                          double remap_fraction) {
+  auto instance = create_instance(
+      opts, "GrowingInstance",
+      {{"Memcached", "tier1", mem_bytes}, {"EBS", "tier2", ebs_bytes}});
+  if (!instance.ok()) return instance;
+
+  (*instance)->add_rule(placement_rule({"tier1"}));
+
+  Rule writeback;
+  writeback.name = "write-back";
+  writeback.event = EventDef::on_timer(writeback_period);
+  writeback.responses.push_back(
+      make_copy(Selector::in_tier("tier1", /*dirty=*/true), {"tier2"}));
+  (*instance)->add_rule(std::move(writeback));
+
+  (*instance)->add_rule(promote_rule("tier2", "tier1", "tier2"));
+
+  Rule grow;
+  grow.name = "grow-at-75";
+  grow.event =
+      EventDef::on_threshold("tier1", TierAttribute::kFillFraction, 0.75)
+          .in_background();
+  grow.responses.push_back(
+      make_grow("tier1", 100.0, provisioning_delay, remap_fraction));
+  (*instance)->add_rule(std::move(grow));
+  return instance;
+}
+
+Result<InstancePtr> make_memcached_replicated_instance(
+    const TemplateOptions& opts, std::uint64_t mem_bytes_per_az) {
+  auto instance =
+      create_instance(opts, "MemcachedReplicated",
+                      {{"Memcached", "tier1", mem_bytes_per_az},
+                       {"Memcached_Remote", "tier2", mem_bytes_per_az}});
+  if (!instance.ok()) return instance;
+  // Written to both tiers before being acknowledged; reads prefer tier1
+  // (the same-AZ replica) by tier order.
+  (*instance)->add_rule(placement_rule({"tier1", "tier2"}));
+  return instance;
+}
+
+Result<InstancePtr> make_memcached_ebs_instance(const TemplateOptions& opts,
+                                                std::uint64_t mem_bytes,
+                                                std::uint64_t ebs_bytes) {
+  auto instance = create_instance(
+      opts, "MemcachedEBS",
+      {{"Memcached", "tier1", mem_bytes}, {"EBS", "tier2", ebs_bytes}});
+  if (!instance.ok()) return instance;
+  (*instance)->add_rule(placement_rule({"tier1", "tier2"}));
+  return instance;
+}
+
+Result<InstancePtr> make_memcached_s3_instance(const TemplateOptions& opts,
+                                               std::uint64_t mem_bytes,
+                                               std::uint64_t s3_bytes,
+                                               bool dedup) {
+  auto instance = create_instance(
+      opts, "MemcachedS3",
+      {{"Memcached", "tier1", mem_bytes}, {"S3", "tier2", s3_bytes}});
+  if (!instance.ok()) return instance;
+
+  Rule place;
+  place.name = dedup ? "placement-dedup-lru" : "placement-lru";
+  place.event = EventDef::on_insert();
+  place.responses.push_back(make_evict_lru("tier1", "tier2"));
+  if (dedup) {
+    place.responses.push_back(
+        make_store_once(Selector::action_object(), {"tier1"}));
+  } else {
+    place.responses.push_back(
+        make_store(Selector::action_object(), {"tier1"}));
+  }
+  (*instance)->add_rule(std::move(place));
+
+  // Durability: everything also lands in S3 before the PUT acknowledges
+  // (the Memcached cache is volatile, so S3 is the instance's only durable
+  // copy — this synchronous write is what the cost instance trades
+  // performance for, Fig. 9).
+  Rule persist;
+  persist.name = "persist-to-s3";
+  persist.event = EventDef::on_insert("tier1");
+  if (dedup) {
+    persist.responses.push_back(
+        make_store_once(Selector::action_object(), {"tier2"}));
+  } else {
+    persist.responses.push_back(
+        make_copy(Selector::action_object(), {"tier2"}));
+  }
+  (*instance)->add_rule(std::move(persist));
+
+  // Reads that had to go to S3 warm the Memcached cache.
+  Rule promote;
+  promote.name = "promote-from-s3";
+  promote.event =
+      EventDef::on_action(ActionType::kGet, "tier2").in_background();
+  promote.responses.push_back(make_evict_lru("tier1", "tier2"));
+  promote.responses.push_back(make_copy(Selector::action_object(), {"tier1"}));
+  (*instance)->add_rule(std::move(promote));
+  return instance;
+}
+
+Result<InstancePtr> make_tiered_lru_instance(const TemplateOptions& opts,
+                                             std::uint64_t dataset_bytes,
+                                             double mem_fraction,
+                                             double ebs_fraction,
+                                             double s3_fraction) {
+  const auto size_of = [&](double fraction) {
+    return static_cast<std::uint64_t>(static_cast<double>(dataset_bytes) *
+                                      fraction);
+  };
+  auto instance = create_instance(opts, "TieredLRU",
+                                  {{"Memcached", "tier1", size_of(mem_fraction)},
+                                   {"EBS", "tier2", size_of(ebs_fraction)},
+                                   // Headroom: S3 is the overflow of last
+                                   // resort and must absorb shifts.
+                                   {"S3", "tier3", size_of(s3_fraction * 4)}});
+  if (!instance.ok()) return instance;
+
+  // Exclusive chain: insert into Memcached, demote LRU victims down the
+  // chain (making room at each level first).
+  Rule place;
+  place.name = "placement-lru-chain";
+  place.event = EventDef::on_insert();
+  {
+    ResponseList demote_mem_body;
+    demote_mem_body.push_back(make_evict_lru("tier2", "tier3"));
+    demote_mem_body.push_back(
+        make_move(Selector::oldest_in("tier1"), {"tier2"}));
+    place.responses.push_back(std::make_unique<ConditionalResponse>(
+        Condition::tier_cannot_fit("tier1"), std::move(demote_mem_body)));
+  }
+  place.responses.push_back(make_store(Selector::action_object(), {"tier1"}));
+  (*instance)->add_rule(std::move(place));
+
+  // Promote on read from the colder tiers (exclusive: move, not copy).
+  for (const std::string from : {"tier2", "tier3"}) {
+    Rule promote;
+    promote.name = "promote-" + from;
+    promote.event =
+        EventDef::on_action(ActionType::kGet, from).in_background();
+    ResponseList demote_body;
+    demote_body.push_back(make_evict_lru("tier2", "tier3"));
+    demote_body.push_back(make_move(Selector::oldest_in("tier1"), {"tier2"}));
+    promote.responses.push_back(std::make_unique<ConditionalResponse>(
+        Condition::tier_cannot_fit("tier1"), std::move(demote_body)));
+    promote.responses.push_back(
+        make_move(Selector::action_object(), {"tier1"}));
+    (*instance)->add_rule(std::move(promote));
+  }
+  return instance;
+}
+
+Result<InstancePtr> make_high_durability_instance(const TemplateOptions& opts,
+                                                  std::uint64_t bytes_per_tier,
+                                                  Duration s3_push_period) {
+  auto instance = create_instance(opts, "HighDurability",
+                                  {{"Memcached", "tier1", bytes_per_tier},
+                                   {"EBS", "tier2", bytes_per_tier},
+                                   {"S3", "tier3", bytes_per_tier}});
+  if (!instance.ok()) return instance;
+
+  // Immediately back up to EBS: both writes gate the acknowledgement.
+  Rule place;
+  place.name = "store-and-backup";
+  place.event = EventDef::on_insert();
+  place.responses.push_back(
+      make_store(Selector::action_object(), {"tier1", "tier2"}));
+  (*instance)->add_rule(std::move(place));
+
+  Rule push;
+  push.name = "push-to-s3";
+  push.event = EventDef::on_timer(s3_push_period);
+  push.responses.push_back(make_copy(Selector::in_tier("tier2"), {"tier3"}));
+  (*instance)->add_rule(std::move(push));
+  return instance;
+}
+
+Result<InstancePtr> make_low_durability_instance(const TemplateOptions& opts,
+                                                 std::uint64_t mem_bytes,
+                                                 std::uint64_t s3_bytes,
+                                                 Duration s3_push_period) {
+  auto instance = create_instance(
+      opts, "LowDurability",
+      {{"Memcached", "tier1", mem_bytes}, {"S3", "tier2", s3_bytes}});
+  if (!instance.ok()) return instance;
+
+  Rule place;
+  place.name = "store-memcached-only";
+  place.event = EventDef::on_insert();
+  place.responses.push_back(
+      std::make_unique<SetDirtyResponse>(Selector::action_object(), true));
+  place.responses.push_back(make_store(Selector::action_object(), {"tier1"}));
+  (*instance)->add_rule(std::move(place));
+
+  Rule push;
+  push.name = "backup-to-s3";
+  push.event = EventDef::on_timer(s3_push_period);
+  push.responses.push_back(
+      make_copy(Selector::in_tier("tier1", /*dirty=*/true), {"tier2"}));
+  (*instance)->add_rule(std::move(push));
+  return instance;
+}
+
+Result<InstancePtr> make_replicated_ebs_instance(
+    const TemplateOptions& opts, std::uint64_t bytes_per_volume,
+    bool replicate, std::uint64_t bytes_between_syncs, double bandwidth_bps) {
+  auto instance = create_instance(
+      opts, "ReplicatedEBS",
+      {{"EBS", "tier1", bytes_per_volume}, {"EBS", "tier2", bytes_per_volume}});
+  if (!instance.ok()) return instance;
+
+  (*instance)->add_rule(placement_rule({"tier1"}));
+
+  if (replicate) {
+    Rule sync;
+    sync.name = "replicate-volume";
+    sync.event =
+        EventDef::on_threshold("tier1", TierAttribute::kUsedBytes,
+                               static_cast<double>(bytes_between_syncs),
+                               /*sliding=*/true)
+            .in_background();
+    sync.responses.push_back(
+        make_copy(Selector::in_tier("tier1"), {"tier2"}, bandwidth_bps));
+    (*instance)->add_rule(std::move(sync));
+  }
+  return instance;
+}
+
+Status reconfigure_for_ebs_failure(TieraInstance& instance,
+                                   std::uint64_t ephemeral_bytes,
+                                   std::uint64_t s3_bytes,
+                                   Duration s3_backup_period) {
+  // New tiers first, then swap the policy, then drop the failed tier — the
+  // instance keeps serving throughout.
+  TIERA_RETURN_IF_ERROR(
+      instance.add_tier({"Ephemeral", "tier3", ephemeral_bytes}));
+  TIERA_RETURN_IF_ERROR(instance.add_tier({"S3", "tier4", s3_bytes}));
+
+  instance.clear_rules();
+
+  Rule place;
+  place.name = "store-memcached-ephemeral";
+  place.event = EventDef::on_insert();
+  place.responses.push_back(
+      make_store(Selector::action_object(), {"tier1", "tier3"}));
+  instance.add_rule(std::move(place));
+
+  Rule backup;
+  backup.name = "ephemeral-to-s3";
+  backup.event = EventDef::on_timer(s3_backup_period);
+  backup.responses.push_back(
+      make_copy(Selector::in_tier("tier3", /*dirty=*/true), {"tier4"}));
+  instance.add_rule(std::move(backup));
+
+  return instance.remove_tier("tier2");
+}
+
+}  // namespace tiera

@@ -1,0 +1,310 @@
+#include "metadb/metadb.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tiera {
+
+namespace {
+
+// Record layout (little endian):
+//   u32 crc (over type..value)
+//   u8  type (1 = put, 2 = erase)
+//   u32 key_len
+//   u32 value_len
+//   key bytes, value bytes
+constexpr std::uint8_t kTypePut = 1;
+constexpr std::uint8_t kTypeErase = 2;
+constexpr std::size_t kRecordHeader = 4 + 1 + 4 + 4;
+
+std::uint64_t record_size(std::size_t key_len, std::size_t value_len) {
+  return kRecordHeader + key_len + value_len;
+}
+
+Status errno_status(const char* op) {
+  return Status::Internal(std::string("metadb ") + op + ": " +
+                          std::strerror(errno));
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+MetaDb::MetaDb(std::string path, MetaDbOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+MetaDb::~MetaDb() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<MetaDb>> MetaDb::open(std::string path,
+                                             MetaDbOptions options) {
+  std::unique_ptr<MetaDb> db(new MetaDb(std::move(path), options));
+  TIERA_RETURN_IF_ERROR(db->replay());
+  TIERA_RETURN_IF_ERROR(db->open_log());
+  return db;
+}
+
+Status MetaDb::open_log() {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return errno_status("open");
+  return Status::Ok();
+}
+
+Status MetaDb::replay() {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::Ok();  // fresh database
+    return errno_status("open for replay");
+  }
+  Bytes log;
+  {
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return errno_status("read");
+      }
+      if (n == 0) break;
+      log.insert(log.end(), buf, buf + n);
+    }
+  }
+  ::close(fd);
+
+  std::size_t pos = 0;
+  std::size_t valid_end = 0;
+  while (pos + kRecordHeader <= log.size()) {
+    std::uint32_t crc, key_len, value_len;
+    std::memcpy(&crc, log.data() + pos, 4);
+    const std::uint8_t type = log[pos + 4];
+    std::memcpy(&key_len, log.data() + pos + 5, 4);
+    std::memcpy(&value_len, log.data() + pos + 9, 4);
+    const std::uint64_t body = std::uint64_t(key_len) + value_len;
+    if (pos + kRecordHeader + body > log.size()) break;  // torn tail
+    const ByteView payload(log.data() + pos + 4, 1 + 8 + body);
+    if (crc32c(payload) != crc) break;  // corrupt tail: stop replay here
+    const std::string key(
+        reinterpret_cast<const char*>(log.data() + pos + kRecordHeader),
+        key_len);
+    if (type == kTypePut) {
+      Bytes value(log.begin() + static_cast<long>(pos + kRecordHeader +
+                                                  key_len),
+                  log.begin() + static_cast<long>(pos + kRecordHeader +
+                                                  key_len + value_len));
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        live_bytes_ -= record_size(key.size(), it->second.size());
+        it->second = std::move(value);
+      } else {
+        index_.emplace(key, std::move(value));
+      }
+      live_bytes_ += record_size(key_len, value_len);
+    } else if (type == kTypeErase) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        live_bytes_ -= record_size(key.size(), it->second.size());
+        index_.erase(it);
+      }
+    } else {
+      break;  // unknown record type: treat as corruption boundary
+    }
+    pos += kRecordHeader + body;
+    valid_end = pos;
+  }
+  log_bytes_ = valid_end;
+  if (valid_end < log.size()) {
+    TIERA_LOG(kWarn, "metadb")
+        << "discarding " << (log.size() - valid_end)
+        << " torn/corrupt bytes at tail of " << path_;
+    if (::truncate(path_.c_str(), static_cast<off_t>(valid_end)) != 0) {
+      return errno_status("truncate");
+    }
+  }
+  return Status::Ok();
+}
+
+Status MetaDb::append_record(std::uint8_t type, std::string_view key,
+                             ByteView value) {
+  Bytes rec;
+  rec.reserve(kRecordHeader + key.size() + value.size());
+  rec.resize(4);  // crc placeholder
+  rec.push_back(type);
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  const auto value_len = static_cast<std::uint32_t>(value.size());
+  rec.insert(rec.end(), reinterpret_cast<const std::uint8_t*>(&key_len),
+             reinterpret_cast<const std::uint8_t*>(&key_len) + 4);
+  rec.insert(rec.end(), reinterpret_cast<const std::uint8_t*>(&value_len),
+             reinterpret_cast<const std::uint8_t*>(&value_len) + 4);
+  append(rec, key);
+  append(rec, value);
+  const std::uint32_t crc = crc32c(ByteView(rec.data() + 4, rec.size() - 4));
+  std::memcpy(rec.data(), &crc, 4);
+
+  if (!write_all(fd_, rec.data(), rec.size())) return errno_status("write");
+  log_bytes_ += rec.size();
+  if (options_.sync_every_write && ::fsync(fd_) != 0) {
+    return errno_status("fsync");
+  }
+  return Status::Ok();
+}
+
+Status MetaDb::put(std::string_view key, ByteView value) {
+  std::lock_guard lock(mu_);
+  TIERA_RETURN_IF_ERROR(append_record(kTypePut, key, value));
+  auto it = index_.find(std::string(key));
+  if (it != index_.end()) {
+    live_bytes_ -= record_size(key.size(), it->second.size());
+    it->second.assign(value.begin(), value.end());
+  } else {
+    index_.emplace(std::string(key), Bytes(value.begin(), value.end()));
+  }
+  live_bytes_ += record_size(key.size(), value.size());
+
+  if (log_bytes_ >= options_.auto_compact_min_bytes && log_bytes_ > 0 &&
+      static_cast<double>(log_bytes_ - live_bytes_) >
+          options_.auto_compact_ratio * static_cast<double>(log_bytes_)) {
+    return compact_locked();
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> MetaDb::get(std::string_view key) const {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return Status::NotFound("metadb key");
+  return it->second;
+}
+
+bool MetaDb::contains(std::string_view key) const {
+  std::lock_guard lock(mu_);
+  return index_.count(std::string(key)) > 0;
+}
+
+Status MetaDb::erase(std::string_view key) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return Status::NotFound("metadb key");
+  TIERA_RETURN_IF_ERROR(append_record(kTypeErase, key, {}));
+  live_bytes_ -= record_size(key.size(), it->second.size());
+  index_.erase(it);
+  return Status::Ok();
+}
+
+void MetaDb::scan(
+    const std::function<bool(std::string_view, ByteView)>& fn) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [key, value] : index_) {
+    if (!fn(key, as_view(value))) return;
+  }
+}
+
+void MetaDb::scan_prefix(
+    std::string_view prefix,
+    const std::function<bool(std::string_view, ByteView)>& fn) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [key, value] : index_) {
+    if (key.size() >= prefix.size() &&
+        std::string_view(key).substr(0, prefix.size()) == prefix) {
+      if (!fn(key, as_view(value))) return;
+    }
+  }
+}
+
+std::size_t MetaDb::size() const {
+  std::lock_guard lock(mu_);
+  return index_.size();
+}
+
+std::uint64_t MetaDb::log_bytes() const {
+  std::lock_guard lock(mu_);
+  return log_bytes_;
+}
+
+std::uint64_t MetaDb::dead_bytes() const {
+  std::lock_guard lock(mu_);
+  return log_bytes_ - live_bytes_;
+}
+
+Status MetaDb::compact() {
+  std::lock_guard lock(mu_);
+  return compact_locked();
+}
+
+Status MetaDb::sync() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0 && ::fsync(fd_) != 0) return errno_status("fsync");
+  return Status::Ok();
+}
+
+Status MetaDb::compact_locked() {
+  const std::string tmp_path = path_ + ".compact";
+  const int tmp_fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) return errno_status("open compact temp");
+
+  std::uint64_t new_bytes = 0;
+  for (const auto& [key, value] : index_) {
+    Bytes rec;
+    rec.resize(4);
+    rec.push_back(kTypePut);
+    const auto key_len = static_cast<std::uint32_t>(key.size());
+    const auto value_len = static_cast<std::uint32_t>(value.size());
+    rec.insert(rec.end(), reinterpret_cast<const std::uint8_t*>(&key_len),
+               reinterpret_cast<const std::uint8_t*>(&key_len) + 4);
+    rec.insert(rec.end(), reinterpret_cast<const std::uint8_t*>(&value_len),
+               reinterpret_cast<const std::uint8_t*>(&value_len) + 4);
+    append(rec, std::string_view(key));
+    append(rec, as_view(value));
+    const std::uint32_t crc = crc32c(ByteView(rec.data() + 4, rec.size() - 4));
+    std::memcpy(rec.data(), &crc, 4);
+    if (!write_all(tmp_fd, rec.data(), rec.size())) {
+      ::close(tmp_fd);
+      ::unlink(tmp_path.c_str());
+      return errno_status("write compact temp");
+    }
+    new_bytes += rec.size();
+  }
+  if (::fsync(tmp_fd) != 0) {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    return errno_status("fsync compact temp");
+  }
+  ::close(tmp_fd);
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return errno_status("rename compacted log");
+  }
+  if (fd_ >= 0) ::close(fd_);
+  TIERA_RETURN_IF_ERROR(open_log());
+  log_bytes_ = new_bytes;
+  live_bytes_ = new_bytes;
+  TIERA_LOG(kInfo, "metadb") << "compacted " << path_ << " to " << new_bytes
+                             << " bytes (" << index_.size() << " records)";
+  return Status::Ok();
+}
+
+}  // namespace tiera

@@ -1,0 +1,88 @@
+// metadb: embedded durable key-value store.
+//
+// Plays the role BerkeleyDB plays in the Tiera prototype: the control layer
+// persists all object metadata here so an instance can restart without losing
+// track of where objects live. Design: append-only log with CRC-framed
+// records, full in-memory index, log replay on open, and explicit compaction
+// that rewrites the live set. Single-process, thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tiera {
+
+struct MetaDbOptions {
+  // fsync after every append. Off by default: the paper's durability story
+  // for metadata is periodic persistence, and tests exercise both modes.
+  bool sync_every_write = false;
+  // Compact automatically when dead bytes exceed this fraction of the log.
+  double auto_compact_ratio = 0.5;
+  // Minimum log size before auto-compaction triggers.
+  std::uint64_t auto_compact_min_bytes = 1 << 20;
+};
+
+class MetaDb {
+ public:
+  ~MetaDb();
+
+  MetaDb(const MetaDb&) = delete;
+  MetaDb& operator=(const MetaDb&) = delete;
+
+  // Opens (creating if needed) the database at `path`. Replays the log;
+  // torn/corrupt tail records are discarded (crash recovery).
+  static Result<std::unique_ptr<MetaDb>> open(std::string path,
+                                              MetaDbOptions options = {});
+
+  Status put(std::string_view key, ByteView value);
+  Status put(std::string_view key, std::string_view value) {
+    return put(key, as_view(value));
+  }
+  Result<Bytes> get(std::string_view key) const;
+  Status erase(std::string_view key);
+  bool contains(std::string_view key) const;
+
+  // Visit every live (key, value); `fn` returning false stops the scan.
+  void scan(const std::function<bool(std::string_view, ByteView)>& fn) const;
+  void scan_prefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view, ByteView)>& fn) const;
+
+  std::size_t size() const;
+  std::uint64_t log_bytes() const;
+  std::uint64_t dead_bytes() const;
+
+  // Rewrite the log with only live records.
+  Status compact();
+  // Flush + fsync the log.
+  Status sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit MetaDb(std::string path, MetaDbOptions options);
+
+  Status open_log();
+  Status replay();
+  Status append_record(std::uint8_t type, std::string_view key,
+                       ByteView value);
+  Status compact_locked();  // requires mu_ held
+
+  const std::string path_;
+  const MetaDbOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bytes> index_;
+  int fd_ = -1;
+  std::uint64_t log_bytes_ = 0;
+  std::uint64_t live_bytes_ = 0;
+};
+
+}  // namespace tiera

@@ -1,0 +1,135 @@
+#include "net/rpc.h"
+
+#include "common/logging.h"
+
+namespace tiera {
+
+RpcServer::RpcServer(std::uint16_t port, std::size_t request_threads)
+    : requested_port_(port), pool_(request_threads, "rpc-requests") {}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::register_handler(std::uint8_t method, RpcHandler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+Status RpcServer::start() {
+  auto listener = TcpListener::listen(requested_port_);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  TIERA_LOG(kInfo, "net") << "rpc server listening on port "
+                          << listener_->port();
+  return Status::Ok();
+}
+
+void RpcServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->shutdown();
+  {
+    // Close live connections so per-connection recv loops unblock.
+    std::lock_guard lock(conns_mu_);
+    for (auto& weak : conns_) {
+      if (auto conn = weak.lock()) conn->close();
+    }
+    conns_.clear();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.shutdown();
+}
+
+std::uint16_t RpcServer::port() const {
+  return listener_ ? listener_->port() : requested_port_;
+}
+
+void RpcServer::accept_loop() {
+  while (running_.load()) {
+    auto conn = listener_->accept();
+    if (!conn.ok()) return;  // shut down
+    std::shared_ptr<TcpConnection> shared = std::move(conn).value();
+    {
+      std::lock_guard lock(conns_mu_);
+      conns_.emplace_back(shared);
+    }
+    // One lightweight reader thread per connection; request bodies are
+    // serviced on the shared pool so slow requests do not block the socket.
+    std::thread([this, shared] { serve_connection(shared); }).detach();
+  }
+}
+
+void RpcServer::serve_connection(std::shared_ptr<TcpConnection> conn) {
+  while (running_.load()) {
+    Result<Bytes> frame = conn->recv_frame();
+    if (!frame.ok()) return;
+    auto request = std::make_shared<Bytes>(std::move(frame).value());
+    const bool submitted = pool_.submit([this, conn, request] {
+      WireReader reader(as_view(*request));
+      std::uint64_t request_id = 0;
+      std::uint8_t method = 0;
+      WireWriter response;
+      if (!reader.u64(request_id).ok() || !reader.u8(method).ok()) {
+        return;  // malformed frame: drop
+      }
+      response.u64(request_id);
+      auto it = handlers_.find(method);
+      if (it == handlers_.end()) {
+        response.u8(static_cast<std::uint8_t>(StatusCode::kInvalidArgument));
+        response.str("unknown method");
+        response.bytes({});
+      } else {
+        const std::size_t header = 8 + 1;
+        Result<Bytes> result = it->second(
+            ByteView(request->data() + header, request->size() - header));
+        if (result.ok()) {
+          response.u8(static_cast<std::uint8_t>(StatusCode::kOk));
+          response.str("");
+          response.bytes(as_view(*result));
+        } else {
+          response.u8(static_cast<std::uint8_t>(result.status().code()));
+          response.str(result.status().message());
+          response.bytes({});
+        }
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      (void)conn->send_frame(as_view(response.data()));
+    });
+    if (!submitted) return;
+  }
+}
+
+Result<std::unique_ptr<RpcClient>> RpcClient::connect(const std::string& host,
+                                                      std::uint16_t port) {
+  auto conn = TcpConnection::connect(host, port);
+  if (!conn.ok()) return conn.status();
+  return std::unique_ptr<RpcClient>(new RpcClient(std::move(conn).value()));
+}
+
+Result<Bytes> RpcClient::call(std::uint8_t method, ByteView body) {
+  std::lock_guard lock(mu_);
+  WireWriter request;
+  const std::uint64_t id = next_id_++;
+  request.u64(id);
+  request.u8(method);
+  Bytes frame = request.take();
+  append(frame, body);
+  TIERA_RETURN_IF_ERROR(conn_->send_frame(as_view(frame)));
+  Result<Bytes> reply = conn_->recv_frame();
+  if (!reply.ok()) return reply.status();
+  WireReader reader(as_view(*reply));
+  std::uint64_t reply_id = 0;
+  std::uint8_t code = 0;
+  std::string message;
+  Bytes payload;
+  TIERA_RETURN_IF_ERROR(reader.u64(reply_id));
+  TIERA_RETURN_IF_ERROR(reader.u8(code));
+  TIERA_RETURN_IF_ERROR(reader.str(message));
+  TIERA_RETURN_IF_ERROR(reader.bytes(payload));
+  if (reply_id != id) return Status::Internal("rpc response id mismatch");
+  if (code != static_cast<std::uint8_t>(StatusCode::kOk)) {
+    return Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  return payload;
+}
+
+}  // namespace tiera

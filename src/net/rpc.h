@@ -1,0 +1,80 @@
+// Generic request/response RPC over the framed TCP transport.
+//
+// Request frame : u64 request_id | u8 method | body
+// Response frame: u64 request_id | u8 status  | string message | body
+//
+// The server accepts connections on a dedicated thread and services each
+// request on a thread pool, matching the prototype's "thread pool dedicated
+// to service client requests" (§3).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "net/tcp.h"
+#include "net/wire.h"
+
+namespace tiera {
+
+using RpcHandler = std::function<Result<Bytes>(ByteView body)>;
+
+class RpcServer {
+ public:
+  RpcServer(std::uint16_t port, std::size_t request_threads);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void register_handler(std::uint8_t method, RpcHandler handler);
+
+  // Bind + start the accept loop.
+  Status start();
+  void stop();
+
+  std::uint16_t port() const;
+  std::uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(std::shared_ptr<TcpConnection> conn);
+
+  const std::uint16_t requested_port_;
+  ThreadPool pool_;
+  std::map<std::uint8_t, RpcHandler> handlers_;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<TcpConnection>> conns_;
+};
+
+// Blocking client: one connection, serialized calls (thread-safe).
+class RpcClient {
+ public:
+  static Result<std::unique_ptr<RpcClient>> connect(const std::string& host,
+                                                    std::uint16_t port);
+
+  // Issues a call; returns the response body, or the error status the
+  // handler produced.
+  Result<Bytes> call(std::uint8_t method, ByteView body);
+
+ private:
+  explicit RpcClient(std::unique_ptr<TcpConnection> conn)
+      : conn_(std::move(conn)) {}
+
+  std::mutex mu_;
+  std::unique_ptr<TcpConnection> conn_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tiera

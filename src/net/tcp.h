@@ -1,0 +1,64 @@
+// Minimal blocking TCP transport with length-framed messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tiera {
+
+// A connected socket carrying [u32 length][payload] frames.
+class TcpConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  static Result<std::unique_ptr<TcpConnection>> connect(
+      const std::string& host, std::uint16_t port);
+
+  Status send_frame(ByteView payload);
+  // Blocks until a full frame arrives. kUnavailable on clean peer close.
+  Result<Bytes> recv_frame();
+
+  void close();
+  bool closed() const { return fd_ < 0; }
+
+  // Frames larger than this are rejected (corrupt length guard).
+  static constexpr std::uint32_t kMaxFrame = 64u << 20;
+
+ private:
+  int fd_;
+};
+
+class TcpListener {
+ public:
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds 127.0.0.1:port (port 0 = ephemeral).
+  static Result<std::unique_ptr<TcpListener>> listen(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; kUnavailable after shutdown().
+  Result<std::unique_ptr<TcpConnection>> accept();
+
+  // Unblocks accept() and closes the socket.
+  void shutdown();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  std::uint16_t port_;
+};
+
+}  // namespace tiera

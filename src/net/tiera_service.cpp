@@ -1,0 +1,219 @@
+#include "net/tiera_service.h"
+
+namespace tiera {
+
+namespace {
+
+void write_string_list(WireWriter& w, const std::vector<std::string>& items) {
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) w.str(item);
+}
+
+Status read_string_list(WireReader& r, std::vector<std::string>& items) {
+  std::uint32_t n;
+  TIERA_RETURN_IF_ERROR(r.u32(n));
+  items.clear();
+  items.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    TIERA_RETURN_IF_ERROR(r.str(s));
+    items.push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+TieraServer::TieraServer(TieraInstance& instance, std::uint16_t port,
+                         std::size_t request_threads)
+    : instance_(instance), server_(port, request_threads) {
+  register_handlers();
+}
+
+Status TieraServer::start() { return server_.start(); }
+
+void TieraServer::stop() { server_.stop(); }
+
+void TieraServer::register_handlers() {
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kPut),
+      [this](ByteView body) -> Result<Bytes> {
+        WireReader r(body);
+        std::string id;
+        Bytes data;
+        std::vector<std::string> tags;
+        TIERA_RETURN_IF_ERROR(r.str(id));
+        TIERA_RETURN_IF_ERROR(r.bytes(data));
+        TIERA_RETURN_IF_ERROR(read_string_list(r, tags));
+        TIERA_RETURN_IF_ERROR(instance_.put(id, as_view(data), tags));
+        return Bytes{};
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kGet),
+      [this](ByteView body) -> Result<Bytes> {
+        WireReader r(body);
+        std::string id;
+        TIERA_RETURN_IF_ERROR(r.str(id));
+        return instance_.get(id);
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kRemove),
+      [this](ByteView body) -> Result<Bytes> {
+        WireReader r(body);
+        std::string id;
+        TIERA_RETURN_IF_ERROR(r.str(id));
+        TIERA_RETURN_IF_ERROR(instance_.remove(id));
+        return Bytes{};
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kStat),
+      [this](ByteView body) -> Result<Bytes> {
+        WireReader r(body);
+        std::string id;
+        TIERA_RETURN_IF_ERROR(r.str(id));
+        Result<ObjectMeta> meta = instance_.stat(id);
+        if (!meta.ok()) return meta.status();
+        WireWriter w;
+        w.str(meta->id);
+        w.u64(meta->size);
+        w.u64(meta->access_count);
+        w.u8(meta->dirty ? 1 : 0);
+        write_string_list(w, {meta->locations.begin(), meta->locations.end()});
+        write_string_list(w, {meta->tags.begin(), meta->tags.end()});
+        return w.take();
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kAddTags),
+      [this](ByteView body) -> Result<Bytes> {
+        WireReader r(body);
+        std::string id;
+        std::vector<std::string> tags;
+        TIERA_RETURN_IF_ERROR(r.str(id));
+        TIERA_RETURN_IF_ERROR(read_string_list(r, tags));
+        TIERA_RETURN_IF_ERROR(instance_.add_tags(id, tags));
+        return Bytes{};
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kListTiers),
+      [this](ByteView) -> Result<Bytes> {
+        WireWriter w;
+        write_string_list(w, instance_.tier_labels());
+        return w.take();
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kGrowTier),
+      [this](ByteView body) -> Result<Bytes> {
+        WireReader r(body);
+        std::string label;
+        std::uint64_t percent_milli;
+        TIERA_RETURN_IF_ERROR(r.str(label));
+        TIERA_RETURN_IF_ERROR(r.u64(percent_milli));
+        TIERA_RETURN_IF_ERROR(instance_.engine_grow(
+            label, static_cast<double>(percent_milli) / 1000.0));
+        return Bytes{};
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kStats),
+      [this](ByteView) -> Result<Bytes> {
+        WireWriter w;
+        w.u64(instance_.stats().puts.load());
+        w.u64(instance_.stats().gets.load());
+        w.u64(instance_.stats().removes.load());
+        w.u64(instance_.object_count());
+        return w.take();
+      });
+}
+
+Result<std::unique_ptr<RemoteTieraClient>> RemoteTieraClient::connect(
+    const std::string& host, std::uint16_t port) {
+  auto client = RpcClient::connect(host, port);
+  if (!client.ok()) return client.status();
+  return std::unique_ptr<RemoteTieraClient>(
+      new RemoteTieraClient(std::move(client).value()));
+}
+
+Status RemoteTieraClient::put(std::string_view id, ByteView data,
+                              const std::vector<std::string>& tags) {
+  WireWriter w;
+  w.str(id);
+  w.bytes(data);
+  write_string_list(w, tags);
+  return client_
+      ->call(static_cast<std::uint8_t>(TieraMethod::kPut), as_view(w.data()))
+      .status();
+}
+
+Result<Bytes> RemoteTieraClient::get(std::string_view id) {
+  WireWriter w;
+  w.str(id);
+  return client_->call(static_cast<std::uint8_t>(TieraMethod::kGet),
+                       as_view(w.data()));
+}
+
+Status RemoteTieraClient::remove(std::string_view id) {
+  WireWriter w;
+  w.str(id);
+  return client_
+      ->call(static_cast<std::uint8_t>(TieraMethod::kRemove),
+             as_view(w.data()))
+      .status();
+}
+
+Result<RemoteObjectInfo> RemoteTieraClient::stat(std::string_view id) {
+  WireWriter w;
+  w.str(id);
+  Result<Bytes> reply = client_->call(
+      static_cast<std::uint8_t>(TieraMethod::kStat), as_view(w.data()));
+  if (!reply.ok()) return reply.status();
+  WireReader r(as_view(*reply));
+  RemoteObjectInfo info;
+  std::uint8_t dirty = 0;
+  TIERA_RETURN_IF_ERROR(r.str(info.id));
+  TIERA_RETURN_IF_ERROR(r.u64(info.size));
+  TIERA_RETURN_IF_ERROR(r.u64(info.access_count));
+  TIERA_RETURN_IF_ERROR(r.u8(dirty));
+  TIERA_RETURN_IF_ERROR(read_string_list(r, info.locations));
+  TIERA_RETURN_IF_ERROR(read_string_list(r, info.tags));
+  info.dirty = dirty != 0;
+  return info;
+}
+
+Status RemoteTieraClient::add_tags(std::string_view id,
+                                   const std::vector<std::string>& tags) {
+  WireWriter w;
+  w.str(id);
+  write_string_list(w, tags);
+  return client_
+      ->call(static_cast<std::uint8_t>(TieraMethod::kAddTags),
+             as_view(w.data()))
+      .status();
+}
+
+Result<std::vector<std::string>> RemoteTieraClient::list_tiers() {
+  Result<Bytes> reply =
+      client_->call(static_cast<std::uint8_t>(TieraMethod::kListTiers), {});
+  if (!reply.ok()) return reply.status();
+  WireReader r(as_view(*reply));
+  std::vector<std::string> tiers;
+  TIERA_RETURN_IF_ERROR(read_string_list(r, tiers));
+  return tiers;
+}
+
+Status RemoteTieraClient::grow_tier(std::string_view label, double percent) {
+  WireWriter w;
+  w.str(label);
+  w.u64(static_cast<std::uint64_t>(percent * 1000.0));
+  return client_
+      ->call(static_cast<std::uint8_t>(TieraMethod::kGrowTier),
+             as_view(w.data()))
+      .status();
+}
+
+}  // namespace tiera

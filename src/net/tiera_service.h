@@ -1,0 +1,72 @@
+// Tiera's RPC service: the application interface layer exposed over the
+// network (the Thrift server of the prototype). `TieraServer` fronts a
+// TieraInstance; `RemoteTieraClient` gives remote processes the same
+// PUT/GET surface the in-process API offers.
+#pragma once
+
+#include <memory>
+
+#include "core/instance.h"
+#include "net/rpc.h"
+
+namespace tiera {
+
+enum class TieraMethod : std::uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kRemove = 3,
+  kStat = 4,
+  kAddTags = 5,
+  kListTiers = 6,
+  kGrowTier = 7,
+  kStats = 8,
+};
+
+class TieraServer {
+ public:
+  // `port` 0 picks an ephemeral port (see port() after start()).
+  TieraServer(TieraInstance& instance, std::uint16_t port,
+              std::size_t request_threads = 8);
+
+  Status start();
+  void stop();
+  std::uint16_t port() const { return server_.port(); }
+
+ private:
+  void register_handlers();
+
+  TieraInstance& instance_;
+  RpcServer server_;
+};
+
+struct RemoteObjectInfo {
+  std::string id;
+  std::uint64_t size = 0;
+  std::uint64_t access_count = 0;
+  bool dirty = false;
+  std::vector<std::string> locations;
+  std::vector<std::string> tags;
+};
+
+class RemoteTieraClient {
+ public:
+  static Result<std::unique_ptr<RemoteTieraClient>> connect(
+      const std::string& host, std::uint16_t port);
+
+  Status put(std::string_view id, ByteView data,
+             const std::vector<std::string>& tags = {});
+  Result<Bytes> get(std::string_view id);
+  Status remove(std::string_view id);
+  Result<RemoteObjectInfo> stat(std::string_view id);
+  Status add_tags(std::string_view id, const std::vector<std::string>& tags);
+  Result<std::vector<std::string>> list_tiers();
+  Status grow_tier(std::string_view label, double percent);
+
+ private:
+  explicit RemoteTieraClient(std::unique_ptr<RpcClient> client)
+      : client_(std::move(client)) {}
+
+  std::unique_ptr<RpcClient> client_;
+};
+
+}  // namespace tiera

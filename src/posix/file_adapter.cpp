@@ -1,0 +1,256 @@
+#include "posix/file_adapter.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tiera {
+
+namespace {
+constexpr std::string_view kMetaPrefixGuard = "#meta";
+
+std::uint64_t decode_size(ByteView data) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8 && i < data.size(); ++i) {
+    v |= std::uint64_t(data[i]) << (8 * i);
+  }
+  return v;
+}
+
+Bytes encode_size(std::uint64_t v) {
+  Bytes out(8);
+  for (int i = 0; i < 8; ++i) out[i] = std::uint8_t(v >> (8 * i));
+  return out;
+}
+}  // namespace
+
+FileAdapter::FileAdapter(TieraInstance& instance, std::size_t chunk_size)
+    : instance_(instance), chunk_size_(chunk_size ? chunk_size : 4096) {}
+
+std::shared_ptr<FileAdapter::FileState> FileAdapter::state_for(
+    const std::string& path, bool create_if_missing) const {
+  {
+    std::lock_guard lock(files_mu_);
+    auto it = files_.find(path);
+    if (it != files_.end()) return it->second;
+  }
+  // Not cached: consult the instance (another process or a restart may have
+  // created the file).
+  const auto meta = instance_.metadata().get(meta_key(path));
+  if (!meta && !create_if_missing) return nullptr;
+  auto state = std::make_shared<FileState>();
+  if (meta) {
+    // Size lives in the header object's bytes.
+    auto bytes = instance_.get(meta_key(path));
+    if (bytes.ok()) state->size = decode_size(as_view(*bytes));
+  }
+  std::lock_guard lock(files_mu_);
+  auto [it, inserted] = files_.emplace(path, state);
+  return it->second;
+}
+
+Status FileAdapter::persist_meta(const std::string& path, FileState& state) {
+  return instance_.put(meta_key(path), as_view(encode_size(state.size)),
+                       state.tags);
+}
+
+Status FileAdapter::create(const std::string& path,
+                           const std::vector<std::string>& tags) {
+  if (path.empty() || path.find('#') != std::string::npos) {
+    return Status::InvalidArgument("bad file path: " + path);
+  }
+  if (exists(path)) return Status::AlreadyExists("file " + path);
+  auto state = state_for(path, /*create_if_missing=*/true);
+  std::lock_guard lock(state->mu);
+  state->tags = tags;
+  state->size = 0;
+  return persist_meta(path, *state);
+}
+
+bool FileAdapter::exists(const std::string& path) const {
+  if (files_mu_.try_lock()) {
+    const bool cached = files_.count(path) > 0;
+    files_mu_.unlock();
+    if (cached) return true;
+  }
+  return instance_.metadata().contains(meta_key(path));
+}
+
+Result<std::uint64_t> FileAdapter::size(const std::string& path) const {
+  auto state = state_for(path, false);
+  if (!state) return Status::NotFound("file " + path);
+  std::lock_guard lock(state->mu);
+  return state->size;
+}
+
+Status FileAdapter::write(const std::string& path, std::uint64_t offset,
+                          ByteView data) {
+  auto state = state_for(path, false);
+  if (!state) return Status::NotFound("file " + path);
+  std::lock_guard lock(state->mu);
+
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const std::uint64_t pos = offset + written;
+    const std::uint64_t chunk_index = pos / chunk_size_;
+    const std::size_t chunk_offset = pos % chunk_size_;
+    const std::size_t take =
+        std::min(data.size() - written, chunk_size_ - chunk_offset);
+    const std::string key = chunk_key(path, chunk_index);
+
+    if (chunk_offset == 0 && take == chunk_size_) {
+      // Aligned full-chunk write: single PUT.
+      TIERA_RETURN_IF_ERROR(instance_.put(
+          key, ByteView(data.data() + written, take), state->tags));
+    } else {
+      // Read-modify-write the chunk (missing chunk reads as zeros).
+      Bytes chunk;
+      auto existing = instance_.get(key);
+      if (existing.ok()) {
+        chunk = std::move(existing).value();
+      } else if (!existing.status().is_not_found()) {
+        return existing.status();
+      }
+      if (chunk.size() < chunk_offset + take) {
+        chunk.resize(chunk_offset + take, 0);
+      }
+      std::memcpy(chunk.data() + chunk_offset, data.data() + written, take);
+      TIERA_RETURN_IF_ERROR(instance_.put(key, as_view(chunk), state->tags));
+    }
+    written += take;
+  }
+
+  const std::uint64_t end = offset + data.size();
+  if (end > state->size) {
+    // Persist the length header only when the chunk count changes. Within
+    // the last chunk the persisted size may lag; after a crash that tail
+    // reads as torn — the same contract a real filesystem gives a WAL.
+    const bool chunk_boundary_crossed =
+        (end + chunk_size_ - 1) / chunk_size_ !=
+        (state->size + chunk_size_ - 1) / chunk_size_;
+    state->size = end;
+    if (chunk_boundary_crossed) {
+      TIERA_RETURN_IF_ERROR(persist_meta(path, *state));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::uint64_t> FileAdapter::append(const std::string& path,
+                                          ByteView data) {
+  auto state = state_for(path, false);
+  if (!state) return Status::NotFound("file " + path);
+  std::uint64_t offset;
+  {
+    std::lock_guard lock(state->mu);
+    offset = state->size;
+  }
+  TIERA_RETURN_IF_ERROR(write(path, offset, data));
+  return offset;
+}
+
+Result<Bytes> FileAdapter::read(const std::string& path, std::uint64_t offset,
+                                std::size_t length) const {
+  auto state = state_for(path, false);
+  if (!state) return Status::NotFound("file " + path);
+  std::uint64_t file_size;
+  {
+    std::lock_guard lock(state->mu);
+    file_size = state->size;
+  }
+  if (offset >= file_size) return Bytes{};
+  length = static_cast<std::size_t>(
+      std::min<std::uint64_t>(length, file_size - offset));
+
+  Bytes out;
+  out.reserve(length);
+  std::size_t read_bytes = 0;
+  auto& instance = instance_;
+  while (read_bytes < length) {
+    const std::uint64_t pos = offset + read_bytes;
+    const std::uint64_t chunk_index = pos / chunk_size_;
+    const std::size_t chunk_offset = pos % chunk_size_;
+    const std::size_t take =
+        std::min(length - read_bytes, chunk_size_ - chunk_offset);
+    auto chunk = instance.get(chunk_key(path, chunk_index));
+    if (chunk.ok()) {
+      Bytes& bytes = *chunk;
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t at = chunk_offset + i;
+        out.push_back(at < bytes.size() ? bytes[at] : 0);
+      }
+    } else if (chunk.status().is_not_found()) {
+      out.insert(out.end(), take, 0);  // sparse hole
+    } else {
+      return chunk.status();
+    }
+    read_bytes += take;
+  }
+  return out;
+}
+
+Result<Bytes> FileAdapter::read_all(const std::string& path) const {
+  auto total = size(path);
+  if (!total.ok()) return total.status();
+  return read(path, 0, static_cast<std::size_t>(*total));
+}
+
+Status FileAdapter::truncate(const std::string& path,
+                             std::uint64_t new_size) {
+  auto state = state_for(path, false);
+  if (!state) return Status::NotFound("file " + path);
+  std::lock_guard lock(state->mu);
+  if (new_size < state->size) {
+    const std::uint64_t first_dead = (new_size + chunk_size_ - 1) / chunk_size_;
+    const std::uint64_t last = state->size / chunk_size_;
+    for (std::uint64_t index = first_dead; index <= last; ++index) {
+      (void)instance_.remove(chunk_key(path, index));
+    }
+    // Trim the now-partial final chunk.
+    if (new_size % chunk_size_ != 0) {
+      const std::uint64_t final_index = new_size / chunk_size_;
+      auto chunk = instance_.get(chunk_key(path, final_index));
+      if (chunk.ok()) {
+        chunk->resize(new_size % chunk_size_);
+        TIERA_RETURN_IF_ERROR(instance_.put(chunk_key(path, final_index),
+                                            as_view(*chunk), state->tags));
+      }
+    }
+  }
+  state->size = new_size;
+  return persist_meta(path, *state);
+}
+
+Status FileAdapter::remove(const std::string& path) {
+  auto state = state_for(path, false);
+  if (!state) return Status::NotFound("file " + path);
+  std::lock_guard lock(state->mu);
+  const std::uint64_t chunks =
+      (state->size + chunk_size_ - 1) / chunk_size_;
+  for (std::uint64_t index = 0; index < chunks; ++index) {
+    (void)instance_.remove(chunk_key(path, index));
+  }
+  (void)instance_.remove(meta_key(path));
+  {
+    std::lock_guard files_lock(files_mu_);
+    files_.erase(path);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> FileAdapter::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  instance_.metadata().for_each([&](const ObjectMeta& meta) {
+    const std::string& id = meta.id;
+    const auto suffix_at = id.rfind(kMetaPrefixGuard);
+    if (suffix_at == std::string::npos ||
+        suffix_at + kMetaPrefixGuard.size() != id.size()) {
+      return;
+    }
+    const std::string path = id.substr(0, suffix_at);
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tiera

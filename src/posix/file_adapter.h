@@ -1,0 +1,81 @@
+// FileAdapter: POSIX-style files on top of the Tiera PUT/GET object API.
+//
+// The paper runs unmodified MySQL on Tiera through a FUSE filesystem that
+// "splits the database files into 4 KB objects (OS page size) and stores
+// them in Tiera" (§4.1.1). This adapter is that layer, minus the kernel:
+// byte-addressable read/write/truncate over files whose contents live as
+// fixed-size chunk objects (`<path>#<chunk>`); per-file length metadata is
+// kept in a small header object (`<path>#meta`).
+//
+// Aligned whole-chunk writes (the common case for a paged database engine)
+// map to exactly one PUT; unaligned writes read-modify-write the chunks
+// they straddle.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace tiera {
+
+class FileAdapter {
+ public:
+  explicit FileAdapter(TieraInstance& instance,
+                       std::size_t chunk_size = 4096);
+
+  std::size_t chunk_size() const { return chunk_size_; }
+
+  // Create an empty file (error if it exists). Tags apply to every chunk
+  // object, so tier policies can address whole files as object classes.
+  Status create(const std::string& path,
+                const std::vector<std::string>& tags = {});
+  bool exists(const std::string& path) const;
+  Result<std::uint64_t> size(const std::string& path) const;
+
+  // Byte-addressable write; extends the file when writing past the end.
+  Status write(const std::string& path, std::uint64_t offset, ByteView data);
+  // Appends at the current end of file; returns the offset written.
+  Result<std::uint64_t> append(const std::string& path, ByteView data);
+
+  // Reads up to `length` bytes (short read at end of file).
+  Result<Bytes> read(const std::string& path, std::uint64_t offset,
+                     std::size_t length) const;
+  Result<Bytes> read_all(const std::string& path) const;
+
+  Status truncate(const std::string& path, std::uint64_t new_size);
+  Status remove(const std::string& path);
+
+  std::vector<std::string> list(const std::string& prefix = "") const;
+
+ private:
+  struct FileState {
+    std::uint64_t size = 0;
+    std::vector<std::string> tags;
+    std::mutex mu;  // serialises size updates and RMW chunk writes
+  };
+
+  std::string meta_key(const std::string& path) const {
+    return path + "#meta";
+  }
+  std::string chunk_key(const std::string& path, std::uint64_t index) const {
+    return path + "#" + std::to_string(index);
+  }
+
+  // Loads (or creates) the in-memory state for a file; null if absent and
+  // `create_if_missing` is false.
+  std::shared_ptr<FileState> state_for(const std::string& path,
+                                       bool create_if_missing) const;
+  Status persist_meta(const std::string& path, FileState& state);
+
+  TieraInstance& instance_;
+  const std::size_t chunk_size_;
+
+  mutable std::mutex files_mu_;
+  mutable std::map<std::string, std::shared_ptr<FileState>> files_;
+};
+
+}  // namespace tiera

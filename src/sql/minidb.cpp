@@ -1,0 +1,546 @@
+#include "sql/minidb.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tiera {
+
+namespace {
+constexpr std::string_view kCatalogFile = "minidb.catalog";
+constexpr std::string_view kJournalFile = "minidb.journal";
+constexpr std::uint8_t kPresent = 1;
+constexpr std::uint8_t kAbsent = 0;
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+// --- BufferPool --------------------------------------------------------------
+
+BufferPool::BufferPool(FileAdapter& files, std::size_t page_size,
+                       std::size_t capacity)
+    : files_(files), page_size_(page_size), capacity_(capacity) {}
+
+std::pair<std::string, std::uint64_t> BufferPool::split_key(
+    const SlotKey& key) {
+  const auto at = key.rfind('@');
+  return {key.substr(0, at), std::stoull(key.substr(at + 1))};
+}
+
+Status BufferPool::with_page(const std::string& file,
+                             std::uint64_t page_index,
+                             const std::function<void(Bytes&, bool&)>& fn) {
+  const SlotKey key = file + "@" + std::to_string(page_index);
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard lock(map_mu_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      slot = it->second;
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(key, slot);
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot->pins.fetch_add(1);
+    // LRU bookkeeping.
+    auto pos = lru_pos_.find(key);
+    if (pos != lru_pos_.end()) {
+      lru_.splice(lru_.begin(), lru_, pos->second);
+    } else {
+      lru_.push_front(key);
+      lru_pos_[key] = lru_.begin();
+    }
+  }
+
+  Status status = Status::Ok();
+  {
+    std::lock_guard slot_lock(slot->mu);
+    if (!slot->loaded) {
+      Result<Bytes> data = files_.read(file, page_index * page_size_,
+                                       page_size_);
+      if (!data.ok()) {
+        slot->pins.fetch_sub(1);
+        return data.status();
+      }
+      slot->data = std::move(data).value();
+      slot->data.resize(page_size_, 0);
+      slot->loaded = true;
+    }
+    bool dirty = false;
+    fn(slot->data, dirty);
+    if (dirty) slot->dirty = true;
+  }
+  slot->pins.fetch_sub(1);
+  maybe_evict();
+  return status;
+}
+
+Status BufferPool::flush_slot(const SlotKey& key, Slot& slot) {
+  if (!slot.dirty) return Status::Ok();
+  const auto [file, page_index] = split_key(key);
+  TIERA_RETURN_IF_ERROR(
+      files_.write(file, page_index * page_size_, as_view(slot.data)));
+  slot.dirty = false;
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void BufferPool::maybe_evict() {
+  for (;;) {
+    std::shared_ptr<Slot> victim;
+    SlotKey victim_key;
+    {
+      std::lock_guard lock(map_mu_);
+      if (slots_.size() <= capacity_) return;
+      // Scan from the cold end for an unpinned victim.
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        auto found = slots_.find(*it);
+        if (found == slots_.end()) continue;
+        if (found->second->pins.load() > 0) continue;
+        victim_key = *it;
+        victim = found->second;
+        slots_.erase(found);
+        lru_.erase(lru_pos_[victim_key]);
+        lru_pos_.erase(victim_key);
+        break;
+      }
+      if (!victim) return;  // everything pinned; try again later
+    }
+    {
+      std::lock_guard slot_lock(victim->mu);
+      (void)flush_slot(victim_key, *victim);
+    }
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status BufferPool::flush_all() {
+  std::vector<std::pair<SlotKey, std::shared_ptr<Slot>>> snapshot;
+  {
+    std::lock_guard lock(map_mu_);
+    snapshot.assign(slots_.begin(), slots_.end());
+  }
+  Status last = Status::Ok();
+  for (auto& [key, slot] : snapshot) {
+    std::lock_guard slot_lock(slot->mu);
+    const Status s = flush_slot(key, *slot);
+    if (!s.ok()) last = s;
+  }
+  return last;
+}
+
+void BufferPool::drop_all() {
+  std::lock_guard lock(map_mu_);
+  slots_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+}
+
+std::size_t BufferPool::cached_pages() const {
+  std::lock_guard lock(map_mu_);
+  return slots_.size();
+}
+
+// --- MiniDb ------------------------------------------------------------------
+
+MiniDb::MiniDb(FileAdapter& files, MiniDbOptions options)
+    : files_(files),
+      options_(options),
+      pool_(files, options.page_size,
+            options.memory_engine ? std::size_t{1} << 20
+                                  : options.buffer_pool_pages) {}
+
+Status MiniDb::open() {
+  TIERA_RETURN_IF_ERROR(load_catalog());
+  if (options_.use_wal && !options_.memory_engine) {
+    if (!files_.exists(std::string(kJournalFile))) {
+      TIERA_RETURN_IF_ERROR(files_.create(std::string(kJournalFile)));
+    }
+    TIERA_RETURN_IF_ERROR(replay_journal());
+  }
+  opened_ = true;
+  return Status::Ok();
+}
+
+Status MiniDb::load_catalog() {
+  if (!files_.exists(std::string(kCatalogFile))) return Status::Ok();
+  Result<Bytes> raw = files_.read_all(std::string(kCatalogFile));
+  if (!raw.ok()) return raw.status();
+  std::istringstream in(to_string(as_view(*raw)));
+  std::string name;
+  std::uint32_t record_size;
+  std::lock_guard lock(catalog_mu_);
+  while (in >> name >> record_size) {
+    auto info = std::make_unique<TableInfo>();
+    info->name = name;
+    info->record_size = record_size;
+    info->slot_size = record_size + 1;
+    info->records_per_page =
+        static_cast<std::uint32_t>(options_.page_size) / info->slot_size;
+    info->file = "table." + name;
+    auto size = files_.size(info->file);
+    if (size.ok()) {
+      const std::uint64_t pages = *size / options_.page_size;
+      info->max_row.store(pages * info->records_per_page);
+    }
+    tables_[name] = std::move(info);
+  }
+  return Status::Ok();
+}
+
+Status MiniDb::persist_catalog() {
+  std::ostringstream out;
+  for (const auto& [name, info] : tables_) {
+    out << name << " " << info->record_size << "\n";
+  }
+  if (!files_.exists(std::string(kCatalogFile))) {
+    TIERA_RETURN_IF_ERROR(files_.create(std::string(kCatalogFile)));
+  }
+  const std::string text = out.str();
+  TIERA_RETURN_IF_ERROR(files_.truncate(std::string(kCatalogFile), 0));
+  return files_.write(std::string(kCatalogFile), 0, as_view(text));
+}
+
+Status MiniDb::create_table(const std::string& name,
+                            std::uint32_t record_size) {
+  if (record_size == 0 || record_size + 1 > options_.page_size) {
+    return Status::InvalidArgument("bad record size");
+  }
+  std::lock_guard lock(catalog_mu_);
+  if (tables_.count(name)) return Status::AlreadyExists("table " + name);
+  auto info = std::make_unique<TableInfo>();
+  info->name = name;
+  info->record_size = record_size;
+  info->slot_size = record_size + 1;
+  info->records_per_page =
+      static_cast<std::uint32_t>(options_.page_size) / info->slot_size;
+  info->file = "table." + name;
+  if (!files_.exists(info->file)) {
+    TIERA_RETURN_IF_ERROR(files_.create(info->file));
+  }
+  tables_[name] = std::move(info);
+  return persist_catalog();
+}
+
+bool MiniDb::has_table(const std::string& name) const {
+  std::lock_guard lock(catalog_mu_);
+  return tables_.count(name) > 0;
+}
+
+Result<MiniDb::TableInfo*> MiniDb::table(const std::string& name) const {
+  std::lock_guard lock(catalog_mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+Result<std::uint64_t> MiniDb::row_count(const std::string& name) const {
+  Result<TableInfo*> info = table(name);
+  if (!info.ok()) return info.status();
+  return (*info)->max_row.load();
+}
+
+std::mutex& MiniDb::row_lock(const std::string& table, std::uint64_t row) {
+  const std::uint64_t h = fnv1a64(table) ^ mix64(row);
+  return row_locks_[h % kLockStripes];
+}
+
+Status MiniDb::read_record(const TableInfo& info, std::uint64_t row,
+                           Bytes& out, bool& present) {
+  const std::uint64_t page = row / info.records_per_page;
+  const std::size_t slot = (row % info.records_per_page) * info.slot_size;
+  present = false;
+  return pool_.with_page(info.file, page, [&](Bytes& data, bool&) {
+    if (slot + info.slot_size > data.size()) return;
+    if (data[slot] != kPresent) return;
+    present = true;
+    out.assign(data.begin() + static_cast<long>(slot) + 1,
+               data.begin() + static_cast<long>(slot) + 1 + info.record_size);
+  });
+}
+
+Status MiniDb::apply_write(const Transaction::StagedWrite& write) {
+  Result<TableInfo*> info_result = table(write.table);
+  if (!info_result.ok()) return info_result.status();
+  TableInfo& info = **info_result;
+  if (!write.tombstone && write.data.size() != info.record_size) {
+    return Status::InvalidArgument("record size mismatch for " + write.table);
+  }
+  const std::uint64_t page = write.row / info.records_per_page;
+  const std::size_t slot =
+      (write.row % info.records_per_page) * info.slot_size;
+  TIERA_RETURN_IF_ERROR(
+      pool_.with_page(info.file, page, [&](Bytes& data, bool& dirty) {
+        if (data.size() < options_.page_size) {
+          data.resize(options_.page_size, 0);
+        }
+        if (write.tombstone) {
+          data[slot] = kAbsent;
+        } else {
+          data[slot] = kPresent;
+          std::memcpy(data.data() + slot + 1, write.data.data(),
+                      write.data.size());
+        }
+        dirty = true;
+      }));
+  // Track the logical end of the table.
+  std::uint64_t current = info.max_row.load();
+  while (write.row + 1 > current &&
+         !info.max_row.compare_exchange_weak(current, write.row + 1)) {
+  }
+  return Status::Ok();
+}
+
+// Journal record: u32 len | u32 crc | u32 nwrites | writes...
+// write: u16 name_len | name | u64 row | u8 tombstone | u32 len | bytes
+Status MiniDb::append_journal(
+    const std::vector<Transaction::StagedWrite>& writes) {
+  Bytes body;
+  put_u32(body, static_cast<std::uint32_t>(writes.size()));
+  for (const auto& write : writes) {
+    body.push_back(std::uint8_t(write.table.size() & 0xFF));
+    body.push_back(std::uint8_t((write.table.size() >> 8) & 0xFF));
+    append(body, write.table);
+    put_u64(body, write.row);
+    body.push_back(write.tombstone ? 1 : 0);
+    put_u32(body, static_cast<std::uint32_t>(write.data.size()));
+    append(body, as_view(write.data));
+  }
+  Bytes record;
+  put_u32(record, static_cast<std::uint32_t>(body.size()));
+  put_u32(record, crc32c(as_view(body)));
+  append(record, as_view(body));
+
+  // Group commit: batch with any concurrent committers; one leader appends
+  // the whole batch to the journal file.
+  std::unique_lock lock(journal_mu_);
+  append(journal_pending_, as_view(record));
+  // If a flush is in flight it does NOT include this record (the leader
+  // swapped the buffer before releasing the lock): wait one flush further.
+  const std::uint64_t my_target =
+      journal_flush_count_ + (journal_flushing_ ? 2 : 1);
+  Status status = Status::Ok();
+  if (!journal_flushing_) {
+    journal_flushing_ = true;
+    while (!journal_pending_.empty()) {
+      Bytes batch;
+      batch.swap(journal_pending_);
+      lock.unlock();
+      Result<std::uint64_t> at =
+          files_.append(std::string(kJournalFile), as_view(batch));
+      lock.lock();
+      ++journal_flush_count_;
+      if (!at.ok()) status = at.status();
+      journal_cv_.notify_all();
+    }
+    journal_flushing_ = false;
+    journal_cv_.notify_all();
+  } else {
+    journal_cv_.wait(lock,
+                     [&] { return journal_flush_count_ >= my_target; });
+  }
+  if (status.ok()) {
+    journal_commits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status MiniDb::replay_journal() {
+  Result<Bytes> raw = files_.read_all(std::string(kJournalFile));
+  if (!raw.ok()) return raw.status();
+  const Bytes& log = *raw;
+  std::size_t pos = 0;
+  std::size_t replayed = 0;
+  while (pos + 8 <= log.size()) {
+    const std::uint32_t len = get_u32(log.data() + pos);
+    const std::uint32_t crc = get_u32(log.data() + pos + 4);
+    if (pos + 8 + len > log.size()) break;  // torn tail
+    const ByteView body(log.data() + pos + 8, len);
+    if (crc32c(body) != crc) break;
+    // Decode and apply.
+    const std::uint8_t* p = body.data();
+    const std::uint8_t* end = body.data() + body.size();
+    if (end - p < 4) break;
+    const std::uint32_t nwrites = get_u32(p);
+    p += 4;
+    bool ok = true;
+    for (std::uint32_t i = 0; i < nwrites && ok; ++i) {
+      if (end - p < 2) { ok = false; break; }
+      const std::size_t name_len = p[0] | (std::size_t(p[1]) << 8);
+      p += 2;
+      if (static_cast<std::size_t>(end - p) < name_len + 13) {
+        ok = false;
+        break;
+      }
+      Transaction::StagedWrite write;
+      write.table.assign(reinterpret_cast<const char*>(p), name_len);
+      p += name_len;
+      write.row = get_u64(p);
+      p += 8;
+      write.tombstone = *p++ != 0;
+      const std::uint32_t data_len = get_u32(p);
+      p += 4;
+      if (static_cast<std::size_t>(end - p) < data_len) {
+        ok = false;
+        break;
+      }
+      write.data.assign(p, p + data_len);
+      p += data_len;
+      (void)apply_write(write);
+    }
+    if (!ok) break;
+    pos += 8 + len;
+    ++replayed;
+  }
+  if (replayed > 0) {
+    TIERA_LOG(kInfo, "minidb") << "replayed " << replayed
+                               << " journal records";
+    TIERA_RETURN_IF_ERROR(pool_.flush_all());
+  }
+  return files_.truncate(std::string(kJournalFile), 0);
+}
+
+MiniDb::Transaction MiniDb::begin() { return Transaction(*this); }
+
+Result<Bytes> MiniDb::Transaction::read(const std::string& table,
+                                        std::uint64_t row) {
+  // Read-your-writes within the transaction.
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (it->table == table && it->row == row) {
+      if (it->tombstone) return Status::NotFound("row deleted in txn");
+      return it->data;
+    }
+  }
+  Result<TableInfo*> info = db_.table(table);
+  if (!info.ok()) return info.status();
+  std::shared_lock table_shared(db_.table_lock_, std::defer_lock);
+  if (db_.options_.memory_engine) table_shared.lock();
+  Bytes out;
+  bool present = false;
+  TIERA_RETURN_IF_ERROR(db_.read_record(**info, row, out, present));
+  if (!present) return Status::NotFound("no row");
+  return out;
+}
+
+Result<std::vector<Bytes>> MiniDb::Transaction::range_read(
+    const std::string& table, std::uint64_t first, std::size_t count) {
+  std::vector<Bytes> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Result<Bytes> row = read(table, first + i);
+    if (row.ok()) {
+      out.push_back(std::move(row).value());
+    } else if (!row.status().is_not_found()) {
+      return row.status();
+    }
+  }
+  return out;
+}
+
+Status MiniDb::Transaction::write(const std::string& table, std::uint64_t row,
+                                  ByteView data) {
+  writes_.push_back(
+      {table, row, Bytes(data.begin(), data.end()), /*tombstone=*/false});
+  return Status::Ok();
+}
+
+Status MiniDb::Transaction::remove(const std::string& table,
+                                   std::uint64_t row) {
+  writes_.push_back({table, row, {}, /*tombstone=*/true});
+  return Status::Ok();
+}
+
+Status MiniDb::commit(Transaction& txn) {
+  if (txn.writes_.empty()) return Status::Ok();
+
+  if (options_.memory_engine) {
+    // Table-level lock + modelled maintenance cost: the Memory Engine
+    // behaviour that collapses transactional throughput in the paper.
+    std::unique_lock table_lock(table_lock_);
+    apply_model_delay(options_.memory_engine_write_penalty);
+    for (const auto& write : txn.writes_) {
+      TIERA_RETURN_IF_ERROR(apply_write(write));
+    }
+    txn.writes_.clear();
+    return Status::Ok();
+  }
+
+  // Deadlock-free row locking: sort the stripe set, lock in order.
+  std::vector<std::mutex*> locks;
+  locks.reserve(txn.writes_.size());
+  for (const auto& write : txn.writes_) {
+    locks.push_back(&row_lock(write.table, write.row));
+  }
+  std::sort(locks.begin(), locks.end());
+  locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+  for (auto* lock : locks) lock->lock();
+
+  Status status = Status::Ok();
+  if (options_.use_wal) {
+    status = append_journal(txn.writes_);
+  }
+  if (status.ok()) {
+    for (const auto& write : txn.writes_) {
+      const Status s = apply_write(write);
+      if (!s.ok()) status = s;
+    }
+  }
+  for (auto it = locks.rbegin(); it != locks.rend(); ++it) (*it)->unlock();
+  txn.writes_.clear();
+  return status;
+}
+
+void MiniDb::abort(Transaction& txn) { txn.writes_.clear(); }
+
+Result<Bytes> MiniDb::read_row(const std::string& table, std::uint64_t row) {
+  Transaction txn = begin();
+  return txn.read(table, row);
+}
+
+Status MiniDb::write_row(const std::string& table, std::uint64_t row,
+                         ByteView data) {
+  Transaction txn = begin();
+  TIERA_RETURN_IF_ERROR(txn.write(table, row, data));
+  return commit(txn);
+}
+
+Status MiniDb::journal_note(ByteView payload) {
+  if (!options_.use_wal || options_.memory_engine) return Status::Ok();
+  std::vector<Transaction::StagedWrite> writes(1);
+  writes[0].table = "__journal_note";
+  writes[0].row = 0;
+  writes[0].data.assign(payload.begin(), payload.end());
+  writes[0].tombstone = true;  // replay treats it as a no-op tombstone
+  return append_journal(writes);
+}
+
+Status MiniDb::checkpoint() {
+  TIERA_RETURN_IF_ERROR(pool_.flush_all());
+  if (options_.use_wal && !options_.memory_engine) {
+    std::lock_guard lock(journal_mu_);
+    return files_.truncate(std::string(kJournalFile), 0);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tiera

@@ -1,0 +1,55 @@
+#include "store/cost_model.h"
+
+namespace tiera {
+
+namespace {
+constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+}
+
+double CostModel::storage_cost_per_month(const Tier& tier) {
+  const TierPricing& p = tier.pricing();
+  const double bytes = static_cast<double>(
+      p.bill_by_capacity ? tier.capacity() : tier.used());
+  return p.dollars_per_gb_month * bytes / kGb;
+}
+
+double CostModel::request_cost(const Tier& tier, double observed_seconds) {
+  const TierPricing& p = tier.pricing();
+  const TierStats& s = tier.stats();
+  const double puts = static_cast<double>(s.puts.load());
+  const double gets = static_cast<double>(s.gets.load());
+  const double ios = puts + gets + static_cast<double>(s.removes.load());
+  double cost = puts * p.dollars_per_put + gets * p.dollars_per_get +
+                ios * p.dollars_per_io;
+  if (observed_seconds > 0) {
+    cost *= kSecondsPerMonth / observed_seconds;
+  }
+  return cost;
+}
+
+TierCost CostModel::cost(const Tier& tier, double observed_seconds) {
+  return {.tier = tier.name(),
+          .storage_dollars = storage_cost_per_month(tier),
+          .request_dollars = request_cost(tier, observed_seconds)};
+}
+
+std::vector<TierCost> CostModel::cost_breakdown(
+    const std::vector<TierPtr>& tiers, double observed_seconds) {
+  std::vector<TierCost> out;
+  out.reserve(tiers.size());
+  for (const auto& tier : tiers) {
+    out.push_back(cost(*tier, observed_seconds));
+  }
+  return out;
+}
+
+double CostModel::total_monthly_cost(const std::vector<TierPtr>& tiers,
+                                     double observed_seconds) {
+  double total = 0;
+  for (const auto& tier : tiers) {
+    total += cost(*tier, observed_seconds).total();
+  }
+  return total;
+}
+
+}  // namespace tiera

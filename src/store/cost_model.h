@@ -1,0 +1,44 @@
+// CostModel: estimates the monthly dollar cost of a set of tiers, the metric
+// behind the cost plots in Figs. 9b, 11b and 13b.
+//
+// Capacity-billed tiers (cache nodes, EBS volumes) charge for provisioned
+// bytes; usage-billed tiers (S3) charge for stored bytes. Request charges are
+// extrapolated from the request counts observed so far over the observation
+// window: requests/sec * seconds-per-month * $/request.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/tier.h"
+
+namespace tiera {
+
+struct TierCost {
+  std::string tier;
+  double storage_dollars = 0.0;
+  double request_dollars = 0.0;
+  double total() const { return storage_dollars + request_dollars; }
+};
+
+class CostModel {
+ public:
+  // Storage-only monthly cost of one tier.
+  static double storage_cost_per_month(const Tier& tier);
+
+  // Extrapolated request cost: the tier's observed request counts are taken
+  // as a rate over `observed_seconds` of *modelled* time and extended to a
+  // month. Pass 0 to bill only the requests already made (no extrapolation).
+  static double request_cost(const Tier& tier, double observed_seconds = 0);
+
+  static TierCost cost(const Tier& tier, double observed_seconds = 0);
+
+  static std::vector<TierCost> cost_breakdown(
+      const std::vector<TierPtr>& tiers, double observed_seconds = 0);
+  static double total_monthly_cost(const std::vector<TierPtr>& tiers,
+                                   double observed_seconds = 0);
+
+  static constexpr double kSecondsPerMonth = 30.0 * 24 * 3600;
+};
+
+}  // namespace tiera

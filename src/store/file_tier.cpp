@@ -1,0 +1,320 @@
+#include "store/file_tier.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace tiera {
+
+namespace {
+
+// Filenames are the hex of the key, or hex prefix + sha256 when too long for
+// one path component. Decodable in the common case, unique in every case.
+std::string encode_key(std::string_view key) {
+  const std::string hex = to_hex(as_view(key));
+  if (hex.size() <= 200) return hex;
+  return hex.substr(0, 120) + "-" + Sha256::hex_digest(as_view(key));
+}
+
+Status errno_status(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+// RAM-copy latency for a modelled page-cache hit.
+LatencyModel cache_hit_model() {
+  return {.read_base = from_ms(0.02),
+          .write_base = from_ms(0.02),
+          .read_per_mb = from_ms(0.4),
+          .write_per_mb = from_ms(0.4),
+          .jitter = 0.10};
+}
+
+}  // namespace
+
+FileTier::FileTier(std::string name, TierKind kind,
+                   std::uint64_t capacity_bytes, std::string directory,
+                   LatencyModel latency, TierPricing pricing)
+    : Tier(std::move(name), kind, capacity_bytes, latency, pricing),
+      directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  load_existing();
+}
+
+std::string FileTier::file_path(std::string_view key) const {
+  return directory_ + "/" + encode_key(key);
+}
+
+void FileTier::load_existing() {
+  std::error_code ec;
+  std::uint64_t total = 0;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string hex = entry.path().filename().string();
+    // Recover the key from its hex name when possible; hashed names keep the
+    // hex prefix only, so reconstruct those keys as opaque (rare: >100-char
+    // keys). We store them under their file name to stay addressable.
+    std::string key;
+    bool decodable = hex.find('-') == std::string::npos && hex.size() % 2 == 0;
+    if (decodable) {
+      key.reserve(hex.size() / 2);
+      for (std::size_t i = 0; decodable && i + 1 < hex.size(); i += 2) {
+        auto nibble = [&](char c) -> int {
+          if (c >= '0' && c <= '9') return c - '0';
+          if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+          return -1;
+        };
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+          decodable = false;
+          break;
+        }
+        key.push_back(static_cast<char>((hi << 4) | lo));
+      }
+    }
+    if (!decodable) key = hex;
+    const std::uint64_t size = entry.file_size(ec);
+    index_[key] = size;
+    total += size;
+  }
+  reset_usage();
+  add_reloaded_usage(total);
+  if (!index_.empty()) {
+    TIERA_LOG(kInfo, "store") << name() << " reloaded " << index_.size()
+                              << " objects (" << total << " bytes) from "
+                              << directory_;
+  }
+}
+
+Status FileTier::store_raw(std::string_view key, ByteView value) {
+  const std::string path = file_path(key);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_status("file tier open");
+  const std::uint8_t* data = value.data();
+  std::size_t len = value.size();
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return errno_status("file tier write");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return errno_status("file tier rename");
+  }
+  std::lock_guard lock(index_mu_);
+  index_[std::string(key)] = value.size();
+  return Status::Ok();
+}
+
+Result<Bytes> FileTier::load_raw(std::string_view key) const {
+  {
+    std::lock_guard lock(index_mu_);
+    if (index_.find(std::string(key)) == index_.end()) {
+      return Status::NotFound(name() + ": no such object");
+    }
+  }
+  const std::string path = file_path(key);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound(name() + ": no such object");
+  Bytes out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return errno_status("file tier read");
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+Status FileTier::erase_raw(std::string_view key) {
+  {
+    std::lock_guard lock(index_mu_);
+    index_.erase(std::string(key));
+  }
+  ::unlink(file_path(key).c_str());
+  return Status::Ok();
+}
+
+bool FileTier::contains_raw(std::string_view key) const {
+  std::lock_guard lock(index_mu_);
+  return index_.count(std::string(key)) > 0;
+}
+
+std::optional<std::uint64_t> FileTier::size_raw(std::string_view key) const {
+  std::lock_guard lock(index_mu_);
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t FileTier::count_raw() const {
+  std::lock_guard lock(index_mu_);
+  return index_.size();
+}
+
+void FileTier::keys_raw(
+    const std::function<void(std::string_view)>& fn) const {
+  std::lock_guard lock(index_mu_);
+  for (const auto& [key, size] : index_) fn(key);
+}
+
+void FileTier::wipe() {
+  std::lock_guard lock(index_mu_);
+  for (const auto& [key, size] : index_) {
+    ::unlink(file_path(key).c_str());
+  }
+  index_.clear();
+  reset_usage();
+}
+
+// --- BlockTier --------------------------------------------------------------
+
+BlockTier::BlockTier(std::string name, std::uint64_t capacity_bytes,
+                     std::string directory, LatencyModel latency,
+                     TierPricing pricing)
+    : FileTier(std::move(name), TierKind::kBlock, capacity_bytes,
+               std::move(directory), latency, pricing) {
+  // A block volume has a bounded effective queue depth; memory and object
+  // services scale out and stay unlimited.
+  set_io_slots(8);
+}
+
+void BlockTier::set_page_cache_bytes(std::uint64_t bytes) {
+  std::lock_guard lock(cache_mu_);
+  cache_.capacity = bytes;
+  while (cache_.bytes > cache_.capacity && !cache_.lru.empty()) {
+    const std::string& victim = cache_.lru.back();
+    auto it = cache_.entries.find(victim);
+    cache_.bytes -= it->second.second;
+    cache_.entries.erase(it);
+    cache_.lru.pop_back();
+  }
+}
+
+std::uint64_t BlockTier::page_cache_bytes() const {
+  std::lock_guard lock(cache_mu_);
+  return cache_.capacity;
+}
+
+double BlockTier::cache_hit_rate() const {
+  std::lock_guard lock(cache_mu_);
+  const std::uint64_t total = cache_.hits + cache_.misses;
+  return total ? static_cast<double>(cache_.hits) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+bool BlockTier::cache_touch(std::string_view key, std::uint64_t size) const {
+  std::lock_guard lock(cache_mu_);
+  if (cache_.capacity == 0) return false;
+  auto it = cache_.entries.find(std::string(key));
+  if (it != cache_.entries.end()) {
+    cache_.lru.splice(cache_.lru.begin(), cache_.lru, it->second.first);
+    ++cache_.hits;
+    return true;
+  }
+  ++cache_.misses;
+  if (size > cache_.capacity) return false;  // too big to cache
+  cache_.lru.emplace_front(key);
+  cache_.entries[std::string(key)] = {cache_.lru.begin(), size};
+  cache_.bytes += size;
+  while (cache_.bytes > cache_.capacity && !cache_.lru.empty()) {
+    const std::string victim = cache_.lru.back();
+    auto vit = cache_.entries.find(victim);
+    cache_.bytes -= vit->second.second;
+    cache_.entries.erase(vit);
+    cache_.lru.pop_back();
+  }
+  return false;
+}
+
+Duration BlockTier::sample_read_delay(std::string_view key,
+                                      std::uint64_t bytes, Rng& rng) {
+  if (cache_touch(key, bytes)) {
+    return cache_hit_model().sample_read(bytes, rng);
+  }
+  return Tier::sample_read_delay(key, bytes, rng);
+}
+
+Duration BlockTier::sample_write_delay(std::string_view key,
+                                       std::uint64_t bytes, Rng& rng) {
+  // Writes always pay the device (EBS acknowledges at the volume), but they
+  // warm the modelled cache for subsequent reads.
+  cache_touch(key, bytes);
+  return Tier::sample_write_delay(key, bytes, rng);
+}
+
+// --- ObjectTier -------------------------------------------------------------
+
+ObjectTier::ObjectTier(std::string name, std::uint64_t capacity_bytes,
+                       std::string directory, LatencyModel latency,
+                       TierPricing pricing)
+    : FileTier(std::move(name), TierKind::kObject, capacity_bytes,
+               std::move(directory), latency, pricing) {}
+
+// --- EphemeralTier ----------------------------------------------------------
+
+EphemeralTier::EphemeralTier(std::string name, std::uint64_t capacity_bytes,
+                             LatencyModel latency)
+    : Tier(std::move(name), TierKind::kEphemeral, capacity_bytes, latency,
+           TierPricing{}) {
+  set_io_slots(8);  // local disk: bounded queue depth, like a block volume
+}
+
+Status EphemeralTier::store_raw(std::string_view key, ByteView value) {
+  map_.put(key, value);
+  return Status::Ok();
+}
+
+Result<Bytes> EphemeralTier::load_raw(std::string_view key) const {
+  auto value = map_.get(key);
+  if (!value) return Status::NotFound(name() + ": no such object");
+  return std::move(*value);
+}
+
+Status EphemeralTier::erase_raw(std::string_view key) {
+  map_.erase(key);
+  return Status::Ok();
+}
+
+bool EphemeralTier::contains_raw(std::string_view key) const {
+  return map_.contains(key);
+}
+
+std::optional<std::uint64_t> EphemeralTier::size_raw(
+    std::string_view key) const {
+  return map_.size_of(key);
+}
+
+std::size_t EphemeralTier::count_raw() const { return map_.size(); }
+
+void EphemeralTier::keys_raw(
+    const std::function<void(std::string_view)>& fn) const {
+  map_.for_each_key(fn);
+}
+
+}  // namespace tiera

@@ -1,0 +1,73 @@
+#include "store/latency_model.h"
+
+#include <algorithm>
+
+namespace tiera {
+
+namespace {
+Duration jittered(Duration base, double jitter, Rng& rng) {
+  if (jitter <= 0) return base;
+  const double factor = (1.0 - jitter) + 2.0 * jitter * rng.next_double();
+  return std::chrono::duration_cast<Duration>(base * factor);
+}
+
+Duration scale_by_mb(Duration per_mb, std::uint64_t bytes) {
+  return std::chrono::duration_cast<Duration>(
+      per_mb * (static_cast<double>(bytes) / (1024.0 * 1024.0)));
+}
+}  // namespace
+
+Duration LatencyModel::sample_read(std::uint64_t bytes, Rng& rng) const {
+  return jittered(read_base + scale_by_mb(read_per_mb, bytes), jitter, rng);
+}
+
+Duration LatencyModel::sample_write(std::uint64_t bytes, Rng& rng) const {
+  return jittered(write_base + scale_by_mb(write_per_mb, bytes), jitter, rng);
+}
+
+LatencyModel LatencyModel::memcached_local() {
+  return {.read_base = from_ms(0.35),
+          .write_base = from_ms(0.40),
+          .read_per_mb = from_ms(8.0),
+          .write_per_mb = from_ms(8.0),
+          .jitter = 0.15};
+}
+
+LatencyModel LatencyModel::memcached_remote() {
+  return {.read_base = from_ms(0.90),
+          .write_base = from_ms(1.00),
+          .read_per_mb = from_ms(9.0),
+          .write_per_mb = from_ms(9.0),
+          .jitter = 0.20};
+}
+
+LatencyModel LatencyModel::ebs() {
+  return {.read_base = from_ms(9.0),
+          .write_base = from_ms(13.0),
+          .read_per_mb = from_ms(12.0),
+          .write_per_mb = from_ms(14.0),
+          .jitter = 0.25};
+}
+
+LatencyModel LatencyModel::ephemeral() {
+  // The paper deploys instance storage as a drop-in for a failed EBS volume:
+  // "performance comparable to EBS (read and write latencies similar)".
+  return {.read_base = from_ms(9.0),
+          .write_base = from_ms(13.0),
+          .read_per_mb = from_ms(11.0),
+          .write_per_mb = from_ms(12.0),
+          .jitter = 0.25};
+}
+
+LatencyModel LatencyModel::s3() {
+  // 2014-era in-region S3: ~25 ms first byte on small GETs, PUTs roughly 2x.
+  return {.read_base = from_ms(25.0),
+          .write_base = from_ms(50.0),
+          .read_per_mb = from_ms(20.0),
+          .write_per_mb = from_ms(25.0),
+          .jitter = 0.30};
+}
+
+LatencyModel LatencyModel::zero() { return {.jitter = 0.0}; }
+
+}  // namespace tiera

@@ -1,0 +1,37 @@
+// Latency model for simulated storage services.
+//
+// Each tier charges a modelled service time per operation:
+//   latency = base + per_mb * size_mb, multiplied by lognormal-ish jitter.
+// The charge is realised as an actual (time-scaled) sleep in the calling
+// thread, so queueing and concurrency effects in the benches are physical.
+// Default profiles approximate the 2014 AWS services the paper evaluates on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace tiera {
+
+struct LatencyModel {
+  Duration read_base{};
+  Duration write_base{};
+  Duration read_per_mb{};
+  Duration write_per_mb{};
+  // Multiplicative jitter: latency *= (1 - j) + 2j*u, u ~ U[0,1).
+  double jitter = 0.15;
+
+  Duration sample_read(std::uint64_t bytes, Rng& rng) const;
+  Duration sample_write(std::uint64_t bytes, Rng& rng) const;
+
+  // Named profiles (modelled, unscaled).
+  static LatencyModel memcached_local();   // same-AZ ElastiCache
+  static LatencyModel memcached_remote();  // cross-AZ ElastiCache
+  static LatencyModel ebs();               // standard EBS volume
+  static LatencyModel ephemeral();         // EC2 instance store
+  static LatencyModel s3();                // S3 object store
+  static LatencyModel zero();              // no modelled latency
+};
+
+}  // namespace tiera

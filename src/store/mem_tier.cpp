@@ -1,0 +1,41 @@
+#include "store/mem_tier.h"
+
+namespace tiera {
+
+MemTier::MemTier(std::string name, std::uint64_t capacity_bytes,
+                 LatencyModel latency, TierPricing pricing)
+    : Tier(std::move(name), TierKind::kMemory, capacity_bytes, latency,
+           pricing) {}
+
+Status MemTier::store_raw(std::string_view key, ByteView value) {
+  map_.put(key, value);
+  return Status::Ok();
+}
+
+Result<Bytes> MemTier::load_raw(std::string_view key) const {
+  auto value = map_.get(key);
+  if (!value) return Status::NotFound(name() + ": no such object");
+  return std::move(*value);
+}
+
+Status MemTier::erase_raw(std::string_view key) {
+  map_.erase(key);
+  return Status::Ok();
+}
+
+bool MemTier::contains_raw(std::string_view key) const {
+  return map_.contains(key);
+}
+
+std::optional<std::uint64_t> MemTier::size_raw(std::string_view key) const {
+  return map_.size_of(key);
+}
+
+std::size_t MemTier::count_raw() const { return map_.size(); }
+
+void MemTier::keys_raw(
+    const std::function<void(std::string_view)>& fn) const {
+  map_.for_each_key(fn);
+}
+
+}  // namespace tiera

@@ -1,0 +1,40 @@
+// Memory tier: Memcached/ElastiCache stand-in. Volatile RAM storage with a
+// network-round-trip latency model; contents are lost on reboot().
+#pragma once
+
+#include "store/sharded_map.h"
+#include "store/tier.h"
+
+namespace tiera {
+
+class MemTier final : public Tier {
+ public:
+  MemTier(std::string name, std::uint64_t capacity_bytes,
+          LatencyModel latency = LatencyModel::memcached_local(),
+          TierPricing pricing = default_pricing());
+
+  // ElastiCache 2014-era effective $/GB-month of cache-node memory.
+  static TierPricing default_pricing() {
+    return {.dollars_per_gb_month = 19.0, .bill_by_capacity = true};
+  }
+
+  void reboot() override {
+    map_.clear();
+    reset_usage();
+  }
+
+ protected:
+  Status store_raw(std::string_view key, ByteView value) override;
+  Result<Bytes> load_raw(std::string_view key) const override;
+  Status erase_raw(std::string_view key) override;
+  bool contains_raw(std::string_view key) const override;
+  std::optional<std::uint64_t> size_raw(std::string_view key) const override;
+  std::size_t count_raw() const override;
+  void keys_raw(
+      const std::function<void(std::string_view)>& fn) const override;
+
+ private:
+  ShardedMap map_;
+};
+
+}  // namespace tiera

@@ -1,0 +1,96 @@
+// Sharded string->Bytes map: the in-RAM object storage used by the memory
+// and ephemeral tiers, and as the loaded index of the file-backed tiers.
+// Sharding keeps the many concurrent client threads in the throughput
+// experiments from serialising on one lock.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace tiera {
+
+class ShardedMap {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void put(std::string_view key, ByteView value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    shard.map[std::string(key)] = Bytes(value.begin(), value.end());
+  }
+
+  std::optional<Bytes> get(std::string_view key) const {
+    const Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.map.find(std::string(key));
+    if (it == shard.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool erase(std::string_view key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    return shard.map.erase(std::string(key)) > 0;
+  }
+
+  bool contains(std::string_view key) const {
+    const Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    return shard.map.count(std::string(key)) > 0;
+  }
+
+  std::optional<std::uint64_t> size_of(std::string_view key) const {
+    const Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.map.find(std::string(key));
+    if (it == shard.map.end()) return std::nullopt;
+    return it->second.size();
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard.mu);
+      n += shard.map.size();
+    }
+    return n;
+  }
+
+  void clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard lock(shard.mu);
+      shard.map.clear();
+    }
+  }
+
+  void for_each_key(const std::function<void(std::string_view)>& fn) const {
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard.mu);
+      for (const auto& [key, value] : shard.map) fn(key);
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Bytes> map;
+  };
+
+  Shard& shard_for(std::string_view key) {
+    return shards_[fnv1a64(key) % kShards];
+  }
+  const Shard& shard_for(std::string_view key) const {
+    return shards_[fnv1a64(key) % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace tiera

@@ -1,0 +1,76 @@
+#include "store/tier_factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tiera {
+
+namespace {
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+}  // namespace
+
+Result<std::uint64_t> parse_size(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty size");
+  std::uint64_t multiplier = 1;
+  std::string_view digits = text;
+  switch (std::toupper(static_cast<unsigned char>(text.back()))) {
+    case 'K': multiplier = 1ull << 10; digits.remove_suffix(1); break;
+    case 'M': multiplier = 1ull << 20; digits.remove_suffix(1); break;
+    case 'G': multiplier = 1ull << 30; digits.remove_suffix(1); break;
+    case 'T': multiplier = 1ull << 40; digits.remove_suffix(1); break;
+    default: break;
+  }
+  if (digits.empty()) return Status::InvalidArgument("no digits in size");
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad size: " + std::string(text));
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value * multiplier;
+}
+
+TierFactory::TierFactory(std::string data_dir)
+    : data_dir_(std::move(data_dir)) {}
+
+bool TierFactory::known_service(std::string_view service) {
+  const std::string s = lower(service);
+  return s == "memcached" || s == "memcached_remote" || s == "ebs" ||
+         s == "ephemeral" || s == "s3";
+}
+
+Result<TierPtr> TierFactory::create(const TierSpec& spec) const {
+  const std::string service = lower(spec.service);
+  const std::string name =
+      spec.label.empty() ? service : spec.label + ":" + spec.service;
+  const std::string dir = data_dir_ + "/" +
+                          (spec.label.empty() ? service : spec.label) + "-" +
+                          service;
+  if (service == "memcached") {
+    return TierPtr(std::make_shared<MemTier>(name, spec.capacity_bytes));
+  }
+  if (service == "memcached_remote") {
+    return TierPtr(std::make_shared<MemTier>(
+        name, spec.capacity_bytes, LatencyModel::memcached_remote()));
+  }
+  if (service == "ebs") {
+    return TierPtr(
+        std::make_shared<BlockTier>(name, spec.capacity_bytes, dir));
+  }
+  if (service == "ephemeral") {
+    return TierPtr(std::make_shared<EphemeralTier>(name, spec.capacity_bytes));
+  }
+  if (service == "s3") {
+    return TierPtr(
+        std::make_shared<ObjectTier>(name, spec.capacity_bytes, dir));
+  }
+  return Status::InvalidArgument("unknown storage service: " + spec.service);
+}
+
+}  // namespace tiera

@@ -1,0 +1,42 @@
+// TierFactory: builds tiers from the service names used in instance
+// specification files ("Memcached", "EBS", "S3", "Ephemeral", ...), mirroring
+// the paper's assumption that "the specific tier names are known to Tiera".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "store/file_tier.h"
+#include "store/mem_tier.h"
+
+namespace tiera {
+
+struct TierSpec {
+  // Service name. Recognised (case-insensitive): "memcached",
+  // "memcached_remote" (cross-AZ replica), "ebs", "ephemeral", "s3".
+  std::string service;
+  // The tier's identifier inside the instance (tier1, tier2, ... in specs).
+  std::string label;
+  std::uint64_t capacity_bytes = 0;
+};
+
+// Parses "5G", "200M", "64K", "123" (bytes) — the sizes in spec files.
+Result<std::uint64_t> parse_size(std::string_view text);
+
+class TierFactory {
+ public:
+  // `data_dir` is where file-backed services keep their objects; each tier
+  // gets a subdirectory "<label>-<service>".
+  explicit TierFactory(std::string data_dir);
+
+  Result<TierPtr> create(const TierSpec& spec) const;
+
+  static bool known_service(std::string_view service);
+
+ private:
+  std::string data_dir_;
+};
+
+}  // namespace tiera

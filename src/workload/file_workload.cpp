@@ -1,0 +1,68 @@
+#include "workload/file_workload.h"
+
+#include <thread>
+
+#include "common/random.h"
+
+namespace tiera {
+
+FileWorkloadResult run_file_reads(FileAdapter& files,
+                                  const FileWorkloadOptions& options) {
+  FileWorkloadResult result;
+  if (options.paths.empty()) return result;
+
+  // Precompute per-file chunk counts for offset selection.
+  std::vector<std::uint64_t> chunk_counts;
+  std::uint64_t total_chunks = 0;
+  for (const auto& path : options.paths) {
+    auto size = files.size(path);
+    const std::uint64_t chunks =
+        size.ok() ? (*size + options.io_size - 1) / options.io_size : 0;
+    chunk_counts.push_back(chunks);
+    total_chunks += chunks;
+  }
+  if (total_chunks == 0) return result;
+
+  const double scale = time_scale() > 0 ? time_scale() : 1.0;
+  const TimePoint deadline =
+      now() + std::chrono::duration_cast<Duration>(options.duration * scale);
+
+  std::vector<std::thread> threads;
+  std::vector<FileWorkloadResult> partials(options.threads);
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    threads.emplace_back([&, t] {
+      FileWorkloadResult& local = partials[t];
+      Rng rng(options.seed * 6151 + t);
+      ZipfianDistribution dist(total_chunks, options.zipf_theta);
+      while (now() < deadline) {
+        // Map a global chunk index to (file, offset).
+        std::uint64_t index = dist.next(rng);
+        std::size_t file_index = 0;
+        while (file_index < chunk_counts.size() &&
+               index >= chunk_counts[file_index]) {
+          index -= chunk_counts[file_index];
+          ++file_index;
+        }
+        if (file_index >= options.paths.size()) continue;
+        Stopwatch watch;
+        auto data = files.read(options.paths[file_index],
+                               index * options.io_size, options.io_size);
+        local.read_latency.record_ms(watch.elapsed_ms() / scale);
+        if (data.ok()) {
+          ++local.reads;
+        } else {
+          ++local.errors;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& partial : partials) {
+    result.read_latency.merge(partial.read_latency);
+    result.reads += partial.reads;
+    result.errors += partial.errors;
+  }
+  return result;
+}
+
+}  // namespace tiera

@@ -1,0 +1,29 @@
+// fio-style file reader: zipfian offsets over files stored through the
+// FileAdapter (the Fig. 12 dedup experiment drives reads this way, fio with
+// zipf theta = 1.2).
+#pragma once
+
+#include "common/histogram.h"
+#include "posix/file_adapter.h"
+
+namespace tiera {
+
+struct FileWorkloadOptions {
+  std::vector<std::string> paths;  // files to read from
+  std::size_t io_size = 4096;
+  double zipf_theta = 1.2;
+  std::size_t threads = 4;
+  Duration duration = std::chrono::seconds(5);  // modelled
+  std::uint64_t seed = 11;
+};
+
+struct FileWorkloadResult {
+  LatencyHistogram read_latency;  // modelled time
+  std::uint64_t reads = 0;
+  std::uint64_t errors = 0;
+};
+
+FileWorkloadResult run_file_reads(FileAdapter& files,
+                                  const FileWorkloadOptions& options);
+
+}  // namespace tiera

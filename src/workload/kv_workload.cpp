@@ -1,0 +1,142 @@
+#include "workload/kv_workload.h"
+
+#include <thread>
+
+namespace tiera {
+
+KvBackend KvBackend::for_instance(TieraInstance& instance) {
+  KvBackend backend;
+  backend.put = [&instance](const std::string& id, ByteView data) {
+    return instance.put(id, data);
+  };
+  backend.get = [&instance](const std::string& id) {
+    return instance.get(id);
+  };
+  return backend;
+}
+
+KvBackend KvBackend::for_tiers(std::vector<TierPtr> tiers) {
+  KvBackend backend;
+  auto shared = std::make_shared<std::vector<TierPtr>>(std::move(tiers));
+  backend.put = [shared](const std::string& id, ByteView data) {
+    Status last = Status::Ok();
+    for (const auto& tier : *shared) {
+      const Status s = tier->put(id, data);
+      if (!s.ok()) last = s;
+    }
+    return last;
+  };
+  backend.get = [shared](const std::string& id) -> Result<Bytes> {
+    Status last = Status::NotFound("empty backend");
+    for (const auto& tier : *shared) {
+      Result<Bytes> got = tier->get(id);
+      if (got.ok()) return got;
+      last = got.status();
+    }
+    return last;
+  };
+  return backend;
+}
+
+namespace {
+
+std::unique_ptr<KeyDistribution> make_distribution(
+    const KvWorkloadOptions& options) {
+  switch (options.distribution) {
+    case KeyDist::kUniform:
+      return std::make_unique<UniformDistribution>(options.record_count);
+    case KeyDist::kZipfian:
+      return std::make_unique<ZipfianDistribution>(options.record_count,
+                                                   options.zipf_theta);
+  }
+  return std::make_unique<UniformDistribution>(options.record_count);
+}
+
+std::string key_for(const KvWorkloadOptions& options, std::uint64_t index) {
+  return options.key_prefix + std::to_string(index);
+}
+
+}  // namespace
+
+Status load_kv_records(const KvBackend& backend,
+                       const KvWorkloadOptions& options) {
+  for (std::uint64_t i = 0; i < options.record_count; ++i) {
+    TIERA_RETURN_IF_ERROR(backend.put(
+        key_for(options, i),
+        as_view(make_payload(options.value_size, options.seed ^ i))));
+  }
+  return Status::Ok();
+}
+
+KvWorkloadResult run_kv_workload(const KvBackend& backend,
+                                 const KvWorkloadOptions& options) {
+  KvWorkloadResult result;
+  if (options.preload) {
+    const Status s = load_kv_records(backend, options);
+    if (!s.ok() && !options.continue_on_error) return result;
+  }
+
+  const double scale = time_scale() > 0 ? time_scale() : 1.0;
+  const auto wall_duration =
+      std::chrono::duration_cast<Duration>(options.duration * scale);
+  const TimePoint deadline = now() + wall_duration;
+
+  std::vector<std::thread> threads;
+  std::vector<KvWorkloadResult> partials(options.threads);
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    threads.emplace_back([&, t] {
+      KvWorkloadResult& local = partials[t];
+      Rng rng(options.seed * 7919 + t);
+      auto dist = make_distribution(options);
+      std::uint64_t op = 0;
+      while (now() < deadline) {
+        if (options.stop && options.stop()) break;
+        if (options.op_delay > Duration::zero()) {
+          apply_model_delay(options.op_delay);
+        }
+        const std::uint64_t index = dist->next(rng);
+        const std::string key = key_for(options, index);
+        const bool is_read = rng.next_double() < options.read_fraction;
+        Stopwatch watch;
+        if (is_read) {
+          Result<Bytes> got = backend.get(key);
+          // Record in modelled time so results are scale-invariant.
+          local.read_latency.record_ms(watch.elapsed_ms() / scale);
+          if (got.ok()) {
+            ++local.reads;
+            if (options.timeline) options.timeline->add();
+          } else {
+            ++local.errors;
+            if (!options.continue_on_error) break;
+          }
+        } else {
+          const Status s = backend.put(
+              key, as_view(make_payload(options.value_size,
+                                        options.seed ^ index ^ ++op)));
+          local.write_latency.record_ms(watch.elapsed_ms() / scale);
+          if (s.ok()) {
+            ++local.writes;
+            if (options.timeline) options.timeline->add();
+          } else {
+            ++local.errors;
+            if (!options.continue_on_error) break;
+          }
+        }
+      }
+    });
+  }
+  Stopwatch run_watch;
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& partial : partials) {
+    result.read_latency.merge(partial.read_latency);
+    result.write_latency.merge(partial.write_latency);
+    result.reads += partial.reads;
+    result.writes += partial.writes;
+    result.errors += partial.errors;
+  }
+  result.elapsed_modelled_seconds = to_seconds(wall_duration) / scale;
+  return result;
+}
+
+}  // namespace tiera

@@ -1,0 +1,80 @@
+// YCSB-style key-value workload driver (the paper uses YCSB for the
+// latency/durability/failover experiments: uniform and zipfian request
+// streams of 4 KB objects with configurable read/write mixes).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "core/instance.h"
+#include "workload/timeseries.h"
+
+namespace tiera {
+
+// Abstract KV surface so the driver runs against an in-process instance, a
+// remote client, or raw tiers (the Fig. 18 no-control-layer baseline).
+struct KvBackend {
+  std::function<Status(const std::string&, ByteView)> put;
+  std::function<Result<Bytes>(const std::string&)> get;
+
+  static KvBackend for_instance(TieraInstance& instance);
+  // Direct tier access without the control layer: writes go synchronously
+  // to every tier, reads try tiers in order.
+  static KvBackend for_tiers(std::vector<TierPtr> tiers);
+};
+
+enum class KeyDist { kUniform, kZipfian };
+
+struct KvWorkloadOptions {
+  std::uint64_t record_count = 1000;
+  std::size_t value_size = 4096;
+  double read_fraction = 0.5;    // 1.0 = read-only, 0.0 = write-only
+  KeyDist distribution = KeyDist::kUniform;
+  double zipf_theta = 0.99;
+  std::size_t threads = 1;
+  // Pause between operations per client (modelled). Zero = closed loop at
+  // full speed; non-zero paces the offered load like a think time.
+  Duration op_delay = Duration::zero();
+  // Run length in *modelled* time.
+  Duration duration = std::chrono::seconds(10);
+  std::uint64_t seed = 42;
+  bool preload = true;           // load all records before measuring
+  std::string key_prefix = "user";
+  // Optional live throughput recorder (Figs. 16/17).
+  ThroughputTimeline* timeline = nullptr;
+  // Optional stop signal checked between operations.
+  std::function<bool()> stop = nullptr;
+  // Count failed operations (during injected outages ops fail; the
+  // timeline then shows the throughput hole).
+  bool continue_on_error = true;
+};
+
+struct KvWorkloadResult {
+  LatencyHistogram read_latency;
+  LatencyHistogram write_latency;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t errors = 0;
+  double elapsed_modelled_seconds = 0;
+
+  double ops_per_sec() const {
+    return elapsed_modelled_seconds > 0
+               ? static_cast<double>(reads + writes) /
+                     elapsed_modelled_seconds
+               : 0;
+  }
+};
+
+// Loads `record_count` records (if preload) then drives the mix for
+// `duration` across `threads` client threads.
+KvWorkloadResult run_kv_workload(const KvBackend& backend,
+                                 const KvWorkloadOptions& options);
+
+// Load phase only.
+Status load_kv_records(const KvBackend& backend,
+                       const KvWorkloadOptions& options);
+
+}  // namespace tiera

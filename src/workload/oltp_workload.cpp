@@ -1,0 +1,120 @@
+#include "workload/oltp_workload.h"
+
+#include <thread>
+
+#include "common/random.h"
+
+namespace tiera {
+
+namespace {
+
+Bytes make_row(const OltpOptions& options, std::uint64_t row,
+               std::uint64_t version) {
+  return make_payload(options.record_size, row * 2654435761ull + version);
+}
+
+}  // namespace
+
+Status load_oltp_table(MiniDb& db, const OltpOptions& options) {
+  if (!db.has_table(options.table)) {
+    TIERA_RETURN_IF_ERROR(db.create_table(options.table, options.record_size));
+  }
+  // Bulk load in batches so the journal does not dominate load time.
+  const std::uint64_t batch = 64;
+  for (std::uint64_t first = 0; first < options.table_rows; first += batch) {
+    MiniDb::Transaction txn = db.begin();
+    const std::uint64_t last =
+        std::min(options.table_rows, first + batch);
+    for (std::uint64_t row = first; row < last; ++row) {
+      TIERA_RETURN_IF_ERROR(
+          txn.write(options.table, row, as_view(make_row(options, row, 0))));
+    }
+    TIERA_RETURN_IF_ERROR(db.commit(txn));
+  }
+  return db.checkpoint();
+}
+
+OltpResult run_oltp(MiniDb& db, const OltpOptions& options) {
+  OltpResult result;
+  const double scale = time_scale() > 0 ? time_scale() : 1.0;
+  const auto wall_duration =
+      std::chrono::duration_cast<Duration>(options.duration * scale);
+  const TimePoint deadline = now() + wall_duration;
+
+  std::vector<std::thread> threads;
+  std::vector<OltpResult> partials(options.threads);
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    threads.emplace_back([&, t] {
+      OltpResult& local = partials[t];
+      Rng rng(options.seed * 104729 + t);
+      SpecialDistribution dist(options.table_rows, options.hot_fraction,
+                               options.hot_probability);
+      std::uint64_t version = 1;
+      while (now() < deadline) {
+        Stopwatch watch;
+        MiniDb::Transaction txn = db.begin();
+        bool failed = false;
+
+        for (std::size_t i = 0; i < options.point_selects && !failed; ++i) {
+          Result<Bytes> row = txn.read(options.table, dist.next(rng));
+          if (!row.ok() && !row.status().is_not_found()) failed = true;
+        }
+        {
+          const std::uint64_t first = dist.next(rng);
+          auto range = txn.range_read(options.table, first,
+                                      options.range_size);
+          if (!range.ok()) failed = true;
+        }
+        if (!options.read_only && !failed) {
+          for (std::size_t i = 0; i < options.updates && !failed; ++i) {
+            const std::uint64_t row = dist.next(rng);
+            if (!txn.write(options.table, row,
+                           as_view(make_row(options, row, version)))
+                     .ok()) {
+              failed = true;
+            }
+          }
+          // Delete one row and re-insert it (sysbench's delete+insert pair
+          // keeps the table size stable).
+          const std::uint64_t churn_row = dist.next(rng);
+          if (!failed) failed = !txn.remove(options.table, churn_row).ok();
+          if (!failed) {
+            failed = !txn.write(options.table, churn_row,
+                                as_view(make_row(options, churn_row, version)))
+                          .ok();
+          }
+          ++version;
+        }
+
+        if (failed) {
+          db.abort(txn);
+          ++local.errors;
+          continue;
+        }
+        Status commit_status = db.commit(txn);
+        if (commit_status.ok() && options.read_only &&
+            options.journal_readonly) {
+          commit_status =
+              db.journal_note(as_view(make_payload(64, version)));
+        }
+        local.txn_latency.record_ms(watch.elapsed_ms() / scale);
+        if (commit_status.ok()) {
+          ++local.transactions;
+        } else {
+          ++local.errors;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& partial : partials) {
+    result.txn_latency.merge(partial.txn_latency);
+    result.transactions += partial.transactions;
+    result.errors += partial.errors;
+  }
+  result.elapsed_modelled_seconds = to_seconds(wall_duration) / scale;
+  return result;
+}
+
+}  // namespace tiera

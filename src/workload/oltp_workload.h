@@ -1,0 +1,60 @@
+// sysbench-style OLTP driver over minidb.
+//
+// Reproduces the workload of §4.1.1: transactions against one table whose
+// row popularity follows the sysbench *special* distribution — a hot
+// fraction of the rows (the x-axis of Figs. 7/8, 1%..30%) receives 80% of
+// accesses. A read-only transaction issues point selects plus a range scan;
+// a read-write transaction adds updates, a delete and an insert, and pays a
+// journal commit.
+#pragma once
+
+#include "common/histogram.h"
+#include "sql/minidb.h"
+
+namespace tiera {
+
+struct OltpOptions {
+  std::string table = "sbtest";
+  std::uint64_t table_rows = 10'000;
+  std::uint32_t record_size = 192;  // sysbench-like row width
+
+  double hot_fraction = 0.10;       // "% data fetched 80% of the time"
+  double hot_probability = 0.80;
+
+  bool read_only = true;
+  std::size_t point_selects = 10;
+  std::size_t range_size = 20;
+  std::size_t updates = 2;          // read-write mix only
+  // MySQL persists journal writes even for read-only transactional load
+  // (§4.1.1); enable to reproduce that with a small journal note per
+  // read-only commit.
+  bool journal_readonly = false;
+
+  std::size_t threads = 8;
+  Duration duration = std::chrono::seconds(10);  // modelled
+  std::uint64_t seed = 1;
+};
+
+struct OltpResult {
+  LatencyHistogram txn_latency;
+  std::uint64_t transactions = 0;
+  std::uint64_t errors = 0;
+  double elapsed_modelled_seconds = 0;
+
+  double tps() const {
+    return elapsed_modelled_seconds > 0
+               ? static_cast<double>(transactions) / elapsed_modelled_seconds
+               : 0;
+  }
+  // Latencies are recorded in modelled time (scale-invariant).
+  double p95_ms() const { return txn_latency.percentile_ms(0.95); }
+  double mean_ms() const { return txn_latency.mean_ms(); }
+};
+
+// Creates (if needed) and populates the table.
+Status load_oltp_table(MiniDb& db, const OltpOptions& options);
+
+// Drives the transaction mix for `duration` across `threads` clients.
+OltpResult run_oltp(MiniDb& db, const OltpOptions& options);
+
+}  // namespace tiera

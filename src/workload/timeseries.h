@@ -1,0 +1,49 @@
+// Per-interval operation counter for throughput-over-time plots
+// (Figs. 16 and 17 report ops/sec across a multi-minute window).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace tiera {
+
+class ThroughputTimeline {
+ public:
+  // `interval` is in modelled time; buckets are indexed from start().
+  ThroughputTimeline(Duration interval, std::size_t max_buckets)
+      : interval_(interval), buckets_(max_buckets) {
+    for (auto& b : buckets_) b = std::make_unique<std::atomic<uint64_t>>(0);
+    start_ = now();
+  }
+
+  void start() { start_ = now(); }
+
+  void add(std::uint64_t n = 1) {
+    const double scale = time_scale() > 0 ? time_scale() : 1.0;
+    const double modelled_elapsed = to_seconds(now() - start_) / scale;
+    const auto index = static_cast<std::size_t>(
+        modelled_elapsed / to_seconds(interval_));
+    if (index < buckets_.size()) {
+      buckets_[index]->fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  // Ops per modelled second in bucket `i`.
+  double rate(std::size_t i) const {
+    if (i >= buckets_.size()) return 0;
+    return static_cast<double>(buckets_[i]->load()) / to_seconds(interval_);
+  }
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  Duration interval_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> buckets_;
+  TimePoint start_;
+};
+
+}  // namespace tiera

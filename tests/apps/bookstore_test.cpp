@@ -1,0 +1,110 @@
+#include "apps/bookstore.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class BookstoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 256 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+    files_ = std::make_unique<FileAdapter>(*instance_, 4096);
+    db_ = std::make_unique<MiniDb>(*files_);
+    ASSERT_TRUE(db_->open().ok());
+
+    BookstoreOptions options;
+    options.items = 50;
+    options.customers = 200;
+    options.html_bytes = 2048;
+    options.image_bytes = 4096;
+    store_ = std::make_unique<Bookstore>(*db_, *files_, options);
+    ASSERT_TRUE(store_->initialize().ok());
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+  std::unique_ptr<FileAdapter> files_;
+  std::unique_ptr<MiniDb> db_;
+  std::unique_ptr<Bookstore> store_;
+};
+
+TEST_F(BookstoreTest, InitializePopulatesTablesAndStaticContent) {
+  EXPECT_TRUE(db_->has_table("bs_items"));
+  EXPECT_TRUE(db_->has_table("bs_customers"));
+  EXPECT_TRUE(db_->has_table("bs_carts"));
+  EXPECT_TRUE(db_->has_table("bs_orders"));
+  EXPECT_EQ(*db_->row_count("bs_items"), 50u);
+  EXPECT_EQ(*db_->row_count("bs_customers"), 200u);
+  EXPECT_TRUE(files_->exists("static/item0.html"));
+  EXPECT_TRUE(files_->exists("img/item49.jpg"));
+  EXPECT_EQ(files_->list("static/").size(), 50u);
+}
+
+TEST_F(BookstoreTest, EveryInteractionSucceeds) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(store_->home(rng).ok());
+    EXPECT_TRUE(store_->product_detail(rng).ok());
+    EXPECT_TRUE(store_->search(rng).ok());
+    EXPECT_TRUE(store_->best_sellers(rng).ok());
+    EXPECT_TRUE(store_->add_to_cart(rng).ok());
+    EXPECT_TRUE(store_->buy_confirm(rng).ok());
+  }
+}
+
+TEST_F(BookstoreTest, OrderingInteractionsWriteRows) {
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store_->buy_confirm(rng).ok());
+  }
+  EXPECT_GE(*db_->row_count("bs_orders"), 10u);
+  EXPECT_GT(db_->journal_commits(), 0u);
+}
+
+TEST_F(BookstoreTest, ShoppingMixIsReadDominant) {
+  // The shopping mix must drive more reads than writes through storage.
+  Rng rng(3);
+  const auto journal_before = db_->journal_commits();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store_->interaction(rng).ok());
+  }
+  const auto write_txns = db_->journal_commits() - journal_before;
+  EXPECT_GT(write_txns, 10u);   // ordering component present
+  EXPECT_LT(write_txns, 100u);  // ...but the mix is read-dominant
+}
+
+TEST_F(BookstoreTest, EmulatedBrowsersReportWips) {
+  const BrowserRunResult result = run_emulated_browsers(
+      *store_, /*browsers=*/4, /*duration=*/from_ms(300),
+      /*think_time=*/from_ms(10));
+  EXPECT_GT(result.interactions, 0u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.wips, 0.0);
+  EXPECT_GT(result.interaction_latency.count(), 0u);
+}
+
+TEST_F(BookstoreTest, MoreBrowsersMoreInteractions) {
+  // Needs real think time: at scale 1.0 each browser is gated by its think
+  // time, so browser count drives concurrency (the Fig. 10 x-axis).
+  testing::ZeroLatencyScope scale(1.0);
+  const BrowserRunResult few = run_emulated_browsers(
+      *store_, 1, from_ms(300), from_ms(20), /*seed=*/100);
+  const BrowserRunResult many = run_emulated_browsers(
+      *store_, 8, from_ms(300), from_ms(20), /*seed=*/200);
+  EXPECT_GT(many.interactions, few.interactions * 3);
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,106 @@
+#include "common/compress.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tiera {
+namespace {
+
+TEST(CompressTest, EmptyRoundTrip) {
+  const Bytes packed = lz_compress({});
+  Result<Bytes> out = lz_decompress(as_view(packed));
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(CompressTest, RedundantDataShrinks) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) append(data, std::string_view("tiera-tier "));
+  const Bytes packed = lz_compress(as_view(data));
+  EXPECT_LT(packed.size(), data.size() / 4);
+  Result<Bytes> out = lz_decompress(as_view(packed));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(CompressTest, RandomDataRoundTripsWithBoundedExpansion) {
+  const Bytes data = make_payload(100'000, 99);
+  const Bytes packed = lz_compress(as_view(data));
+  EXPECT_LE(packed.size(), data.size() + data.size() / 255 + 64);
+  Result<Bytes> out = lz_decompress(as_view(packed));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(CompressTest, SingleByteRuns) {
+  Bytes data(5000, 0x7A);
+  const Bytes packed = lz_compress(as_view(data));
+  EXPECT_LT(packed.size(), 200u);
+  Result<Bytes> out = lz_decompress(as_view(packed));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(CompressTest, DetectsMagic) {
+  const Bytes packed = lz_compress(as_view(std::string_view("hello")));
+  EXPECT_TRUE(lz_is_compressed(as_view(packed)));
+  EXPECT_FALSE(lz_is_compressed(as_view(std::string_view("hello"))));
+}
+
+TEST(CompressTest, RejectsGarbage) {
+  const Bytes garbage = make_payload(100, 1);
+  EXPECT_FALSE(lz_decompress(as_view(garbage)).ok());
+}
+
+TEST(CompressTest, RejectsTruncatedFrame) {
+  Bytes data;
+  for (int i = 0; i < 100; ++i) append(data, std::string_view("abcabcabc"));
+  Bytes packed = lz_compress(as_view(data));
+  packed.resize(packed.size() / 2);
+  Result<Bytes> out = lz_decompress(as_view(packed));
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CompressTest, RejectsCorruptedBody) {
+  Bytes data;
+  for (int i = 0; i < 200; ++i) append(data, std::string_view("xyzzyxyzzy"));
+  Bytes packed = lz_compress(as_view(data));
+  packed[packed.size() / 2] ^= 0xFF;
+  EXPECT_FALSE(lz_decompress(as_view(packed)).ok());
+}
+
+// Property: round trip holds across sizes and content styles.
+class CompressRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(CompressRoundTrip, Holds) {
+  const auto [size, style] = GetParam();
+  Bytes data;
+  Rng rng(size * 31 + style);
+  switch (style) {
+    case 0:  // random
+      data = make_payload(size, size);
+      break;
+    case 1:  // repeated phrase
+      while (data.size() < size) append(data, std::string_view("repetition!"));
+      data.resize(size);
+      break;
+    case 2:  // low-entropy random (many repeats)
+      data.resize(size);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(4));
+      break;
+  }
+  Result<Bytes> out = lz_decompress(as_view(lz_compress(as_view(data))));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndStyles, CompressRoundTrip,
+    ::testing::Combine(::testing::Values(1, 3, 4, 5, 64, 1000, 4096, 70000),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace tiera

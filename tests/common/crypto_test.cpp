@@ -1,0 +1,82 @@
+#include "common/crypto.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tiera {
+namespace {
+
+TEST(CryptoTest, RoundTrip) {
+  const ChaChaKey key = derive_key("hunter2");
+  const Bytes plain = to_bytes("the quick brown fox");
+  const Bytes framed = chacha_encrypt(as_view(plain), key, 1);
+  EXPECT_TRUE(chacha_is_encrypted(as_view(framed)));
+  Result<Bytes> out = chacha_decrypt(as_view(framed), key);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, plain);
+}
+
+TEST(CryptoTest, CiphertextDiffersFromPlaintext) {
+  const ChaChaKey key = derive_key("k");
+  const Bytes plain = make_payload(4096, 5);
+  const Bytes framed = chacha_encrypt(as_view(plain), key, 2);
+  ASSERT_GT(framed.size(), plain.size());
+  // The ciphertext body must not contain the plaintext bytes verbatim.
+  EXPECT_NE(Bytes(framed.begin() + 16, framed.begin() + 16 + 64),
+            Bytes(plain.begin(), plain.begin() + 64));
+}
+
+TEST(CryptoTest, WrongKeyRejected) {
+  const Bytes plain = to_bytes("secret");
+  const Bytes framed = chacha_encrypt(as_view(plain), derive_key("right"), 3);
+  Result<Bytes> out = chacha_decrypt(as_view(framed), derive_key("wrong"));
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CryptoTest, TamperedCiphertextRejected) {
+  const ChaChaKey key = derive_key("k2");
+  Bytes framed = chacha_encrypt(as_view(make_payload(1000, 9)), key, 4);
+  framed[200] ^= 0x01;
+  EXPECT_FALSE(chacha_decrypt(as_view(framed), key).ok());
+}
+
+TEST(CryptoTest, GarbageRejected) {
+  EXPECT_FALSE(
+      chacha_decrypt(as_view(std::string_view("short")), derive_key("k")).ok());
+  const Bytes garbage = make_payload(100, 3);
+  EXPECT_FALSE(chacha_decrypt(as_view(garbage), derive_key("k")).ok());
+}
+
+TEST(CryptoTest, DistinctNonceSeedsGiveDistinctCiphertexts) {
+  const ChaChaKey key = derive_key("k3");
+  const Bytes plain = make_payload(256, 11);
+  const Bytes a = chacha_encrypt(as_view(plain), key, 100);
+  const Bytes b = chacha_encrypt(as_view(plain), key, 101);
+  EXPECT_NE(a, b);
+}
+
+TEST(CryptoTest, KeyDerivationIsDeterministicAndSensitive) {
+  EXPECT_EQ(derive_key("phrase"), derive_key("phrase"));
+  EXPECT_NE(derive_key("phrase"), derive_key("Phrase"));
+}
+
+class CryptoRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CryptoRoundTrip, HoldsAcrossSizes) {
+  const std::size_t size = GetParam();
+  const ChaChaKey key = derive_key("param");
+  const Bytes plain = make_payload(size, size * 7 + 1);
+  Result<Bytes> out =
+      chacha_decrypt(as_view(chacha_encrypt(as_view(plain), key, size)), key);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CryptoRoundTrip,
+                         ::testing::Values(0, 1, 63, 64, 65, 128, 4096,
+                                           100'000));
+
+}  // namespace
+}  // namespace tiera

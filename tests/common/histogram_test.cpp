@@ -1,0 +1,105 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tiera {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ms(), 0.0);
+  EXPECT_EQ(h.percentile_ms(0.95), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.record_ms(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.mean_ms(), 5.0, 1e-9);
+  EXPECT_NEAR(h.percentile_ms(0.5), 5.0, 0.5);
+  EXPECT_NEAR(h.min_ms(), 5.0, 1e-9);
+  EXPECT_NEAR(h.max_ms(), 5.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, PercentilesOrdered) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record_ms(i * 0.1);
+  const double p50 = h.percentile_ms(0.50);
+  const double p95 = h.percentile_ms(0.95);
+  const double p99 = h.percentile_ms(0.99);
+  EXPECT_LT(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(p50, 50.0, 5.0);
+  EXPECT_NEAR(p95, 95.0, 6.0);
+}
+
+TEST(LatencyHistogramTest, BucketsBoundRelativeError) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record_ms(123.0);
+  // ~4.6% bucket width → p50 within 6% of the true value.
+  EXPECT_NEAR(h.percentile_ms(0.5), 123.0, 123.0 * 0.06);
+}
+
+TEST(LatencyHistogramTest, MergeCombines) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record_ms(1.0);
+  for (int i = 0; i < 100; ++i) b.record_ms(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_NEAR(a.mean_ms(), 50.5, 1.0);
+  EXPECT_NEAR(a.min_ms(), 1.0, 1e-9);
+  EXPECT_NEAR(a.max_ms(), 100.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.record_ms(10);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ms(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecording) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10'000; ++i) h.record_ms(1.0 + (i % 10));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), 80'000u);
+}
+
+TEST(LatencyHistogramTest, SummaryMentionsPercentiles) {
+  LatencyHistogram h;
+  h.record_ms(2.5);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("p95"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, ExtremeValues) {
+  LatencyHistogram h;
+  h.record_ms(0.0);        // clamps at the smallest bucket
+  h.record_ms(1e6);        // clamps at the largest bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile_ms(1.0), h.percentile_ms(0.01));
+}
+
+TEST(ThroughputMeterTest, CountsOps) {
+  ThroughputMeter m;
+  m.add();
+  m.add(9);
+  EXPECT_EQ(m.total(), 10u);
+  EXPECT_GT(m.ops_per_sec(), 0.0);
+  m.reset();
+  EXPECT_EQ(m.total(), 0u);
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,77 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tiera {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").is_not_found());
+  EXPECT_TRUE(Status::Unavailable().is_unavailable());
+  EXPECT_TRUE(Status::TimedOut().is_timed_out());
+  EXPECT_TRUE(Status::CapacityExceeded().is_capacity_exceeded());
+  EXPECT_FALSE(Status::NotFound().ok());
+  EXPECT_EQ(Status::Corruption("bad crc").message(), "bad crc");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("flag must be set");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: flag must be set");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Internal());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "OK");
+  EXPECT_EQ(to_string(StatusCode::kCapacityExceeded), "CAPACITY_EXCEEDED");
+  EXPECT_EQ(to_string(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().is_not_found());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string value = std::move(r).value();
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status helper_that_fails() { return Status::TimedOut("deadline"); }
+
+Status propagates() {
+  TIERA_RETURN_IF_ERROR(helper_that_fails());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(propagates().is_timed_out());
+}
+
+}  // namespace
+}  // namespace tiera

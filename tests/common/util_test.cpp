@@ -1,0 +1,155 @@
+// Tests for clock/time-scale, thread pool, rate limiter, bytes helpers and
+// logging plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/rate_limiter.h"
+#include "common/thread_pool.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::ZeroLatencyScope;
+
+TEST(ClockTest, TimeScaleDefaultsApplied) {
+  ZeroLatencyScope scope(0.5);
+  EXPECT_DOUBLE_EQ(time_scale(), 0.5);
+}
+
+TEST(ClockTest, ZeroScaleSkipsDelay) {
+  ZeroLatencyScope scope(0.0);
+  Stopwatch w;
+  apply_model_delay(std::chrono::seconds(10));
+  EXPECT_LT(w.elapsed_ms(), 50.0);
+}
+
+TEST(ClockTest, ScaledDelaySleepsProportionally) {
+  ZeroLatencyScope scope(0.01);
+  Stopwatch w;
+  apply_model_delay(from_ms(500));  // 500ms modelled -> 5ms wall
+  const double elapsed = w.elapsed_ms();
+  EXPECT_GE(elapsed, 4.0);
+  EXPECT_LT(elapsed, 200.0);  // generous: CI hosts stall
+}
+
+TEST(ClockTest, PreciseSleepShortDurations) {
+  Stopwatch w;
+  precise_sleep(std::chrono::microseconds(200));
+  EXPECT_GE(w.elapsed(), std::chrono::microseconds(190));
+}
+
+TEST(ClockTest, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(12.5)), 12.5);
+  EXPECT_NEAR(to_seconds(from_ms(1500)), 1.5, 1e-9);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(to_string(as_view(b)), "hello");
+}
+
+TEST(BytesTest, AppendConcatenates) {
+  Bytes out = to_bytes("ab");
+  append(out, std::string_view("cd"));
+  EXPECT_EQ(to_string(as_view(out)), "abcd");
+}
+
+TEST(BytesTest, MakePayloadDeterministicBySeed) {
+  EXPECT_EQ(make_payload(1000, 1), make_payload(1000, 1));
+  EXPECT_NE(make_payload(1000, 1), make_payload(1000, 2));
+  EXPECT_EQ(make_payload(0, 1).size(), 0u);
+  EXPECT_EQ(make_payload(13, 3).size(), 13u);  // non-multiple of 8
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, FutureResults) {
+  ThreadPool pool(2);
+  auto f = pool.submit_with_result([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPoolTest, ShutdownIdempotentAndJoins) {
+  auto pool = std::make_unique<ThreadPool>(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) pool->submit([&done] { done.fetch_add(1); });
+  pool->shutdown();
+  pool->shutdown();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitIdleWaitsForInFlightWork) {
+  ThreadPool pool(2);
+  std::atomic<bool> finished{false};
+  pool.submit([&finished] {
+    precise_sleep(from_ms(20));
+    finished.store(true);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(RateLimiterTest, UnlimitedNeverBlocks) {
+  RateLimiter limiter(0);
+  Stopwatch w;
+  limiter.acquire(100'000'000);
+  EXPECT_LT(w.elapsed_ms(), 10.0);
+  EXPECT_TRUE(limiter.unlimited());
+}
+
+TEST(RateLimiterTest, ThrottlesToConfiguredRate) {
+  ZeroLatencyScope scope(1.0);
+  RateLimiter limiter(1'000'000, /*burst_seconds=*/0.01);  // 1 MB/s
+  limiter.acquire(10'000);  // drain burst
+  Stopwatch w;
+  limiter.acquire(25'000);
+  limiter.acquire(25'000);  // ~50ms total debt at 1 MB/s
+  const double elapsed = w.elapsed_ms();
+  EXPECT_GE(elapsed, 25.0);
+  EXPECT_LT(elapsed, 1000.0);  // generous upper bound for loaded hosts
+}
+
+TEST(RateLimiterTest, AdmitsRequestsLargerThanBurst) {
+  ZeroLatencyScope scope(1.0);
+  RateLimiter limiter(10'000'000, /*burst_seconds=*/0.001);  // 10 KB bucket
+  Stopwatch w;
+  limiter.acquire(200'000);  // 20x the bucket: must not hang
+  EXPECT_LT(w.elapsed_ms(), 500.0);
+}
+
+TEST(RateLimiterTest, TryAcquireRespectsTokens) {
+  RateLimiter limiter(1000, /*burst_seconds=*/1.0);  // bucket of ~1000
+  EXPECT_TRUE(limiter.try_acquire(500));
+  EXPECT_FALSE(limiter.try_acquire(10'000'000));
+}
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  TIERA_LOG(kDebug, "test") << "suppressed";
+  TIERA_LOG(kError, "test") << "visible in stderr";
+  set_log_level(prev);
+}
+
+}  // namespace
+}  // namespace tiera

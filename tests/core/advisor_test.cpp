@@ -1,0 +1,137 @@
+// The §6 future-work advisor: abstract requirements -> instance plan.
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/kv_workload.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+TEST(AdvisorHitModelTest, UniformIsLinear) {
+  EXPECT_DOUBLE_EQ(
+      predicted_hit_fraction(Requirements::Distribution::kUniform, 0.99, 0.3),
+      0.3);
+  EXPECT_DOUBLE_EQ(
+      predicted_hit_fraction(Requirements::Distribution::kUniform, 0.99, 0.0),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      predicted_hit_fraction(Requirements::Distribution::kUniform, 0.99, 1.0),
+      1.0);
+}
+
+TEST(AdvisorHitModelTest, ZipfianConcentrates) {
+  // A small cache captures disproportionate zipfian mass.
+  const double small = predicted_hit_fraction(
+      Requirements::Distribution::kZipfian, 0.99, 0.10);
+  EXPECT_GT(small, 0.5);
+  EXPECT_LT(small, 1.0);
+  // Monotone in capacity.
+  EXPECT_LT(small, predicted_hit_fraction(
+                       Requirements::Distribution::kZipfian, 0.99, 0.5));
+  // More skew -> more mass captured.
+  EXPECT_GT(predicted_hit_fraction(Requirements::Distribution::kZipfian,
+                                   1.2, 0.10),
+            predicted_hit_fraction(Requirements::Distribution::kZipfian,
+                                   0.8, 0.10));
+}
+
+TEST(AdvisorTest, TightLatencyDemandsMemcached) {
+  Requirements req;
+  req.read_latency_ms = 1.0;  // sub-EBS p99: everything must hit Memcached
+  req.percentile = 0.99;
+  req.distribution = Requirements::Distribution::kUniform;
+  auto plan = advise(req);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  ASSERT_EQ(plan->tiers.size(), 3u);
+  EXPECT_GE(plan->tiers[0].fraction, 0.95);  // Memcached dominates
+  EXPECT_LE(plan->predicted_latency_ms, 1.0);
+}
+
+TEST(AdvisorTest, RelaxedLatencyBuysCheaperTiers) {
+  Requirements tight, loose;
+  tight.read_latency_ms = 1.0;
+  loose.read_latency_ms = 15.0;  // EBS-class p99 is fine
+  auto tight_plan = advise(tight);
+  auto loose_plan = advise(loose);
+  ASSERT_TRUE(tight_plan.ok());
+  ASSERT_TRUE(loose_plan.ok());
+  EXPECT_LT(loose_plan->monthly_cost, tight_plan->monthly_cost);
+  EXPECT_LT(loose_plan->tiers[0].fraction, tight_plan->tiers[0].fraction);
+}
+
+TEST(AdvisorTest, ZipfianNeedsLessMemcachedThanUniform) {
+  Requirements uniform, zipf;
+  uniform.read_latency_ms = zipf.read_latency_ms = 12.0;
+  uniform.percentile = zipf.percentile = 0.95;
+  uniform.distribution = Requirements::Distribution::kUniform;
+  zipf.distribution = Requirements::Distribution::kZipfian;
+  auto uniform_plan = advise(uniform);
+  auto zipf_plan = advise(zipf);
+  ASSERT_TRUE(uniform_plan.ok());
+  ASSERT_TRUE(zipf_plan.ok());
+  EXPECT_LE(zipf_plan->monthly_cost, uniform_plan->monthly_cost);
+}
+
+TEST(AdvisorTest, ImpossibleRequirementsRejected) {
+  Requirements req;
+  req.read_latency_ms = 1.0;          // needs nearly all-Memcached...
+  req.budget_dollars = 0.01;          // ...which this budget cannot buy
+  req.working_set_bytes = 10ull << 30;
+  EXPECT_FALSE(advise(req).ok());
+  Requirements bad;
+  bad.read_latency_ms = -1;
+  EXPECT_FALSE(advise(bad).ok());
+}
+
+TEST(AdvisorTest, BudgetActsAsCeiling) {
+  Requirements req;
+  req.read_latency_ms = 30.0;
+  req.working_set_bytes = 1ull << 30;
+  auto unconstrained = advise(req);
+  ASSERT_TRUE(unconstrained.ok());
+  req.budget_dollars = unconstrained->monthly_cost * 1.5;
+  auto constrained = advise(req);
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_LE(constrained->monthly_cost, *req.budget_dollars);
+}
+
+TEST(AdvisorTest, PlanInstantiatesAndMeetsPredictionRoughly) {
+  ZeroLatencyScope scale(0.15);
+  TempDir dir;
+  Requirements req;
+  req.read_latency_ms = 12.0;  // EBS-class p95
+  req.percentile = 0.95;
+  req.working_set_bytes = 1200ull * 4096;
+  req.distribution = Requirements::Distribution::kZipfian;
+  auto plan = advise(req);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+
+  auto instance =
+      plan->instantiate({.data_dir = dir.sub("plan")}, req.working_set_bytes);
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+
+  KvWorkloadOptions options;
+  options.record_count = 1200;
+  options.value_size = 4096;
+  options.read_fraction = 1.0;
+  options.distribution = KeyDist::kZipfian;
+  options.threads = 4;
+  options.duration = std::chrono::seconds(8);
+  auto backend = KvBackend::for_instance(**instance);
+  const KvWorkloadResult result = run_kv_workload(backend, options);
+  (*instance)->control().drain();
+  ASSERT_GT(result.reads, 0u);
+  // The analytic model is coarse; require the measured percentile to be
+  // within 3x of the requirement (warmup, promotion churn, jitter).
+  EXPECT_LT(result.read_latency.percentile_ms(req.percentile),
+            req.read_latency_ms * 3)
+      << plan->summary();
+}
+
+}  // namespace
+}  // namespace tiera

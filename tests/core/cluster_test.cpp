@@ -1,0 +1,160 @@
+// Horizontal scaling of the control layer (the paper's §6 future work):
+// consistent-hash routing, balance, and live node addition/removal with
+// object migration.
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "core/responses.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  InstancePtr make_node(const std::string& name) {
+    InstanceConfig config;
+    config.name = name;
+    config.data_dir = dir_.sub(name);
+    config.tiers = {{"Memcached", "tier1", 64 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    EXPECT_TRUE(instance.ok());
+    return std::move(instance).value();
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+};
+
+TEST_F(ClusterTest, EmptyClusterRejectsOps) {
+  TieraCluster cluster;
+  EXPECT_TRUE(cluster.put("x", as_view(make_payload(8, 1))).is_unavailable());
+  EXPECT_TRUE(cluster.get("x").status().is_unavailable());
+  EXPECT_EQ(cluster.node_count(), 0u);
+}
+
+TEST_F(ClusterTest, RoutesAndRoundTrips) {
+  TieraCluster cluster;
+  ASSERT_TRUE(cluster.add_node("n1", make_node("n1")).ok());
+  ASSERT_TRUE(cluster.add_node("n2", make_node("n2")).ok());
+  ASSERT_TRUE(cluster.add_node("n3", make_node("n3")).ok());
+  EXPECT_EQ(cluster.node_count(), 3u);
+
+  for (int i = 0; i < 200; ++i) {
+    const std::string id = "obj" + std::to_string(i);
+    ASSERT_TRUE(cluster.put(id, as_view(make_payload(128, i)), {"t"}).ok());
+  }
+  EXPECT_EQ(cluster.object_count(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    const std::string id = "obj" + std::to_string(i);
+    auto got = cluster.get(id);
+    ASSERT_TRUE(got.ok()) << id;
+    EXPECT_EQ(*got, make_payload(128, i));
+    EXPECT_TRUE(cluster.contains(id));
+    auto meta = cluster.stat(id);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_TRUE(meta->has_tag("t"));
+  }
+}
+
+TEST_F(ClusterTest, RoutingIsDeterministic) {
+  TieraCluster cluster;
+  ASSERT_TRUE(cluster.add_node("n1", make_node("n1")).ok());
+  ASSERT_TRUE(cluster.add_node("n2", make_node("n2")).ok());
+  const auto owner1 = cluster.owner_of("some-object");
+  const auto owner2 = cluster.owner_of("some-object");
+  ASSERT_TRUE(owner1.ok());
+  EXPECT_EQ(*owner1, *owner2);
+}
+
+TEST_F(ClusterTest, LoadSpreadsAcrossNodes) {
+  TieraCluster cluster(/*vnodes_per_node=*/128);
+  ASSERT_TRUE(cluster.add_node("n1", make_node("n1")).ok());
+  ASSERT_TRUE(cluster.add_node("n2", make_node("n2")).ok());
+  ASSERT_TRUE(cluster.add_node("n3", make_node("n3")).ok());
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    counts[*cluster.owner_of("key" + std::to_string(i))]++;
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [name, count] : counts) {
+    EXPECT_GT(count, 3000 / 3 / 2) << name;   // within 2x of fair share
+    EXPECT_LT(count, 3000 / 3 * 2) << name;
+  }
+}
+
+TEST_F(ClusterTest, DuplicateNodeNameRejected) {
+  TieraCluster cluster;
+  ASSERT_TRUE(cluster.add_node("n1", make_node("n1")).ok());
+  EXPECT_EQ(cluster.add_node("n1", make_node("n1b")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ClusterTest, AddNodeMigratesOwnershipChanges) {
+  TieraCluster cluster;
+  ASSERT_TRUE(cluster.add_node("n1", make_node("n1")).ok());
+  ASSERT_TRUE(cluster.add_node("n2", make_node("n2")).ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(cluster
+                    .put("m" + std::to_string(i),
+                         as_view(make_payload(64, i)))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.add_node("n3", make_node("n3")).ok());
+  // Roughly a third of the keys should have moved to the new node.
+  EXPECT_GT(cluster.last_migration_count(), 30u);
+  EXPECT_LT(cluster.last_migration_count(), 250u);
+  // No object lost or duplicated, and every read routes correctly.
+  EXPECT_EQ(cluster.object_count(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    auto got = cluster.get("m" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, make_payload(64, i));
+  }
+}
+
+TEST_F(ClusterTest, RemoveNodeDrainsIt) {
+  TieraCluster cluster;
+  ASSERT_TRUE(cluster.add_node("n1", make_node("n1")).ok());
+  ASSERT_TRUE(cluster.add_node("n2", make_node("n2")).ok());
+  ASSERT_TRUE(cluster.add_node("n3", make_node("n3")).ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(cluster
+                    .put("d" + std::to_string(i),
+                         as_view(make_payload(64, i)))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.remove_node("n2").ok());
+  EXPECT_EQ(cluster.node_count(), 2u);
+  EXPECT_EQ(cluster.object_count(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    auto got = cluster.get("d" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, make_payload(64, i));
+    const auto owner = cluster.owner_of("d" + std::to_string(i));
+    ASSERT_TRUE(owner.ok());
+    EXPECT_NE(*owner, "n2");
+  }
+  EXPECT_TRUE(cluster.remove_node("ghost").is_not_found());
+}
+
+TEST_F(ClusterTest, CannotRemoveLastNode) {
+  TieraCluster cluster;
+  ASSERT_TRUE(cluster.add_node("n1", make_node("n1")).ok());
+  EXPECT_EQ(cluster.remove_node("n1").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClusterTest, CostAggregates) {
+  TieraCluster cluster;
+  ASSERT_TRUE(cluster.add_node("n1", make_node("n1")).ok());
+  ASSERT_TRUE(cluster.add_node("n2", make_node("n2")).ok());
+  // Two 64 MB memcached tiers at $19/GB-month.
+  EXPECT_NEAR(cluster.monthly_cost(), 2 * 64.0 / 1024.0 * 19.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,299 @@
+// Control-layer semantics: action events (foreground/background, tier and
+// tag filters), timer events, threshold events (edge-triggered re-arming and
+// sliding thresholds), and dynamic rule replacement.
+#include "core/control.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/instance.h"
+#include "core/responses.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class ControlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 1 << 20},
+                    {"EBS", "tier2", 1 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+  }
+
+  Rule counting_rule(EventDef event, std::atomic<int>& counter) {
+    Rule rule;
+    rule.event = std::move(event);
+    rule.responses.push_back(std::make_unique<CallbackResponse>(
+        "count", [&counter](EventContext&) {
+          counter.fetch_add(1);
+          return Status::Ok();
+        }));
+    return rule;
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+};
+
+TEST_F(ControlTest, InsertEventFiresOnPut) {
+  std::atomic<int> fired{0};
+  instance_->add_rule(counting_rule(EventDef::on_insert(), fired));
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  EXPECT_EQ(fired.load(), 1);
+  ASSERT_TRUE(instance_->put("b", as_view(make_payload(10, 2))).ok());
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST_F(ControlTest, TierFilteredInsertEventFiresAfterPlacement) {
+  std::atomic<int> tier1_fired{0};
+  std::atomic<int> tier2_fired{0};
+  instance_->add_rule(counting_rule(EventDef::on_insert("tier1"), tier1_fired));
+  instance_->add_rule(counting_rule(EventDef::on_insert("tier2"), tier2_fired));
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  EXPECT_EQ(tier1_fired.load(), 1);  // default placement goes to tier1
+  EXPECT_EQ(tier2_fired.load(), 0);
+}
+
+TEST_F(ControlTest, GetEventCarriesServingTier) {
+  std::atomic<int> fired{0};
+  std::string served;
+  Rule rule;
+  rule.event = EventDef::on_action(ActionType::kGet, "tier1");
+  rule.responses.push_back(std::make_unique<CallbackResponse>(
+      "capture", [&](EventContext& ctx) {
+        fired.fetch_add(1);
+        served = ctx.action_tier;
+        return Status::Ok();
+      }));
+  instance_->add_rule(std::move(rule));
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  ASSERT_TRUE(instance_->get("a").ok());
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(served, "tier1");
+}
+
+TEST_F(ControlTest, DeleteEventFiresBeforeRemoval) {
+  std::atomic<bool> object_present_at_event{false};
+  Rule rule;
+  rule.event = EventDef::on_action(ActionType::kDelete);
+  rule.responses.push_back(std::make_unique<CallbackResponse>(
+      "check", [&](EventContext& ctx) {
+        object_present_at_event = ctx.instance->contains(ctx.object_id);
+        return Status::Ok();
+      }));
+  instance_->add_rule(std::move(rule));
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  ASSERT_TRUE(instance_->remove("a").ok());
+  EXPECT_TRUE(object_present_at_event.load());
+}
+
+TEST_F(ControlTest, TagFilteredEventsSelectObjectClass) {
+  std::atomic<int> tmp_fired{0};
+  Rule rule;
+  rule.event = EventDef::on_insert("", "tmp");
+  rule.responses.push_back(std::make_unique<CallbackResponse>(
+      "count", [&](EventContext&) {
+        tmp_fired.fetch_add(1);
+        return Status::Ok();
+      }));
+  instance_->add_rule(std::move(rule));
+  ASSERT_TRUE(instance_->put("t", as_view(make_payload(10, 1)), {"tmp"}).ok());
+  ASSERT_TRUE(instance_->put("p", as_view(make_payload(10, 2))).ok());
+  EXPECT_EQ(tmp_fired.load(), 1);
+}
+
+TEST_F(ControlTest, TagPolicyRoutesObjectClassToCheapTier) {
+  // The paper's example: objects tagged "tmp" go to inexpensive volatile
+  // storage. Placement rule for tmp runs plus a store for everything else.
+  Rule tmp_rule;
+  tmp_rule.event = EventDef::on_insert("", "tmp");
+  tmp_rule.responses.push_back(
+      make_store(Selector::action_object(), {"tier1"}));
+  instance_->add_rule(std::move(tmp_rule));
+  Rule default_rule;
+  default_rule.event = EventDef::on_insert("", "durable");
+  default_rule.responses.push_back(
+      make_store(Selector::action_object(), {"tier2"}));
+  instance_->add_rule(std::move(default_rule));
+
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(8, 1)), {"tmp"}).ok());
+  ASSERT_TRUE(
+      instance_->put("b", as_view(make_payload(8, 2)), {"durable"}).ok());
+  EXPECT_TRUE(instance_->stat("a")->in_tier("tier1"));
+  EXPECT_FALSE(instance_->stat("a")->in_tier("tier2"));
+  EXPECT_TRUE(instance_->stat("b")->in_tier("tier2"));
+}
+
+TEST_F(ControlTest, BackgroundActionEventRunsOffRequestPath) {
+  std::atomic<int> fired{0};
+  Rule rule = counting_rule(EventDef::on_insert().in_background(), fired);
+  instance_->add_rule(std::move(rule));
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  instance_->control().drain();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(ControlTest, TimerEventFiresRepeatedly) {
+  ZeroLatencyScope scale(1.0);
+  std::atomic<int> fired{0};
+  instance_->add_rule(
+      counting_rule(EventDef::on_timer(from_ms(30)), fired));
+  // ~200ms: expect several firings.
+  precise_sleep(from_ms(220));
+  instance_->control().drain();
+  EXPECT_GE(fired.load(), 3);
+  EXPECT_LE(fired.load(), 10);
+}
+
+TEST_F(ControlTest, TimerDrivenWriteBackCopiesDirtyData) {
+  ZeroLatencyScope scale(1.0);
+  Rule writeback;
+  writeback.event = EventDef::on_timer(from_ms(40));
+  writeback.responses.push_back(
+      make_copy(Selector::in_tier("tier1", true), {"tier2"}));
+  instance_->add_rule(std::move(writeback));
+  ASSERT_TRUE(instance_->put("wb", as_view(make_payload(10, 1))).ok());
+  EXPECT_TRUE(instance_->stat("wb")->dirty);
+  precise_sleep(from_ms(150));
+  instance_->control().drain();
+  const auto meta = instance_->stat("wb");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->in_tier("tier2"));
+  EXPECT_FALSE(meta->dirty);
+}
+
+TEST_F(ControlTest, ThresholdEventFiresOnCrossing) {
+  std::atomic<int> fired{0};
+  instance_->add_rule(counting_rule(
+      EventDef::on_threshold("tier1", TierAttribute::kFillFraction, 0.5),
+      fired));
+  // ~30% full: no fire.
+  ASSERT_TRUE(
+      instance_->put("a", as_view(make_payload(300'000, 1))).ok());
+  EXPECT_EQ(fired.load(), 0);
+  // Cross 50%.
+  ASSERT_TRUE(
+      instance_->put("b", as_view(make_payload(300'000, 2))).ok());
+  EXPECT_EQ(fired.load(), 1);
+  // Still above: edge-triggered, no refire.
+  ASSERT_TRUE(instance_->put("c", as_view(make_payload(10'000, 3))).ok());
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(ControlTest, ThresholdRearmsAfterFallingBelow) {
+  std::atomic<int> fired{0};
+  instance_->add_rule(counting_rule(
+      EventDef::on_threshold("tier1", TierAttribute::kFillFraction, 0.5),
+      fired));
+  ASSERT_TRUE(
+      instance_->put("a", as_view(make_payload(600'000, 1))).ok());
+  EXPECT_EQ(fired.load(), 1);
+  ASSERT_TRUE(instance_->remove("a").ok());  // below threshold: re-arm
+  ASSERT_TRUE(
+      instance_->put("b", as_view(make_payload(600'000, 2))).ok());
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST_F(ControlTest, SlidingThresholdFiresPerStep) {
+  std::atomic<int> fired{0};
+  instance_->add_rule(counting_rule(
+      EventDef::on_threshold("tier1", TierAttribute::kUsedBytes, 100'000,
+                             /*sliding=*/true),
+      fired));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(instance_->put("s" + std::to_string(i),
+                               as_view(make_payload(50'000, i)))
+                    .ok());
+  }
+  // 500 KB written in 50 KB steps with a 100 KB sliding threshold: ~5 fires.
+  EXPECT_GE(fired.load(), 4);
+  EXPECT_LE(fired.load(), 6);
+}
+
+TEST_F(ControlTest, ObjectCountThreshold) {
+  std::atomic<int> fired{0};
+  instance_->add_rule(counting_rule(
+      EventDef::on_threshold("tier1", TierAttribute::kObjectCount, 3), fired));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(instance_->put("o" + std::to_string(i),
+                               as_view(make_payload(10, i)))
+                    .ok());
+  }
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(ControlTest, RemoveRuleStopsFiring) {
+  std::atomic<int> fired{0};
+  const std::uint64_t id =
+      instance_->add_rule(counting_rule(EventDef::on_insert(), fired));
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  ASSERT_TRUE(instance_->remove_rule(id).ok());
+  ASSERT_TRUE(instance_->put("b", as_view(make_payload(10, 2))).ok());
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_TRUE(instance_->remove_rule(id).is_not_found());
+}
+
+TEST_F(ControlTest, ClearRulesKeepsServingWithDefaultPlacement) {
+  std::atomic<int> fired{0};
+  instance_->add_rule(counting_rule(EventDef::on_insert(), fired));
+  instance_->clear_rules();
+  EXPECT_EQ(instance_->control().rule_count(), 0u);
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_TRUE(instance_->get("a").ok());
+}
+
+TEST_F(ControlTest, DynamicPolicyReplacementWhileServing) {
+  // Start with placement into tier1; swap to tier2 mid-stream.
+  Rule to_tier1;
+  to_tier1.event = EventDef::on_insert();
+  to_tier1.responses.push_back(
+      make_store(Selector::action_object(), {"tier1"}));
+  const std::uint64_t rule1 = instance_->add_rule(std::move(to_tier1));
+  ASSERT_TRUE(instance_->put("early", as_view(make_payload(10, 1))).ok());
+
+  ASSERT_TRUE(instance_->remove_rule(rule1).ok());
+  Rule to_tier2;
+  to_tier2.event = EventDef::on_insert();
+  to_tier2.responses.push_back(
+      make_store(Selector::action_object(), {"tier2"}));
+  instance_->add_rule(std::move(to_tier2));
+  ASSERT_TRUE(instance_->put("late", as_view(make_payload(10, 2))).ok());
+
+  EXPECT_TRUE(instance_->stat("early")->in_tier("tier1"));
+  EXPECT_TRUE(instance_->stat("late")->in_tier("tier2"));
+  EXPECT_FALSE(instance_->stat("late")->in_tier("tier1"));
+}
+
+TEST_F(ControlTest, EventsFiredCounter) {
+  std::atomic<int> fired{0};
+  instance_->add_rule(counting_rule(EventDef::on_insert(), fired));
+  const auto before = instance_->control().events_fired();
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  EXPECT_GT(instance_->control().events_fired(), before);
+}
+
+TEST_F(ControlTest, FailingResponseCounted) {
+  Rule rule;
+  rule.event = EventDef::on_insert();
+  rule.responses.push_back(std::make_unique<CallbackResponse>(
+      "fail", [](EventContext&) { return Status::Internal("boom"); }));
+  // Add a placement rule too so the put itself succeeds.
+  rule.responses.push_back(make_store(Selector::action_object(), {"tier1"}));
+  instance_->add_rule(std::move(rule));
+  ASSERT_TRUE(instance_->put("a", as_view(make_payload(10, 1))).ok());
+  EXPECT_EQ(instance_->control().responses_failed(), 1u);
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,105 @@
+// EventDef construction, describe() rendering, and selector/condition
+// descriptions — the introspection surface operators see in logs.
+#include "core/events.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace tiera {
+namespace {
+
+TEST(EventDefTest, ActionFactories) {
+  const EventDef insert = EventDef::on_insert("tier1", "tmp");
+  EXPECT_EQ(insert.kind, EventKind::kAction);
+  EXPECT_EQ(insert.action.action, ActionType::kInsert);
+  EXPECT_EQ(insert.action.tier_filter, "tier1");
+  EXPECT_EQ(insert.action.tag_filter, "tmp");
+  EXPECT_FALSE(insert.background);
+
+  const EventDef get = EventDef::on_action(ActionType::kGet, "tier2");
+  EXPECT_EQ(get.action.action, ActionType::kGet);
+}
+
+TEST(EventDefTest, TimerIsImplicitlyBackground) {
+  const EventDef timer = EventDef::on_timer(std::chrono::seconds(30));
+  EXPECT_EQ(timer.kind, EventKind::kTimer);
+  EXPECT_TRUE(timer.background);
+  EXPECT_EQ(timer.timer.period, std::chrono::seconds(30));
+}
+
+TEST(EventDefTest, ThresholdFactory) {
+  const EventDef t = EventDef::on_threshold("tier1",
+                                            TierAttribute::kFillFraction,
+                                            0.75, /*sliding=*/true);
+  EXPECT_EQ(t.kind, EventKind::kThreshold);
+  EXPECT_EQ(t.threshold.tier, "tier1");
+  EXPECT_DOUBLE_EQ(t.threshold.threshold, 0.75);
+  EXPECT_TRUE(t.threshold.sliding);
+}
+
+TEST(EventDefTest, InBackgroundChains) {
+  const EventDef e = EventDef::on_insert().in_background();
+  EXPECT_TRUE(e.background);
+}
+
+TEST(EventDefTest, DescribeRendersEachKind) {
+  EXPECT_EQ(EventDef::on_insert().describe(), "event(insert)");
+  EXPECT_EQ(EventDef::on_insert("tier1").describe(),
+            "event(insert.into == tier1)");
+  EXPECT_NE(EventDef::on_insert("", "tmp").describe().find("tag == tmp"),
+            std::string::npos);
+  EXPECT_NE(EventDef::on_timer(std::chrono::seconds(2)).describe().find(
+                "time=2"),
+            std::string::npos);
+  const std::string threshold =
+      EventDef::on_threshold("t1", TierAttribute::kFillFraction, 0.5)
+          .describe();
+  EXPECT_NE(threshold.find("t1.filled == 50%"), std::string::npos);
+  EXPECT_NE(EventDef::on_threshold("t1", TierAttribute::kUsedBytes, 100)
+                .describe()
+                .find(".used"),
+            std::string::npos);
+  EXPECT_NE(EventDef::on_threshold("t1", TierAttribute::kObjectCount, 10)
+                .describe()
+                .find(".objects"),
+            std::string::npos);
+  const std::string bg = EventDef::on_insert().in_background().describe();
+  EXPECT_EQ(bg.rfind("background ", 0), 0u);
+}
+
+TEST(ActionTypeTest, Names) {
+  EXPECT_EQ(to_string(ActionType::kInsert), "insert");
+  EXPECT_EQ(to_string(ActionType::kGet), "get");
+  EXPECT_EQ(to_string(ActionType::kDelete), "delete");
+}
+
+TEST(SelectorDescribeTest, AllForms) {
+  EXPECT_EQ(Selector::action_object().describe(), "insert.object");
+  EXPECT_EQ(Selector::by_id("x").describe(), "\"x\"");
+  EXPECT_EQ(Selector::oldest_in("t1").describe(), "t1.oldest");
+  EXPECT_EQ(Selector::newest_in("t1").describe(), "t1.newest");
+  EXPECT_EQ(Selector::all().describe(), "all objects");
+  EXPECT_EQ(Selector::in_tier("t1", true).describe(),
+            "object.location == t1 && object.dirty == true");
+  EXPECT_EQ(Selector::with_tag("tmp").describe(), "object.tag == \"tmp\"");
+}
+
+TEST(ConditionDescribeTest, AllForms) {
+  EXPECT_EQ(Condition::always().describe(), "always");
+  EXPECT_EQ(Condition::tier_cannot_fit("t1").describe(), "t1.filled");
+  EXPECT_NE(Condition::tier_fill_at_least("t1", 0.75).describe().find("75"),
+            std::string::npos);
+  EXPECT_NE(Condition::tier_used_at_least("t1", 1024).describe().find("1024"),
+            std::string::npos);
+}
+
+TEST(RuleTest, FreshRuleState) {
+  Rule rule;
+  EXPECT_EQ(rule.id, 0u);
+  EXPECT_TRUE(rule.armed->load());
+  EXPECT_EQ(rule.next_deadline_ns->load(), 0);
+}
+
+}  // namespace
+}  // namespace tiera

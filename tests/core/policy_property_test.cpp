@@ -1,0 +1,201 @@
+// Property tests over the policy engine: randomized operation sequences
+// against the paper's canonical policies, asserting the invariants each
+// policy promises.
+#include <gtest/gtest.h>
+
+#include "core/responses.h"
+#include "core/templates.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class PolicyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+};
+
+// Exclusive tiered LRU (Table 2 instances): after any mix of puts, gets,
+// overwrites and deletes —
+//   * every live object is readable and byte-correct,
+//   * no tier exceeds its capacity,
+//   * each object occupies exactly one tier (exclusive placement).
+TEST_P(PolicyPropertyTest, ExclusiveLruInvariants) {
+  auto instance = make_tiered_lru_instance(
+      {.data_dir = dir_.sub("lru")}, /*dataset=*/256ull * 1024, 0.4, 0.3,
+      0.4);
+  ASSERT_TRUE(instance.ok());
+  Rng rng(GetParam());
+  std::map<std::string, std::uint64_t> live;  // id -> payload seed
+
+  for (int step = 0; step < 400; ++step) {
+    const std::string id = "o" + std::to_string(rng.next_below(120));
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {  // put / overwrite
+        const std::uint64_t seed = rng.next();
+        ASSERT_TRUE(
+            (*instance)->put(id, as_view(make_payload(2048, seed))).ok())
+            << "step " << step;
+        live[id] = seed;
+        break;
+      }
+      case 2: {  // get
+        auto it = live.find(id);
+        auto got = (*instance)->get(id);
+        if (it == live.end()) {
+          EXPECT_FALSE(got.ok());
+        } else {
+          ASSERT_TRUE(got.ok()) << id << " step " << step;
+          EXPECT_EQ(*got, make_payload(2048, it->second));
+        }
+        break;
+      }
+      case 3: {  // delete (sometimes)
+        if (live.count(id)) {
+          ASSERT_TRUE((*instance)->remove(id).ok());
+          live.erase(id);
+        }
+        break;
+      }
+    }
+  }
+  (*instance)->control().drain();
+
+  // Invariants.
+  for (const auto& tier : (*instance)->tiers()) {
+    EXPECT_LE(tier->used(), tier->capacity()) << tier->name();
+  }
+  for (const auto& [id, seed] : live) {
+    const auto meta = (*instance)->stat(id);
+    ASSERT_TRUE(meta.ok()) << id;
+    EXPECT_EQ(meta->locations.size(), 1u) << id << " (exclusive placement)";
+    auto got = (*instance)->get(id);
+    ASSERT_TRUE(got.ok()) << id;
+    EXPECT_EQ(*got, make_payload(2048, seed)) << id;
+  }
+  EXPECT_EQ((*instance)->object_count(), live.size());
+}
+
+// Write-through (MemcachedEBS): after every acknowledged PUT the object is
+// clean and both tiers hold identical bytes.
+TEST_P(PolicyPropertyTest, WriteThroughInvariants) {
+  auto instance = make_memcached_ebs_instance({.data_dir = dir_.sub("wt")},
+                                              64 << 20, 64 << 20);
+  ASSERT_TRUE(instance.ok());
+  Rng rng(GetParam() * 31);
+  for (int step = 0; step < 150; ++step) {
+    const std::string id = "w" + std::to_string(rng.next_below(40));
+    const Bytes payload = make_payload(1 + rng.next_below(8192), rng.next());
+    ASSERT_TRUE((*instance)->put(id, as_view(payload)).ok());
+    const auto meta = (*instance)->stat(id);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_FALSE(meta->dirty) << id;
+    EXPECT_TRUE(meta->in_tier("tier1"));
+    EXPECT_TRUE(meta->in_tier("tier2"));
+    auto in_mem = (*instance)->tier("tier1")->get(id);
+    auto in_ebs = (*instance)->tier("tier2")->get(id);
+    ASSERT_TRUE(in_mem.ok());
+    ASSERT_TRUE(in_ebs.ok());
+    EXPECT_EQ(*in_mem, *in_ebs);
+    EXPECT_EQ(*in_mem, payload);
+  }
+}
+
+// At-rest transforms: randomly compress and/or encrypt objects; GET always
+// returns the original bytes and flags round-trip through un-transforms.
+TEST_P(PolicyPropertyTest, TransformRoundTrips) {
+  InstanceConfig config;
+  config.data_dir = dir_.sub("transforms");
+  config.tiers = {{"EBS", "tier1", 256 << 20}};
+  auto instance = TieraInstance::create(std::move(config));
+  ASSERT_TRUE(instance.ok());
+  const ChaChaKey key = derive_key("property");
+  Rng rng(GetParam() * 97);
+
+  std::map<std::string, Bytes> expected;
+  for (int i = 0; i < 40; ++i) {
+    const std::string id = "t" + std::to_string(i);
+    // Mix compressible and random payloads.
+    Bytes payload;
+    if (rng.next_below(2) == 0) {
+      while (payload.size() < 4096) {
+        append(payload, std::string_view("compressible content "));
+      }
+    } else {
+      payload = make_payload(4096, rng.next());
+    }
+    ASSERT_TRUE((*instance)->put(id, as_view(payload)).ok());
+    expected[id] = payload;
+    const int transform = static_cast<int>(rng.next_below(4));
+    if (transform == 1 || transform == 3) {
+      ASSERT_TRUE((*instance)->engine_compress({id}).ok());
+    }
+    if (transform == 2 || transform == 3) {
+      ASSERT_TRUE((*instance)->engine_encrypt({id}, key).ok());
+    }
+  }
+  for (const auto& [id, payload] : expected) {
+    auto got = (*instance)->get(id);
+    ASSERT_TRUE(got.ok()) << id;
+    EXPECT_EQ(*got, payload) << id;
+  }
+  // Undo everything; bytes at rest return to the originals.
+  for (const auto& [id, payload] : expected) {
+    const auto meta = (*instance)->stat(id);
+    ASSERT_TRUE(meta.ok());
+    if (meta->encrypted) {
+      ASSERT_TRUE((*instance)->engine_decrypt({id}, key).ok()) << id;
+    }
+    if (meta->compressed) {
+      ASSERT_TRUE((*instance)->engine_uncompress({id}).ok()) << id;
+    }
+    auto raw = (*instance)->tier("tier1")->get(id);
+    ASSERT_TRUE(raw.ok()) << id;
+    EXPECT_EQ(*raw, payload) << id;
+  }
+}
+
+// storeOnce under churn: duplicate-heavy inserts and deletes never lose
+// data, and physical blobs never outnumber distinct contents.
+TEST_P(PolicyPropertyTest, DedupChurnInvariants) {
+  auto instance = make_memcached_s3_instance(
+      {.data_dir = dir_.sub("dedup")}, 1 << 20, 256 << 20, /*dedup=*/true);
+  ASSERT_TRUE(instance.ok());
+  Rng rng(GetParam() * 131);
+  std::map<std::string, std::uint64_t> live;
+  for (int step = 0; step < 250; ++step) {
+    const std::string id = "d" + std::to_string(rng.next_below(60));
+    if (rng.next_below(3) == 0 && live.count(id)) {
+      ASSERT_TRUE((*instance)->remove(id).ok());
+      live.erase(id);
+    } else {
+      const std::uint64_t seed = rng.next_below(12);  // heavy duplication
+      ASSERT_TRUE(
+          (*instance)->put(id, as_view(make_payload(2048, seed))).ok());
+      live[id] = seed;
+    }
+  }
+  (*instance)->control().drain();
+  std::set<std::uint64_t> distinct;
+  for (const auto& [id, seed] : live) {
+    distinct.insert(seed);
+    auto got = (*instance)->get(id);
+    ASSERT_TRUE(got.ok()) << id;
+    EXPECT_EQ(*got, make_payload(2048, seed)) << id;
+  }
+  // S3 holds at most one blob per distinct content (plus none orphaned
+  // beyond the distinct count).
+  EXPECT_LE((*instance)->tier("tier2")->object_count(), 12u);
+  EXPECT_GE((*instance)->tier("tier2")->object_count(), distinct.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyPropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace tiera

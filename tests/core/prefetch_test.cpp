@@ -1,0 +1,138 @@
+// Predictive prefetching (the paper's §6 "predictive data and
+// migration/prefetching"), wired to the FileAdapter's chunk naming.
+#include <gtest/gtest.h>
+
+#include "core/responses.h"
+#include "core/spec_parser.h"
+#include "posix/file_adapter.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class PrefetchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 64 << 20},
+                    {"EBS", "tier2", 256 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+
+    // Placement: everything lands in EBS (a cold store), and reads served
+    // from EBS prefetch the next three chunks into Memcached.
+    Rule place;
+    place.event = EventDef::on_insert();
+    place.responses.push_back(
+        make_store(Selector::action_object(), {"tier2"}));
+    instance_->add_rule(std::move(place));
+
+    Rule prefetch;
+    prefetch.event =
+        EventDef::on_action(ActionType::kGet, "tier2").in_background();
+    prefetch.responses.push_back(std::make_unique<PrefetchResponse>(
+        3, std::vector<std::string>{"tier1"}));
+    instance_->add_rule(std::move(prefetch));
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+};
+
+TEST_F(PrefetchTest, SequentialChunksWarmTheFastTier) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(instance_
+                    ->put("log#" + std::to_string(i),
+                          as_view(make_payload(1024, i)))
+                    .ok());
+  }
+  ASSERT_TRUE(instance_->get("log#0").ok());
+  instance_->control().drain();
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(instance_->stat("log#" + std::to_string(i))
+                    ->in_tier("tier1"))
+        << i;
+  }
+  EXPECT_FALSE(instance_->stat("log#4")->in_tier("tier1"));
+}
+
+TEST_F(PrefetchTest, StopsAtEndOfFile) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(instance_
+                    ->put("f#" + std::to_string(i),
+                          as_view(make_payload(256, i)))
+                    .ok());
+  }
+  ASSERT_TRUE(instance_->get("f#2").ok());  // last chunk: nothing ahead
+  instance_->control().drain();
+  EXPECT_EQ(instance_->tier("tier1")->object_count(), 0u);
+}
+
+TEST_F(PrefetchTest, IgnoresNonChunkObjects) {
+  ASSERT_TRUE(instance_->put("plain", as_view(make_payload(64, 1))).ok());
+  ASSERT_TRUE(instance_->put("odd#name", as_view(make_payload(64, 2))).ok());
+  ASSERT_TRUE(instance_->get("plain").ok());
+  ASSERT_TRUE(instance_->get("odd#name").ok());
+  instance_->control().drain();
+  EXPECT_EQ(instance_->tier("tier1")->object_count(), 0u);
+}
+
+TEST_F(PrefetchTest, AcceleratesFileAdapterScans) {
+  FileAdapter fs(*instance_, 1024);
+  ASSERT_TRUE(fs.create("data/scan").ok());
+  ASSERT_TRUE(fs.write("data/scan", 0, as_view(make_payload(16 << 10, 7)))
+                  .ok());
+  // Read the file front to back; after a short warmup the prefetcher keeps
+  // chunks in Memcached ahead of the reader.
+  std::size_t served_after_warmup = 0;
+  for (std::uint64_t off = 0; off < (16 << 10); off += 1024) {
+    auto chunk = fs.read("data/scan", off, 1024);
+    ASSERT_TRUE(chunk.ok());
+    instance_->control().drain();  // let the prefetch catch up
+    if (off >= 2048) {
+      const auto next = instance_->stat("data/scan#" +
+                                        std::to_string(off / 1024 + 1));
+      if (next.ok() && next->in_tier("tier1")) ++served_after_warmup;
+    }
+  }
+  EXPECT_GE(served_after_warmup, 8u);
+}
+
+TEST_F(PrefetchTest, PrefetchVerbInSpecLanguage) {
+  constexpr std::string_view kSpec = R"(
+Tiera PrefetchingInstance() {
+  tier1: { name: Memcached, size: 64M };
+  tier2: { name: EBS, size: 256M };
+  event(insert.into) : response {
+    store(what: insert.object, to: tier2);
+  }
+  background event(get.from == tier2) : response {
+    prefetch(what: get.object, lookahead: 2, to: tier1);
+  }
+}
+)";
+  auto spec = InstanceSpec::parse(kSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  auto instance = spec->instantiate({.data_dir = dir_.sub("spec")});
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("s#" + std::to_string(i),
+                          as_view(make_payload(128, i)))
+                    .ok());
+  }
+  ASSERT_TRUE((*instance)->get("s#1").ok());
+  (*instance)->control().drain();
+  EXPECT_TRUE((*instance)->stat("s#2")->in_tier("tier1"));
+  EXPECT_TRUE((*instance)->stat("s#3")->in_tier("tier1"));
+  EXPECT_FALSE((*instance)->stat("s#4")->in_tier("tier1"));
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,351 @@
+// Exercises every response in Table 1 of the paper through the policy
+// engine: store, storeOnce, retrieve, copy (with bandwidth cap), move,
+// delete, encrypt/decrypt, compress/uncompress, grow/shrink.
+#include "core/responses.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class ResponsesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 1 << 20},
+                    {"EBS", "tier2", 1 << 20},
+                    {"S3", "tier3", 8 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+  }
+
+  // Run a response directly against a synthetic event context.
+  Status run(Response& response, const std::string& object_id = "",
+             std::shared_ptr<const Bytes> payload = nullptr) {
+    EventContext ctx;
+    ctx.instance = instance_.get();
+    ctx.object_id = object_id;
+    ctx.payload = std::move(payload);
+    return response.execute(ctx);
+  }
+
+  Status put(const std::string& id, std::size_t size, std::uint64_t seed) {
+    return instance_->put(id, as_view(make_payload(size, seed)));
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+};
+
+TEST_F(ResponsesTest, StorePlacesActionObject) {
+  auto payload = std::make_shared<const Bytes>(make_payload(64, 1));
+  StoreResponse store(Selector::action_object(), {"tier2"});
+  ASSERT_TRUE(run(store, "fresh", payload).ok());
+  const auto meta = instance_->stat("fresh");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->in_tier("tier2"));
+  EXPECT_FALSE(meta->dirty);  // EBS is durable
+}
+
+TEST_F(ResponsesTest, StoreToMultipleTiers) {
+  auto payload = std::make_shared<const Bytes>(make_payload(64, 2));
+  StoreResponse store(Selector::action_object(), {"tier1", "tier2"});
+  ASSERT_TRUE(run(store, "replicated", payload).ok());
+  const auto meta = instance_->stat("replicated");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->in_tier("tier2"));
+}
+
+TEST_F(ResponsesTest, StoreOnceDeduplicates) {
+  const Bytes content = make_payload(512, 7);
+  auto p1 = std::make_shared<const Bytes>(content);
+  auto p2 = std::make_shared<const Bytes>(content);
+  StoreResponse store(Selector::action_object(), {"tier3"}, /*once=*/true);
+  ASSERT_TRUE(run(store, "dup-a", p1).ok());
+  const auto puts_after_first = instance_->tier("tier3")->stats().puts.load();
+  ASSERT_TRUE(run(store, "dup-b", p2).ok());
+  // Second object with identical content: no extra billable S3 request.
+  EXPECT_EQ(instance_->tier("tier3")->stats().puts.load(), puts_after_first);
+  EXPECT_EQ(instance_->tier("tier3")->object_count(), 1u);
+  // Both objects readable.
+  EXPECT_TRUE(instance_->get("dup-a").ok());
+  EXPECT_TRUE(instance_->get("dup-b").ok());
+  // Distinct content still stored separately.
+  auto p3 = std::make_shared<const Bytes>(make_payload(512, 8));
+  ASSERT_TRUE(run(store, "uniq", p3).ok());
+  EXPECT_EQ(instance_->tier("tier3")->object_count(), 2u);
+}
+
+TEST_F(ResponsesTest, StoreOnceDeleteKeepsSharedBytesUntilLastRef) {
+  const Bytes content = make_payload(256, 9);
+  StoreResponse store(Selector::action_object(), {"tier3"}, /*once=*/true);
+  ASSERT_TRUE(
+      run(store, "s1", std::make_shared<const Bytes>(content)).ok());
+  ASSERT_TRUE(
+      run(store, "s2", std::make_shared<const Bytes>(content)).ok());
+  ASSERT_TRUE(instance_->remove("s1").ok());
+  EXPECT_TRUE(instance_->get("s2").ok());  // bytes still there
+  ASSERT_TRUE(instance_->remove("s2").ok());
+  EXPECT_EQ(instance_->tier("tier3")->object_count(), 0u);
+}
+
+TEST_F(ResponsesTest, CopyReplicates) {
+  ASSERT_TRUE(put("obj", 128, 1).ok());
+  CopyResponse copy(Selector::in_tier("tier1"), {"tier2"});
+  ASSERT_TRUE(run(copy).ok());
+  const auto meta = instance_->stat("obj");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->in_tier("tier2"));
+}
+
+TEST_F(ResponsesTest, CopyHonoursDirtyFilter) {
+  ASSERT_TRUE(put("dirty-one", 64, 1).ok());
+  ASSERT_TRUE(put("clean-one", 64, 2).ok());
+  ASSERT_TRUE(instance_->engine_set_dirty({"clean-one"}, false).ok());
+  CopyResponse copy(Selector::in_tier("tier1", /*dirty=*/true), {"tier2"});
+  ASSERT_TRUE(run(copy).ok());
+  EXPECT_TRUE(instance_->stat("dirty-one")->in_tier("tier2"));
+  EXPECT_FALSE(instance_->stat("clean-one")->in_tier("tier2"));
+  // After the durable copy the object is clean: a second run copies nothing.
+  EXPECT_FALSE(instance_->stat("dirty-one")->dirty);
+}
+
+TEST_F(ResponsesTest, CopyWithBandwidthCapThrottles) {
+  ZeroLatencyScope scale(1.0);
+  // 600 KB across multiple objects against a 1 MB/s cap with a 250 KB
+  // burst bucket: at least ~350 ms of throttling.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(put("big" + std::to_string(i), 100'000, i).ok());
+  }
+  CopyResponse copy(Selector::in_tier("tier1"), {"tier2"}, 1'000'000);
+  Stopwatch watch;
+  ASSERT_TRUE(run(copy).ok());
+  EXPECT_GE(watch.elapsed_ms(), 150.0);
+}
+
+TEST_F(ResponsesTest, MoveRemovesFromSource) {
+  ASSERT_TRUE(put("obj", 128, 1).ok());
+  MoveResponse move(Selector::in_tier("tier1"), {"tier2"});
+  ASSERT_TRUE(run(move).ok());
+  const auto meta = instance_->stat("obj");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->in_tier("tier2"));
+  EXPECT_EQ(instance_->tier("tier1")->object_count(), 0u);
+  EXPECT_TRUE(instance_->get("obj").ok());
+}
+
+TEST_F(ResponsesTest, MoveOldestImplementsLru) {
+  ASSERT_TRUE(put("old", 64, 1).ok());
+  ASSERT_TRUE(put("mid", 64, 2).ok());
+  ASSERT_TRUE(put("new", 64, 3).ok());
+  ASSERT_TRUE(instance_->get("old").ok());  // refresh "old": now "mid" is LRU
+  MoveResponse move(Selector::oldest_in("tier1"), {"tier2"});
+  ASSERT_TRUE(run(move).ok());
+  EXPECT_TRUE(instance_->stat("mid")->in_tier("tier2"));
+  EXPECT_TRUE(instance_->stat("old")->in_tier("tier1"));
+  EXPECT_TRUE(instance_->stat("new")->in_tier("tier1"));
+}
+
+TEST_F(ResponsesTest, MoveNewestImplementsMru) {
+  ASSERT_TRUE(put("first", 64, 1).ok());
+  ASSERT_TRUE(put("second", 64, 2).ok());
+  MoveResponse move(Selector::newest_in("tier1"), {"tier2"});
+  ASSERT_TRUE(run(move).ok());
+  EXPECT_TRUE(instance_->stat("second")->in_tier("tier2"));
+  EXPECT_TRUE(instance_->stat("first")->in_tier("tier1"));
+}
+
+TEST_F(ResponsesTest, DeleteFromSpecificTier) {
+  ASSERT_TRUE(put("obj", 64, 1).ok());
+  ASSERT_TRUE(
+      instance_->engine_copy({"obj"}, {"tier2"}, nullptr, nullptr).ok());
+  DeleteResponse del(Selector::by_id("obj"), {"tier1"});
+  ASSERT_TRUE(run(del).ok());
+  const auto meta = instance_->stat("obj");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->in_tier("tier2"));
+}
+
+TEST_F(ResponsesTest, DeleteEverywhereErasesObject) {
+  ASSERT_TRUE(put("obj", 64, 1).ok());
+  DeleteResponse del(Selector::by_id("obj"));
+  ASSERT_TRUE(run(del).ok());
+  EXPECT_FALSE(instance_->contains("obj"));
+}
+
+TEST_F(ResponsesTest, DeleteByTagTargetsClass) {
+  ASSERT_TRUE(instance_->put("t1", as_view(make_payload(10, 1)), {"tmp"}).ok());
+  ASSERT_TRUE(instance_->put("t2", as_view(make_payload(10, 2)), {"tmp"}).ok());
+  ASSERT_TRUE(instance_->put("keep", as_view(make_payload(10, 3))).ok());
+  DeleteResponse del(Selector::with_tag("tmp"));
+  ASSERT_TRUE(run(del).ok());
+  EXPECT_FALSE(instance_->contains("t1"));
+  EXPECT_FALSE(instance_->contains("t2"));
+  EXPECT_TRUE(instance_->contains("keep"));
+}
+
+TEST_F(ResponsesTest, EncryptDecryptRoundTrip) {
+  const Bytes payload = make_payload(1024, 11);
+  ASSERT_TRUE(instance_->put("secret", as_view(payload)).ok());
+  EncryptResponse encrypt(Selector::by_id("secret"), "passphrase");
+  ASSERT_TRUE(run(encrypt).ok());
+  EXPECT_TRUE(instance_->stat("secret")->encrypted);
+  // Transparent decryption on GET.
+  auto got = instance_->get("secret");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, payload);
+  // Raw tier bytes must differ from the plaintext.
+  auto raw = instance_->tier("tier1")->get("secret");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(*raw, payload);
+  DecryptResponse decrypt(Selector::by_id("secret"), "passphrase");
+  ASSERT_TRUE(run(decrypt).ok());
+  EXPECT_FALSE(instance_->stat("secret")->encrypted);
+  got = instance_->get("secret");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST_F(ResponsesTest, DecryptWithWrongKeyFails) {
+  ASSERT_TRUE(put("secret", 128, 1).ok());
+  EncryptResponse encrypt(Selector::by_id("secret"), "right");
+  ASSERT_TRUE(run(encrypt).ok());
+  DecryptResponse decrypt(Selector::by_id("secret"), "wrong");
+  EXPECT_FALSE(run(decrypt).ok());
+  EXPECT_TRUE(instance_->stat("secret")->encrypted);  // unchanged
+}
+
+TEST_F(ResponsesTest, CompressUncompressRoundTrip) {
+  Bytes redundant;
+  for (int i = 0; i < 500; ++i) append(redundant, std::string_view("tiera "));
+  ASSERT_TRUE(instance_->put("page", as_view(redundant)).ok());
+  const auto before = instance_->tier("tier1")->used();
+  CompressResponse compress(Selector::by_id("page"));
+  ASSERT_TRUE(run(compress).ok());
+  EXPECT_TRUE(instance_->stat("page")->compressed);
+  EXPECT_LT(instance_->tier("tier1")->used(), before / 2);
+  // Transparent decompression on GET.
+  auto got = instance_->get("page");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, redundant);
+  UncompressResponse uncompress(Selector::by_id("page"));
+  ASSERT_TRUE(run(uncompress).ok());
+  EXPECT_FALSE(instance_->stat("page")->compressed);
+  EXPECT_EQ(instance_->tier("tier1")->used(), before);
+}
+
+TEST_F(ResponsesTest, CompressThenEncryptReadsBack) {
+  Bytes redundant;
+  for (int i = 0; i < 500; ++i) append(redundant, std::string_view("order "));
+  ASSERT_TRUE(instance_->put("both", as_view(redundant)).ok());
+  CompressResponse compress(Selector::by_id("both"));
+  EncryptResponse encrypt(Selector::by_id("both"), "k");
+  ASSERT_TRUE(run(compress).ok());
+  ASSERT_TRUE(run(encrypt).ok());
+  auto got = instance_->get("both");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, redundant);
+  // Wrong order is rejected.
+  ASSERT_TRUE(put("wrongorder", 128, 5).ok());
+  EncryptResponse enc2(Selector::by_id("wrongorder"), "k");
+  ASSERT_TRUE(run(enc2).ok());
+  CompressResponse comp2(Selector::by_id("wrongorder"));
+  EXPECT_FALSE(run(comp2).ok());
+}
+
+TEST_F(ResponsesTest, GrowExpandsTier) {
+  GrowResponse grow("tier1", 100.0);
+  ASSERT_TRUE(run(grow).ok());
+  EXPECT_EQ(instance_->tier("tier1")->capacity(), 2u << 20);
+}
+
+TEST_F(ResponsesTest, ShrinkReducesTier) {
+  ShrinkResponse shrink("tier1", 50.0);
+  ASSERT_TRUE(run(shrink).ok());
+  EXPECT_EQ(instance_->tier("tier1")->capacity(), (1u << 20) / 2);
+}
+
+TEST_F(ResponsesTest, RetrieveTouchesAccessMetadata) {
+  ASSERT_TRUE(put("obj", 64, 1).ok());
+  RetrieveResponse retrieve(Selector::by_id("obj"));
+  ASSERT_TRUE(run(retrieve).ok());
+  EXPECT_EQ(instance_->stat("obj")->access_count, 1u);
+}
+
+TEST_F(ResponsesTest, SetDirtyResponseFlagsObjects) {
+  ASSERT_TRUE(put("obj", 64, 1).ok());
+  SetDirtyResponse clean(Selector::by_id("obj"), false);
+  ASSERT_TRUE(run(clean).ok());
+  EXPECT_FALSE(instance_->stat("obj")->dirty);
+  SetDirtyResponse dirty(Selector::by_id("obj"), true);
+  ASSERT_TRUE(run(dirty).ok());
+  EXPECT_TRUE(instance_->stat("obj")->dirty);
+}
+
+TEST_F(ResponsesTest, ConditionalEvictionMakesRoom) {
+  // Shrink tier1 so three 300-byte objects can't coexist with a fourth.
+  ASSERT_TRUE(instance_->engine_shrink("tier1", 99.9).ok());
+  const auto cap = instance_->tier("tier1")->capacity();
+  ASSERT_LT(cap, 1200u);
+  ASSERT_GE(cap, 900u);
+
+  Rule rule;
+  rule.event = EventDef::on_insert();
+  rule.responses.push_back(make_evict_lru("tier1", "tier2"));
+  rule.responses.push_back(make_store(Selector::action_object(), {"tier1"}));
+  instance_->clear_rules();
+  instance_->add_rule(std::move(rule));
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        instance_->put("e" + std::to_string(i), as_view(make_payload(300, i)))
+            .ok())
+        << i;
+  }
+  // Every object remains readable; older ones were demoted to tier2.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(instance_->get("e" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_GT(instance_->tier("tier2")->object_count(), 0u);
+  EXPECT_LE(instance_->tier("tier1")->used(), cap);
+}
+
+TEST_F(ResponsesTest, ConditionalStopsWithoutProgress) {
+  // Condition permanently true, body makes no mutations: must terminate.
+  ResponseList body;
+  body.push_back(std::make_unique<CallbackResponse>(
+      "noop", [](EventContext&) { return Status::Ok(); }));
+  ConditionalResponse cond(Condition::always(), std::move(body));
+  EXPECT_TRUE(run(cond).ok());
+}
+
+TEST_F(ResponsesTest, DescribeStringsMentionVerbs) {
+  EXPECT_NE(StoreResponse(Selector::action_object(), {"tier1"})
+                .describe()
+                .find("store"),
+            std::string::npos);
+  EXPECT_NE(
+      CopyResponse(Selector::in_tier("tier1"), {"tier2"}, 1000).describe().find(
+          "bandwidth"),
+      std::string::npos);
+  EXPECT_NE(make_evict_lru("a", "b")->describe().find("a.oldest"),
+            std::string::npos);
+  EXPECT_NE(make_evict_mru("a", "b")->describe().find("a.newest"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tiera

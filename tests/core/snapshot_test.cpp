@@ -1,0 +1,130 @@
+// Snapshotting — one of the responses the paper plans beyond Table 1.
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "core/responses.h"
+#include "core/spec_parser.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 8 << 20},
+                    {"EBS", "tier2", 64 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+};
+
+TEST_F(SnapshotTest, SnapshotSurvivesOverwriteAndRestores) {
+  const Bytes v1 = make_payload(512, 1);
+  const Bytes v2 = make_payload(512, 2);
+  ASSERT_TRUE(instance_->put("doc", as_view(v1)).ok());
+  ASSERT_TRUE(instance_->engine_snapshot({"doc"}, "before-edit").ok());
+  ASSERT_TRUE(instance_->put("doc", as_view(v2)).ok());
+  EXPECT_EQ(*instance_->get("doc"), v2);
+  // The snapshot still holds v1.
+  auto snap = instance_->get("doc@snap/before-edit");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(*snap, v1);
+  // Restore brings v1 back through the normal PUT path.
+  ASSERT_TRUE(instance_->restore_snapshot("doc", "before-edit").ok());
+  EXPECT_EQ(*instance_->get("doc"), v1);
+}
+
+TEST_F(SnapshotTest, SnapshotSurvivesDelete) {
+  ASSERT_TRUE(instance_->put("doc", as_view(make_payload(64, 1))).ok());
+  ASSERT_TRUE(instance_->engine_snapshot({"doc"}, "keep").ok());
+  ASSERT_TRUE(instance_->remove("doc").ok());
+  EXPECT_FALSE(instance_->contains("doc"));
+  EXPECT_TRUE(instance_->contains("doc@snap/keep"));
+}
+
+TEST_F(SnapshotTest, SnapshotToSpecificTier) {
+  ASSERT_TRUE(instance_->put("doc", as_view(make_payload(64, 1))).ok());
+  ASSERT_TRUE(
+      instance_->engine_snapshot({"doc"}, "archived", {"tier2"}).ok());
+  const auto meta = instance_->stat("doc@snap/archived");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->in_tier("tier2"));
+  EXPECT_FALSE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->has_tag("snapshot"));
+}
+
+TEST_F(SnapshotTest, ListSnapshotsSortsNames) {
+  ASSERT_TRUE(instance_->put("doc", as_view(make_payload(64, 1))).ok());
+  ASSERT_TRUE(instance_->engine_snapshot({"doc"}, "beta").ok());
+  ASSERT_TRUE(instance_->engine_snapshot({"doc"}, "alpha").ok());
+  const auto names = instance_->list_snapshots("doc");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "beta");
+  EXPECT_TRUE(instance_->list_snapshots("other").empty());
+}
+
+TEST_F(SnapshotTest, NoSnapshotOfSnapshotAndBadNames) {
+  ASSERT_TRUE(instance_->put("doc", as_view(make_payload(64, 1))).ok());
+  ASSERT_TRUE(instance_->engine_snapshot({"doc"}, "one").ok());
+  // Snapshotting the snapshot is a silent no-op.
+  ASSERT_TRUE(instance_->engine_snapshot({"doc@snap/one"}, "two").ok());
+  EXPECT_FALSE(instance_->contains("doc@snap/one@snap/two"));
+  EXPECT_FALSE(instance_->engine_snapshot({"doc"}, "").ok());
+  EXPECT_FALSE(instance_->engine_snapshot({"doc"}, "a/b").ok());
+}
+
+TEST_F(SnapshotTest, SnapshotResponseViaRuleOnTag) {
+  // Policy: snapshot every tagged object into EBS when a delete happens.
+  Rule rule;
+  rule.event = EventDef::on_action(ActionType::kDelete);
+  rule.responses.push_back(std::make_unique<SnapshotResponse>(
+      Selector::action_object(), "on-delete",
+      std::vector<std::string>{"tier2"}));
+  instance_->add_rule(std::move(rule));
+  const Bytes payload = make_payload(256, 9);
+  ASSERT_TRUE(instance_->put("precious", as_view(payload)).ok());
+  ASSERT_TRUE(instance_->remove("precious").ok());
+  auto snap = instance_->get("precious@snap/on-delete");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(*snap, payload);
+}
+
+TEST_F(SnapshotTest, SnapshotVerbInSpecLanguage) {
+  constexpr std::string_view kSpec = R"(
+Tiera SnapshottingInstance(time t) {
+  tier1: { name: Memcached, size: 8M };
+  tier2: { name: EBS, size: 64M };
+  event(insert.into) : response {
+    store(what: insert.object, to: tier1);
+  }
+  event(time=t) : response {
+    snapshot(what: object.location == tier1, name: "periodic", to: tier2);
+  }
+}
+)";
+  auto spec = InstanceSpec::parse(kSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  ZeroLatencyScope scale(1.0);
+  auto instance =
+      spec->instantiate({.data_dir = dir_.sub("spec")}, {{"t", "50ms"}});
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  ASSERT_TRUE((*instance)->put("obj", as_view(make_payload(64, 1))).ok());
+  precise_sleep(from_ms(150));
+  (*instance)->control().drain();
+  EXPECT_TRUE((*instance)->contains("obj@snap/periodic"));
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,301 @@
+// The specification-language compiler, fed the paper's own figures.
+#include "core/spec_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+// Figure 3 of the paper, verbatim (modulo whitespace).
+constexpr std::string_view kLowLatencySpec = R"(
+Tiera LowLatencyInstance(time t) {
+  % two tiers specified with initial sizes
+  tier1: { name: Memcached, size: 5M };
+  tier2: { name: EBS, size: 5M };
+  % action event defined to always store data into Memcached
+  event(insert.into) : response {
+    insert.object.dirty = true;
+    store(what: insert.object, to: tier1);
+  }
+  % write back policy: copying data to persistent store on a timer event
+  event(time=t) : response {
+    copy(what: object.location == tier1 && object.dirty == true,
+         to: tier2);
+  }
+}
+)";
+
+// Figure 4.
+constexpr std::string_view kPersistentSpec = R"(
+Tiera PersistentInstance() {
+  tier1: { name: Memcached, size: 1M };
+  tier2: { name: EBS, size: 1M };
+  tier3: { name: S3, size: 10M };
+  % write-through policy using action event and copy response
+  event(insert.into == tier1) : response {
+    copy(what: insert.object, to: tier2);
+  }
+  % simple backup policy
+  background event(tier2.filled == 50%) : response {
+    copy(what: object.location == tier2, to: tier3, bandwidth: 40KB/s);
+  }
+}
+)";
+
+// Figure 5's LRU policy.
+constexpr std::string_view kLruSpec = R"(
+Tiera LruInstance() {
+  tier1: { name: Memcached, size: 1200 };
+  tier2: { name: EBS, size: 1M };
+  event(insert.into) : response {
+    if (tier1.filled) {
+      % Evict the oldest item to another tier
+      move(what: tier1.oldest, to: tier2);
+    }
+    store(what: insert.object, to: tier1);
+  }
+}
+)";
+
+// Figure 6.
+constexpr std::string_view kGrowingSpec = R"(
+Tiera GrowingInstance(time t) {
+  tier1: { name: Memcached, size: 200K };
+  tier2: { name: EBS, size: 2M };
+  event(insert.into) : response {
+    store(what: insert.object, to: tier1);
+  }
+  event(time=t) : response {
+    move(what: object.location == tier1, to: tier2);
+  }
+  background event(tier1.filled == 75%) : response {
+    grow(what: tier1, increment: 100%);
+  }
+}
+)";
+
+class SpecParserTest : public ::testing::Test {
+ protected:
+  TemplateOptions opts(const std::string& name) {
+    TemplateOptions o;
+    o.data_dir = dir_.sub(name);
+    return o;
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+};
+
+TEST_F(SpecParserTest, ParsesFigure3) {
+  auto spec = InstanceSpec::parse(kLowLatencySpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->instance_name(), "LowLatencyInstance");
+  ASSERT_EQ(spec->parameters().size(), 1u);
+  EXPECT_EQ(spec->parameters()[0], "t");
+  EXPECT_EQ(spec->tier_count(), 2u);
+  EXPECT_EQ(spec->rule_count(), 2u);
+}
+
+TEST_F(SpecParserTest, Figure3InstanceImplementsWriteBack) {
+  ZeroLatencyScope scale(1.0);
+  auto spec = InstanceSpec::parse(kLowLatencySpec);
+  ASSERT_TRUE(spec.ok());
+  auto instance = spec->instantiate(opts("fig3"), {{"t", "50ms"}});
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier1"));
+  EXPECT_FALSE((*instance)->stat("k")->in_tier("tier2"));
+  precise_sleep(from_ms(170));
+  (*instance)->control().drain();
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier2"));
+}
+
+TEST_F(SpecParserTest, MissingParameterRejected) {
+  auto spec = InstanceSpec::parse(kLowLatencySpec);
+  ASSERT_TRUE(spec.ok());
+  auto instance = spec->instantiate(opts("missing"), {});
+  EXPECT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SpecParserTest, Figure4WriteThroughAndThresholdBackup) {
+  auto spec = InstanceSpec::parse(kPersistentSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->tier_count(), 3u);
+  auto instance = spec->instantiate(opts("fig4"));
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  // Placement is by default first-tier; the tier1-filtered rule then copies
+  // through to EBS.
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier1"));
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier2"));
+  // Fill tier2 past 50% -> throttled backup to tier3 fires.
+  for (int i = 0; i < 36; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("f" + std::to_string(i),
+                          as_view(make_payload(16 << 10, i)))
+                    .ok())
+        << i;
+  }
+  (*instance)->control().drain();
+  EXPECT_GT((*instance)->tier("tier3")->object_count(), 0u);
+}
+
+TEST_F(SpecParserTest, Figure5LruEvictionFromSpec) {
+  auto spec = InstanceSpec::parse(kLruSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  auto instance = spec->instantiate(opts("fig5"));
+  ASSERT_TRUE(instance.ok());
+  // tier1 holds 1200 bytes; insert four 400-byte objects.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("o" + std::to_string(i),
+                          as_view(make_payload(400, i)))
+                    .ok())
+        << i;
+  }
+  // Oldest object was demoted to tier2; newest stayed in tier1.
+  EXPECT_TRUE((*instance)->stat("o0")->in_tier("tier2"));
+  EXPECT_TRUE((*instance)->stat("o3")->in_tier("tier1"));
+  EXPECT_LE((*instance)->tier("tier1")->used(), 1200u);
+}
+
+TEST_F(SpecParserTest, Figure6GrowFiresAtThreshold) {
+  auto spec = InstanceSpec::parse(kGrowingSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  auto instance = spec->instantiate(opts("fig6"), {{"t", "10s"}});
+  ASSERT_TRUE(instance.ok());
+  const auto cap = (*instance)->tier("tier1")->capacity();
+  for (int i = 0; i < 39; ++i) {  // 156 KB of 200 KB = 78%
+    ASSERT_TRUE((*instance)
+                    ->put("g" + std::to_string(i),
+                          as_view(make_payload(4 << 10, i)))
+                    .ok());
+  }
+  (*instance)->control().drain();
+  EXPECT_EQ((*instance)->tier("tier1")->capacity(), cap * 2);
+}
+
+TEST_F(SpecParserTest, TagFilteredEventAndStoreOnce) {
+  constexpr std::string_view kTagSpec = R"(
+Tiera TagInstance() {
+  tier1: { name: Ephemeral, size: 1M };
+  tier2: { name: S3, size: 8M };
+  event(insert.into && insert.object.tag == "tmp") : response {
+    store(what: insert.object, to: tier1);
+  }
+  event(insert.into && insert.object.tag == "gold") : response {
+    storeOnce(what: insert.object, to: tier2);
+  }
+}
+)";
+  // The `&& insert.object.tag == "x"` form is an extension of the paper's
+  // grammar for tag-filtered action events (it motivates them with the
+  // "tmp"-tag example in §2.1).
+  auto spec = InstanceSpec::parse(kTagSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  auto instance = spec->instantiate(opts("tags"));
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  ASSERT_TRUE(
+      (*instance)->put("scratch", as_view(make_payload(64, 1)), {"tmp"}).ok());
+  ASSERT_TRUE(
+      (*instance)->put("asset", as_view(make_payload(64, 2)), {"gold"}).ok());
+  EXPECT_TRUE((*instance)->stat("scratch")->in_tier("tier1"));
+  EXPECT_FALSE((*instance)->stat("scratch")->in_tier("tier2"));
+  EXPECT_TRUE((*instance)->stat("asset")->in_tier("tier2"));
+  // storeOnce assigned a content hash to the tagged class.
+  EXPECT_FALSE((*instance)->stat("asset")->content_hash.empty());
+}
+
+TEST_F(SpecParserTest, RejectsMalformedSpecs) {
+  const std::string_view bad_specs[] = {
+      "NotTiera X() {}",
+      "Tiera X( {",
+      "Tiera X() { tier1: { name: Memcached }; }",        // missing size
+      "Tiera X() { tier1: { name: Memcached, size: 5X }; }",
+      "Tiera X() { event(bogus.event) : response { } }",
+      "Tiera X() { event(insert.into) : response { explode(what: all); } }",
+      "Tiera X() { event(insert.into) : response { store(to: tier1); } }",
+      "Tiera X() { event(time=1s) : response { store(what: insert.object, "
+      "to: tier1); }",  // unbalanced brace
+  };
+  for (const auto& text : bad_specs) {
+    auto spec = InstanceSpec::parse(text);
+    if (spec.ok()) {
+      TemplateOptions o;
+      o.data_dir = dir_.sub("bad");
+      EXPECT_FALSE(spec->instantiate(o).ok()) << text;
+    } else {
+      SUCCEED();
+    }
+  }
+}
+
+TEST_F(SpecParserTest, ErrorsCarryLineNumbers) {
+  auto spec = InstanceSpec::parse("Tiera X() {\n  tier1: { name: }\n}");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line"), std::string::npos);
+}
+
+TEST_F(SpecParserTest, ParseFileMissingIsNotFound) {
+  auto spec = InstanceSpec::parse_file("/nonexistent/path.tiera");
+  EXPECT_TRUE(spec.status().is_not_found());
+}
+
+TEST_F(SpecParserTest, CommentsAndWhitespaceIgnored) {
+  constexpr std::string_view kCommented = R"(
+% leading comment
+Tiera   Compact(){tier1:{name:Memcached,size:1M};
+event(insert.into):response{store(what:insert.object,to:tier1);}}
+)";
+  auto spec = InstanceSpec::parse(kCommented);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->instance_name(), "Compact");
+}
+
+TEST_F(SpecParserTest, ApplyToReconfiguresLiveInstance) {
+  auto base_spec = InstanceSpec::parse(kLruSpec);
+  ASSERT_TRUE(base_spec.ok());
+  auto instance = base_spec->instantiate(opts("apply"));
+  ASSERT_TRUE(instance.ok());
+  (*instance)->clear_rules();
+  // Re-apply the same rules from the spec onto the live instance.
+  ASSERT_TRUE(base_spec->apply_to(**instance).ok());
+  ASSERT_TRUE((*instance)->put("x", as_view(make_payload(64, 1))).ok());
+  EXPECT_TRUE((*instance)->stat("x")->in_tier("tier1"));
+}
+
+TEST_F(SpecParserTest, SlidingThresholdModifier) {
+  constexpr std::string_view kSliding = R"(
+Tiera Sliding() {
+  tier1: { name: EBS, size: 8M };
+  tier2: { name: EBS, size: 8M };
+  event(insert.into) : response {
+    store(what: insert.object, to: tier1);
+  }
+  background event(sliding tier1.used == 64K) : response {
+    copy(what: object.location == tier1, to: tier2);
+  }
+}
+)";
+  auto spec = InstanceSpec::parse(kSliding);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  auto instance = spec->instantiate(opts("sliding"));
+  ASSERT_TRUE(instance.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("s" + std::to_string(i),
+                          as_view(make_payload(4 << 10, i)))
+                    .ok());
+  }
+  (*instance)->control().drain();
+  EXPECT_GT((*instance)->tier("tier2")->object_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tiera

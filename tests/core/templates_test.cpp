@@ -1,0 +1,291 @@
+// The paper's named instances, built from templates, behave as specified.
+#include "core/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class TemplatesTest : public ::testing::Test {
+ protected:
+  TemplateOptions opts(const std::string& name) {
+    TemplateOptions o;
+    o.data_dir = dir_.sub(name);
+    return o;
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+};
+
+TEST_F(TemplatesTest, LowLatencyWriteBackPersistsOnTimer) {
+  ZeroLatencyScope scale(1.0);
+  auto instance = make_low_latency_instance(opts("ll"), 1 << 20, 1 << 20,
+                                            from_ms(40));
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier1"));
+  EXPECT_FALSE((*instance)->stat("k")->in_tier("tier2"));
+  EXPECT_TRUE((*instance)->stat("k")->dirty);
+  precise_sleep(from_ms(150));
+  (*instance)->control().drain();
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier2"));
+  EXPECT_FALSE((*instance)->stat("k")->dirty);
+}
+
+TEST_F(TemplatesTest, LowLatencyZeroPeriodIsWriteThrough) {
+  auto instance =
+      make_low_latency_instance(opts("wt"), 1 << 20, 1 << 20, Duration::zero());
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier2"));  // synchronous
+}
+
+TEST_F(TemplatesTest, PersistentInstanceWriteThroughAndBackup) {
+  auto instance =
+      make_persistent_instance(opts("persist"), 1 << 20, 100 << 10, 8 << 20);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  const auto meta = (*instance)->stat("k");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->in_tier("tier2"));  // write-through copy
+  EXPECT_FALSE(meta->dirty);
+
+  // Fill EBS past 50%: backup-to-S3 threshold response kicks in.
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("fill" + std::to_string(i),
+                          as_view(make_payload(6 << 10, i)))
+                    .ok());
+  }
+  (*instance)->control().drain();
+  EXPECT_GT((*instance)->tier("tier3")->object_count(), 0u);
+}
+
+TEST_F(TemplatesTest, MemcachedReplicatedWritesBothAZs) {
+  auto instance = make_memcached_replicated_instance(opts("repl"), 1 << 20);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  const auto meta = (*instance)->stat("k");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->in_tier("tier2"));
+  // Both replicas volatile: object stays dirty.
+  EXPECT_TRUE(meta->dirty);
+  EXPECT_TRUE((*instance)->get("k").ok());
+}
+
+TEST_F(TemplatesTest, MemcachedEbsWritesThrough) {
+  auto instance = make_memcached_ebs_instance(opts("mebs"), 1 << 20, 1 << 20);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier1"));
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier2"));
+  EXPECT_FALSE((*instance)->stat("k")->dirty);
+}
+
+TEST_F(TemplatesTest, MemcachedS3EvictsLruToS3AndPromotes) {
+  // Cache holds ~4 of the 4 KB objects.
+  auto instance =
+      make_memcached_s3_instance(opts("ms3"), 16 << 10, 64 << 20);
+  ASSERT_TRUE(instance.ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("o" + std::to_string(i),
+                          as_view(make_payload(4 << 10, i)))
+                    .ok())
+        << i;
+  }
+  (*instance)->control().drain();
+  // All objects are durable in S3 and readable.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE((*instance)->get("o" + std::to_string(i)).ok()) << i;
+  }
+  (*instance)->control().drain();
+  // The memcached tier never exceeds its capacity.
+  EXPECT_LE((*instance)->tier("tier1")->used(),
+            (*instance)->tier("tier1")->capacity());
+  EXPECT_GT((*instance)->tier("tier2")->object_count(), 0u);
+}
+
+TEST_F(TemplatesTest, MemcachedS3DedupStoresUniqueContentOnce) {
+  auto instance =
+      make_memcached_s3_instance(opts("dedup"), 64 << 10, 64 << 20,
+                                 /*dedup=*/true);
+  ASSERT_TRUE(instance.ok());
+  const Bytes shared = make_payload(4 << 10, 777);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        (*instance)->put("dup" + std::to_string(i), as_view(shared)).ok());
+  }
+  (*instance)->control().drain();
+  // One content blob serves all eight objects.
+  EXPECT_EQ((*instance)->tier("tier2")->object_count(), 1u);
+  for (int i = 0; i < 8; ++i) {
+    auto got = (*instance)->get("dup" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, shared);
+  }
+}
+
+TEST_F(TemplatesTest, TieredLruDemotesDownTheChain) {
+  // Dataset 100 x 4 KB = 400 KB; 50% mem, 30% ebs, 20% s3 (Table 2 TI:1).
+  auto instance =
+      make_tiered_lru_instance(opts("ti1"), 400 << 10, 0.5, 0.3, 0.2);
+  ASSERT_TRUE(instance.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("k" + std::to_string(i),
+                          as_view(make_payload(4 << 10, i)))
+                    .ok())
+        << i;
+  }
+  (*instance)->control().drain();
+  // Exclusive placement: every object lives in exactly one tier.
+  std::size_t total = 0;
+  for (const auto& tier : (*instance)->tiers()) {
+    total += tier->object_count();
+    EXPECT_LE(tier->used(), tier->capacity());
+  }
+  EXPECT_EQ(total, 100u);
+  // All three tiers are populated and all objects readable.
+  EXPECT_GT((*instance)->tier("tier1")->object_count(), 0u);
+  EXPECT_GT((*instance)->tier("tier2")->object_count(), 0u);
+  EXPECT_GT((*instance)->tier("tier3")->object_count(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE((*instance)->get("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST_F(TemplatesTest, HighDurabilityBacksUpImmediately) {
+  auto instance = make_high_durability_instance(opts("hd"), 1 << 20,
+                                                std::chrono::minutes(2));
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  const auto meta = (*instance)->stat("k");
+  EXPECT_TRUE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->in_tier("tier2"));  // synchronous EBS backup
+  EXPECT_FALSE(meta->dirty);
+}
+
+TEST_F(TemplatesTest, LowDurabilityDefersBackup) {
+  ZeroLatencyScope scale(1.0);
+  auto instance =
+      make_low_durability_instance(opts("ld"), 1 << 20, 8 << 20, from_ms(50));
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE((*instance)->put("k", as_view(make_payload(64, 1))).ok());
+  EXPECT_FALSE((*instance)->stat("k")->in_tier("tier2"));  // memcached only
+  EXPECT_TRUE((*instance)->stat("k")->dirty);
+  precise_sleep(from_ms(160));
+  (*instance)->control().drain();
+  EXPECT_TRUE((*instance)->stat("k")->in_tier("tier2"));
+}
+
+TEST_F(TemplatesTest, ReplicatedEbsCopiesAfterNewDataThreshold) {
+  auto instance = make_replicated_ebs_instance(
+      opts("rebs"), 8 << 20, /*replicate=*/true,
+      /*bytes_between_syncs=*/64 << 10, /*bandwidth_bps=*/0);
+  ASSERT_TRUE(instance.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("w" + std::to_string(i),
+                          as_view(make_payload(4 << 10, i)))
+                    .ok());
+  }
+  (*instance)->control().drain();
+  // 160 KB written with a 64 KB sliding threshold: at least two syncs.
+  EXPECT_GT((*instance)->tier("tier2")->object_count(), 0u);
+}
+
+TEST_F(TemplatesTest, ReplicatedEbsBaselineNeverCopies) {
+  auto instance = make_replicated_ebs_instance(
+      opts("rebs0"), 8 << 20, /*replicate=*/false, 64 << 10, 0);
+  ASSERT_TRUE(instance.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*instance)
+                    ->put("w" + std::to_string(i),
+                          as_view(make_payload(4 << 10, i)))
+                    .ok());
+  }
+  (*instance)->control().drain();
+  EXPECT_EQ((*instance)->tier("tier2")->object_count(), 0u);
+}
+
+TEST_F(TemplatesTest, GrowingInstanceExpandsAt75Percent) {
+  auto instance = make_growing_instance(opts("grow"), 64 << 10, 8 << 20,
+                                        std::chrono::seconds(10),
+                                        Duration::zero(), 0.0);
+  ASSERT_TRUE(instance.ok());
+  const auto initial_cap = (*instance)->tier("tier1")->capacity();
+  for (int i = 0; i < 13; ++i) {  // 52 KB of 64 KB = 81% > 75%
+    ASSERT_TRUE((*instance)
+                    ->put("g" + std::to_string(i),
+                          as_view(make_payload(4 << 10, i)))
+                    .ok());
+  }
+  (*instance)->control().drain();
+  EXPECT_EQ((*instance)->tier("tier1")->capacity(), initial_cap * 2);
+}
+
+TEST_F(TemplatesTest, FailoverReconfigurationRestoresService) {
+  // Fig. 17's flow, compressed: write-through Memcached+EBS; EBS times out;
+  // the monitor detects it and swaps in Ephemeral+S3.
+  auto instance = make_memcached_ebs_instance(opts("fo"), 1 << 20, 8 << 20);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE((*instance)->put("pre", as_view(make_payload(64, 1))).ok());
+
+  (*instance)->tier("tier2")->inject_failure(FailureMode::kTimeout,
+                                             from_ms(1));
+  EXPECT_FALSE((*instance)->put("during", as_view(make_payload(64, 2))).ok());
+
+  StorageMonitor::Options mopts;
+  mopts.probe_period = from_ms(50);
+  mopts.max_retries = 2;
+  StorageMonitor monitor(**instance, mopts, [&](TieraInstance& inst) {
+    ASSERT_TRUE(reconfigure_for_ebs_failure(inst, 8 << 20, 64 << 20,
+                                            std::chrono::seconds(1))
+                    .ok());
+  });
+  EXPECT_FALSE(monitor.probe());  // detects and reconfigures
+  EXPECT_EQ(monitor.failures_detected(), 1);
+
+  // Service restored on the new tiers.
+  ASSERT_TRUE((*instance)->put("post", as_view(make_payload(64, 3))).ok());
+  const auto meta = (*instance)->stat("post");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->in_tier("tier1"));
+  EXPECT_TRUE(meta->in_tier("tier3"));  // ephemeral
+  EXPECT_EQ((*instance)->tier("tier2"), nullptr);
+  // Old data in the surviving Memcached tier remains readable.
+  EXPECT_TRUE((*instance)->get("pre").ok());
+}
+
+TEST_F(TemplatesTest, MonitorRecoveryRearmsDetection) {
+  auto instance = make_memcached_ebs_instance(opts("mon"), 1 << 20, 8 << 20);
+  ASSERT_TRUE(instance.ok());
+  int reconfigs = 0;
+  StorageMonitor::Options mopts;
+  mopts.max_retries = 1;
+  StorageMonitor monitor(**instance, mopts,
+                         [&](TieraInstance&) { ++reconfigs; });
+  EXPECT_TRUE(monitor.probe());
+  (*instance)->tier("tier2")->inject_failure(FailureMode::kFailStop);
+  EXPECT_FALSE(monitor.probe());
+  EXPECT_FALSE(monitor.probe());  // latched: no duplicate reconfig
+  EXPECT_EQ(reconfigs, 1);
+  (*instance)->tier("tier2")->heal();
+  EXPECT_TRUE(monitor.probe());
+  (*instance)->tier("tier2")->inject_failure(FailureMode::kFailStop);
+  EXPECT_FALSE(monitor.probe());
+  EXPECT_EQ(reconfigs, 2);  // re-armed after recovery
+}
+
+}  // namespace
+}  // namespace tiera

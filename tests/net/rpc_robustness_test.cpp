@@ -1,0 +1,120 @@
+// Robustness of the RPC layer against malformed, truncated, and hostile
+// input: the server must survive and keep serving well-formed clients.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/tiera_service.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class RpcRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 8 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+    server_ = std::make_unique<TieraServer>(*instance_, 0);
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  // A well-formed client still works after the hostile traffic.
+  void expect_service_alive() {
+    auto client = RemoteTieraClient::connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->put("alive", as_view(make_payload(32, 1))).ok());
+    EXPECT_TRUE((*client)->get("alive").ok());
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+  std::unique_ptr<TieraServer> server_;
+};
+
+TEST_F(RpcRobustnessTest, RandomGarbageFrames) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    auto conn = TcpConnection::connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(conn.ok());
+    const Bytes garbage = make_payload(1 + rng.next_below(512), rng.next());
+    (void)(*conn)->send_frame(as_view(garbage));
+    // Server may answer or drop; either way it must not die.
+    (void)(*conn)->recv_frame();
+  }
+  expect_service_alive();
+}
+
+TEST_F(RpcRobustnessTest, TruncatedHeaderThenDisconnect) {
+  for (int round = 0; round < 10; ++round) {
+    auto conn = TcpConnection::connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(conn.ok());
+    // A frame header promising more bytes than we ever send.
+    const std::uint8_t header[4] = {0xFF, 0x00, 0x00, 0x00};
+    // Raw partial write via a tiny frame is not possible through the API;
+    // send a frame whose *body* is a truncated inner request instead.
+    (void)(*conn)->send_frame(ByteView(header, 4));
+    (*conn)->close();
+  }
+  expect_service_alive();
+}
+
+TEST_F(RpcRobustnessTest, UnknownMethodAndEmptyBody) {
+  auto client = RpcClient::connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->call(0xEE, {});
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  // Valid method, empty body -> clean wire error, not a crash.
+  auto put_reply =
+      (*client)->call(static_cast<std::uint8_t>(TieraMethod::kPut), {});
+  EXPECT_FALSE(put_reply.ok());
+  expect_service_alive();
+}
+
+TEST_F(RpcRobustnessTest, OversizedFrameRejectedClientSide) {
+  auto conn = TcpConnection::connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Bytes fake;  // claim > kMaxFrame without allocating it
+  fake.resize(8, 0);
+  // send_frame itself enforces the cap on outbound frames:
+  Bytes big(TcpConnection::kMaxFrame + 1);
+  EXPECT_EQ((*conn)->send_frame(as_view(big)).code(),
+            StatusCode::kInvalidArgument);
+  expect_service_alive();
+}
+
+TEST_F(RpcRobustnessTest, ManyAbruptDisconnects) {
+  for (int i = 0; i < 30; ++i) {
+    auto conn = TcpConnection::connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(conn.ok());
+    (*conn)->close();  // connect/disconnect churn
+  }
+  expect_service_alive();
+}
+
+TEST_F(RpcRobustnessTest, FuzzedWellFormedEnvelopes) {
+  // Correct envelope (id + method), random bodies: exercises every
+  // handler's WireReader error paths.
+  Rng rng(13);
+  auto client = RpcClient::connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  for (int round = 0; round < 100; ++round) {
+    const auto method = static_cast<std::uint8_t>(1 + rng.next_below(8));
+    const Bytes body = make_payload(rng.next_below(64), rng.next());
+    (void)(*client)->call(method, as_view(body));  // must not wedge
+  }
+  expect_service_alive();
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,222 @@
+// Wire format, framing, RPC dispatch, and the remote Tiera service.
+#include "net/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/tiera_service.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+TEST(WireTest, RoundTripAllTypes) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.str("hello");
+  w.bytes(as_view(std::string_view("raw\0data", 8)));
+
+  WireReader r(as_view(w.data()));
+  std::uint8_t a;
+  std::uint32_t b;
+  std::uint64_t c;
+  std::string s;
+  Bytes raw;
+  ASSERT_TRUE(r.u8(a).ok());
+  ASSERT_TRUE(r.u32(b).ok());
+  ASSERT_TRUE(r.u64(c).ok());
+  ASSERT_TRUE(r.str(s).ok());
+  ASSERT_TRUE(r.bytes(raw).ok());
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFull);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(raw.size(), 8u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireTest, TruncationDetected) {
+  WireWriter w;
+  w.str("truncate me");
+  const Bytes& data = w.data();
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    WireReader r(ByteView(data.data(), cut));
+    std::string s;
+    EXPECT_FALSE(r.str(s).ok()) << cut;
+  }
+}
+
+TEST(TcpTest, FramedEcho) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = (*listener)->port();
+  ASSERT_GT(port, 0);
+
+  std::thread server([&] {
+    auto conn = (*listener)->accept();
+    ASSERT_TRUE(conn.ok());
+    for (;;) {
+      auto frame = (*conn)->recv_frame();
+      if (!frame.ok()) return;
+      ASSERT_TRUE((*conn)->send_frame(as_view(*frame)).ok());
+    }
+  });
+
+  auto client = TcpConnection::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  for (std::size_t size : {0u, 1u, 100u, 100'000u}) {
+    const Bytes payload = make_payload(size, size);
+    ASSERT_TRUE((*client)->send_frame(as_view(payload)).ok());
+    auto echo = (*client)->recv_frame();
+    ASSERT_TRUE(echo.ok());
+    EXPECT_EQ(*echo, payload);
+  }
+  (*client)->close();
+  server.join();
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port then release it: connecting should fail fast.
+  std::uint16_t dead_port;
+  {
+    auto listener = TcpListener::listen(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = (*listener)->port();
+  }
+  auto client = TcpConnection::connect("127.0.0.1", dead_port);
+  EXPECT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().is_unavailable());
+}
+
+TEST(RpcTest, DispatchAndErrors) {
+  RpcServer server(0, 4);
+  server.register_handler(1, [](ByteView body) -> Result<Bytes> {
+    Bytes out(body.begin(), body.end());
+    std::reverse(out.begin(), out.end());
+    return out;
+  });
+  server.register_handler(2, [](ByteView) -> Result<Bytes> {
+    return Status::NotFound("nothing here");
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  auto client = RpcClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto reversed = (*client)->call(1, as_view(std::string_view("abc")));
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_EQ(to_string(as_view(*reversed)), "cba");
+
+  auto missing = (*client)->call(2, {});
+  EXPECT_TRUE(missing.status().is_not_found());
+  EXPECT_EQ(missing.status().message(), "nothing here");
+
+  auto unknown = (*client)->call(99, {});
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_GE(server.requests_served(), 3u);
+  server.stop();
+}
+
+TEST(RpcTest, ConcurrentClients) {
+  RpcServer server(0, 8);
+  server.register_handler(1, [](ByteView body) -> Result<Bytes> {
+    return Bytes(body.begin(), body.end());
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = RpcClient::connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 50; ++i) {
+        const Bytes payload = make_payload(512, c * 100 + i);
+        auto reply = (*client)->call(1, as_view(payload));
+        if (!reply.ok() || *reply != payload) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 400u);
+  server.stop();
+}
+
+class TieraServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 8 << 20},
+                    {"EBS", "tier2", 8 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+    server_ = std::make_unique<TieraServer>(*instance_, 0);
+    ASSERT_TRUE(server_->start().ok());
+    auto client = RemoteTieraClient::connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(client).value();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+  std::unique_ptr<TieraServer> server_;
+  std::unique_ptr<RemoteTieraClient> client_;
+};
+
+TEST_F(TieraServiceTest, PutGetRemoveOverRpc) {
+  const Bytes payload = make_payload(4096, 3);
+  ASSERT_TRUE(client_->put("remote-obj", as_view(payload), {"tag1"}).ok());
+  auto got = client_->get("remote-obj");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, payload);
+  ASSERT_TRUE(client_->remove("remote-obj").ok());
+  EXPECT_TRUE(client_->get("remote-obj").status().is_not_found());
+}
+
+TEST_F(TieraServiceTest, StatReflectsServerState) {
+  ASSERT_TRUE(client_->put("obj", as_view(make_payload(100, 1)), {"x"}).ok());
+  ASSERT_TRUE(client_->add_tags("obj", {"y"}).ok());
+  auto info = client_->stat("obj");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->id, "obj");
+  EXPECT_EQ(info->size, 100u);
+  ASSERT_EQ(info->locations.size(), 1u);
+  EXPECT_EQ(info->locations[0], "tier1");
+  EXPECT_EQ(info->tags.size(), 2u);
+  EXPECT_TRUE(client_->stat("missing").status().is_not_found());
+}
+
+TEST_F(TieraServiceTest, ListTiersAndGrow) {
+  auto tiers = client_->list_tiers();
+  ASSERT_TRUE(tiers.ok());
+  EXPECT_EQ(tiers->size(), 2u);
+  ASSERT_TRUE(client_->grow_tier("tier1", 50.0).ok());
+  EXPECT_EQ(instance_->tier("tier1")->capacity(), 12u << 20);
+  EXPECT_FALSE(client_->grow_tier("tier9", 10.0).ok());
+}
+
+TEST_F(TieraServiceTest, ErrorsPropagateThroughRpc) {
+  instance_->tier("tier1")->inject_failure(FailureMode::kFailStop);
+  const Status s = client_->put("x", as_view(make_payload(10, 1)));
+  EXPECT_FALSE(s.ok());
+  instance_->tier("tier1")->heal();
+}
+
+}  // namespace
+}  // namespace tiera

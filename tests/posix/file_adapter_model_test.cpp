@@ -1,0 +1,154 @@
+// Model-based test: the FileAdapter against a plain in-memory byte-vector
+// model, under randomized sequences of create/write/append/read/truncate/
+// remove across several files. Any divergence in contents, sizes, or
+// existence is a bug in the chunking layer.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "posix/file_adapter.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class FileModel {
+ public:
+  bool exists(const std::string& path) const { return files_.count(path); }
+  bool create(const std::string& path) {
+    if (exists(path)) return false;
+    files_[path] = {};
+    return true;
+  }
+  void write(const std::string& path, std::uint64_t offset, ByteView data) {
+    Bytes& file = files_[path];
+    if (file.size() < offset + data.size()) {
+      file.resize(offset + data.size(), 0);
+    }
+    std::copy(data.begin(), data.end(), file.begin() + offset);
+  }
+  Bytes read(const std::string& path, std::uint64_t offset,
+             std::size_t length) const {
+    const Bytes& file = files_.at(path);
+    if (offset >= file.size()) return {};
+    const std::size_t end = std::min<std::size_t>(file.size(), offset + length);
+    return Bytes(file.begin() + offset, file.begin() + end);
+  }
+  void truncate(const std::string& path, std::uint64_t size) {
+    files_[path].resize(size, 0);
+  }
+  void remove(const std::string& path) { files_.erase(path); }
+  std::uint64_t size(const std::string& path) const {
+    return files_.at(path).size();
+  }
+  const std::map<std::string, Bytes>& files() const { return files_; }
+
+ private:
+  std::map<std::string, Bytes> files_;
+};
+
+class FileAdapterModelTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(FileAdapterModelTest, RandomOpsMatchModel) {
+  const auto [seed, chunk_size] = GetParam();
+  ZeroLatencyScope zero;
+  TempDir dir;
+  InstanceConfig config;
+  config.data_dir = dir.sub("inst");
+  config.tiers = {{"Memcached", "tier1", 512 << 20}};
+  auto instance = TieraInstance::create(std::move(config));
+  ASSERT_TRUE(instance.ok());
+  FileAdapter fs(**instance, chunk_size);
+  FileModel model;
+  Rng rng(seed);
+
+  const std::vector<std::string> paths = {"a", "dir/b", "dir/c", "d"};
+  for (int step = 0; step < 400; ++step) {
+    const std::string& path = paths[rng.next_below(paths.size())];
+    const int op = static_cast<int>(rng.next_below(6));
+    switch (op) {
+      case 0: {  // create
+        const bool model_ok = model.create(path);
+        const Status s = fs.create(path);
+        EXPECT_EQ(s.ok(), model_ok) << "create " << path << " step " << step;
+        break;
+      }
+      case 1: {  // write at random offset
+        if (!model.exists(path)) {
+          EXPECT_TRUE(fs.write(path, 0, as_view(std::string_view("x")))
+                          .is_not_found());
+          break;
+        }
+        const std::uint64_t offset = rng.next_below(3 * chunk_size);
+        const Bytes data =
+            make_payload(1 + rng.next_below(2 * chunk_size), rng.next());
+        ASSERT_TRUE(fs.write(path, offset, as_view(data)).ok());
+        model.write(path, offset, as_view(data));
+        break;
+      }
+      case 2: {  // append
+        if (!model.exists(path)) break;
+        const Bytes data =
+            make_payload(1 + rng.next_below(chunk_size / 2 + 1), rng.next());
+        auto at = fs.append(path, as_view(data));
+        ASSERT_TRUE(at.ok());
+        EXPECT_EQ(*at, model.size(path));
+        model.write(path, model.size(path), as_view(data));
+        break;
+      }
+      case 3: {  // read at random offset
+        if (!model.exists(path)) break;
+        const std::uint64_t offset = rng.next_below(4 * chunk_size);
+        const std::size_t length = 1 + rng.next_below(2 * chunk_size);
+        auto got = fs.read(path, offset, length);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, model.read(path, offset, length))
+            << "read " << path << "@" << offset << " step " << step;
+        break;
+      }
+      case 4: {  // truncate
+        if (!model.exists(path)) break;
+        const std::uint64_t new_size = rng.next_below(3 * chunk_size);
+        ASSERT_TRUE(fs.truncate(path, new_size).ok());
+        model.truncate(path, new_size);
+        break;
+      }
+      case 5: {  // remove (rarely)
+        if (rng.next_below(8) != 0) break;
+        if (!model.exists(path)) break;
+        ASSERT_TRUE(fs.remove(path).ok());
+        model.remove(path);
+        break;
+      }
+    }
+    // Size always agrees.
+    if (model.exists(path)) {
+      auto size = fs.size(path);
+      ASSERT_TRUE(size.ok());
+      EXPECT_EQ(*size, model.size(path)) << path << " step " << step;
+    } else {
+      EXPECT_FALSE(fs.exists(path)) << path << " step " << step;
+    }
+  }
+
+  // Final deep verification of every surviving file.
+  for (const auto& [path, content] : model.files()) {
+    auto all = fs.read_all(path);
+    ASSERT_TRUE(all.ok()) << path;
+    EXPECT_EQ(*all, content) << path;
+  }
+  EXPECT_EQ(fs.list().size(), model.files().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndChunks, FileAdapterModelTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(512, 4096)));
+
+}  // namespace
+}  // namespace tiera

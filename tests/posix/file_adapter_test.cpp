@@ -1,0 +1,194 @@
+#include "posix/file_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class FileAdapterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 64 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+    files_ = std::make_unique<FileAdapter>(*instance_, 4096);
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+  std::unique_ptr<FileAdapter> files_;
+};
+
+TEST_F(FileAdapterTest, CreateWriteRead) {
+  ASSERT_TRUE(files_->create("db/data").ok());
+  EXPECT_TRUE(files_->exists("db/data"));
+  const Bytes payload = make_payload(10'000, 1);
+  ASSERT_TRUE(files_->write("db/data", 0, as_view(payload)).ok());
+  EXPECT_EQ(*files_->size("db/data"), 10'000u);
+  auto all = files_->read_all("db/data");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, payload);
+}
+
+TEST_F(FileAdapterTest, DuplicateCreateRejected) {
+  ASSERT_TRUE(files_->create("f").ok());
+  EXPECT_EQ(files_->create("f").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(FileAdapterTest, PathValidation) {
+  EXPECT_FALSE(files_->create("").ok());
+  EXPECT_FALSE(files_->create("bad#name").ok());
+}
+
+TEST_F(FileAdapterTest, MissingFileOperationsFail) {
+  EXPECT_TRUE(files_->size("ghost").status().is_not_found());
+  EXPECT_TRUE(files_->write("ghost", 0, as_view(std::string_view("x")))
+                  .is_not_found());
+  EXPECT_TRUE(files_->read("ghost", 0, 10).status().is_not_found());
+  EXPECT_TRUE(files_->remove("ghost").is_not_found());
+}
+
+TEST_F(FileAdapterTest, UnalignedWritesReadModifyWrite) {
+  ASSERT_TRUE(files_->create("f").ok());
+  // Lay down a full base then patch a span crossing a chunk boundary.
+  const Bytes base = make_payload(12'288, 2);  // 3 chunks
+  ASSERT_TRUE(files_->write("f", 0, as_view(base)).ok());
+  const Bytes patch = make_payload(1000, 3);
+  ASSERT_TRUE(files_->write("f", 3800, as_view(patch)).ok());
+
+  Bytes expected = base;
+  std::copy(patch.begin(), patch.end(), expected.begin() + 3800);
+  auto all = files_->read_all("f");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, expected);
+}
+
+TEST_F(FileAdapterTest, WritePastEndExtendsWithZeros) {
+  ASSERT_TRUE(files_->create("f").ok());
+  ASSERT_TRUE(files_->write("f", 10'000, as_view(std::string_view("end"))).ok());
+  EXPECT_EQ(*files_->size("f"), 10'003u);
+  auto hole = files_->read("f", 5000, 10);
+  ASSERT_TRUE(hole.ok());
+  EXPECT_EQ(*hole, Bytes(10, 0));
+  auto tail = files_->read("f", 10'000, 3);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(to_string(as_view(*tail)), "end");
+}
+
+TEST_F(FileAdapterTest, ShortReadAtEof) {
+  ASSERT_TRUE(files_->create("f").ok());
+  ASSERT_TRUE(files_->write("f", 0, as_view(std::string_view("abcdef"))).ok());
+  auto read = files_->read("f", 4, 100);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(as_view(*read)), "ef");
+  auto beyond = files_->read("f", 100, 10);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_TRUE(beyond->empty());
+}
+
+TEST_F(FileAdapterTest, AppendReturnsOffsets) {
+  ASSERT_TRUE(files_->create("log").ok());
+  auto first = files_->append("log", as_view(std::string_view("aaaa")));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0u);
+  auto second = files_->append("log", as_view(std::string_view("bb")));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 4u);
+  EXPECT_EQ(*files_->size("log"), 6u);
+}
+
+TEST_F(FileAdapterTest, TruncateShrinksAndDeletesChunks) {
+  ASSERT_TRUE(files_->create("f").ok());
+  ASSERT_TRUE(files_->write("f", 0, as_view(make_payload(20'000, 4))).ok());
+  const auto objects_before = instance_->object_count();
+  ASSERT_TRUE(files_->truncate("f", 5000).ok());
+  EXPECT_EQ(*files_->size("f"), 5000u);
+  EXPECT_LT(instance_->object_count(), objects_before);
+  // Content up to the cut is preserved.
+  auto data = files_->read_all("f");
+  ASSERT_TRUE(data.ok());
+  const Bytes original = make_payload(20'000, 4);
+  EXPECT_TRUE(std::equal(data->begin(), data->end(), original.begin()));
+  // Extending truncate just grows the logical size.
+  ASSERT_TRUE(files_->truncate("f", 8000).ok());
+  EXPECT_EQ(*files_->size("f"), 8000u);
+}
+
+TEST_F(FileAdapterTest, RemoveDeletesChunks) {
+  ASSERT_TRUE(files_->create("f").ok());
+  ASSERT_TRUE(files_->write("f", 0, as_view(make_payload(16'384, 5))).ok());
+  ASSERT_TRUE(files_->remove("f").ok());
+  EXPECT_FALSE(files_->exists("f"));
+  // Only residual non-chunk objects may remain (none for this instance).
+  EXPECT_EQ(instance_->object_count(), 0u);
+}
+
+TEST_F(FileAdapterTest, ListFiltersByPrefix) {
+  ASSERT_TRUE(files_->create("a/1").ok());
+  ASSERT_TRUE(files_->create("a/2").ok());
+  ASSERT_TRUE(files_->create("b/1").ok());
+  const auto all = files_->list();
+  EXPECT_EQ(all.size(), 3u);
+  const auto a_only = files_->list("a/");
+  ASSERT_EQ(a_only.size(), 2u);
+  EXPECT_EQ(a_only[0], "a/1");
+}
+
+TEST_F(FileAdapterTest, ChunkObjectsCarryFileTags) {
+  ASSERT_TRUE(files_->create("tagged", {"static"}).ok());
+  ASSERT_TRUE(files_->write("tagged", 0, as_view(make_payload(5000, 6))).ok());
+  const auto ids = instance_->metadata().select(
+      [](const ObjectMeta& m) { return m.has_tag("static"); });
+  EXPECT_GE(ids.size(), 2u);  // chunks + meta
+}
+
+TEST_F(FileAdapterTest, AdapterStateSurvivesReconstruction) {
+  ASSERT_TRUE(files_->create("persist").ok());
+  ASSERT_TRUE(
+      files_->write("persist", 0, as_view(make_payload(9000, 7))).ok());
+  // A fresh adapter over the same instance discovers the file.
+  FileAdapter fresh(*instance_, 4096);
+  EXPECT_TRUE(fresh.exists("persist"));
+  EXPECT_EQ(*fresh.size("persist"), 9000u);
+  auto data = fresh.read_all("persist");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, make_payload(9000, 7));
+}
+
+TEST_F(FileAdapterTest, ConcurrentWritersDistinctFiles) {
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string path = "conc/" + std::to_string(t);
+      if (!files_->create(path).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 20; ++i) {
+        if (!files_->append(path, as_view(make_payload(1000, t * 100 + i)))
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+      auto size = files_->size(path);
+      if (!size.ok() || *size != 20'000u) failures.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tiera

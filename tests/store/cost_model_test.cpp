@@ -1,0 +1,112 @@
+#include "store/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "store/file_tier.h"
+#include "store/mem_tier.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+constexpr std::uint64_t kGB = 1ull << 30;
+
+TEST(CostModelTest, CapacityBilledTier) {
+  ZeroLatencyScope zero;
+  MemTier tier("mem", 2 * kGB);
+  // 2 GB of ElastiCache-style memory at $19/GB-month.
+  EXPECT_NEAR(CostModel::storage_cost_per_month(tier), 38.0, 1e-6);
+  // Empty or full, capacity billing is the same.
+  ASSERT_TRUE(tier.put("a", as_view(make_payload(1000, 1))).ok());
+  EXPECT_NEAR(CostModel::storage_cost_per_month(tier), 38.0, 1e-6);
+}
+
+TEST(CostModelTest, UsageBilledTier) {
+  ZeroLatencyScope zero;
+  TempDir dir;
+  ObjectTier tier("s3", 10 * kGB, dir.sub("s3"));
+  EXPECT_NEAR(CostModel::storage_cost_per_month(tier), 0.0, 1e-9);
+  const Bytes payload = make_payload(1 << 20, 1);  // 1 MB
+  ASSERT_TRUE(tier.put("a", as_view(payload)).ok());
+  const double expected = 0.03 / 1024.0;  // 1 MB at $0.03/GB-month
+  EXPECT_NEAR(CostModel::storage_cost_per_month(tier), expected,
+              expected * 0.01);
+}
+
+TEST(CostModelTest, S3RequestCharges) {
+  ZeroLatencyScope zero;
+  TempDir dir;
+  ObjectTier tier("s3", kGB, dir.sub("s3"));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tier.put("k" + std::to_string(i),
+                         as_view(make_payload(16, i)))
+                    .ok());
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tier.get("k" + std::to_string(i % 100)).ok());
+  }
+  // 1000 PUTs at $5/1M + 1000 GETs at $0.4/1M, unextrapolated.
+  const double expected = 1000 * 5.0 / 1e6 + 1000 * 0.4 / 1e6;
+  EXPECT_NEAR(CostModel::request_cost(tier, 0), expected, expected * 0.01);
+  // Extrapolated to a month from a 1-hour observation window: x720.
+  EXPECT_NEAR(CostModel::request_cost(tier, 3600.0), expected * 720,
+              expected * 720 * 0.01);
+}
+
+TEST(CostModelTest, EbsIoCharges) {
+  ZeroLatencyScope zero;
+  TempDir dir;
+  BlockTier tier("ebs", kGB, dir.sub("ebs"));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tier.put("k" + std::to_string(i),
+                         as_view(make_payload(16, i)))
+                    .ok());
+    ASSERT_TRUE(tier.get("k" + std::to_string(i)).ok());
+  }
+  const double expected = 200 * 0.05 / 1e6;
+  EXPECT_NEAR(CostModel::request_cost(tier, 0), expected, expected * 0.01);
+}
+
+TEST(CostModelTest, EphemeralIsFree) {
+  ZeroLatencyScope zero;
+  EphemeralTier tier("eph", kGB);
+  ASSERT_TRUE(tier.put("a", as_view(make_payload(100, 1))).ok());
+  ASSERT_TRUE(tier.get("a").ok());
+  EXPECT_DOUBLE_EQ(CostModel::cost(tier, 3600).total(), 0.0);
+}
+
+TEST(CostModelTest, BreakdownAndTotal) {
+  ZeroLatencyScope zero;
+  TempDir dir;
+  std::vector<TierPtr> tiers = {
+      std::make_shared<MemTier>("mem", kGB),
+      std::make_shared<BlockTier>("ebs", kGB, dir.sub("ebs")),
+  };
+  const auto breakdown = CostModel::cost_breakdown(tiers);
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].tier, "mem");
+  EXPECT_NEAR(breakdown[0].total(), 19.0, 1e-6);
+  EXPECT_NEAR(breakdown[1].total(), 0.10, 1e-6);
+  EXPECT_NEAR(CostModel::total_monthly_cost(tiers), 19.10, 1e-6);
+}
+
+TEST(CostModelTest, MemoryCostsDominateBlockAndObject) {
+  // The premise of the paper's cost figures: memory >> block > object.
+  ZeroLatencyScope zero;
+  TempDir dir;
+  MemTier mem("m", kGB);
+  BlockTier ebs("e", kGB, dir.sub("e"));
+  ObjectTier s3("s", kGB, dir.sub("s"));
+  ASSERT_TRUE(s3.put("x", as_view(make_payload(64 << 20, 1))).ok());
+  const double mem_cost = CostModel::storage_cost_per_month(mem);
+  const double ebs_cost = CostModel::storage_cost_per_month(ebs);
+  const double s3_cost = CostModel::storage_cost_per_month(s3);
+  EXPECT_GT(mem_cost, ebs_cost * 50);
+  EXPECT_GT(ebs_cost, s3_cost * 2);
+}
+
+}  // namespace
+}  // namespace tiera

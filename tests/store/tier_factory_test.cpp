@@ -1,0 +1,102 @@
+#include "store/tier_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+TEST(ParseSizeTest, PlainBytes) {
+  EXPECT_EQ(*parse_size("123"), 123u);
+  EXPECT_EQ(*parse_size("0"), 0u);
+}
+
+TEST(ParseSizeTest, Suffixes) {
+  EXPECT_EQ(*parse_size("4K"), 4096u);
+  EXPECT_EQ(*parse_size("200M"), 200ull << 20);
+  EXPECT_EQ(*parse_size("5G"), 5ull << 30);
+  EXPECT_EQ(*parse_size("1T"), 1ull << 40);
+  EXPECT_EQ(*parse_size("5g"), 5ull << 30);  // case-insensitive
+}
+
+TEST(ParseSizeTest, Rejections) {
+  EXPECT_FALSE(parse_size("").ok());
+  EXPECT_FALSE(parse_size("G").ok());
+  EXPECT_FALSE(parse_size("12X3").ok());
+  EXPECT_FALSE(parse_size("-5G").ok());
+}
+
+TEST(TierFactoryTest, KnownServices) {
+  EXPECT_TRUE(TierFactory::known_service("Memcached"));
+  EXPECT_TRUE(TierFactory::known_service("memcached_remote"));
+  EXPECT_TRUE(TierFactory::known_service("EBS"));
+  EXPECT_TRUE(TierFactory::known_service("S3"));
+  EXPECT_TRUE(TierFactory::known_service("Ephemeral"));
+  EXPECT_FALSE(TierFactory::known_service("floppy"));
+}
+
+TEST(TierFactoryTest, CreatesEachService) {
+  ZeroLatencyScope zero;
+  TempDir dir;
+  TierFactory factory(dir.path());
+  struct Case {
+    const char* service;
+    TierKind kind;
+  };
+  const Case cases[] = {
+      {"Memcached", TierKind::kMemory},
+      {"memcached_remote", TierKind::kMemory},
+      {"EBS", TierKind::kBlock},
+      {"Ephemeral", TierKind::kEphemeral},
+      {"S3", TierKind::kObject},
+  };
+  int index = 0;
+  for (const auto& c : cases) {
+    auto tier =
+        factory.create({c.service, "tier" + std::to_string(index++), 1 << 20});
+    ASSERT_TRUE(tier.ok()) << c.service;
+    EXPECT_EQ((*tier)->kind(), c.kind) << c.service;
+    EXPECT_EQ((*tier)->capacity(), 1u << 20);
+    // Round trip a payload through each service.
+    ASSERT_TRUE((*tier)->put("probe", as_view(make_payload(64, 1))).ok());
+    EXPECT_TRUE((*tier)->get("probe").ok());
+  }
+}
+
+TEST(TierFactoryTest, RemoteMemcachedIsSlower) {
+  TempDir dir;
+  TierFactory factory(dir.path());
+  auto local = factory.create({"Memcached", "t1", 1 << 20});
+  auto remote = factory.create({"memcached_remote", "t2", 1 << 20});
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(remote.ok());
+  EXPECT_GT((*remote)->latency_model().read_base,
+            (*local)->latency_model().read_base);
+}
+
+TEST(TierFactoryTest, UnknownServiceRejected) {
+  TempDir dir;
+  TierFactory factory(dir.path());
+  auto tier = factory.create({"tape", "t1", 1024});
+  EXPECT_FALSE(tier.ok());
+  EXPECT_EQ(tier.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TierFactoryTest, LabelsNamespaceDirectories) {
+  ZeroLatencyScope zero;
+  TempDir dir;
+  TierFactory factory(dir.path());
+  auto a = factory.create({"EBS", "vol1", 1 << 20});
+  auto b = factory.create({"EBS", "vol2", 1 << 20});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->put("k", as_view(make_payload(10, 1))).ok());
+  EXPECT_FALSE((*b)->contains("k"));  // separate volumes
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,49 @@
+// Shared test helpers.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/clock.h"
+
+namespace tiera::testing {
+
+// RAII temporary directory for file-backed tiers and metadb files.
+class TempDir {
+ public:
+  TempDir() {
+    std::string pattern = "/tmp/tiera-test-XXXXXX";
+    path_ = ::mkdtemp(pattern.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+// Most logic tests disable modelled latency entirely so they run instantly;
+// timing-sensitive tests pick a small positive scale.
+class ZeroLatencyScope {
+ public:
+  ZeroLatencyScope() : previous_(time_scale()) { set_time_scale(0.0); }
+  explicit ZeroLatencyScope(double scale) : previous_(time_scale()) {
+    set_time_scale(scale);
+  }
+  ~ZeroLatencyScope() { set_time_scale(previous_); }
+
+ private:
+  double previous_;
+};
+
+}  // namespace tiera::testing

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/file_workload.h"
+#include "workload/kv_workload.h"
+#include "workload/oltp_workload.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("inst");
+    config.tiers = {{"Memcached", "tier1", 256 << 20}};
+    auto instance = TieraInstance::create(std::move(config));
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::move(instance).value();
+  }
+
+  ZeroLatencyScope zero_latency_;
+  TempDir dir_;
+  InstancePtr instance_;
+};
+
+TEST_F(WorkloadTest, KvMixedWorkloadRuns) {
+  KvWorkloadOptions options;
+  options.record_count = 50;
+  options.value_size = 512;
+  options.read_fraction = 0.5;
+  options.threads = 4;
+  options.duration = from_ms(100);
+  auto backend = KvBackend::for_instance(*instance_);
+  const KvWorkloadResult result = run_kv_workload(backend, options);
+  EXPECT_GT(result.reads, 0u);
+  EXPECT_GT(result.writes, 0u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.ops_per_sec(), 0.0);
+  EXPECT_GT(result.read_latency.count(), 0u);
+  // Roughly balanced mix.
+  const double read_share =
+      static_cast<double>(result.reads) /
+      static_cast<double>(result.reads + result.writes);
+  EXPECT_NEAR(read_share, 0.5, 0.15);
+}
+
+TEST_F(WorkloadTest, KvReadOnlyAndWriteOnly) {
+  auto backend = KvBackend::for_instance(*instance_);
+  KvWorkloadOptions options;
+  options.record_count = 20;
+  options.value_size = 128;
+  options.duration = from_ms(50);
+  options.read_fraction = 1.0;
+  KvWorkloadResult ro = run_kv_workload(backend, options);
+  EXPECT_EQ(ro.writes, 0u);
+  EXPECT_GT(ro.reads, 0u);
+  options.read_fraction = 0.0;
+  options.preload = false;
+  KvWorkloadResult wo = run_kv_workload(backend, options);
+  EXPECT_EQ(wo.reads, 0u);
+  EXPECT_GT(wo.writes, 0u);
+}
+
+TEST_F(WorkloadTest, KvErrorsCountedDuringOutage) {
+  instance_->tier("tier1")->inject_failure(FailureMode::kFailStop);
+  KvWorkloadOptions options;
+  options.record_count = 10;
+  options.duration = from_ms(30);
+  options.read_fraction = 0.0;
+  options.preload = false;
+  auto backend = KvBackend::for_instance(*instance_);
+  const KvWorkloadResult result = run_kv_workload(backend, options);
+  EXPECT_EQ(result.writes, 0u);
+  EXPECT_GT(result.errors, 0u);
+  instance_->tier("tier1")->heal();
+}
+
+TEST_F(WorkloadTest, KvTimelineRecordsOps) {
+  ThroughputTimeline timeline(std::chrono::seconds(1), 10);
+  KvWorkloadOptions options;
+  options.record_count = 20;
+  options.value_size = 64;
+  options.duration = from_ms(200);
+  options.timeline = &timeline;
+  auto backend = KvBackend::for_instance(*instance_);
+  timeline.start();
+  const KvWorkloadResult result = run_kv_workload(backend, options);
+  EXPECT_GT(result.reads + result.writes, 0u);
+  EXPECT_GT(timeline.rate(0), 0.0);
+}
+
+TEST_F(WorkloadTest, RawTierBackendBypassesControlLayer) {
+  auto backend = KvBackend::for_tiers(instance_->tiers());
+  const Bytes payload = make_payload(100, 1);
+  ASSERT_TRUE(backend.put("raw", as_view(payload)).ok());
+  auto got = backend.get("raw");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, payload);
+  // No instance metadata for raw puts: the control layer never saw it.
+  EXPECT_FALSE(instance_->contains("raw"));
+}
+
+class OltpWorkloadTest : public WorkloadTest {
+ protected:
+  void SetUp() override {
+    WorkloadTest::SetUp();
+    files_ = std::make_unique<FileAdapter>(*instance_, 4096);
+    db_ = std::make_unique<MiniDb>(*files_);
+    ASSERT_TRUE(db_->open().ok());
+  }
+
+  std::unique_ptr<FileAdapter> files_;
+  std::unique_ptr<MiniDb> db_;
+};
+
+TEST_F(OltpWorkloadTest, LoadPopulatesTable) {
+  OltpOptions options;
+  options.table_rows = 200;
+  ASSERT_TRUE(load_oltp_table(*db_, options).ok());
+  EXPECT_EQ(*db_->row_count(options.table), 200u);
+  EXPECT_TRUE(db_->read_row(options.table, 0).ok());
+  EXPECT_TRUE(db_->read_row(options.table, 199).ok());
+}
+
+TEST_F(OltpWorkloadTest, ReadOnlyMixCommitsNoJournal) {
+  OltpOptions options;
+  options.table_rows = 200;
+  options.read_only = true;
+  options.threads = 4;
+  options.duration = from_ms(100);
+  ASSERT_TRUE(load_oltp_table(*db_, options).ok());
+  const auto journal_before = db_->journal_commits();
+  const OltpResult result = run_oltp(*db_, options);
+  EXPECT_GT(result.transactions, 0u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.tps(), 0.0);
+  // Read-only transactions skip the journal entirely.
+  EXPECT_EQ(db_->journal_commits(), journal_before);
+}
+
+TEST_F(OltpWorkloadTest, ReadWriteMixJournals) {
+  OltpOptions options;
+  options.table_rows = 200;
+  options.read_only = false;
+  options.threads = 4;
+  options.duration = from_ms(100);
+  ASSERT_TRUE(load_oltp_table(*db_, options).ok());
+  const OltpResult result = run_oltp(*db_, options);
+  EXPECT_GT(result.transactions, 0u);
+  EXPECT_GT(db_->journal_commits(), 0u);
+  EXPECT_GT(result.p95_ms(), 0.0);
+}
+
+TEST_F(OltpWorkloadTest, HotFractionShiftsBufferPoolHitRate) {
+  // With a buffer pool smaller than the table, a 1% hot set should hit the
+  // pool far more often than a 30% hot set — the mechanism behind the
+  // paper's Figs. 7/8 x-axis.
+  OltpOptions options;
+  options.table_rows = 20'000;
+  options.read_only = true;
+  options.threads = 2;
+  options.duration = from_ms(150);
+
+  auto run_with_hot = [&](double hot) {
+    InstanceConfig config;
+    config.data_dir = dir_.sub("hot" + std::to_string(hot));
+    config.tiers = {{"Memcached", "t1", 256 << 20}};
+    auto inst = TieraInstance::create(std::move(config));
+    EXPECT_TRUE(inst.ok());
+    FileAdapter files(**inst, 4096);
+    MiniDbOptions db_options;
+    db_options.buffer_pool_pages = 64;  // far smaller than the table
+    MiniDb db(files, db_options);
+    EXPECT_TRUE(db.open().ok());
+    options.hot_fraction = hot;
+    EXPECT_TRUE(load_oltp_table(db, options).ok());
+    (void)run_oltp(db, options);
+    return db.buffer_stats().hit_rate();
+  };
+
+  const double hot1 = run_with_hot(0.01);
+  const double hot30 = run_with_hot(0.30);
+  EXPECT_GT(hot1, hot30);
+}
+
+TEST_F(OltpWorkloadTest, FileReadsFollowZipf) {
+  ASSERT_TRUE(files_->create("blob").ok());
+  ASSERT_TRUE(
+      files_->write("blob", 0, as_view(make_payload(64 << 10, 9))).ok());
+  FileWorkloadOptions options;
+  options.paths = {"blob"};
+  options.threads = 2;
+  options.duration = from_ms(80);
+  const FileWorkloadResult result = run_file_reads(*files_, options);
+  EXPECT_GT(result.reads, 0u);
+  EXPECT_EQ(result.errors, 0u);
+}
+
+}  // namespace
+}  // namespace tiera
