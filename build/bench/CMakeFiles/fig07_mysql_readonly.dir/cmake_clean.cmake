@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mysql_readonly.dir/fig07_mysql_readonly.cpp.o"
+  "CMakeFiles/fig07_mysql_readonly.dir/fig07_mysql_readonly.cpp.o.d"
+  "fig07_mysql_readonly"
+  "fig07_mysql_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mysql_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_mysql_readwrite.dir/fig08_mysql_readwrite.cpp.o"
+  "CMakeFiles/fig08_mysql_readwrite.dir/fig08_mysql_readwrite.cpp.o.d"
+  "fig08_mysql_readwrite"
+  "fig08_mysql_readwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mysql_readwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

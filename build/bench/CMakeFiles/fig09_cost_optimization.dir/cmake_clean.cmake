@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cost_optimization.dir/fig09_cost_optimization.cpp.o"
+  "CMakeFiles/fig09_cost_optimization.dir/fig09_cost_optimization.cpp.o.d"
+  "fig09_cost_optimization"
+  "fig09_cost_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cost_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tpcw.dir/fig10_tpcw.cpp.o"
+  "CMakeFiles/fig10_tpcw.dir/fig10_tpcw.cpp.o.d"
+  "fig10_tpcw"
+  "fig10_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

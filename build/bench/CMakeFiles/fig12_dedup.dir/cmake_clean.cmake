@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dedup.dir/fig12_dedup.cpp.o"
+  "CMakeFiles/fig12_dedup.dir/fig12_dedup.cpp.o.d"
+  "fig12_dedup"
+  "fig12_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

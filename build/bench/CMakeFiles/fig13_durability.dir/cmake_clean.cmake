@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_durability.dir/fig13_durability.cpp.o"
+  "CMakeFiles/fig13_durability.dir/fig13_durability.cpp.o.d"
+  "fig13_durability"
+  "fig13_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

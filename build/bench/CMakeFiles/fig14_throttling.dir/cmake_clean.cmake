@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_throttling.dir/fig14_throttling.cpp.o"
+  "CMakeFiles/fig14_throttling.dir/fig14_throttling.cpp.o.d"
+  "fig14_throttling"
+  "fig14_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

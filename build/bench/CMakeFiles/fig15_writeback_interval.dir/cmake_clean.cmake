@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_writeback_interval.dir/fig15_writeback_interval.cpp.o"
+  "CMakeFiles/fig15_writeback_interval.dir/fig15_writeback_interval.cpp.o.d"
+  "fig15_writeback_interval"
+  "fig15_writeback_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_writeback_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_grow.dir/fig16_grow.cpp.o"
+  "CMakeFiles/fig16_grow.dir/fig16_grow.cpp.o.d"
+  "fig16_grow"
+  "fig16_grow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_grow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_failover.dir/fig17_failover.cpp.o"
+  "CMakeFiles/fig17_failover.dir/fig17_failover.cpp.o.d"
+  "fig17_failover"
+  "fig17_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

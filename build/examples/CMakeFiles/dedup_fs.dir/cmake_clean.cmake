@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_fs.dir/dedup_fs.cpp.o"
+  "CMakeFiles/dedup_fs.dir/dedup_fs.cpp.o.d"
+  "dedup_fs"
+  "dedup_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_cli.dir/tiera_cli.cpp.o"
+  "CMakeFiles/tiera_cli.dir/tiera_cli.cpp.o.d"
+  "tiera_cli"
+  "tiera_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tierad.dir/tierad.cpp.o"
+  "CMakeFiles/tierad.dir/tierad.cpp.o.d"
+  "tierad"
+  "tierad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tierad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

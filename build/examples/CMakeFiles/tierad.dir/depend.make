@@ -1,0 +1,2 @@
+# Empty dependencies file for tierad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_database.dir/tiered_database.cpp.o"
+  "CMakeFiles/tiered_database.dir/tiered_database.cpp.o.d"
+  "tiered_database"
+  "tiered_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_apps.dir/bookstore.cpp.o"
+  "CMakeFiles/tiera_apps.dir/bookstore.cpp.o.d"
+  "libtiera_apps.a"
+  "libtiera_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

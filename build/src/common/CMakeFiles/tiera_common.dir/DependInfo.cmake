@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/tiera_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/tiera_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/compress.cpp" "src/common/CMakeFiles/tiera_common.dir/compress.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/compress.cpp.o.d"
+  "/root/repo/src/common/crypto.cpp" "src/common/CMakeFiles/tiera_common.dir/crypto.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/crypto.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/common/CMakeFiles/tiera_common.dir/hash.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/hash.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/tiera_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/tiera_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/tiera_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/rate_limiter.cpp" "src/common/CMakeFiles/tiera_common.dir/rate_limiter.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/tiera_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/tiera_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/tiera_common.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

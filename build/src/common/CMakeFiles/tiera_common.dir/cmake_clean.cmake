@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_common.dir/bytes.cpp.o"
+  "CMakeFiles/tiera_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/clock.cpp.o"
+  "CMakeFiles/tiera_common.dir/clock.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/compress.cpp.o"
+  "CMakeFiles/tiera_common.dir/compress.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/crypto.cpp.o"
+  "CMakeFiles/tiera_common.dir/crypto.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/hash.cpp.o"
+  "CMakeFiles/tiera_common.dir/hash.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/histogram.cpp.o"
+  "CMakeFiles/tiera_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/logging.cpp.o"
+  "CMakeFiles/tiera_common.dir/logging.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/random.cpp.o"
+  "CMakeFiles/tiera_common.dir/random.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/rate_limiter.cpp.o"
+  "CMakeFiles/tiera_common.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/status.cpp.o"
+  "CMakeFiles/tiera_common.dir/status.cpp.o.d"
+  "CMakeFiles/tiera_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/tiera_common.dir/thread_pool.cpp.o.d"
+  "libtiera_common.a"
+  "libtiera_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

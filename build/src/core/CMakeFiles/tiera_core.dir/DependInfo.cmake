@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/tiera_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/tiera_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/control.cpp" "src/core/CMakeFiles/tiera_core.dir/control.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/control.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/tiera_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/metadata_store.cpp" "src/core/CMakeFiles/tiera_core.dir/metadata_store.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/metadata_store.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/tiera_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/object_meta.cpp" "src/core/CMakeFiles/tiera_core.dir/object_meta.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/object_meta.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/tiera_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/responses.cpp" "src/core/CMakeFiles/tiera_core.dir/responses.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/responses.cpp.o.d"
+  "/root/repo/src/core/spec_parser.cpp" "src/core/CMakeFiles/tiera_core.dir/spec_parser.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/spec_parser.cpp.o.d"
+  "/root/repo/src/core/templates.cpp" "src/core/CMakeFiles/tiera_core.dir/templates.cpp.o" "gcc" "src/core/CMakeFiles/tiera_core.dir/templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tiera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadb/CMakeFiles/tiera_metadb.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/tiera_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

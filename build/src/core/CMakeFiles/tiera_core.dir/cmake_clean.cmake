@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_core.dir/advisor.cpp.o"
+  "CMakeFiles/tiera_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/cluster.cpp.o"
+  "CMakeFiles/tiera_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/control.cpp.o"
+  "CMakeFiles/tiera_core.dir/control.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/instance.cpp.o"
+  "CMakeFiles/tiera_core.dir/instance.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/metadata_store.cpp.o"
+  "CMakeFiles/tiera_core.dir/metadata_store.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/monitor.cpp.o"
+  "CMakeFiles/tiera_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/object_meta.cpp.o"
+  "CMakeFiles/tiera_core.dir/object_meta.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/policy.cpp.o"
+  "CMakeFiles/tiera_core.dir/policy.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/responses.cpp.o"
+  "CMakeFiles/tiera_core.dir/responses.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/spec_parser.cpp.o"
+  "CMakeFiles/tiera_core.dir/spec_parser.cpp.o.d"
+  "CMakeFiles/tiera_core.dir/templates.cpp.o"
+  "CMakeFiles/tiera_core.dir/templates.cpp.o.d"
+  "libtiera_core.a"
+  "libtiera_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

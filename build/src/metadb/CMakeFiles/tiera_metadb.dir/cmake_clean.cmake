@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_metadb.dir/metadb.cpp.o"
+  "CMakeFiles/tiera_metadb.dir/metadb.cpp.o.d"
+  "libtiera_metadb.a"
+  "libtiera_metadb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_metadb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

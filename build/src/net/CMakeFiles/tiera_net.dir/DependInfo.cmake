@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/rpc.cpp" "src/net/CMakeFiles/tiera_net.dir/rpc.cpp.o" "gcc" "src/net/CMakeFiles/tiera_net.dir/rpc.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/tiera_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/tiera_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/tiera_service.cpp" "src/net/CMakeFiles/tiera_net.dir/tiera_service.cpp.o" "gcc" "src/net/CMakeFiles/tiera_net.dir/tiera_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tiera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tiera_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadb/CMakeFiles/tiera_metadb.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/tiera_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

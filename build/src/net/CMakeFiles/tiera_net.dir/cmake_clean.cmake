@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_net.dir/rpc.cpp.o"
+  "CMakeFiles/tiera_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/tiera_net.dir/tcp.cpp.o"
+  "CMakeFiles/tiera_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/tiera_net.dir/tiera_service.cpp.o"
+  "CMakeFiles/tiera_net.dir/tiera_service.cpp.o.d"
+  "libtiera_net.a"
+  "libtiera_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

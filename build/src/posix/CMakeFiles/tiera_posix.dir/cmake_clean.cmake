@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_posix.dir/file_adapter.cpp.o"
+  "CMakeFiles/tiera_posix.dir/file_adapter.cpp.o.d"
+  "libtiera_posix.a"
+  "libtiera_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_sql.dir/minidb.cpp.o"
+  "CMakeFiles/tiera_sql.dir/minidb.cpp.o.d"
+  "libtiera_sql.a"
+  "libtiera_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

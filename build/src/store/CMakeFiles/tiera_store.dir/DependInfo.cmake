@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/cost_model.cpp" "src/store/CMakeFiles/tiera_store.dir/cost_model.cpp.o" "gcc" "src/store/CMakeFiles/tiera_store.dir/cost_model.cpp.o.d"
+  "/root/repo/src/store/file_tier.cpp" "src/store/CMakeFiles/tiera_store.dir/file_tier.cpp.o" "gcc" "src/store/CMakeFiles/tiera_store.dir/file_tier.cpp.o.d"
+  "/root/repo/src/store/latency_model.cpp" "src/store/CMakeFiles/tiera_store.dir/latency_model.cpp.o" "gcc" "src/store/CMakeFiles/tiera_store.dir/latency_model.cpp.o.d"
+  "/root/repo/src/store/mem_tier.cpp" "src/store/CMakeFiles/tiera_store.dir/mem_tier.cpp.o" "gcc" "src/store/CMakeFiles/tiera_store.dir/mem_tier.cpp.o.d"
+  "/root/repo/src/store/tier.cpp" "src/store/CMakeFiles/tiera_store.dir/tier.cpp.o" "gcc" "src/store/CMakeFiles/tiera_store.dir/tier.cpp.o.d"
+  "/root/repo/src/store/tier_factory.cpp" "src/store/CMakeFiles/tiera_store.dir/tier_factory.cpp.o" "gcc" "src/store/CMakeFiles/tiera_store.dir/tier_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tiera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_store.dir/cost_model.cpp.o"
+  "CMakeFiles/tiera_store.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tiera_store.dir/file_tier.cpp.o"
+  "CMakeFiles/tiera_store.dir/file_tier.cpp.o.d"
+  "CMakeFiles/tiera_store.dir/latency_model.cpp.o"
+  "CMakeFiles/tiera_store.dir/latency_model.cpp.o.d"
+  "CMakeFiles/tiera_store.dir/mem_tier.cpp.o"
+  "CMakeFiles/tiera_store.dir/mem_tier.cpp.o.d"
+  "CMakeFiles/tiera_store.dir/tier.cpp.o"
+  "CMakeFiles/tiera_store.dir/tier.cpp.o.d"
+  "CMakeFiles/tiera_store.dir/tier_factory.cpp.o"
+  "CMakeFiles/tiera_store.dir/tier_factory.cpp.o.d"
+  "libtiera_store.a"
+  "libtiera_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiera_workload.dir/file_workload.cpp.o"
+  "CMakeFiles/tiera_workload.dir/file_workload.cpp.o.d"
+  "CMakeFiles/tiera_workload.dir/kv_workload.cpp.o"
+  "CMakeFiles/tiera_workload.dir/kv_workload.cpp.o.d"
+  "CMakeFiles/tiera_workload.dir/oltp_workload.cpp.o"
+  "CMakeFiles/tiera_workload.dir/oltp_workload.cpp.o.d"
+  "libtiera_workload.a"
+  "libtiera_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiera_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

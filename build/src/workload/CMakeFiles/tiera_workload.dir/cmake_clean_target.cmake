@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtiera_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_bookstore_test.dir/apps/bookstore_test.cpp.o"
+  "CMakeFiles/apps_bookstore_test.dir/apps/bookstore_test.cpp.o.d"
+  "apps_bookstore_test"
+  "apps_bookstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_bookstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

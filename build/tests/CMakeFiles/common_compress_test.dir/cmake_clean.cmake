@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_compress_test.dir/common/compress_test.cpp.o"
+  "CMakeFiles/common_compress_test.dir/common/compress_test.cpp.o.d"
+  "common_compress_test"
+  "common_compress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_crypto_test.dir/common/crypto_test.cpp.o"
+  "CMakeFiles/common_crypto_test.dir/common/crypto_test.cpp.o.d"
+  "common_crypto_test"
+  "common_crypto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

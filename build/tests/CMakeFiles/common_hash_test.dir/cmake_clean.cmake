@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_hash_test.dir/common/hash_test.cpp.o"
+  "CMakeFiles/common_hash_test.dir/common/hash_test.cpp.o.d"
+  "common_hash_test"
+  "common_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/util_test.cpp" "tests/CMakeFiles/common_util_test.dir/common/util_test.cpp.o" "gcc" "tests/CMakeFiles/common_util_test.dir/common/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tiera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadb/CMakeFiles/tiera_metadb.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/tiera_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tiera_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tiera_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/tiera_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/tiera_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tiera_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tiera_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

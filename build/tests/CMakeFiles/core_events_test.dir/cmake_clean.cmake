@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_events_test.dir/core/events_test.cpp.o"
+  "CMakeFiles/core_events_test.dir/core/events_test.cpp.o.d"
+  "core_events_test"
+  "core_events_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_instance_test.dir/core/instance_test.cpp.o"
+  "CMakeFiles/core_instance_test.dir/core/instance_test.cpp.o.d"
+  "core_instance_test"
+  "core_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_metadata_store_test.dir/core/metadata_store_test.cpp.o"
+  "CMakeFiles/core_metadata_store_test.dir/core/metadata_store_test.cpp.o.d"
+  "core_metadata_store_test"
+  "core_metadata_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_metadata_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_responses_test.dir/core/responses_test.cpp.o"
+  "CMakeFiles/core_responses_test.dir/core/responses_test.cpp.o.d"
+  "core_responses_test"
+  "core_responses_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_responses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_spec_files_test.dir/core/spec_files_test.cpp.o"
+  "CMakeFiles/core_spec_files_test.dir/core/spec_files_test.cpp.o.d"
+  "core_spec_files_test"
+  "core_spec_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_spec_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_templates_test.dir/core/templates_test.cpp.o"
+  "CMakeFiles/core_templates_test.dir/core/templates_test.cpp.o.d"
+  "core_templates_test"
+  "core_templates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_templates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadb_metadb_test.dir/metadb/metadb_test.cpp.o"
+  "CMakeFiles/metadb_metadb_test.dir/metadb/metadb_test.cpp.o.d"
+  "metadb_metadb_test"
+  "metadb_metadb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadb_metadb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

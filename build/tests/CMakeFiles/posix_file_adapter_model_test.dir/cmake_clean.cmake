@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_file_adapter_model_test.dir/posix/file_adapter_model_test.cpp.o"
+  "CMakeFiles/posix_file_adapter_model_test.dir/posix/file_adapter_model_test.cpp.o.d"
+  "posix_file_adapter_model_test"
+  "posix_file_adapter_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_file_adapter_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_minidb_model_test.dir/sql/minidb_model_test.cpp.o"
+  "CMakeFiles/sql_minidb_model_test.dir/sql/minidb_model_test.cpp.o.d"
+  "sql_minidb_model_test"
+  "sql_minidb_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_minidb_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

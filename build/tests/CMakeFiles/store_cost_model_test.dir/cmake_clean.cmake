@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_cost_model_test.dir/store/cost_model_test.cpp.o"
+  "CMakeFiles/store_cost_model_test.dir/store/cost_model_test.cpp.o.d"
+  "store_cost_model_test"
+  "store_cost_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_tier_test.dir/store/tier_test.cpp.o"
+  "CMakeFiles/store_tier_test.dir/store/tier_test.cpp.o.d"
+  "store_tier_test"
+  "store_tier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
