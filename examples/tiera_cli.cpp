@@ -6,6 +6,8 @@
 //   $ ./tiera_cli <port> stat <id>
 //   $ ./tiera_cli <port> tiers
 //   $ ./tiera_cli <port> grow <tier> <percent>
+//   $ ./tiera_cli <port> stats [--format=prom|text]
+//   $ ./tiera_cli <port> trace [n]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,7 +23,9 @@ int main(int argc, char** argv) {
 
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <port> put|get|rm|stat|tiers|grow ...\n", argv[0]);
+                 "usage: %s <port> put|get|rm|stat|tiers|grow|stats|trace ..."
+                 "\n",
+                 argv[0]);
     return 2;
   }
   const auto port = static_cast<std::uint16_t>(std::atoi(argv[1]));
@@ -88,6 +92,38 @@ int main(int argc, char** argv) {
     auto tiers = (*client)->list_tiers();
     if (!tiers.ok()) return 1;
     for (const auto& tier : *tiers) std::printf("%s\n", tier.c_str());
+    return 0;
+  }
+  if (command == "stats" && (argc == 3 || argc == 4)) {
+    std::string format = "text";
+    if (argc == 4) {
+      const std::string arg = argv[3];
+      const std::string prefix = "--format=";
+      if (arg.rfind(prefix, 0) != 0) {
+        std::fprintf(stderr, "usage: stats [--format=prom|text]\n");
+        return 2;
+      }
+      format = arg.substr(prefix.size());
+    }
+    auto text = (*client)->stats(format);
+    if (!text.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   text.status().to_string().c_str());
+      return 1;
+    }
+    std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+  if (command == "trace" && (argc == 3 || argc == 4)) {
+    const auto n = argc == 4 ? static_cast<std::uint32_t>(std::atoi(argv[3]))
+                             : 32u;
+    auto text = (*client)->trace(n);
+    if (!text.ok()) {
+      std::fprintf(stderr, "trace failed: %s\n",
+                   text.status().to_string().c_str());
+      return 1;
+    }
+    std::fputs(text->c_str(), stdout);
     return 0;
   }
   if (command == "grow" && argc == 5) {

@@ -3,7 +3,10 @@
 // specification file, serves the PUT/GET application interface over the
 // framed-RPC protocol, and prints stats on shutdown.
 //
-//   $ ./tierad <spec.tiera> [port] [param=value ...]
+//   $ ./tierad <spec.tiera> [port] [param=value ...] [--stats-period=<sec>]
+//
+// --stats-period=N logs the metrics registry (human-readable rendering)
+// every N seconds while serving.
 //
 // A second process (or the remote client API) can then connect:
 //   auto client = RemoteTieraClient::connect("127.0.0.1", port);
@@ -18,6 +21,7 @@
 
 #include "core/spec_parser.h"
 #include "net/tiera_service.h"
+#include "obs/metrics.h"
 
 using namespace tiera;
 
@@ -37,10 +41,13 @@ int main(int argc, char** argv) {
   }
   bool demo = false;
   std::uint16_t port = 0;
+  int stats_period_s = 0;
   std::map<std::string, std::string> args;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strncmp(argv[i], "--stats-period=", 15) == 0) {
+      stats_period_s = std::atoi(argv[i] + 15);
     } else if (std::strchr(argv[i], '=')) {
       const std::string kv = argv[i];
       const auto eq = kv.find('=');
@@ -65,6 +72,9 @@ int main(int argc, char** argv) {
                  instance.status().to_string().c_str());
     return 1;
   }
+  // Served instances always trace: the kTrace verb / `tiera_cli trace`
+  // should answer "what did the last N requests do" out of the box.
+  (*instance)->tracer().set_enabled(true);
 
   TieraServer server(**instance, port, /*request_threads=*/8);
   if (!server.start().ok()) {
@@ -94,8 +104,15 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  TimePoint next_stats = now() + std::chrono::seconds(
+                                     stats_period_s > 0 ? stats_period_s : 0);
   while (!g_stop) {
     precise_sleep(from_ms(100));
+    if (stats_period_s > 0 && now() >= next_stats) {
+      next_stats = now() + std::chrono::seconds(stats_period_s);
+      std::fprintf(stderr, "--- tierad stats ---\n%s",
+                   MetricsRegistry::global().render_text().c_str());
+    }
   }
   std::printf("tierad: shutting down (%llu objects stored)\n",
               static_cast<unsigned long long>((*instance)->object_count()));

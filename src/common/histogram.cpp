@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace tiera {
 
@@ -10,12 +11,36 @@ namespace {
 // Geometric bucket growth factor: 512 buckets covering 1us to ~1.1e8us.
 constexpr double kGrowth = 1.0368;
 const double kLogGrowth = std::log(kGrowth);
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Relaxed CAS-min/max: the fast path is one load when the value does not
+// extend the current range.
+void atomic_min(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
 }  // namespace
 
-LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+LatencyHistogram::LatencyHistogram()
+    : buckets_(new std::atomic<std::uint64_t>[kBuckets]),
+      min_us_(kInf),
+      max_us_(-kInf) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+}
 
 LatencyHistogram::LatencyHistogram(const LatencyHistogram& other)
-    : buckets_(kBuckets, 0) {
+    : LatencyHistogram() {
   merge(other);
 }
 
@@ -42,82 +67,107 @@ void LatencyHistogram::record(Duration latency) {
 
 void LatencyHistogram::record_ms(double ms) {
   const double us = std::max(0.0, ms * 1000.0);
-  std::lock_guard lock(mu_);
-  buckets_[bucket_for(us)]++;
-  if (count_ == 0 || us < min_us_) min_us_ = us;
-  if (count_ == 0 || us > max_us_) max_us_ = us;
-  sum_us_ += us;
-  ++count_;
+  buckets_[bucket_for(us)].fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  atomic_min(min_us_, us);
+  atomic_max(max_us_, us);
+  count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t LatencyHistogram::count() const {
-  std::lock_guard lock(mu_);
-  return count_;
+  return count_.load(std::memory_order_relaxed);
 }
 
 double LatencyHistogram::mean_ms() const {
-  std::lock_guard lock(mu_);
-  return count_ ? sum_us_ / static_cast<double>(count_) / 1000.0 : 0.0;
+  const std::uint64_t n = count();
+  return n ? sum_us_.load(std::memory_order_relaxed) /
+                 static_cast<double>(n) / 1000.0
+           : 0.0;
+}
+
+double LatencyHistogram::sum_ms() const {
+  return sum_us_.load(std::memory_order_relaxed) / 1000.0;
 }
 
 double LatencyHistogram::min_ms() const {
-  std::lock_guard lock(mu_);
-  return min_us_ / 1000.0;
+  if (count() == 0) return 0.0;
+  return min_us_.load(std::memory_order_relaxed) / 1000.0;
 }
 
 double LatencyHistogram::max_ms() const {
-  std::lock_guard lock(mu_);
-  return max_us_ / 1000.0;
+  if (count() == 0) return 0.0;
+  return max_us_.load(std::memory_order_relaxed) / 1000.0;
 }
 
 double LatencyHistogram::percentile_ms(double q) const {
-  std::lock_guard lock(mu_);
-  if (count_ == 0) return 0.0;
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  const double max_us = max_us_.load(std::memory_order_relaxed);
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen >= target && buckets_[b] > 0) {
-      return std::min(bucket_upper_us(b), max_us_) / 1000.0;
+    const std::uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    seen += in_bucket;
+    if (seen >= target && in_bucket > 0) {
+      return std::min(bucket_upper_us(b), max_us) / 1000.0;
     }
   }
-  return max_us_ / 1000.0;
+  return max_us / 1000.0;
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
-  // Copy out under other's lock first to avoid lock-order issues.
-  std::vector<std::uint64_t> other_buckets;
-  std::uint64_t other_count;
-  double other_sum, other_min, other_max;
-  {
-    std::lock_guard lock(other.mu_);
-    other_buckets = other.buckets_;
-    other_count = other.count_;
-    other_sum = other.sum_us_;
-    other_min = other.min_us_;
-    other_max = other.max_us_;
+  if (other.count() == 0) return;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n) buckets_[b].fetch_add(n, std::memory_order_relaxed);
   }
-  if (other_count == 0) return;
-  std::lock_guard lock(mu_);
-  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other_buckets[b];
-  if (count_ == 0) {
-    min_us_ = other_min;
-    max_us_ = other_max;
-  } else {
-    min_us_ = std::min(min_us_, other_min);
-    max_us_ = std::max(max_us_, other_max);
+  atomic_min(min_us_, other.min_us_.load(std::memory_order_relaxed));
+  atomic_max(max_us_, other.max_us_.load(std::memory_order_relaxed));
+  sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+}
+
+void LatencyHistogram::merge_new_since(const LatencyHistogram& source,
+                                       LatencyHistogram& cursor) {
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t seen =
+        source.buckets_[b].load(std::memory_order_relaxed);
+    const std::uint64_t prev =
+        cursor.buckets_[b].load(std::memory_order_relaxed);
+    if (seen > prev) {
+      buckets_[b].fetch_add(seen - prev, std::memory_order_relaxed);
+      cursor.buckets_[b].store(seen, std::memory_order_relaxed);
+    }
   }
-  count_ += other_count;
-  sum_us_ += other_sum;
+  const double sum = source.sum_us_.load(std::memory_order_relaxed);
+  const double prev_sum = cursor.sum_us_.load(std::memory_order_relaxed);
+  if (sum > prev_sum) {
+    sum_us_.fetch_add(sum - prev_sum, std::memory_order_relaxed);
+    cursor.sum_us_.store(sum, std::memory_order_relaxed);
+  }
+  const std::uint64_t n = source.count();
+  const std::uint64_t prev_n = cursor.count();
+  if (n > prev_n) {
+    count_.fetch_add(n - prev_n, std::memory_order_relaxed);
+    cursor.count_.store(n, std::memory_order_relaxed);
+  }
+  if (source.count() > 0) {
+    atomic_min(min_us_, source.min_us_.load(std::memory_order_relaxed));
+    atomic_max(max_us_, source.max_us_.load(std::memory_order_relaxed));
+  }
 }
 
 void LatencyHistogram::reset() {
-  std::lock_guard lock(mu_);
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  count_ = 0;
-  sum_us_ = min_us_ = max_us_ = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  min_us_.store(kInf, std::memory_order_relaxed);
+  max_us_.store(-kInf, std::memory_order_relaxed);
 }
 
 std::string LatencyHistogram::summary() const {

@@ -1,12 +1,18 @@
 // Latency histogram and throughput recorder used by all benches and the
 // instance statistics endpoint. Log-bucketed so tail percentiles (p95/p99,
 // which the paper reports) stay accurate across microseconds..seconds.
+//
+// Lock-free: `record` sits on the data path of every tier and instance
+// operation, so buckets and aggregates are relaxed atomics. Readers see a
+// slightly stale but internally consistent-enough view (a reader racing a
+// writer can observe a bucket increment before the matching count bump);
+// that is fine for statistics and avoids a mutex on every op.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "common/clock.h"
 
@@ -16,7 +22,7 @@ class LatencyHistogram {
  public:
   LatencyHistogram();
   // Copyable (snapshot semantics) so result structs can be returned by
-  // value; the mutex itself is not copied.
+  // value.
   LatencyHistogram(const LatencyHistogram& other);
   LatencyHistogram& operator=(const LatencyHistogram& other);
 
@@ -25,12 +31,18 @@ class LatencyHistogram {
 
   std::uint64_t count() const;
   double mean_ms() const;
+  double sum_ms() const;
   double min_ms() const;
   double max_ms() const;
   // q in [0,1]; returns 0 when empty.
   double percentile_ms(double q) const;
 
   void merge(const LatencyHistogram& other);
+  // Merges everything `source` has recorded since `cursor` last saw it, then
+  // advances `cursor` to match `source`. Lets a metrics collector mirror a
+  // live histogram into an accumulating one without double counting (and
+  // without pausing writers: concurrent records are picked up next sync).
+  void merge_new_since(const LatencyHistogram& source, LatencyHistogram& cursor);
   void reset();
 
   std::string summary() const;
@@ -41,41 +53,39 @@ class LatencyHistogram {
   static int bucket_for(double us);
   static double bucket_upper_us(int bucket);
 
-  mutable std::mutex mu_;
-  std::vector<std::uint64_t> buckets_;
-  std::uint64_t count_ = 0;
-  double sum_us_ = 0;
-  double min_us_ = 0;
-  double max_us_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_us_{0};
+  std::atomic<double> min_us_;  // +inf when empty
+  std::atomic<double> max_us_;  // -inf when empty
 };
 
-// Counts operations over a wall-clock window; reports ops/sec.
+// Counts operations over a wall-clock window; reports ops/sec. Lock-free:
+// `add` sits on the data path of every bench, so the count is a relaxed
+// atomic and the window start is stored as a tick count.
 class ThroughputMeter {
  public:
-  ThroughputMeter() : start_(now()) {}
+  ThroughputMeter() { reset(); }
 
   void add(std::uint64_t n = 1) {
-    std::lock_guard lock(mu_);
-    ops_ += n;
+    ops_.fetch_add(n, std::memory_order_relaxed);
   }
-  std::uint64_t total() const {
-    std::lock_guard lock(mu_);
-    return ops_;
-  }
+  std::uint64_t total() const { return ops_.load(std::memory_order_relaxed); }
   double ops_per_sec() const {
-    const double secs = to_seconds(now() - start_);
+    const TimePoint start{
+        Clock::duration(start_ticks_.load(std::memory_order_relaxed))};
+    const double secs = to_seconds(now() - start);
     return secs > 0 ? static_cast<double>(total()) / secs : 0.0;
   }
   void reset() {
-    std::lock_guard lock(mu_);
-    ops_ = 0;
-    start_ = now();
+    ops_.store(0, std::memory_order_relaxed);
+    start_ticks_.store(now().time_since_epoch().count(),
+                       std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::uint64_t ops_ = 0;
-  TimePoint start_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<Clock::rep> start_ticks_{0};
 };
 
 }  // namespace tiera

@@ -2,7 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <optional>
 #include <string>
+
+#include <strings.h>
+#include <sys/time.h>
 
 namespace tiera {
 
@@ -20,10 +27,35 @@ std::string_view level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::optional<LogLevel> parse_level(const char* name) {
+  if (!name) return std::nullopt;
+  if (::strcasecmp(name, "debug") == 0) return LogLevel::kDebug;
+  if (::strcasecmp(name, "info") == 0) return LogLevel::kInfo;
+  if (::strcasecmp(name, "warn") == 0) return LogLevel::kWarn;
+  if (::strcasecmp(name, "error") == 0) return LogLevel::kError;
+  if (::strcasecmp(name, "off") == 0) return LogLevel::kOff;
+  return std::nullopt;
+}
+
+// TIERA_LOG_LEVEL is read once; an operator exporting it outranks whatever
+// level the program hardcodes at bootstrap.
+const std::optional<LogLevel>& env_level() {
+  static const std::optional<LogLevel> level =
+      parse_level(std::getenv("TIERA_LOG_LEVEL"));
+  return level;
+}
+
+// Small dense per-thread ids keep log lines short and greppable.
+int thread_log_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+  g_level.store(env_level().value_or(level), std::memory_order_relaxed);
 }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
@@ -32,8 +64,18 @@ namespace internal {
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
   if (level < log_level()) return;
+
+  struct timeval tv;
+  ::gettimeofday(&tv, nullptr);
+  struct tm tm_buf;
+  ::localtime_r(&tv.tv_sec, &tm_buf);
+  char stamp[40];
+  const std::size_t n = std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  std::snprintf(stamp + n, sizeof(stamp) - n, ".%03d",
+                static_cast<int>(tv.tv_usec / 1000));
+
   std::lock_guard lock(g_sink_mu);
-  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+  std::fprintf(stderr, "%s t%02d [%.*s] %.*s: %.*s\n", stamp, thread_log_id(),
                static_cast<int>(level_name(level).size()),
                level_name(level).data(), static_cast<int>(component.size()),
                component.data(), static_cast<int>(message.size()),

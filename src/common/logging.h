@@ -1,4 +1,7 @@
-// Minimal leveled logger. Thread-safe, printf-free, stderr sink.
+// Minimal leveled logger. Thread-safe, printf-free, stderr sink. Lines carry
+// a wall-clock timestamp and a dense per-thread id so daemon logs support
+// post-hoc debugging. The TIERA_LOG_LEVEL environment variable
+// (debug|info|warn|error|off) overrides any level passed to set_log_level.
 #pragma once
 
 #include <mutex>

@@ -16,13 +16,25 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
 ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::submit(std::function<void()> task) {
+  std::shared_ptr<const Observer> observer;
+  std::size_t depth = 0, active = 0;
   {
     std::lock_guard lock(mu_);
     if (stopping_) return false;
     queue_.push_back(std::move(task));
+    observer = observer_;
+    depth = queue_.size();
+    active = active_;
   }
   work_cv_.notify_one();
+  if (observer) (*observer)(depth, active);
   return true;
+}
+
+void ThreadPool::set_observer(Observer observer) {
+  std::lock_guard lock(mu_);
+  observer_ = observer ? std::make_shared<const Observer>(std::move(observer))
+                       : nullptr;
 }
 
 void ThreadPool::wait_idle() {
@@ -62,11 +74,17 @@ void ThreadPool::worker_loop() {
       ++active_;
     }
     task();
+    std::shared_ptr<const Observer> observer;
+    std::size_t depth = 0, active = 0;
     {
       std::lock_guard lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      observer = observer_;
+      depth = queue_.size();
+      active = active_;
     }
+    if (observer) (*observer)(depth, active);
   }
 }
 

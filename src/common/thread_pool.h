@@ -27,6 +27,14 @@ class ThreadPool {
   // Enqueue a task. Returns false if the pool is shutting down.
   bool submit(std::function<void()> task);
 
+  // Invoked (outside the pool lock) whenever queue depth or the number of
+  // active workers changes. Owners use this to export gauges without the
+  // common layer depending on the metrics registry. Install before the pool
+  // receives work.
+  using Observer = std::function<void(std::size_t queue_depth,
+                                      std::size_t active_workers)>;
+  void set_observer(Observer observer);
+
   // Enqueue a task and get a future for its completion.
   template <typename F>
   auto submit_with_result(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -53,6 +61,7 @@ class ThreadPool {
   void worker_loop();
 
   mutable std::mutex mu_;
+  std::shared_ptr<const Observer> observer_;  // read under mu_, run outside
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;

@@ -11,7 +11,28 @@ ControlLayer::ControlLayer(TieraInstance& instance,
                            std::size_t response_threads, Duration timer_tick)
     : instance_(instance),
       response_pool_(response_threads, "tiera-responses"),
-      timer_tick_(timer_tick) {}
+      timer_tick_(timer_tick) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  metrics_.events_fired = &reg.counter("tiera_control_events_fired_total");
+  metrics_.responses_failed =
+      &reg.counter("tiera_control_responses_failed_total");
+  metrics_.rules_evaluated = &reg.counter("tiera_control_rules_evaluated_total");
+  metrics_.queue_depth = &reg.gauge("tiera_control_queue_depth");
+  metrics_.pool_active_workers = &reg.gauge("tiera_control_pool_active_workers");
+  metrics_.active_responses = &reg.gauge("tiera_control_active_responses");
+  metrics_.rules = &reg.gauge("tiera_control_rules");
+  metrics_.response_latency =
+      &reg.histogram("tiera_control_response_latency_ms");
+  // The observer outlives the pool (gauges live in the process-wide
+  // registry), so capture the gauges, not `this`.
+  Gauge* queue_depth = metrics_.queue_depth;
+  Gauge* workers = metrics_.pool_active_workers;
+  response_pool_.set_observer(
+      [queue_depth, workers](std::size_t depth, std::size_t running) {
+        queue_depth->set(static_cast<double>(depth));
+        workers->set(static_cast<double>(running));
+      });
+}
 
 ControlLayer::~ControlLayer() { stop(); }
 
@@ -40,6 +61,7 @@ std::uint64_t ControlLayer::add_rule(Rule rule) {
   auto shared = std::make_shared<Rule>(std::move(rule));
   std::unique_lock lock(rules_mu_);
   rules_.push_back(shared);
+  metrics_.rules->set(static_cast<double>(rules_.size()));
   return shared->id;
 }
 
@@ -50,12 +72,14 @@ Status ControlLayer::remove_rule(std::uint64_t rule_id) {
       [rule_id](const auto& rule) { return rule->id == rule_id; });
   if (it == rules_.end()) return Status::NotFound("no such rule");
   rules_.erase(it);
+  metrics_.rules->set(static_cast<double>(rules_.size()));
   return Status::Ok();
 }
 
 void ControlLayer::clear_rules() {
   std::unique_lock lock(rules_mu_);
   rules_.clear();
+  metrics_.rules->set(0);
 }
 
 std::size_t ControlLayer::rule_count() const {
@@ -66,15 +90,21 @@ std::size_t ControlLayer::rule_count() const {
 void ControlLayer::run_responses(const std::shared_ptr<Rule>& rule,
                                  EventContext& ctx) {
   events_fired_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.events_fired->inc();
+  metrics_.active_responses->add(1);
+  Stopwatch watch;
   for (const auto& response : rule->responses) {
     const Status s = response->execute(ctx);
     if (!s.ok()) {
       responses_failed_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.responses_failed->inc();
       TIERA_LOG(kDebug, "control")
           << "response failed: " << response->describe() << " -> "
           << s.to_string();
     }
   }
+  metrics_.response_latency->record(watch.elapsed());
+  metrics_.active_responses->add(-1);
 }
 
 void ControlLayer::execute_rule(const std::shared_ptr<Rule>& rule,
@@ -104,6 +134,7 @@ void ControlLayer::on_action(ActionType action, EventContext& ctx,
   std::vector<std::shared_ptr<Rule>> background;
   {
     std::shared_lock lock(rules_mu_);
+    metrics_.rules_evaluated->inc(rules_.size());
     for (const auto& rule : rules_) {
       bool matches = false;
       if (scope != MatchScope::kFilteredOnly) {
@@ -137,6 +168,7 @@ void ControlLayer::evaluate_thresholds() {
   std::vector<std::shared_ptr<Rule>> to_fire_bg;
   {
     std::shared_lock lock(rules_mu_);
+    metrics_.rules_evaluated->inc(rules_.size());
     for (const auto& rule : rules_) {
       if (rule->event.kind != EventKind::kThreshold) continue;
       const ThresholdEventDef& def = rule->event.threshold;

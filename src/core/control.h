@@ -16,6 +16,7 @@
 
 #include "common/thread_pool.h"
 #include "core/policy.h"
+#include "obs/metrics.h"
 
 namespace tiera {
 
@@ -79,6 +80,20 @@ class ControlLayer {
 
   std::atomic<std::uint64_t> events_fired_{0};
   std::atomic<std::uint64_t> responses_failed_{0};
+
+  // Registry series (`tiera_control_*`): queue depth / in-flight responses
+  // gauges, event + failure counters, response execution latency.
+  struct Metrics {
+    Counter* events_fired;
+    Counter* responses_failed;
+    Counter* rules_evaluated;
+    Gauge* queue_depth;
+    Gauge* pool_active_workers;
+    Gauge* active_responses;
+    Gauge* rules;
+    LatencyHistogram* response_latency;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace tiera

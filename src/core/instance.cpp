@@ -11,9 +11,71 @@
 namespace tiera {
 
 TieraInstance::TieraInstance(InstanceConfig config)
-    : config_(std::move(config)), factory_(config_.data_dir) {}
+    : config_(std::move(config)),
+      factory_(config_.data_dir),
+      tracer_(config_.trace_capacity) {
+  tracer_.set_enabled(config_.trace_requests);
+  MetricsRegistry& reg = MetricsRegistry::global();
+  metrics_.puts = &reg.counter("tiera_instance_puts_total");
+  metrics_.gets = &reg.counter("tiera_instance_gets_total");
+  metrics_.removes = &reg.counter("tiera_instance_removes_total");
+  metrics_.get_misses = &reg.counter("tiera_instance_get_misses_total");
+  metrics_.failures = &reg.counter("tiera_instance_failures_total");
+  metrics_.put_latency = &reg.histogram("tiera_instance_put_latency_ms");
+  metrics_.get_latency = &reg.histogram("tiera_instance_get_latency_ms");
+  metrics_.delete_latency = &reg.histogram("tiera_instance_delete_latency_ms");
+  collector_id_ = reg.add_collector([this] { collect_metrics(); });
+}
+
+void TieraInstance::collect_metrics() {
+  const auto sync = [](Counter* counter,
+                       const std::atomic<std::uint64_t>& source,
+                       std::uint64_t& seen) {
+    const std::uint64_t v = source.load(std::memory_order_relaxed);
+    if (v > seen) {
+      counter->inc(v - seen);
+      seen = v;
+    }
+  };
+  sync(metrics_.puts, stats_.puts, synced_.puts);
+  sync(metrics_.gets, stats_.gets, synced_.gets);
+  sync(metrics_.removes, stats_.removes, synced_.removes);
+  sync(metrics_.get_misses, stats_.get_misses, synced_.get_misses);
+  sync(metrics_.failures, stats_.failures, synced_.failures);
+  metrics_.put_latency->merge_new_since(stats_.put_latency,
+                                        put_latency_cursor_);
+  metrics_.get_latency->merge_new_since(stats_.get_latency,
+                                        get_latency_cursor_);
+}
+
+Counter& TieraInstance::tier_hit_counter(const std::string& tier_label) {
+  const HitCounters* snapshot =
+      hit_counters_.load(std::memory_order_acquire);
+  if (snapshot) {
+    for (const auto& [label, counter] : snapshot->entries) {
+      if (label == tier_label) return *counter;
+    }
+  }
+  // First GET served by this tier: publish a snapshot that includes it.
+  std::lock_guard lock(hit_counters_mu_);
+  snapshot = hit_counters_.load(std::memory_order_acquire);
+  if (snapshot) {
+    for (const auto& [label, counter] : snapshot->entries) {
+      if (label == tier_label) return *counter;
+    }
+  }
+  auto next = std::make_unique<HitCounters>();
+  if (snapshot) next->entries = snapshot->entries;
+  Counter& counter = MetricsRegistry::global().counter(
+      "tiera_instance_tier_hits_total", {{"tier", tier_label}});
+  next->entries.emplace_back(tier_label, &counter);
+  hit_counters_.store(next.get(), std::memory_order_release);
+  hit_counter_snapshots_.push_back(std::move(next));
+  return counter;
+}
 
 TieraInstance::~TieraInstance() {
+  MetricsRegistry::global().remove_collector(collector_id_);
   if (control_) control_->stop();
 }
 
@@ -189,6 +251,7 @@ Status TieraInstance::put(std::string_view id, ByteView data,
 
   if (!ctx.stored) {
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    tracer_.record(TraceOp::kPut, object_id, "", watch.elapsed(), false);
     if (stale_locations.empty()) (void)meta_.erase(object_id);
     return Status::Unavailable("no tier accepted object " + object_id);
   }
@@ -217,8 +280,14 @@ Status TieraInstance::put(std::string_view id, ByteView data,
     // failed: the write is not acknowledged, though any bytes that did land
     // stay readable.
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    tracer_.record(TraceOp::kPut, object_id,
+                   ctx.stored_tiers.empty() ? "" : ctx.stored_tiers.front(),
+                   watch.elapsed(), false);
     return ctx.placement_error;
   }
+  tracer_.record(TraceOp::kPut, object_id,
+                 ctx.stored_tiers.empty() ? "" : ctx.stored_tiers.front(),
+                 watch.elapsed(), true);
   return Status::Ok();
 }
 
@@ -228,6 +297,7 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   const auto meta = meta_.get(object_id);
   if (!meta) {
     stats_.get_misses.fetch_add(1, std::memory_order_relaxed);
+    tracer_.record(TraceOp::kGet, object_id, "", watch.elapsed(), false);
     return Status::NotFound("no object " + object_id);
   }
 
@@ -235,6 +305,8 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   Result<Bytes> at_rest = read_at_rest(*meta, &served_tier);
   if (!at_rest.ok()) {
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    tracer_.record(TraceOp::kGet, object_id, served_tier, watch.elapsed(),
+                   false);
     return at_rest.status();
   }
 
@@ -273,10 +345,13 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   stats_.ops.add();
   stats_.get_latency.record(watch.elapsed());
+  tier_hit_counter(served_tier).inc();
+  tracer_.record(TraceOp::kGet, object_id, served_tier, watch.elapsed(), true);
   return bytes;
 }
 
 Status TieraInstance::remove(std::string_view id) {
+  Stopwatch watch;
   const std::string object_id(id);
   if (!meta_.contains(object_id)) return Status::NotFound("no such object");
 
@@ -291,6 +366,8 @@ Status TieraInstance::remove(std::string_view id) {
   control_->evaluate_thresholds();
   stats_.removes.fetch_add(1, std::memory_order_relaxed);
   stats_.ops.add();
+  metrics_.delete_latency->record(watch.elapsed());
+  tracer_.record(TraceOp::kDelete, object_id, "", watch.elapsed(), true);
   return Status::Ok();
 }
 

@@ -15,6 +15,7 @@
 #include <array>
 #include <memory>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/crypto.h"
@@ -23,6 +24,8 @@
 #include "core/control.h"
 #include "core/metadata_store.h"
 #include "core/policy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/cost_model.h"
 #include "store/tier_factory.h"
 
@@ -45,6 +48,12 @@ struct InstanceConfig {
   // prototype supports seconds granularity; we default finer so scaled
   // benches stay accurate.
   Duration timer_tick = from_ms(50);
+  // Request tracing: keep a ring of the last `trace_capacity` PUT/GET/DELETE
+  // spans (op, object, tier, duration, outcome). Opt-in: recording costs a
+  // slot mutex and two copies per request, which embedded benches don't want
+  // to pay. tierad enables it for every served instance.
+  bool trace_requests = false;
+  std::size_t trace_capacity = 512;
 };
 
 struct InstanceStats {
@@ -155,6 +164,8 @@ class TieraInstance {
   MetadataStore& metadata() { return meta_; }
   const MetadataStore& metadata() const { return meta_; }
   InstanceStats& stats() { return stats_; }
+  RequestTracer& tracer() { return tracer_; }
+  const RequestTracer& tracer() const { return tracer_; }
   double monthly_cost(double observed_seconds = 0) const;
   std::vector<TierCost> cost_breakdown(double observed_seconds = 0) const;
 
@@ -182,6 +193,10 @@ class TieraInstance {
   bool content_needed_in_tier(const ObjectMeta& meta,
                               const std::string& label);
 
+  // Per-tier GET-hit counter (`tiera_instance_tier_hits_total{tier=..}`),
+  // cached so the GET path avoids a registry lookup per request.
+  Counter& tier_hit_counter(const std::string& tier_label);
+
   // Reads the at-rest bytes of `meta` from the fastest live location.
   Result<Bytes> read_at_rest(const ObjectMeta& meta, std::string* served_tier);
   // Rewrites at-rest bytes in every location tier (used by the transform
@@ -208,6 +223,50 @@ class TieraInstance {
   MetadataStore meta_;
   std::unique_ptr<ControlLayer> control_;
   InstanceStats stats_;
+  RequestTracer tracer_;
+
+  // End-to-end series in the global registry (`tiera_instance_*`).
+  // Pull-model: a registered collector delta-syncs counters from `stats_`
+  // and mirrors the per-instance latency histograms at render time, so the
+  // request path pays only for `stats_` (which it updated already in the
+  // seed). Only delete_latency is pushed directly (stats_ has no source
+  // for it).
+  struct Metrics {
+    Counter* puts;
+    Counter* gets;
+    Counter* removes;
+    Counter* get_misses;
+    Counter* failures;
+    LatencyHistogram* put_latency;
+    LatencyHistogram* get_latency;
+    LatencyHistogram* delete_latency;
+  };
+  Metrics metrics_;
+  // Collector state: last stats_ values already pushed into the registry,
+  // plus merge cursors for the histogram mirrors. Only the collector touches
+  // these (serialized by the registry's collector lock).
+  struct SyncedStats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t get_misses = 0;
+    std::uint64_t failures = 0;
+  };
+  SyncedStats synced_;
+  LatencyHistogram put_latency_cursor_;
+  LatencyHistogram get_latency_cursor_;
+  std::uint64_t collector_id_ = 0;
+  void collect_metrics();
+  // Per-served-tier GET hit counters. The read path does a lock-free scan of
+  // an immutable snapshot (a handful of tiers at most); a miss swaps in a
+  // bigger snapshot under the mutex. Retired snapshots are kept until the
+  // instance dies so readers never chase a freed pointer.
+  struct HitCounters {
+    std::vector<std::pair<std::string, Counter*>> entries;
+  };
+  std::atomic<const HitCounters*> hit_counters_{nullptr};
+  mutable std::mutex hit_counters_mu_;
+  std::vector<std::unique_ptr<const HitCounters>> hit_counter_snapshots_;
 
   mutable std::mutex key_mu_;
   std::optional<ChaChaKey> encryption_key_;

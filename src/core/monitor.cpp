@@ -1,6 +1,7 @@
 #include "core/monitor.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace tiera {
 
@@ -24,6 +25,7 @@ void StorageMonitor::stop() {
 }
 
 bool StorageMonitor::probe() {
+  MetricsRegistry::global().counter("tiera_monitor_probes_total").inc();
   const Bytes canary = to_bytes("tiera-monitor-probe");
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
     if (instance_.put(options_.canary_id, as_view(canary)).ok()) {
@@ -34,6 +36,9 @@ bool StorageMonitor::probe() {
   if (!outage_latched_) {
     outage_latched_ = true;
     failures_detected_.fetch_add(1);
+    MetricsRegistry::global()
+        .counter("tiera_monitor_failures_detected_total")
+        .inc();
     TIERA_LOG(kWarn, "monitor") << "storage failure detected on instance '"
                                 << instance_.name() << "', reconfiguring";
     if (on_failure_) on_failure_(instance_);

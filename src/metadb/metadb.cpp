@@ -50,7 +50,15 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
 }  // namespace
 
 MetaDb::MetaDb(std::string path, MetaDbOptions options)
-    : path_(std::move(path)), options_(options) {}
+    : path_(std::move(path)), options_(options) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  metrics_.puts = &reg.counter("tiera_metadb_puts_total");
+  metrics_.gets = &reg.counter("tiera_metadb_gets_total");
+  metrics_.erases = &reg.counter("tiera_metadb_erases_total");
+  metrics_.compactions = &reg.counter("tiera_metadb_compactions_total");
+  metrics_.log_bytes = &reg.gauge("tiera_metadb_log_bytes");
+  metrics_.live_keys = &reg.gauge("tiera_metadb_live_keys");
+}
 
 MetaDb::~MetaDb() {
   if (fd_ >= 0) {
@@ -174,6 +182,7 @@ Status MetaDb::append_record(std::uint8_t type, std::string_view key,
 
 Status MetaDb::put(std::string_view key, ByteView value) {
   std::lock_guard lock(mu_);
+  metrics_.puts->inc();
   TIERA_RETURN_IF_ERROR(append_record(kTypePut, key, value));
   auto it = index_.find(std::string(key));
   if (it != index_.end()) {
@@ -183,6 +192,8 @@ Status MetaDb::put(std::string_view key, ByteView value) {
     index_.emplace(std::string(key), Bytes(value.begin(), value.end()));
   }
   live_bytes_ += record_size(key.size(), value.size());
+  metrics_.log_bytes->set(static_cast<double>(log_bytes_));
+  metrics_.live_keys->set(static_cast<double>(index_.size()));
 
   if (log_bytes_ >= options_.auto_compact_min_bytes && log_bytes_ > 0 &&
       static_cast<double>(log_bytes_ - live_bytes_) >
@@ -194,6 +205,7 @@ Status MetaDb::put(std::string_view key, ByteView value) {
 
 Result<Bytes> MetaDb::get(std::string_view key) const {
   std::lock_guard lock(mu_);
+  metrics_.gets->inc();
   auto it = index_.find(std::string(key));
   if (it == index_.end()) return Status::NotFound("metadb key");
   return it->second;
@@ -206,11 +218,14 @@ bool MetaDb::contains(std::string_view key) const {
 
 Status MetaDb::erase(std::string_view key) {
   std::lock_guard lock(mu_);
+  metrics_.erases->inc();
   auto it = index_.find(std::string(key));
   if (it == index_.end()) return Status::NotFound("metadb key");
   TIERA_RETURN_IF_ERROR(append_record(kTypeErase, key, {}));
   live_bytes_ -= record_size(key.size(), it->second.size());
   index_.erase(it);
+  metrics_.log_bytes->set(static_cast<double>(log_bytes_));
+  metrics_.live_keys->set(static_cast<double>(index_.size()));
   return Status::Ok();
 }
 
@@ -261,6 +276,7 @@ Status MetaDb::sync() {
 }
 
 Status MetaDb::compact_locked() {
+  metrics_.compactions->inc();
   const std::string tmp_path = path_ + ".compact";
   const int tmp_fd =
       ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

@@ -16,6 +16,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tiera {
 
@@ -77,6 +78,17 @@ class MetaDb {
 
   const std::string path_;
   const MetaDbOptions options_;
+
+  // Registry series (`tiera_metadb_*`), looked up once at open.
+  struct Metrics {
+    Counter* puts;
+    Counter* gets;
+    Counter* erases;
+    Counter* compactions;
+    Gauge* log_bytes;
+    Gauge* live_keys;
+  };
+  Metrics metrics_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Bytes> index_;

@@ -5,7 +5,17 @@
 namespace tiera {
 
 RpcServer::RpcServer(std::uint16_t port, std::size_t request_threads)
-    : requested_port_(port), pool_(request_threads, "rpc-requests") {}
+    : requested_port_(port), pool_(request_threads, "rpc-requests") {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  metrics_.requests = &reg.counter("tiera_rpc_requests_total");
+  metrics_.errors = &reg.counter("tiera_rpc_errors_total");
+  metrics_.queue_depth = &reg.gauge("tiera_rpc_queue_depth");
+  metrics_.request_latency = &reg.histogram("tiera_rpc_request_latency_ms");
+  Gauge* queue_depth = metrics_.queue_depth;
+  pool_.set_observer([queue_depth](std::size_t depth, std::size_t) {
+    queue_depth->set(static_cast<double>(depth));
+  });
+}
 
 RpcServer::~RpcServer() { stop(); }
 
@@ -64,11 +74,13 @@ void RpcServer::serve_connection(std::shared_ptr<TcpConnection> conn) {
     if (!frame.ok()) return;
     auto request = std::make_shared<Bytes>(std::move(frame).value());
     const bool submitted = pool_.submit([this, conn, request] {
+      Stopwatch watch;
       WireReader reader(as_view(*request));
       std::uint64_t request_id = 0;
       std::uint8_t method = 0;
       WireWriter response;
       if (!reader.u64(request_id).ok() || !reader.u8(method).ok()) {
+        metrics_.errors->inc();
         return;  // malformed frame: drop
       }
       response.u64(request_id);
@@ -77,6 +89,7 @@ void RpcServer::serve_connection(std::shared_ptr<TcpConnection> conn) {
         response.u8(static_cast<std::uint8_t>(StatusCode::kInvalidArgument));
         response.str("unknown method");
         response.bytes({});
+        metrics_.errors->inc();
       } else {
         const std::size_t header = 8 + 1;
         Result<Bytes> result = it->second(
@@ -89,9 +102,12 @@ void RpcServer::serve_connection(std::shared_ptr<TcpConnection> conn) {
           response.u8(static_cast<std::uint8_t>(result.status().code()));
           response.str(result.status().message());
           response.bytes({});
+          metrics_.errors->inc();
         }
       }
       requests_served_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.requests->inc();
+      metrics_.request_latency->record(watch.elapsed());
       (void)conn->send_frame(as_view(response.data()));
     });
     if (!submitted) return;

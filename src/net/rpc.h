@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "net/tcp.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace tiera {
 
@@ -56,6 +57,16 @@ class RpcServer {
 
   std::mutex conns_mu_;
   std::vector<std::weak_ptr<TcpConnection>> conns_;
+
+  // Registry series (`tiera_rpc_*`): request/error counters, per-request
+  // service latency, and request-pool queue depth.
+  struct Metrics {
+    Counter* requests;
+    Counter* errors;
+    Gauge* queue_depth;
+    LatencyHistogram* request_latency;
+  };
+  Metrics metrics_;
 };
 
 // Blocking client: one connection, serialized calls (thread-safe).

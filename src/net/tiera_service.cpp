@@ -121,13 +121,40 @@ void TieraServer::register_handlers() {
 
   server_.register_handler(
       static_cast<std::uint8_t>(TieraMethod::kStats),
-      [this](ByteView) -> Result<Bytes> {
+      [this](ByteView body) -> Result<Bytes> {
+        // With a format string in the body, render the process-wide metrics
+        // registry; an empty body keeps the legacy binary reply.
+        if (!body.empty()) {
+          WireReader r(body);
+          std::string format;
+          TIERA_RETURN_IF_ERROR(r.str(format));
+          std::string text;
+          if (format == "prom") {
+            text = MetricsRegistry::global().render_prometheus();
+          } else if (format == "text") {
+            text = MetricsRegistry::global().render_text();
+          } else {
+            return Status::InvalidArgument("unknown stats format: " + format);
+          }
+          return to_bytes(text);
+        }
         WireWriter w;
         w.u64(instance_.stats().puts.load());
         w.u64(instance_.stats().gets.load());
         w.u64(instance_.stats().removes.load());
         w.u64(instance_.object_count());
         return w.take();
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kTrace),
+      [this](ByteView body) -> Result<Bytes> {
+        std::uint32_t last_n = 32;
+        if (!body.empty()) {
+          WireReader r(body);
+          TIERA_RETURN_IF_ERROR(r.u32(last_n));
+        }
+        return to_bytes(instance_.tracer().dump(last_n));
       });
 }
 
@@ -204,6 +231,37 @@ Result<std::vector<std::string>> RemoteTieraClient::list_tiers() {
   std::vector<std::string> tiers;
   TIERA_RETURN_IF_ERROR(read_string_list(r, tiers));
   return tiers;
+}
+
+Result<std::string> RemoteTieraClient::stats(std::string_view format) {
+  WireWriter w;
+  w.str(format);
+  Result<Bytes> reply = client_->call(
+      static_cast<std::uint8_t>(TieraMethod::kStats), as_view(w.data()));
+  if (!reply.ok()) return reply.status();
+  return std::string(reply->begin(), reply->end());
+}
+
+Result<RemoteStatsSummary> RemoteTieraClient::stats_summary() {
+  Result<Bytes> reply =
+      client_->call(static_cast<std::uint8_t>(TieraMethod::kStats), {});
+  if (!reply.ok()) return reply.status();
+  WireReader r(as_view(*reply));
+  RemoteStatsSummary s;
+  TIERA_RETURN_IF_ERROR(r.u64(s.puts));
+  TIERA_RETURN_IF_ERROR(r.u64(s.gets));
+  TIERA_RETURN_IF_ERROR(r.u64(s.removes));
+  TIERA_RETURN_IF_ERROR(r.u64(s.objects));
+  return s;
+}
+
+Result<std::string> RemoteTieraClient::trace(std::uint32_t last_n) {
+  WireWriter w;
+  w.u32(last_n);
+  Result<Bytes> reply = client_->call(
+      static_cast<std::uint8_t>(TieraMethod::kTrace), as_view(w.data()));
+  if (!reply.ok()) return reply.status();
+  return std::string(reply->begin(), reply->end());
 }
 
 Status RemoteTieraClient::grow_tier(std::string_view label, double percent) {

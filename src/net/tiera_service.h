@@ -20,6 +20,7 @@ enum class TieraMethod : std::uint8_t {
   kListTiers = 6,
   kGrowTier = 7,
   kStats = 8,
+  kTrace = 9,
 };
 
 class TieraServer {
@@ -37,6 +38,14 @@ class TieraServer {
 
   TieraInstance& instance_;
   RpcServer server_;
+};
+
+// Legacy binary reply of the kStats verb (empty request body).
+struct RemoteStatsSummary {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t objects = 0;
 };
 
 struct RemoteObjectInfo {
@@ -61,6 +70,13 @@ class RemoteTieraClient {
   Status add_tags(std::string_view id, const std::vector<std::string>& tags);
   Result<std::vector<std::string>> list_tiers();
   Status grow_tier(std::string_view label, double percent);
+
+  // Rendered metrics registry; `format` is "prom" (Prometheus text
+  // exposition) or "text" (human-readable).
+  Result<std::string> stats(std::string_view format);
+  Result<RemoteStatsSummary> stats_summary();
+  // Text trace of the server's last `last_n` requests.
+  Result<std::string> trace(std::uint32_t last_n = 32);
 
  private:
   explicit RemoteTieraClient(std::unique_ptr<RpcClient> client)

@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace tiera {
+
+namespace {
+
+void copy_truncated(char* dest, std::size_t dest_size, std::string_view src) {
+  const std::size_t n = std::min(src.size(), dest_size - 1);
+  std::memcpy(dest, src.data(), n);
+  dest[n] = '\0';
+}
+
+}  // namespace
+
+std::string_view to_string(TraceOp op) {
+  switch (op) {
+    case TraceOp::kPut: return "PUT";
+    case TraceOp::kGet: return "GET";
+    case TraceOp::kDelete: return "DELETE";
+  }
+  return "?";
+}
+
+RequestTracer::RequestTracer(std::size_t capacity)
+    : slots_(capacity ? capacity : 1) {}
+
+void RequestTracer::record(TraceOp op, std::string_view object_id,
+                           std::string_view tier, Duration latency, bool ok) {
+  if (!enabled()) return;
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+  std::lock_guard lock(slot.mu);
+  slot.span.seq = seq;
+  slot.span.op = op;
+  copy_truncated(slot.span.object_id, sizeof(slot.span.object_id), object_id);
+  copy_truncated(slot.span.tier, sizeof(slot.span.tier), tier);
+  slot.span.duration_ms = to_ms(latency);
+  slot.span.ok = ok;
+  slot.valid = true;
+}
+
+std::vector<RequestTracer::Span> RequestTracer::snapshot(
+    std::size_t last_n) const {
+  std::vector<Span> spans;
+  spans.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    std::lock_guard lock(slot.mu);
+    if (slot.valid) spans.push_back(slot.span);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.seq < b.seq; });
+  if (last_n < spans.size()) {
+    spans.erase(spans.begin(),
+                spans.begin() + static_cast<std::ptrdiff_t>(spans.size() - last_n));
+  }
+  return spans;
+}
+
+std::string RequestTracer::dump(std::size_t last_n) const {
+  const std::vector<Span> spans = snapshot(last_n);
+  std::string out;
+  for (const Span& span : spans) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "#%llu %-6s %-24s tier=%-12s %8.3fms %s\n",
+                  static_cast<unsigned long long>(span.seq),
+                  std::string(to_string(span.op)).c_str(), span.object_id,
+                  span.tier[0] ? span.tier : "-", span.duration_ms,
+                  span.ok ? "ok" : "FAILED");
+    out += line;
+  }
+  if (out.empty()) out = "(no requests traced)\n";
+  return out;
+}
+
+}  // namespace tiera

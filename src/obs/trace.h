@@ -1,0 +1,77 @@
+// RequestTracer: a lock-cheap ring buffer of recent request spans.
+//
+// Every application-interface operation (PUT/GET/DELETE) records one span:
+// the op, the object id, the tier that served or absorbed it, the wall
+// duration, and the outcome. `dump()` renders the newest spans as a text
+// trace — the "what did the last N requests actually do" view the paper's
+// debugging sessions rely on (which tier served a read decides whether a
+// policy is working).
+//
+// Design: a fixed array of slots; writers claim a slot with one relaxed
+// fetch_add and then fill it under that slot's own mutex, so concurrent
+// recorders only contend when the ring wraps onto the same slot. Spans are
+// fixed-size (ids truncated) so recording never allocates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace tiera {
+
+enum class TraceOp : std::uint8_t { kPut, kGet, kDelete };
+
+std::string_view to_string(TraceOp op);
+
+class RequestTracer {
+ public:
+  struct Span {
+    std::uint64_t seq = 0;  // global order of the request
+    TraceOp op = TraceOp::kPut;
+    char object_id[48] = {};  // truncated, NUL-terminated
+    char tier[24] = {};       // tier served/stored ("" when none)
+    double duration_ms = 0;
+    bool ok = false;
+  };
+
+  explicit RequestTracer(std::size_t capacity = 512);
+
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(TraceOp op, std::string_view object_id, std::string_view tier,
+              Duration latency, bool ok);
+
+  // The newest `last_n` spans, oldest first.
+  std::vector<Span> snapshot(std::size_t last_n) const;
+  // Text rendering of snapshot(last_n), one line per span.
+  std::string dump(std::size_t last_n = 32) const;
+
+  std::uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    Span span;
+    bool valid = false;
+  };
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_{0};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace tiera

@@ -29,7 +29,50 @@ Tier::Tier(std::string name, TierKind kind, std::uint64_t capacity_bytes,
       kind_(kind),
       latency_(latency),
       pricing_(pricing),
-      capacity_(capacity_bytes) {}
+      capacity_(capacity_bytes) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  // Factory-built tiers are named "<label>:<service>"; label the series with
+  // just the instance-level label so they join with tiera_instance_* series.
+  const std::string label_part = name_.substr(0, name_.find(':'));
+  const MetricsRegistry::Labels labels = {{"tier", label_part}};
+  metrics_.puts = &reg.counter("tiera_tier_puts_total", labels);
+  metrics_.gets = &reg.counter("tiera_tier_gets_total", labels);
+  metrics_.removes = &reg.counter("tiera_tier_removes_total", labels);
+  metrics_.failed_ops = &reg.counter("tiera_tier_failed_ops_total", labels);
+  metrics_.bytes_written = &reg.counter("tiera_tier_bytes_written_total", labels);
+  metrics_.bytes_read = &reg.counter("tiera_tier_bytes_read_total", labels);
+  metrics_.put_latency = &reg.histogram("tiera_tier_put_latency_ms", labels);
+  metrics_.get_latency = &reg.histogram("tiera_tier_get_latency_ms", labels);
+  metrics_.used_bytes = &reg.gauge("tiera_tier_used_bytes", labels);
+  metrics_.capacity_bytes = &reg.gauge("tiera_tier_capacity_bytes", labels);
+  metrics_.capacity_bytes->set(static_cast<double>(capacity_bytes));
+  collector_id_ = reg.add_collector([this] { collect_metrics(); });
+}
+
+Tier::~Tier() {
+  // The collector reads this tier; drop it before any state dies.
+  MetricsRegistry::global().remove_collector(collector_id_);
+}
+
+void Tier::collect_metrics() {
+  const auto sync = [](Counter* counter,
+                       const std::atomic<std::uint64_t>& source,
+                       std::uint64_t& seen) {
+    const std::uint64_t v = source.load(std::memory_order_relaxed);
+    if (v > seen) {
+      counter->inc(v - seen);
+      seen = v;
+    }
+  };
+  sync(metrics_.puts, stats_.puts, synced_.puts);
+  sync(metrics_.gets, stats_.gets, synced_.gets);
+  sync(metrics_.removes, stats_.removes, synced_.removes);
+  sync(metrics_.failed_ops, stats_.failed_ops, synced_.failed_ops);
+  sync(metrics_.bytes_written, stats_.bytes_written, synced_.bytes_written);
+  sync(metrics_.bytes_read, stats_.bytes_read, synced_.bytes_read);
+  metrics_.used_bytes->set(static_cast<double>(used()));
+  metrics_.capacity_bytes->set(static_cast<double>(capacity()));
+}
 
 Status Tier::check_failure() const {
   switch (failure_mode_.load(std::memory_order_acquire)) {
@@ -98,6 +141,11 @@ std::size_t Tier::io_slots() const {
 }
 
 Status Tier::put(std::string_view key, ByteView value) {
+  // Latency is sampled (see kLatencySampleEvery); counters stay exact.
+  const bool timed =
+      (stats_.puts.load(std::memory_order_relaxed) &
+       (kLatencySampleEvery - 1)) == 0;
+  const TimePoint start = timed ? now() : TimePoint{};
   TIERA_RETURN_IF_ERROR(check_failure());
   {
     IoSlotGuard slot(*this);
@@ -120,10 +168,15 @@ Status Tier::put(std::string_view key, ByteView value) {
   used_.fetch_sub(delta_old, std::memory_order_relaxed);
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(value.size(), std::memory_order_relaxed);
+  if (timed) metrics_.put_latency->record(now() - start);
   return Status::Ok();
 }
 
 Result<Bytes> Tier::get(std::string_view key) {
+  const bool timed =
+      (stats_.gets.load(std::memory_order_relaxed) &
+       (kLatencySampleEvery - 1)) == 0;
+  const TimePoint start = timed ? now() : TimePoint{};
   TIERA_RETURN_IF_ERROR(check_failure());
   Result<Bytes> result = load_raw(key);
   // Charge the modelled read time for the bytes actually moved (a miss costs
@@ -133,12 +186,11 @@ Result<Bytes> Tier::get(std::string_view key) {
     apply_model_delay(sample_read_delay(
         key, result.ok() ? result->size() : 0, t_jitter_rng));
   }
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   if (result.ok()) {
-    stats_.gets.fetch_add(1, std::memory_order_relaxed);
     stats_.bytes_read.fetch_add(result->size(), std::memory_order_relaxed);
-  } else {
-    stats_.gets.fetch_add(1, std::memory_order_relaxed);
   }
+  if (timed) metrics_.get_latency->record(now() - start);
   return result;
 }
 

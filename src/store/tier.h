@@ -23,6 +23,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "store/latency_model.h"
 
 namespace tiera {
@@ -70,7 +71,7 @@ class Tier {
  public:
   Tier(std::string name, TierKind kind, std::uint64_t capacity_bytes,
        LatencyModel latency, TierPricing pricing);
-  virtual ~Tier() = default;
+  virtual ~Tier();
 
   Tier(const Tier&) = delete;
   Tier& operator=(const Tier&) = delete;
@@ -152,6 +153,35 @@ class Tier {
  private:
   Status check_failure() const;
 
+  // Registry-owned series (`tiera_tier_*{tier=<label>}`), looked up once at
+  // construction; the pointers outlive the tier (the registry never deletes
+  // series). Counters and gauges are pull-model: a registered collector
+  // delta-syncs them from `stats_` at render time, so the data path pays
+  // nothing for them. Only the sampled latency histograms are pushed.
+  struct Metrics {
+    Counter* puts;
+    Counter* gets;
+    Counter* removes;
+    Counter* failed_ops;
+    Counter* bytes_written;
+    Counter* bytes_read;
+    LatencyHistogram* put_latency;
+    LatencyHistogram* get_latency;
+    Gauge* used_bytes;
+    Gauge* capacity_bytes;
+  };
+  // Last stats_ values the collector already pushed into the registry
+  // counters; only the collector touches these (serialized by the registry).
+  struct SyncedStats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t failed_ops = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+  };
+  void collect_metrics();
+
   const std::string name_;
   const TierKind kind_;
   LatencyModel latency_;
@@ -169,6 +199,9 @@ class Tier {
   mutable std::size_t io_in_flight_ = 0;
 
   mutable TierStats stats_;
+  Metrics metrics_;
+  SyncedStats synced_;
+  std::uint64_t collector_id_ = 0;
   mutable std::mutex resize_mu_;
 };
 

@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <thread>
+#include <vector>
+
+namespace tiera {
+namespace {
+
+TEST(MetricsRegistryTest, CounterFindOrCreateReturnsSameSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("tiera_test_ops_total");
+  Counter& b = reg.counter("tiera_test_ops_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Different labels are a different series of the same family.
+  Counter& c = reg.counter("tiera_test_ops_total", {{"tier", "m1"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("x_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumCorrectly) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Look the series up every iteration: registration must be
+      // race-free too, not just the hot-path increment.
+      for (int i = 0; i < kIncsPerThread; ++i) {
+        reg.counter("tiera_test_concurrent_total", {{"tier", "m1"}}).inc();
+        reg.gauge("tiera_test_inflight").add(1);
+        reg.gauge("tiera_test_inflight").add(-1);
+        reg.histogram("tiera_test_latency_ms").record_ms(0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(reg.counter("tiera_test_concurrent_total", {{"tier", "m1"}}).value(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+  EXPECT_DOUBLE_EQ(reg.gauge("tiera_test_inflight").value(), 0.0);
+  EXPECT_EQ(reg.histogram("tiera_test_latency_ms").count(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+}
+
+TEST(MetricsRegistryTest, HistogramPercentilesSane) {
+  MetricsRegistry reg;
+  LatencyHistogram& hist = reg.histogram("tiera_test_hist_ms");
+  // 1..100 ms uniformly: p50 ~ 50ms, p99 ~ 99ms (log buckets have ~4.6%
+  // relative width, allow 10%).
+  for (int i = 1; i <= 100; ++i) hist.record_ms(i);
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_NEAR(hist.percentile_ms(0.50), 50.0, 5.0);
+  EXPECT_NEAR(hist.percentile_ms(0.99), 99.0, 10.0);
+  EXPECT_GE(hist.percentile_ms(0.99), hist.percentile_ms(0.50));
+  EXPECT_NEAR(hist.sum_ms(), 5050.0, 1.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusRenderIsParseable) {
+  MetricsRegistry reg;
+  reg.counter("tiera_test_puts_total", {{"tier", "m1"}}).inc(7);
+  reg.gauge("tiera_test_fill").set(0.25);
+  reg.histogram("tiera_test_get_latency_ms", {{"tier", "m1"}}).record_ms(2.0);
+  const std::string out = reg.render_prometheus();
+
+  EXPECT_NE(out.find("# TYPE tiera_test_puts_total counter"), std::string::npos);
+  EXPECT_NE(out.find("tiera_test_puts_total{tier=\"m1\"} 7"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE tiera_test_fill gauge"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE tiera_test_get_latency_ms summary"),
+            std::string::npos);
+  EXPECT_NE(out.find("tiera_test_get_latency_ms{tier=\"m1\",quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("tiera_test_get_latency_ms_count{tier=\"m1\"} 1"),
+            std::string::npos);
+
+  // Every non-comment line must match the exposition grammar:
+  //   name{labels} value  |  name value
+  const std::regex line_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9][0-9eE+.\-]*$)");
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t end = out.find('\n', pos);
+    const std::string line = out.substr(pos, end - pos);
+    pos = end == std::string::npos ? out.size() : end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_TRUE(std::regex_match(line, line_re)) << "bad line: " << line;
+  }
+}
+
+TEST(MetricsRegistryTest, LabelValuesEscaped) {
+  MetricsRegistry reg;
+  reg.counter("tiera_test_esc_total", {{"id", "a\"b\\c\nd"}}).inc();
+  const std::string out = reg.render_prometheus();
+  EXPECT_NE(out.find(R"(id="a\"b\\c\nd")"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, KindConflictReturnsDetachedMetric) {
+  MetricsRegistry reg;
+  reg.counter("tiera_test_kind").inc(5);
+  // Same family requested as a gauge: must not crash, and must not corrupt
+  // the existing counter.
+  Gauge& detached = reg.gauge("tiera_test_kind");
+  detached.set(1.0);
+  EXPECT_EQ(reg.counter("tiera_test_kind").value(), 5u);
+}
+
+TEST(MetricsRegistryTest, TextRenderListsSeries) {
+  MetricsRegistry reg;
+  reg.counter("tiera_test_a_total").inc(2);
+  reg.gauge("tiera_test_b").set(3.5);
+  const std::string out = reg.render_text();
+  EXPECT_NE(out.find("tiera_test_a_total = 2"), std::string::npos);
+  EXPECT_NE(out.find("tiera_test_b = 3.5"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace tiera
