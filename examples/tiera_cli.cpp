@@ -7,10 +7,17 @@
 //   $ ./tiera_cli <port> tiers
 //   $ ./tiera_cli <port> grow <tier> <percent>
 //   $ ./tiera_cli <port> stats [--format=prom|text]
-//   $ ./tiera_cli <port> trace [n]
+//   $ ./tiera_cli <port> trace [--json] [n]
+//   $ ./tiera_cli <port> top [period-seconds]
+//
+// `trace --json` emits Chrome trace-event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev); `top` refreshes live per-tier / per-rule activity
+// tables until interrupted.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 #include "net/tiera_service.h"
@@ -23,8 +30,8 @@ int main(int argc, char** argv) {
 
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <port> put|get|rm|stat|tiers|grow|stats|trace ..."
-                 "\n",
+                 "usage: %s <port> put|get|rm|stat|tiers|grow|stats|trace|top"
+                 " ...\n",
                  argv[0]);
     return 2;
   }
@@ -114,10 +121,29 @@ int main(int argc, char** argv) {
     std::fputs(text->c_str(), stdout);
     return 0;
   }
-  if (command == "trace" && (argc == 3 || argc == 4)) {
-    const auto n = argc == 4 ? static_cast<std::uint32_t>(std::atoi(argv[3]))
-                             : 32u;
-    auto text = (*client)->trace(n);
+  if (command == "trace" && argc >= 3 && argc <= 5) {
+    bool json = false;
+    std::uint32_t n = 0;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else {
+        n = static_cast<std::uint32_t>(std::atoi(argv[i]));
+      }
+    }
+    if (json) {
+      // Fetch structured spans and render Chrome trace-event JSON locally,
+      // so the output is a file chrome://tracing / Perfetto load directly.
+      auto spans = (*client)->trace_spans(n ? n : 512u);
+      if (!spans.ok()) {
+        std::fprintf(stderr, "trace failed: %s\n",
+                     spans.status().to_string().c_str());
+        return 1;
+      }
+      std::fputs(render_chrome_trace(*spans).c_str(), stdout);
+      return 0;
+    }
+    auto text = (*client)->trace(n ? n : 32u);
     if (!text.ok()) {
       std::fprintf(stderr, "trace failed: %s\n",
                    text.status().to_string().c_str());
@@ -125,6 +151,23 @@ int main(int argc, char** argv) {
     }
     std::fputs(text->c_str(), stdout);
     return 0;
+  }
+  if (command == "top" && (argc == 3 || argc == 4)) {
+    const double period = argc == 4 ? std::atof(argv[3]) : 2.0;
+    for (;;) {
+      auto text = (*client)->stats("top");
+      if (!text.ok()) {
+        std::fprintf(stderr, "top failed: %s\n",
+                     text.status().to_string().c_str());
+        return 1;
+      }
+      // ANSI clear + home, like top(1); harmless when redirected to a file.
+      std::printf("\x1b[2J\x1b[H%s", text->c_str());
+      std::fflush(stdout);
+      if (period <= 0) return 0;  // one shot (scripting/tests)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(period * 1000)));
+    }
   }
   if (command == "grow" && argc == 5) {
     const Status s = (*client)->grow_tier(argv[3], std::atof(argv[4]));

@@ -8,6 +8,11 @@
 // --stats-period=N logs the metrics registry (human-readable rendering)
 // every N seconds while serving.
 //
+// Tracing knobs (read by every served instance): TIERA_TRACE_CAPACITY sizes
+// the span ring (overflow counts into `tiera_trace_dropped_total`), and
+// TIERA_SLOW_OP_MS logs completed span trees slower than the threshold.
+// `tiera_cli trace --json` and `tiera_cli top` consume the result.
+//
 // A second process (or the remote client API) can then connect:
 //   auto client = RemoteTieraClient::connect("127.0.0.1", port);
 //

@@ -21,7 +21,7 @@ bool ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
     if (stopping_) return false;
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), current_trace_context()});
     observer = observer_;
     depth = queue_.size();
     active = active_;
@@ -61,7 +61,7 @@ std::size_t ThreadPool::queue_depth() const {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -73,7 +73,12 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    {
+      // Adopt the submitter's trace context so spans recorded by this task
+      // link back to the request/event that queued it.
+      ScopedTraceContext trace(task.trace);
+      task.fn();
+    }
     std::shared_ptr<const Observer> observer;
     std::size_t depth = 0, active = 0;
     {

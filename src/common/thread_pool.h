@@ -3,6 +3,11 @@
 // The Tiera server owns two of these, mirroring the prototype in the paper:
 // one pool services client requests (behind the RPC layer) and one services
 // background events and responses (control layer).
+//
+// Every task carries the submitter's TraceContext: submit() captures the
+// ambient context and the worker reinstates it around the task, so spans
+// recorded by background responses stay causally linked to the request (or
+// timer/threshold firing) that queued them.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +18,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/trace_context.h"
 
 namespace tiera {
 
@@ -60,11 +67,17 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // A queued task plus the trace context it was submitted under.
+  struct Task {
+    std::function<void()> fn;
+    TraceContext trace;
+  };
+
   mutable std::mutex mu_;
   std::shared_ptr<const Observer> observer_;  // read under mu_, run outside
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
   bool stopping_ = false;

@@ -1,0 +1,41 @@
+#include "common/trace_context.h"
+
+#include <atomic>
+
+namespace tiera {
+
+namespace {
+
+thread_local TraceContext g_current;
+
+std::atomic<std::uint64_t> g_next_trace{1};
+std::atomic<std::uint64_t> g_next_span{1};
+
+}  // namespace
+
+TraceContext current_trace_context() { return g_current; }
+
+std::uint64_t next_trace_id() {
+  return g_next_trace.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() {
+  return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) : saved_(g_current) {
+  g_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_current = saved_; }
+
+TraceScope::TraceScope() : saved_(g_current), start_(now()) {
+  parent_ = saved_.valid() ? saved_.span_id : 0;
+  self_.trace_id = saved_.valid() ? saved_.trace_id : next_trace_id();
+  self_.span_id = next_span_id();
+  g_current = self_;
+}
+
+TraceScope::~TraceScope() { g_current = saved_; }
+
+}  // namespace tiera

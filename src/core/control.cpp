@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace_context.h"
 #include "core/instance.h"
+#include "obs/trace.h"
 
 namespace tiera {
 
@@ -50,6 +52,22 @@ void ControlLayer::stop() {
 
 std::uint64_t ControlLayer::add_rule(Rule rule) {
   rule.id = next_rule_id_.fetch_add(1);
+  // Per-rule attribution series. The id labels every series so rules with
+  // the same (or no) name stay distinguishable; the name label keeps the
+  // exposition human-readable.
+  {
+    const MetricsRegistry::Labels labels = {
+        {"rule", std::to_string(rule.id)}, {"name", rule.name}};
+    MetricsRegistry& reg = MetricsRegistry::global();
+    auto stats = std::make_shared<RuleStats>();
+    stats->fires = &reg.counter("tiera_rule_fires_total", labels);
+    stats->errors = &reg.counter("tiera_rule_errors_total", labels);
+    stats->bytes_moved = &reg.counter("tiera_rule_bytes_moved_total", labels);
+    stats->objects_touched =
+        &reg.counter("tiera_rule_objects_touched_total", labels);
+    stats->latency = &reg.histogram("tiera_rule_response_latency_ms", labels);
+    rule.stats = std::move(stats);
+  }
   if (rule.event.kind == EventKind::kTimer) {
     const auto scaled = std::chrono::duration_cast<Duration>(
         rule.event.timer.period * time_scale());
@@ -87,23 +105,78 @@ std::size_t ControlLayer::rule_count() const {
   return rules_.size();
 }
 
+std::vector<ControlLayer::RuleActivity> ControlLayer::rule_activity() const {
+  std::vector<std::shared_ptr<Rule>> rules;
+  {
+    std::shared_lock lock(rules_mu_);
+    rules = rules_;
+  }
+  std::vector<RuleActivity> out;
+  out.reserve(rules.size());
+  for (const auto& rule : rules) {
+    RuleActivity activity;
+    activity.id = rule->id;
+    activity.name = rule->name;
+    activity.event = rule->event.describe();
+    if (rule->stats) {
+      activity.fires = rule->stats->fires->value();
+      activity.errors = rule->stats->errors->value();
+      activity.bytes_moved = rule->stats->bytes_moved->value();
+      activity.objects_touched = rule->stats->objects_touched->value();
+      activity.p50_ms = rule->stats->latency->percentile_ms(0.5);
+      activity.p99_ms = rule->stats->latency->percentile_ms(0.99);
+      activity.last_error = rule->stats->last_error();
+    }
+    out.push_back(std::move(activity));
+  }
+  return out;
+}
+
 void ControlLayer::run_responses(const std::shared_ptr<Rule>& rule,
                                  EventContext& ctx) {
+  // The rule firing is a span: a child of the triggering request when the
+  // ambient context carries one (foreground rules and pool tasks inherit it
+  // via ThreadPool), a new root for timer/threshold firings off the timer
+  // thread.
+  TraceScope event_span;
+  RequestTracer& tracer = instance_.tracer();
   events_fired_.fetch_add(1, std::memory_order_relaxed);
   metrics_.events_fired->inc();
   metrics_.active_responses->add(1);
+  if (rule->stats) rule->stats->fires->inc();
+  const std::uint64_t bytes_before = ctx.bytes_moved;
+  const std::uint64_t objects_before = ctx.objects_touched;
+  bool all_ok = true;
   Stopwatch watch;
   for (const auto& response : rule->responses) {
+    TraceScope response_span;
     const Status s = response->execute(ctx);
+    tracer.record(response_span, TraceOp::kResponse, response->describe(),
+                  ctx.object_id, "", s.ok(), rule->id);
     if (!s.ok()) {
+      all_ok = false;
       responses_failed_.fetch_add(1, std::memory_order_relaxed);
       metrics_.responses_failed->inc();
+      if (rule->stats) {
+        rule->stats->errors->inc();
+        rule->stats->record_error(s.to_string());
+      }
       TIERA_LOG(kDebug, "control")
           << "response failed: " << response->describe() << " -> "
           << s.to_string();
     }
   }
-  metrics_.response_latency->record(watch.elapsed());
+  const Duration elapsed = watch.elapsed();
+  metrics_.response_latency->record(elapsed);
+  if (rule->stats) {
+    rule->stats->latency->record(elapsed);
+    rule->stats->bytes_moved->inc(ctx.bytes_moved - bytes_before);
+    rule->stats->objects_touched->inc(ctx.objects_touched - objects_before);
+  }
+  tracer.record(event_span, TraceOp::kEvent,
+                rule->name.empty() ? "rule:" + std::to_string(rule->id)
+                                   : "rule:" + rule->name,
+                ctx.object_id, "", all_ok, rule->id);
   metrics_.active_responses->add(-1);
 }
 

@@ -59,6 +59,21 @@ class ControlLayer {
   std::uint64_t events_fired() const { return events_fired_.load(); }
   std::uint64_t responses_failed() const { return responses_failed_.load(); }
 
+  // Point-in-time per-rule attribution, for the `top` view and kStats.
+  struct RuleActivity {
+    std::uint64_t id = 0;
+    std::string name;
+    std::string event;  // EventDef::describe()
+    std::uint64_t fires = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t bytes_moved = 0;
+    std::uint64_t objects_touched = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    std::string last_error;
+  };
+  std::vector<RuleActivity> rule_activity() const;
+
  private:
   void execute_rule(const std::shared_ptr<Rule>& rule, EventContext ctx);
   void run_responses(const std::shared_ptr<Rule>& rule, EventContext& ctx);

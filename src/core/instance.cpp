@@ -1,6 +1,7 @@
 #include "core/instance.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "common/compress.h"
@@ -13,7 +14,7 @@ namespace tiera {
 TieraInstance::TieraInstance(InstanceConfig config)
     : config_(std::move(config)),
       factory_(config_.data_dir),
-      tracer_(config_.trace_capacity) {
+      tracer_(RequestTracer::capacity_from_env(config_.trace_capacity)) {
   tracer_.set_enabled(config_.trace_requests);
   MetricsRegistry& reg = MetricsRegistry::global();
   metrics_.puts = &reg.counter("tiera_instance_puts_total");
@@ -21,6 +22,9 @@ TieraInstance::TieraInstance(InstanceConfig config)
   metrics_.removes = &reg.counter("tiera_instance_removes_total");
   metrics_.get_misses = &reg.counter("tiera_instance_get_misses_total");
   metrics_.failures = &reg.counter("tiera_instance_failures_total");
+  metrics_.policy_bytes = &reg.counter("tiera_instance_policy_bytes_total");
+  metrics_.policy_objects =
+      &reg.counter("tiera_instance_policy_objects_total");
   metrics_.put_latency = &reg.histogram("tiera_instance_put_latency_ms");
   metrics_.get_latency = &reg.histogram("tiera_instance_get_latency_ms");
   metrics_.delete_latency = &reg.histogram("tiera_instance_delete_latency_ms");
@@ -42,6 +46,9 @@ void TieraInstance::collect_metrics() {
   sync(metrics_.removes, stats_.removes, synced_.removes);
   sync(metrics_.get_misses, stats_.get_misses, synced_.get_misses);
   sync(metrics_.failures, stats_.failures, synced_.failures);
+  sync(metrics_.policy_bytes, stats_.policy_bytes, synced_.policy_bytes);
+  sync(metrics_.policy_objects, stats_.policy_objects,
+       synced_.policy_objects);
   metrics_.put_latency->merge_new_since(stats_.put_latency,
                                         put_latency_cursor_);
   metrics_.get_latency->merge_new_since(stats_.get_latency,
@@ -187,6 +194,10 @@ std::vector<std::string> TieraInstance::tier_labels() const {
 
 Status TieraInstance::put(std::string_view id, ByteView data,
                           const std::vector<std::string>& tags) {
+  // Root span for this request: every rule the PUT fires — including
+  // background responses queued on the control pool — records child spans
+  // under this context.
+  TraceScope span;
   Stopwatch watch;
   const std::string object_id(id);
 
@@ -251,7 +262,7 @@ Status TieraInstance::put(std::string_view id, ByteView data,
 
   if (!ctx.stored) {
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
-    tracer_.record(TraceOp::kPut, object_id, "", watch.elapsed(), false);
+    tracer_.record(span, TraceOp::kPut, "", object_id, "", false);
     if (stale_locations.empty()) (void)meta_.erase(object_id);
     return Status::Unavailable("no tier accepted object " + object_id);
   }
@@ -280,24 +291,25 @@ Status TieraInstance::put(std::string_view id, ByteView data,
     // failed: the write is not acknowledged, though any bytes that did land
     // stay readable.
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
-    tracer_.record(TraceOp::kPut, object_id,
+    tracer_.record(span, TraceOp::kPut, "", object_id,
                    ctx.stored_tiers.empty() ? "" : ctx.stored_tiers.front(),
-                   watch.elapsed(), false);
+                   false);
     return ctx.placement_error;
   }
-  tracer_.record(TraceOp::kPut, object_id,
+  tracer_.record(span, TraceOp::kPut, "", object_id,
                  ctx.stored_tiers.empty() ? "" : ctx.stored_tiers.front(),
-                 watch.elapsed(), true);
+                 true);
   return Status::Ok();
 }
 
 Result<Bytes> TieraInstance::get(std::string_view id) {
+  TraceScope span;
   Stopwatch watch;
   const std::string object_id(id);
   const auto meta = meta_.get(object_id);
   if (!meta) {
     stats_.get_misses.fetch_add(1, std::memory_order_relaxed);
-    tracer_.record(TraceOp::kGet, object_id, "", watch.elapsed(), false);
+    tracer_.record(span, TraceOp::kGet, "", object_id, "", false);
     return Status::NotFound("no object " + object_id);
   }
 
@@ -305,8 +317,7 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   Result<Bytes> at_rest = read_at_rest(*meta, &served_tier);
   if (!at_rest.ok()) {
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
-    tracer_.record(TraceOp::kGet, object_id, served_tier, watch.elapsed(),
-                   false);
+    tracer_.record(span, TraceOp::kGet, "", object_id, served_tier, false);
     return at_rest.status();
   }
 
@@ -346,11 +357,12 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   stats_.ops.add();
   stats_.get_latency.record(watch.elapsed());
   tier_hit_counter(served_tier).inc();
-  tracer_.record(TraceOp::kGet, object_id, served_tier, watch.elapsed(), true);
+  tracer_.record(span, TraceOp::kGet, "", object_id, served_tier, true);
   return bytes;
 }
 
 Status TieraInstance::remove(std::string_view id) {
+  TraceScope span;
   Stopwatch watch;
   const std::string object_id(id);
   if (!meta_.contains(object_id)) return Status::NotFound("no such object");
@@ -367,7 +379,7 @@ Status TieraInstance::remove(std::string_view id) {
   stats_.removes.fetch_add(1, std::memory_order_relaxed);
   stats_.ops.add();
   metrics_.delete_latency->record(watch.elapsed());
-  tracer_.record(TraceOp::kDelete, object_id, "", watch.elapsed(), true);
+  tracer_.record(span, TraceOp::kDelete, "", object_id, "", true);
   return Status::Ok();
 }
 
@@ -485,6 +497,8 @@ Status TieraInstance::engine_store(std::string_view id,
 
   Status last = Status::Ok();
   bool durable_dest = false;
+  std::uint64_t bytes_written = 0;
+  bool touched = false;
   for (const auto& label : tier_labels) {
     Result<TierPtr> t = find_tier(label);
     if (!t.ok()) {
@@ -500,7 +514,9 @@ Status TieraInstance::engine_store(std::string_view id,
         last = s;
         continue;
       }
+      bytes_written += at_rest.size();
     }
+    touched = true;
     durable_dest = durable_dest || (*t)->durable();
     (void)meta_.update(object_id, [&](ObjectMeta& cur) {
       cur.locations.insert(label);
@@ -512,6 +528,17 @@ Status TieraInstance::engine_store(std::string_view id,
       ctx->stored_tiers.push_back(label);
       ++ctx->mutations;
     }
+  }
+  // Attribution: foreground and background stores alike feed the instance
+  // policy counters, so `tiera_instance_policy_*` reconciles with per-tier
+  // sums no matter which thread ran the response.
+  if (bytes_written) {
+    stats_.policy_bytes.fetch_add(bytes_written, std::memory_order_relaxed);
+    if (ctx) ctx->bytes_moved += bytes_written;
+  }
+  if (touched) {
+    stats_.policy_objects.fetch_add(1, std::memory_order_relaxed);
+    if (ctx) ++ctx->objects_touched;
   }
   if (durable_dest) {
     (void)meta_.update(object_id, [&](ObjectMeta& cur) {
@@ -536,6 +563,8 @@ Status TieraInstance::replicate_locked(const std::string& id,
   if (!meta) return Status::Ok();  // deleted since selection
 
   Status last = Status::Ok();
+  std::uint64_t bytes_written = 0;
+  bool touched = false;
   bool all_present = true;
   for (const auto& label : dest_tiers) {
     if (!meta->in_tier(label)) {
@@ -559,6 +588,8 @@ Status TieraInstance::replicate_locked(const std::string& id,
         last = s;
         continue;
       }
+      bytes_written += bytes->size();
+      touched = true;
       const bool durable_dest = (*t)->durable();
       (void)meta_.update(id, [&](ObjectMeta& cur) {
         cur.locations.insert(label);
@@ -569,10 +600,26 @@ Status TieraInstance::replicate_locked(const std::string& id,
       if (ctx) ++ctx->mutations;
     }
   }
-  if (!remove_sources) return last;
+  const auto account = [&] {
+    if (bytes_written) {
+      stats_.policy_bytes.fetch_add(bytes_written, std::memory_order_relaxed);
+      if (ctx) ctx->bytes_moved += bytes_written;
+    }
+    if (touched) {
+      stats_.policy_objects.fetch_add(1, std::memory_order_relaxed);
+      if (ctx) ++ctx->objects_touched;
+    }
+  };
+  if (!remove_sources) {
+    account();
+    return last;
+  }
 
   const auto fresh = meta_.get(id);
-  if (!fresh) return last;
+  if (!fresh) {
+    account();
+    return last;
+  }
   // A move only gives up its sources once the object actually resides in a
   // destination — a failed copy (e.g. the destination was full) must never
   // drop the last remaining replica.
@@ -581,6 +628,7 @@ Status TieraInstance::replicate_locked(const std::string& id,
     in_dest = in_dest || fresh->in_tier(label);
   }
   if (!in_dest) {
+    account();
     return last.ok() ? Status::CapacityExceeded(
                            "move aborted: no destination holds " + id)
                      : last;
@@ -616,8 +664,10 @@ Status TieraInstance::replicate_locked(const std::string& id,
       return true;
     });
     meta_.remove_from_tier(label, id);
+    touched = true;
     if (ctx) ++ctx->mutations;
   }
+  account();
   return last;
 }
 
@@ -675,6 +725,7 @@ Status TieraInstance::engine_delete(const std::vector<std::string>& ids,
       last = Status::NotFound("no object " + id);
       continue;
     }
+    bool touched = false;
     const std::vector<std::string> targets =
         tier_labels.empty()
             ? std::vector<std::string>(meta->locations.begin(),
@@ -692,7 +743,12 @@ Status TieraInstance::engine_delete(const std::vector<std::string>& ids,
         return true;
       });
       meta_.remove_from_tier(label, id);
+      touched = true;
       if (ctx) ++ctx->mutations;
+    }
+    if (touched) {
+      stats_.policy_objects.fetch_add(1, std::memory_order_relaxed);
+      if (ctx) ++ctx->objects_touched;
     }
     const auto after = meta_.get(id);
     if (after && after->locations.empty()) {
@@ -1003,6 +1059,89 @@ std::size_t TieraInstance::remap_invalidate(std::string_view tier_label,
   TIERA_LOG(kInfo, "core") << "remap invalidated " << invalidated
                            << " objects in " << tier_label;
   return invalidated;
+}
+
+namespace {
+
+// Human-readable byte counts for the `top` tables ("1.5MiB", "640B").
+std::string human_bytes(std::uint64_t n) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(n);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(n), kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string TieraInstance::render_top() const {
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof(line),
+                "instance %-16s objects=%zu ops/s=%.1f\n", config_.name.c_str(),
+                meta_.size(), stats_.ops.ops_per_sec());
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "puts=%llu gets=%llu removes=%llu misses=%llu failures=%llu "
+      "policy_bytes=%s policy_objects=%llu trace_dropped=%llu\n\n",
+      static_cast<unsigned long long>(stats_.puts.load()),
+      static_cast<unsigned long long>(stats_.gets.load()),
+      static_cast<unsigned long long>(stats_.removes.load()),
+      static_cast<unsigned long long>(stats_.get_misses.load()),
+      static_cast<unsigned long long>(stats_.failures.load()),
+      human_bytes(stats_.policy_bytes.load()).c_str(),
+      static_cast<unsigned long long>(stats_.policy_objects.load()),
+      static_cast<unsigned long long>(tracer_.dropped()));
+  out += line;
+
+  std::snprintf(line, sizeof(line), "%-14s %10s %10s %7s %8s\n", "TIER",
+                "USED", "CAP", "FILL", "OBJECTS");
+  out += line;
+  for (const auto& entry : tier_snapshot()) {
+    std::snprintf(line, sizeof(line), "%-14s %10s %10s %6.1f%% %8zu\n",
+                  entry.label.c_str(),
+                  human_bytes(entry.tier->used()).c_str(),
+                  human_bytes(entry.tier->capacity()).c_str(),
+                  entry.tier->fill_fraction() * 100.0,
+                  entry.tier->object_count());
+    out += line;
+  }
+
+  out += '\n';
+  std::snprintf(line, sizeof(line),
+                "%4s %-16s %8s %5s %8s %8s %10s %8s  %s\n", "RULE", "NAME",
+                "FIRES", "ERR", "P50ms", "P99ms", "BYTES", "OBJ", "EVENT");
+  out += line;
+  for (const auto& r : control_->rule_activity()) {
+    std::snprintf(line, sizeof(line),
+                  "%4llu %-16s %8llu %5llu %8.2f %8.2f %10s %8llu  %s\n",
+                  static_cast<unsigned long long>(r.id),
+                  (r.name.empty() ? "-" : r.name).c_str(),
+                  static_cast<unsigned long long>(r.fires),
+                  static_cast<unsigned long long>(r.errors), r.p50_ms,
+                  r.p99_ms, human_bytes(r.bytes_moved).c_str(),
+                  static_cast<unsigned long long>(r.objects_touched),
+                  r.event.c_str());
+    out += line;
+    if (!r.last_error.empty()) {
+      std::snprintf(line, sizeof(line), "     last error: %s\n",
+                    r.last_error.c_str());
+      out += line;
+    }
+  }
+  return out;
 }
 
 double TieraInstance::monthly_cost(double observed_seconds) const {

@@ -53,6 +53,8 @@ struct InstanceConfig {
   // slot mutex and two copies per request, which embedded benches don't want
   // to pay. tierad enables it for every served instance.
   bool trace_requests = false;
+  // Ring size; the TIERA_TRACE_CAPACITY environment variable overrides it
+  // (overflow shows up in `tiera_trace_dropped_total`).
   std::size_t trace_capacity = 512;
 };
 
@@ -65,6 +67,13 @@ struct InstanceStats {
   std::atomic<std::uint64_t> removes{0};
   std::atomic<std::uint64_t> get_misses{0};
   std::atomic<std::uint64_t> failures{0};
+  // Policy/engine data movement (placement, migration, write-back,
+  // eviction): bytes written into tiers and objects mutated while a
+  // response ran. Background responses update these through the same engine
+  // accounting as foreground ones, so instance totals reconcile with
+  // per-tier sums.
+  std::atomic<std::uint64_t> policy_bytes{0};
+  std::atomic<std::uint64_t> policy_objects{0};
 };
 
 class TieraInstance;
@@ -166,6 +175,8 @@ class TieraInstance {
   InstanceStats& stats() { return stats_; }
   RequestTracer& tracer() { return tracer_; }
   const RequestTracer& tracer() const { return tracer_; }
+  // Live per-tier / per-rule activity tables (the `tiera_cli top` view).
+  std::string render_top() const;
   double monthly_cost(double observed_seconds = 0) const;
   std::vector<TierCost> cost_breakdown(double observed_seconds = 0) const;
 
@@ -237,6 +248,8 @@ class TieraInstance {
     Counter* removes;
     Counter* get_misses;
     Counter* failures;
+    Counter* policy_bytes;
+    Counter* policy_objects;
     LatencyHistogram* put_latency;
     LatencyHistogram* get_latency;
     LatencyHistogram* delete_latency;
@@ -251,6 +264,8 @@ class TieraInstance {
     std::uint64_t removes = 0;
     std::uint64_t get_misses = 0;
     std::uint64_t failures = 0;
+    std::uint64_t policy_bytes = 0;
+    std::uint64_t policy_objects = 0;
   };
   SyncedStats synced_;
   LatencyHistogram put_latency_cursor_;

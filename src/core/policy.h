@@ -7,14 +7,18 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/histogram.h"
 #include "common/status.h"
 #include "core/events.h"
+#include "obs/metrics.h"
 
 namespace tiera {
 
@@ -38,6 +42,14 @@ struct EventContext {
   // Incremented by any response that moved/added/removed bytes; the
   // conditional-loop executor uses it to detect progress.
   std::uint64_t mutations = 0;
+  // Attribution totals the engine maintains while responses run: bytes
+  // written into tiers and distinct objects mutated. The control layer
+  // diffs them around each rule execution to feed that rule's
+  // bytes-moved/objects-touched counters, and the instance mirrors them
+  // into `tiera_instance_policy_*` so stats totals reconcile with per-tier
+  // sums.
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t objects_touched = 0;
   // First error reported by a foreground placement/replication response.
   // PUT acknowledges only writes whose whole synchronous policy succeeded
   // (a write-through copy to a failed tier fails the PUT, as in Fig. 17).
@@ -153,6 +165,32 @@ using ResponseList = std::vector<ResponsePtr>;
 
 // --- Rules -------------------------------------------------------------------
 
+// Per-rule attribution, registered in the global MetricsRegistry under
+// `tiera_rule_*{rule="<id>",name="<name>"}` when the control layer assigns
+// the rule its id. The registry owns the series; this struct caches the
+// pointers (hot path: one atomic per update) and keeps the last error text
+// for the `top` view.
+struct RuleStats {
+  Counter* fires = nullptr;
+  Counter* errors = nullptr;
+  Counter* bytes_moved = nullptr;
+  Counter* objects_touched = nullptr;
+  LatencyHistogram* latency = nullptr;
+
+  void record_error(std::string_view message) {
+    std::lock_guard lock(mu_);
+    last_error_.assign(message);
+  }
+  std::string last_error() const {
+    std::lock_guard lock(mu_);
+    return last_error_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string last_error_;
+};
+
 struct Rule {
   std::uint64_t id = 0;  // assigned by the control layer
   std::string name;      // optional human label
@@ -169,6 +207,8 @@ struct Rule {
   // Runtime threshold value (advances for sliding thresholds).
   std::shared_ptr<std::atomic<double>> threshold_state =
       std::make_shared<std::atomic<double>>(0);
+  // Attribution series; populated by ControlLayer::add_rule.
+  std::shared_ptr<RuleStats> stats;
 };
 
 }  // namespace tiera

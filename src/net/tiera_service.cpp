@@ -1,5 +1,7 @@
 #include "net/tiera_service.h"
 
+#include <cstdio>
+
 namespace tiera {
 
 namespace {
@@ -133,6 +135,8 @@ void TieraServer::register_handlers() {
             text = MetricsRegistry::global().render_prometheus();
           } else if (format == "text") {
             text = MetricsRegistry::global().render_text();
+          } else if (format == "top") {
+            text = instance_.render_top();
           } else {
             return Status::InvalidArgument("unknown stats format: " + format);
           }
@@ -155,6 +159,36 @@ void TieraServer::register_handlers() {
           TIERA_RETURN_IF_ERROR(r.u32(last_n));
         }
         return to_bytes(instance_.tracer().dump(last_n));
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kTraceSpans),
+      [this](ByteView body) -> Result<Bytes> {
+        std::uint32_t last_n = 512;
+        if (!body.empty()) {
+          WireReader r(body);
+          TIERA_RETURN_IF_ERROR(r.u32(last_n));
+        }
+        const std::vector<RequestTracer::Span> spans =
+            instance_.tracer().snapshot(last_n);
+        WireWriter w;
+        w.u32(static_cast<std::uint32_t>(spans.size()));
+        for (const auto& span : spans) {
+          w.u64(span.seq);
+          w.u64(span.trace_id);
+          w.u64(span.span_id);
+          w.u64(span.parent_span_id);
+          w.u64(span.rule_id);
+          w.u8(static_cast<std::uint8_t>(span.op));
+          w.str(span.name);
+          w.str(span.object_id);
+          w.str(span.tier);
+          w.u64(static_cast<std::uint64_t>(span.start_us));
+          // Duration crosses the wire as nanoseconds to stay integral.
+          w.u64(static_cast<std::uint64_t>(span.duration_ms * 1e6));
+          w.u8(span.ok ? 1 : 0);
+        }
+        return w.take();
       });
 }
 
@@ -262,6 +296,48 @@ Result<std::string> RemoteTieraClient::trace(std::uint32_t last_n) {
       static_cast<std::uint8_t>(TieraMethod::kTrace), as_view(w.data()));
   if (!reply.ok()) return reply.status();
   return std::string(reply->begin(), reply->end());
+}
+
+Result<std::vector<RequestTracer::Span>> RemoteTieraClient::trace_spans(
+    std::uint32_t last_n) {
+  WireWriter w;
+  w.u32(last_n);
+  Result<Bytes> reply = client_->call(
+      static_cast<std::uint8_t>(TieraMethod::kTraceSpans), as_view(w.data()));
+  if (!reply.ok()) return reply.status();
+  WireReader r(as_view(*reply));
+  std::uint32_t count = 0;
+  TIERA_RETURN_IF_ERROR(r.u32(count));
+  std::vector<RequestTracer::Span> spans;
+  spans.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RequestTracer::Span span;
+    std::uint64_t start_us = 0, duration_ns = 0;
+    std::uint8_t op = 0, ok = 0;
+    std::string name, object_id, tier;
+    TIERA_RETURN_IF_ERROR(r.u64(span.seq));
+    TIERA_RETURN_IF_ERROR(r.u64(span.trace_id));
+    TIERA_RETURN_IF_ERROR(r.u64(span.span_id));
+    TIERA_RETURN_IF_ERROR(r.u64(span.parent_span_id));
+    TIERA_RETURN_IF_ERROR(r.u64(span.rule_id));
+    TIERA_RETURN_IF_ERROR(r.u8(op));
+    TIERA_RETURN_IF_ERROR(r.str(name));
+    TIERA_RETURN_IF_ERROR(r.str(object_id));
+    TIERA_RETURN_IF_ERROR(r.str(tier));
+    TIERA_RETURN_IF_ERROR(r.u64(start_us));
+    TIERA_RETURN_IF_ERROR(r.u64(duration_ns));
+    TIERA_RETURN_IF_ERROR(r.u8(ok));
+    span.op = static_cast<TraceOp>(op);
+    std::snprintf(span.name, sizeof(span.name), "%s", name.c_str());
+    std::snprintf(span.object_id, sizeof(span.object_id), "%s",
+                  object_id.c_str());
+    std::snprintf(span.tier, sizeof(span.tier), "%s", tier.c_str());
+    span.start_us = static_cast<std::int64_t>(start_us);
+    span.duration_ms = static_cast<double>(duration_ns) / 1e6;
+    span.ok = ok != 0;
+    spans.push_back(span);
+  }
+  return spans;
 }
 
 Status RemoteTieraClient::grow_tier(std::string_view label, double percent) {

@@ -21,6 +21,9 @@ enum class TieraMethod : std::uint8_t {
   kGrowTier = 7,
   kStats = 8,
   kTrace = 9,
+  // Structured span export (u32 count + fixed-shape span records); the text
+  // rendering — Chrome trace JSON included — happens client-side.
+  kTraceSpans = 10,
 };
 
 class TieraServer {
@@ -72,11 +75,16 @@ class RemoteTieraClient {
   Status grow_tier(std::string_view label, double percent);
 
   // Rendered metrics registry; `format` is "prom" (Prometheus text
-  // exposition) or "text" (human-readable).
+  // exposition), "text" (human-readable) or "top" (live per-tier/per-rule
+  // activity tables).
   Result<std::string> stats(std::string_view format);
   Result<RemoteStatsSummary> stats_summary();
   // Text trace of the server's last `last_n` requests.
   Result<std::string> trace(std::uint32_t last_n = 32);
+  // Structured spans from the server's trace ring (newest last); feed them
+  // to render_chrome_trace() for a chrome://tracing-loadable file.
+  Result<std::vector<RequestTracer::Span>> trace_spans(
+      std::uint32_t last_n = 512);
 
  private:
   explicit RemoteTieraClient(std::unique_ptr<RpcClient> client)

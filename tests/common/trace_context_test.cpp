@@ -1,0 +1,126 @@
+#include "common/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace tiera {
+namespace {
+
+TEST(TraceContextTest, DefaultIsInvalid) {
+  EXPECT_FALSE(TraceContext{}.valid());
+  // A fresh test thread has no ambient context.
+  std::thread([] { EXPECT_FALSE(current_trace_context().valid()); }).join();
+}
+
+TEST(TraceContextTest, RootScopeMintsTraceAndInstallsAmbient) {
+  std::thread([] {
+    ASSERT_FALSE(current_trace_context().valid());
+    {
+      TraceScope root;
+      EXPECT_NE(root.trace_id(), 0u);
+      EXPECT_NE(root.span_id(), 0u);
+      EXPECT_EQ(root.parent_span_id(), 0u);  // no parent: it's a root
+      const TraceContext ambient = current_trace_context();
+      EXPECT_EQ(ambient.trace_id, root.trace_id());
+      EXPECT_EQ(ambient.span_id, root.span_id());
+    }
+    // Scope exit restores the previous (empty) context.
+    EXPECT_FALSE(current_trace_context().valid());
+  }).join();
+}
+
+TEST(TraceContextTest, NestedScopeBecomesChild) {
+  std::thread([] {
+    TraceScope root;
+    {
+      TraceScope child;
+      EXPECT_EQ(child.trace_id(), root.trace_id());  // same trace
+      EXPECT_EQ(child.parent_span_id(), root.span_id());
+      EXPECT_NE(child.span_id(), root.span_id());
+      EXPECT_EQ(current_trace_context().span_id, child.span_id());
+    }
+    // Popping the child re-exposes the root as ambient.
+    EXPECT_EQ(current_trace_context().span_id, root.span_id());
+  }).join();
+}
+
+TEST(TraceContextTest, ScopedTraceContextRestoresPrior) {
+  std::thread([] {
+    {
+      ScopedTraceContext outer({7, 8});
+      EXPECT_EQ(current_trace_context().trace_id, 7u);
+      {
+        ScopedTraceContext inner({9, 10});
+        EXPECT_EQ(current_trace_context().trace_id, 9u);
+        EXPECT_EQ(current_trace_context().span_id, 10u);
+      }
+      EXPECT_EQ(current_trace_context().trace_id, 7u);
+      EXPECT_EQ(current_trace_context().span_id, 8u);
+    }
+    EXPECT_FALSE(current_trace_context().valid());
+  }).join();
+}
+
+TEST(TraceContextTest, ThreadPoolCarriesSubmitterContext) {
+  ThreadPool pool(2);
+
+  // Task submitted under a live scope: the worker sees the submitter's
+  // context, so a span opened in the task becomes the scope's child.
+  TraceContext seen{};
+  std::uint64_t child_trace = 0, child_parent = 0;
+  std::uint64_t want_trace = 0, want_span = 0;
+  {
+    std::promise<void> done;
+    auto wait = done.get_future();
+    TraceScope request;
+    want_trace = request.trace_id();
+    want_span = request.span_id();
+    pool.submit([&] {
+      seen = current_trace_context();
+      TraceScope response;
+      child_trace = response.trace_id();
+      child_parent = response.parent_span_id();
+      done.set_value();
+    });
+    wait.wait();
+  }
+  EXPECT_EQ(seen.trace_id, want_trace);
+  EXPECT_EQ(seen.span_id, want_span);
+  EXPECT_EQ(child_trace, want_trace);
+  EXPECT_EQ(child_parent, want_span);
+
+  // Task submitted with no scope: the worker runs context-free (spans it
+  // opens are fresh roots), even though the worker thread just executed a
+  // context-carrying task.
+  std::promise<TraceContext> bare;
+  auto bare_ctx = bare.get_future();
+  pool.submit([&] { bare.set_value(current_trace_context()); });
+  EXPECT_FALSE(bare_ctx.get().valid());
+}
+
+TEST(TraceContextTest, IdsAreUniqueAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::uint64_t> ids(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[t * kPerThread + i] = next_span_id();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  for (const auto id : ids) EXPECT_NE(id, 0u);
+}
+
+}  // namespace
+}  // namespace tiera

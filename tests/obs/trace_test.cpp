@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace tiera {
 namespace {
@@ -83,6 +86,43 @@ TEST(RequestTracerTest, DumpRendersSpans) {
   EXPECT_NE(out.find("obj1"), std::string::npos);
   EXPECT_NE(out.find("tier=m1"), std::string::npos);
   EXPECT_NE(out.find("FAILED"), std::string::npos);
+}
+
+TEST(RequestTracerTest, OverflowCountsDroppedSpans) {
+  Counter& global =
+      MetricsRegistry::global().counter("tiera_trace_dropped_total");
+  const std::uint64_t before = global.value();
+
+  RequestTracer tracer(8);
+  for (int i = 0; i < 20; ++i) {
+    tracer.record(TraceOp::kPut, "obj" + std::to_string(i), "m1",
+                  from_ms(1.0), true);
+  }
+  // The ring held 8 of 20 spans; the 12 overwritten ones are "dropped".
+  EXPECT_EQ(tracer.dropped(), 12u);
+  EXPECT_EQ(global.value() - before, 12u);
+
+  RequestTracer roomy(64);
+  for (int i = 0; i < 20; ++i) {
+    roomy.record(TraceOp::kPut, "obj", "m1", from_ms(1.0), true);
+  }
+  EXPECT_EQ(roomy.dropped(), 0u);
+}
+
+TEST(RequestTracerTest, CapacityFromEnvOverridesFallback) {
+  ::unsetenv("TIERA_TRACE_CAPACITY");
+  EXPECT_EQ(RequestTracer::capacity_from_env(512), 512u);
+
+  ::setenv("TIERA_TRACE_CAPACITY", "33", 1);
+  EXPECT_EQ(RequestTracer::capacity_from_env(512), 33u);
+  RequestTracer tracer(RequestTracer::capacity_from_env(512));
+  EXPECT_EQ(tracer.capacity(), 33u);
+
+  ::setenv("TIERA_TRACE_CAPACITY", "not-a-number", 1);
+  EXPECT_EQ(RequestTracer::capacity_from_env(512), 512u);
+  ::setenv("TIERA_TRACE_CAPACITY", "-4", 1);
+  EXPECT_EQ(RequestTracer::capacity_from_env(512), 512u);
+  ::unsetenv("TIERA_TRACE_CAPACITY");
 }
 
 TEST(RequestTracerTest, ConcurrentRecordersKeepCapacityInvariant) {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the concurrency-sensitive subsystems.
+#
+# Configures a dedicated build tree (build-tsan/, gitignored via build-*/)
+# with -DTIERA_SANITIZE=thread, builds it, and runs the observability, core
+# and common test binaries — the ones exercising the trace ring, the
+# context-carrying thread pool, and the control layer's response pool —
+# under TSan. Any data race fails the script.
+#
+#   $ tools/check.sh            # default: obs/core/common tests
+#   $ tools/check.sh -R regex   # pass an explicit ctest filter instead
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+# core_templates_test is wall-clock-sensitive (modelled-latency eviction
+# deadlines; RUN_SERIAL even in normal runs) and flakes under TSan's ~10x
+# slowdown, so the gate skips it rather than chase timing, not races.
+filter=(-R '^(obs_|core_|common_)' -E '^core_templates_test$')
+if [[ $# -gt 0 ]]; then
+  filter=("$@")
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" -DTIERA_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error keeps CI logs short: the first unsuppressed race aborts the
+# binary. tsan.supp carries the known pre-existing TCP shutdown races.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1} \
+suppressions=${repo_root}/tools/tsan.supp"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+  "${filter[@]}"
