@@ -4,9 +4,15 @@
 // framed-RPC protocol, and prints stats on shutdown.
 //
 //   $ ./tierad <spec.tiera> [port] [param=value ...] [--stats-period=<sec>]
+//            [--retries=<n>] [--deadline=<dur>] [--breaker[=<n>]] [--hedge[=<q>%]]
 //
 // --stats-period=N logs the metrics registry (human-readable rendering)
 // every N seconds while serving.
+//
+// The resilience flags set the default ResiliencePolicy for tiers whose
+// spec declaration carries no knobs of its own (same grammar as the spec
+// fields — see DESIGN.md §8): --retries=3 --deadline=50ms --breaker=5
+// --hedge=95%.
 //
 // Tracing knobs (read by every served instance): TIERA_TRACE_CAPACITY sizes
 // the span ring (overflow counts into `tiera_trace_dropped_total`), and
@@ -47,12 +53,25 @@ int main(int argc, char** argv) {
   bool demo = false;
   std::uint16_t port = 0;
   int stats_period_s = 0;
+  std::string retries, deadline, breaker, hedge;
   std::map<std::string, std::string> args;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else if (std::strncmp(argv[i], "--stats-period=", 15) == 0) {
       stats_period_s = std::atoi(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      retries = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--deadline=", 11) == 0) {
+      deadline = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--breaker=", 10) == 0) {
+      breaker = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--breaker") == 0) {
+      breaker = "on";
+    } else if (std::strncmp(argv[i], "--hedge=", 8) == 0) {
+      hedge = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--hedge") == 0) {
+      hedge = "on";
     } else if (std::strchr(argv[i], '=')) {
       const std::string kv = argv[i];
       const auto eq = kv.find('=');
@@ -71,7 +90,16 @@ int main(int argc, char** argv) {
   for (const auto& param : spec->parameters()) {
     if (!args.count(param)) args[param] = "30s";  // default binding
   }
-  auto instance = spec->instantiate({.data_dir = "/tmp/tierad"}, args);
+  TemplateOptions opts{.data_dir = "/tmp/tierad"};
+  auto resilience =
+      parse_resilience_fields(retries, deadline, breaker, hedge);
+  if (!resilience.ok()) {
+    std::fprintf(stderr, "resilience flag error: %s\n",
+                 resilience.status().to_string().c_str());
+    return 2;
+  }
+  opts.default_resilience = *resilience;
+  auto instance = spec->instantiate(opts, args);
   if (!instance.ok()) {
     std::fprintf(stderr, "instantiate error: %s\n",
                  instance.status().to_string().c_str());

@@ -258,6 +258,10 @@ void ControlLayer::evaluate_thresholds() {
         case TierAttribute::kObjectCount:
           value = static_cast<double>(tier->object_count());
           break;
+        case TierAttribute::kBreakerState:
+          value = static_cast<double>(
+              static_cast<int>(tier->breaker_state()));
+          break;
       }
       const double current = rule->threshold_state->load();
       const bool over = value >= current;
@@ -295,6 +299,10 @@ void ControlLayer::evaluate_thresholds() {
   }
 }
 
+void ControlLayer::request_threshold_evaluation() {
+  thresholds_requested_.store(true, std::memory_order_release);
+}
+
 void ControlLayer::timer_loop() {
   while (running_.load(std::memory_order_relaxed)) {
     // Tick in scaled wall time so modelled timer periods stay proportional.
@@ -302,6 +310,10 @@ void ControlLayer::timer_loop() {
     const auto wall_tick = std::chrono::duration_cast<Duration>(
         timer_tick_ * (scale > 0 ? scale : 1.0));
     precise_sleep(std::max<Duration>(wall_tick, from_ms(1)));
+
+    if (thresholds_requested_.exchange(false, std::memory_order_acq_rel)) {
+      evaluate_thresholds();
+    }
 
     std::vector<std::shared_ptr<Rule>> due;
     {

@@ -53,6 +53,13 @@ class ControlLayer {
   // Re-evaluate all threshold rules (call after any mutation).
   void evaluate_thresholds();
 
+  // Ask the timer thread to run evaluate_thresholds() on its next tick.
+  // Safe from any context — in particular from a circuit breaker changing
+  // state inside a tier op that a response is running while holding an
+  // object stripe, where evaluating (and firing rules) inline could
+  // deadlock.
+  void request_threshold_evaluation();
+
   // Wait until queued background responses have drained (tests/benches).
   void drain();
 
@@ -91,6 +98,7 @@ class ControlLayer {
   std::atomic<std::uint64_t> next_rule_id_{1};
 
   std::atomic<bool> running_{false};
+  std::atomic<bool> thresholds_requested_{false};
   std::thread timer_thread_;
 
   std::atomic<std::uint64_t> events_fired_{0};

@@ -39,6 +39,8 @@ enum class TierAttribute {
   kFillFraction,  // used/capacity      (tierX.filled == 75%)
   kUsedBytes,     // bytes stored       (tierX.used == 50M)
   kObjectCount,   // number of objects  (tierX.objects == 1000)
+  kBreakerState,  // circuit breaker    (tierX.breaker == open); the value is
+                  // the BreakerState encoding (closed 0, half-open 1, open 2)
 };
 
 struct ThresholdEventDef {

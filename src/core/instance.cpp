@@ -1,8 +1,10 @@
 #include "core/instance.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "common/compress.h"
 #include "common/hash.h"
@@ -121,6 +123,18 @@ Status TieraInstance::add_tier(const TierSpec& spec) {
   }
   Result<TierPtr> tier = factory_.create(spec);
   if (!tier.ok()) return tier.status();
+  if (auto* resilient = dynamic_cast<ResilientTier*>(tier->get())) {
+    // Retry spans join the request's causal trace, and breaker transitions
+    // schedule a threshold pass so failover rules (`tierX.breaker == open`)
+    // fire without waiting for the next mutation. The evaluation runs on
+    // the control layer's timer thread: a breaker can flip inside a tier op
+    // that a response is running under an object stripe, where firing rules
+    // inline could deadlock.
+    resilient->set_tracer(&tracer_);
+    resilient->set_breaker_listener([this](BreakerState) {
+      if (control_) control_->request_threshold_evaluation();
+    });
+  }
   std::unique_lock lock(tiers_mu_);
   for (const auto& entry : tiers_) {
     if (entry.label == spec.label) {
@@ -406,17 +420,101 @@ Status TieraInstance::add_tags(std::string_view id,
 Result<Bytes> TieraInstance::read_at_rest(const ObjectMeta& meta,
                                           std::string* served_tier) {
   const std::string key = meta.storage_key();
-  Status last = Status::NotFound("object has no live location");
+  std::vector<TierEntry> locations;
   for (const auto& entry : tier_snapshot()) {
-    if (!meta.in_tier(entry.label)) continue;
-    Result<Bytes> bytes = entry.tier->get(key);
+    if (meta.in_tier(entry.label)) locations.push_back(entry);
+  }
+
+  Status last = Status::NotFound("object has no live location");
+  std::size_t next = 0;
+  // Hedged path: when the first location advertises a hedge delay (a
+  // ResilientTier tracking its GET latency quantile) and the object has a
+  // second copy, race the two instead of waiting out a slow primary.
+  if (locations.size() >= 2) {
+    const Duration delay = locations[0].tier->hedge_delay();
+    if (delay > Duration::zero()) {
+      std::optional<Result<Bytes>> raced = read_hedged(
+          locations[0], locations[1], meta.id, key, delay, served_tier, &next);
+      if (raced) return *std::move(raced);
+      last = Status::Unavailable("hedged locations failed");
+    }
+  }
+  for (std::size_t i = next; i < locations.size(); ++i) {
+    Result<Bytes> bytes = locations[i].tier->get(key);
     if (bytes.ok()) {
-      if (served_tier) *served_tier = entry.label;
+      if (served_tier) *served_tier = locations[i].label;
       return bytes;
     }
     last = bytes.status();
   }
   return last;
+}
+
+std::optional<Result<Bytes>> TieraInstance::read_hedged(
+    const TierEntry& primary, const TierEntry& secondary,
+    const std::string& object_id, const std::string& key, Duration delay,
+    std::string* served_tier, std::size_t* next_location) {
+  struct Race {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Result<Bytes>> results[2];
+  };
+  auto race = std::make_shared<Race>();
+  const auto launch = [&race, &key](int slot, TierPtr tier) {
+    // Detached: the losing read may outlive this call. The thread touches
+    // only the race state and the tier, both kept alive by the captured
+    // shared_ptrs — never the instance.
+    std::thread([race, slot, tier, k = key] {
+      Result<Bytes> r = tier->get(k);
+      {
+        std::lock_guard lock(race->mu);
+        race->results[slot].emplace(std::move(r));
+      }
+      race->cv.notify_all();
+    }).detach();
+  };
+
+  launch(0, primary.tier);
+  std::unique_lock lock(race->mu);
+  if (!race->cv.wait_for(lock, delay,
+                         [&] { return race->results[0].has_value(); })) {
+    // Primary exceeded its latency quantile: issue the hedge and take
+    // whichever location answers first.
+    auto* resilient = dynamic_cast<ResilientTier*>(primary.tier.get());
+    if (resilient) resilient->note_hedge_issued();
+    std::optional<TraceScope> span;
+    if (tracer_.enabled()) span.emplace();
+    launch(1, secondary.tier);
+    race->cv.wait(lock, [&] {
+      return (race->results[0] && race->results[1]) ||
+             (race->results[0] && race->results[0]->ok()) ||
+             (race->results[1] && race->results[1]->ok());
+    });
+    const bool hedge_won =
+        !(race->results[0] && race->results[0]->ok()) &&
+        race->results[1] && race->results[1]->ok();
+    if (span) {
+      tracer_.record(*span, TraceOp::kHedge, "hedge", object_id,
+                     secondary.label, hedge_won);
+    }
+    if (race->results[0] && race->results[0]->ok()) {
+      if (served_tier) *served_tier = primary.label;
+      return *std::move(race->results[0]);
+    }
+    if (hedge_won) {
+      if (resilient) resilient->note_hedge_win();
+      if (served_tier) *served_tier = secondary.label;
+      return *std::move(race->results[1]);
+    }
+    *next_location = 2;  // both raced copies failed
+    return std::nullopt;
+  }
+  if (race->results[0]->ok()) {
+    if (served_tier) *served_tier = primary.label;
+    return *std::move(race->results[0]);
+  }
+  *next_location = 1;  // primary failed fast; the fallback starts at the hedge
+  return std::nullopt;
 }
 
 Status TieraInstance::rewrite_at_rest(const ObjectMeta& meta, ByteView bytes) {
@@ -1106,16 +1204,17 @@ std::string TieraInstance::render_top() const {
       static_cast<unsigned long long>(tracer_.dropped()));
   out += line;
 
-  std::snprintf(line, sizeof(line), "%-14s %10s %10s %7s %8s\n", "TIER",
-                "USED", "CAP", "FILL", "OBJECTS");
+  std::snprintf(line, sizeof(line), "%-14s %10s %10s %7s %8s %9s\n", "TIER",
+                "USED", "CAP", "FILL", "OBJECTS", "BREAKER");
   out += line;
   for (const auto& entry : tier_snapshot()) {
-    std::snprintf(line, sizeof(line), "%-14s %10s %10s %6.1f%% %8zu\n",
+    std::snprintf(line, sizeof(line), "%-14s %10s %10s %6.1f%% %8zu %9s\n",
                   entry.label.c_str(),
                   human_bytes(entry.tier->used()).c_str(),
                   human_bytes(entry.tier->capacity()).c_str(),
                   entry.tier->fill_fraction() * 100.0,
-                  entry.tier->object_count());
+                  entry.tier->object_count(),
+                  std::string(to_string(entry.tier->breaker_state())).c_str());
     out += line;
   }
 

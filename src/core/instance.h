@@ -210,6 +210,17 @@ class TieraInstance {
 
   // Reads the at-rest bytes of `meta` from the fastest live location.
   Result<Bytes> read_at_rest(const ObjectMeta& meta, std::string* served_tier);
+  // Races `primary` against `secondary` for `key`: the hedge launches after
+  // `delay` if the primary has not answered. Returns the winning result, or
+  // nullopt when no raced location succeeded; `*next_location` is the index
+  // into the location list where a sequential fallback should resume.
+  std::optional<Result<Bytes>> read_hedged(const TierEntry& primary,
+                                           const TierEntry& secondary,
+                                           const std::string& object_id,
+                                           const std::string& key,
+                                           Duration delay,
+                                           std::string* served_tier,
+                                           std::size_t* next_location);
   // Rewrites at-rest bytes in every location tier (used by the transform
   // engine ops).
   Status rewrite_at_rest(const ObjectMeta& meta, ByteView bytes);

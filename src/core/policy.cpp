@@ -40,6 +40,12 @@ std::string EventDef::describe() const {
         case TierAttribute::kObjectCount:
           out << ".objects == " << threshold.threshold;
           break;
+        case TierAttribute::kBreakerState:
+          out << ".breaker == "
+              << (threshold.threshold >= 2   ? "open"
+                  : threshold.threshold >= 1 ? "half-open"
+                                             : "closed");
+          break;
       }
       out << ")";
       break;

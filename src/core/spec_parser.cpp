@@ -191,6 +191,66 @@ Result<double> parse_percent(std::string_view text) {
   }
 }
 
+}  // namespace
+
+// Public (declared in spec_parser.h) so tierad's --retries/--deadline/
+// --breaker/--hedge flags share the exact grammar of the spec fields.
+Result<ResiliencePolicy> parse_resilience_fields(const std::string& retries,
+                                                 const std::string& deadline,
+                                                 const std::string& breaker,
+                                                 const std::string& hedge) {
+  ResiliencePolicy policy;
+  if (!retries.empty()) {
+    try {
+      policy.retry.max_retries = std::stoi(retries);
+    } catch (...) {
+      return Status::InvalidArgument("bad retries: " + retries);
+    }
+    if (policy.retry.max_retries < 0) {
+      return Status::InvalidArgument("retries must be >= 0: " + retries);
+    }
+  }
+  if (!deadline.empty()) {
+    Result<Duration> d = parse_duration(deadline);
+    if (!d.ok()) return d.status();
+    policy.deadline = *d;
+  }
+  if (!breaker.empty()) {
+    if (breaker == "on") {
+      policy.breaker.enabled = true;
+    } else if (breaker == "off") {
+      policy.breaker.enabled = false;
+    } else {
+      try {
+        policy.breaker.failure_threshold = std::stoi(breaker);
+        policy.breaker.enabled = true;
+      } catch (...) {
+        return Status::InvalidArgument("bad breaker: " + breaker);
+      }
+      if (policy.breaker.failure_threshold < 1) {
+        return Status::InvalidArgument("breaker threshold must be >= 1");
+      }
+    }
+  }
+  if (!hedge.empty()) {
+    if (hedge == "on") {
+      policy.hedge.quantile = 0.95;
+    } else if (hedge == "off") {
+      policy.hedge.quantile = 0;
+    } else {
+      Result<double> q = parse_percent(hedge);
+      if (!q.ok()) return q.status();
+      if (*q <= 0 || *q >= 1) {
+        return Status::InvalidArgument("hedge quantile must be in (0%,100%)");
+      }
+      policy.hedge.quantile = *q;
+    }
+  }
+  return policy;
+}
+
+namespace {
+
 std::vector<std::string> split_top_level(std::string_view text, char sep) {
   std::vector<std::string> parts;
   std::string current;
@@ -337,6 +397,14 @@ class SpecParser {
         tier.service = *value;
       } else if (*field == "size") {
         tier.size_text = *value;
+      } else if (*field == "retries") {
+        tier.retries_text = *value;
+      } else if (*field == "deadline") {
+        tier.deadline_text = *value;
+      } else if (*field == "breaker") {
+        tier.breaker_text = *value;
+      } else if (*field == "hedge") {
+        tier.hedge_text = *value;
       } else {
         return error("unknown tier field '" + *field + "'");
       }
@@ -839,6 +907,21 @@ class SpecInstantiator {
       event.background = background;
       return event;
     }
+    if (ends_with(lhs, ".breaker")) {
+      const std::string state = subst(rhs);
+      double level = 0;
+      if (state == "open") {
+        level = static_cast<double>(static_cast<int>(BreakerState::kOpen));
+      } else if (state == "half_open" || state == "half-open") {
+        level = static_cast<double>(static_cast<int>(BreakerState::kHalfOpen));
+      } else {
+        return Status::InvalidArgument("bad breaker state: " + state);
+      }
+      event = EventDef::on_threshold(lhs.substr(0, lhs.size() - 8),
+                                     TierAttribute::kBreakerState, level);
+      event.background = background;
+      return event;
+    }
     if (ends_with(lhs, ".objects")) {
       try {
         const double count = std::stod(subst(rhs));
@@ -913,7 +996,22 @@ Result<InstancePtr> InstanceSpec::instantiate(
   for (const auto& tier : tiers_) {
     Result<std::uint64_t> size = parse_size(inst.subst(tier.size_text));
     if (!size.ok()) return size.status();
-    config.tiers.push_back({tier.service, tier.label, *size});
+    TierSpec spec;
+    spec.service = tier.service;
+    spec.label = tier.label;
+    spec.capacity_bytes = *size;
+    if (tier.has_resilience()) {
+      Result<ResiliencePolicy> resilience = parse_resilience_fields(
+          inst.subst(tier.retries_text), inst.subst(tier.deadline_text),
+          inst.subst(tier.breaker_text), inst.subst(tier.hedge_text));
+      if (!resilience.ok()) return resilience.status();
+      spec.resilience = *resilience;
+    } else {
+      // Declarations without knobs inherit the caller's default (tierad's
+      // --retries/--breaker/... flags).
+      spec.resilience = opts.default_resilience;
+    }
+    config.tiers.push_back(std::move(spec));
   }
   Result<InstancePtr> instance = TieraInstance::create(std::move(config));
   if (!instance.ok()) return instance;

@@ -39,6 +39,14 @@
 
 namespace tiera {
 
+// Resolves resilience knob texts (the spec fields `retries`, `deadline`,
+// `breaker`, `hedge`; empty string = knob unset) into a ResiliencePolicy.
+// Shared by the spec instantiator and tierad's command-line flags.
+Result<ResiliencePolicy> parse_resilience_fields(const std::string& retries,
+                                                 const std::string& deadline,
+                                                 const std::string& breaker,
+                                                 const std::string& hedge);
+
 class InstanceSpec {
  public:
   // Parse a specification text. Errors carry line numbers.
@@ -67,6 +75,20 @@ class InstanceSpec {
     std::string label;
     std::string service;
     std::string size_text;
+    // Resilience knobs (raw text; empty = knob not set):
+    //   retries: 3            bounded exponential-backoff retries
+    //   deadline: 50ms        per-op budget across all attempts
+    //   breaker: on | <n>     circuit breaker (n = failure threshold)
+    //   hedge: on | 95%       hedge GETs past this latency quantile
+    std::string retries_text;
+    std::string deadline_text;
+    std::string breaker_text;
+    std::string hedge_text;
+
+    bool has_resilience() const {
+      return !retries_text.empty() || !deadline_text.empty() ||
+             !breaker_text.empty() || !hedge_text.empty();
+    }
   };
 
   struct Call {

@@ -38,14 +38,31 @@ void RpcServer::stop() {
   if (!running_.exchange(false)) return;
   if (listener_) listener_->shutdown();
   {
-    // Close live connections so per-connection recv loops unblock.
+    // Half-close live connections so per-connection recv loops unblock.
+    // shutdown() (not close()) keeps the fd reserved while reader threads
+    // and in-flight pool tasks may still touch it.
     std::lock_guard lock(conns_mu_);
     for (auto& weak : conns_) {
-      if (auto conn = weak.lock()) conn->close();
+      if (auto conn = weak.lock()) conn->shutdown();
     }
-    conns_.clear();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop is done, so conns_/serve_threads_ gain no new entries.
+  // Sweep once more for connections accepted during shutdown, then join
+  // every reader before stopping the pool.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (auto& weak : conns_) {
+      if (auto conn = weak.lock()) conn->shutdown();
+    }
+    conns_.clear();
+    readers = std::move(serve_threads_);
+    serve_threads_.clear();
+  }
+  for (auto& thread : readers) {
+    if (thread.joinable()) thread.join();
+  }
   pool_.shutdown();
 }
 
@@ -58,13 +75,14 @@ void RpcServer::accept_loop() {
     auto conn = listener_->accept();
     if (!conn.ok()) return;  // shut down
     std::shared_ptr<TcpConnection> shared = std::move(conn).value();
-    {
-      std::lock_guard lock(conns_mu_);
-      conns_.emplace_back(shared);
-    }
     // One lightweight reader thread per connection; request bodies are
     // serviced on the shared pool so slow requests do not block the socket.
-    std::thread([this, shared] { serve_connection(shared); }).detach();
+    // Readers are tracked (not detached) so stop() can join them after
+    // half-closing the sockets.
+    std::lock_guard lock(conns_mu_);
+    conns_.emplace_back(shared);
+    serve_threads_.emplace_back(
+        [this, shared] { serve_connection(shared); });
   }
 }
 

@@ -55,8 +55,13 @@ class RpcServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
 
+  // Live connections and their reader threads. Shutdown joins every reader
+  // before the pool stops, so no detached thread can outlive the server;
+  // connections are only shutdown() (half-closed) here — the fd is released
+  // by the last shared_ptr owner once all readers/pool tasks are done.
   std::mutex conns_mu_;
   std::vector<std::weak_ptr<TcpConnection>> conns_;
+  std::vector<std::thread> serve_threads_;
 
   // Registry series (`tiera_rpc_*`): request/error counters, per-request
   // service latency, and request-pool queue depth.

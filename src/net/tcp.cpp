@@ -50,11 +50,15 @@ int recv_all(int fd, std::uint8_t* data, std::size_t len) {
 
 TcpConnection::~TcpConnection() { close(); }
 
+void TcpConnection::shutdown() {
+  shut_down_.store(true, std::memory_order_release);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
 void TcpConnection::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
 Result<std::unique_ptr<TcpConnection>> TcpConnection::connect(
@@ -80,45 +84,53 @@ Result<std::unique_ptr<TcpConnection>> TcpConnection::connect(
 }
 
 Status TcpConnection::send_frame(ByteView payload) {
-  if (fd_ < 0) return Status::Unavailable("connection closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || closed()) return Status::Unavailable("connection closed");
   if (payload.size() > kMaxFrame) {
     return Status::InvalidArgument("frame too large");
   }
   std::uint8_t header[4];
   const auto n = static_cast<std::uint32_t>(payload.size());
   std::memcpy(header, &n, 4);
-  if (!send_all(fd_, header, 4) ||
-      !send_all(fd_, payload.data(), payload.size())) {
-    close();
+  if (!send_all(fd, header, 4) ||
+      !send_all(fd, payload.data(), payload.size())) {
+    // Error paths only half-close: another thread may still be blocked in
+    // recv_frame() on this fd, and releasing the number under it would let
+    // the kernel recycle it. The destructor (or the owner) closes for real.
+    shutdown();
     return Status::Unavailable("peer went away during send");
   }
   return Status::Ok();
 }
 
 Result<Bytes> TcpConnection::recv_frame() {
-  if (fd_ < 0) return Status::Unavailable("connection closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || closed()) return Status::Unavailable("connection closed");
   std::uint8_t header[4];
-  const int rc = recv_all(fd_, header, 4);
+  const int rc = recv_all(fd, header, 4);
   if (rc <= 0) {
-    close();
+    shutdown();
     return Status::Unavailable(rc == 0 ? "peer closed connection"
                                        : "recv failed");
   }
   std::uint32_t n;
   std::memcpy(&n, header, 4);
   if (n > kMaxFrame) {
-    close();
+    shutdown();
     return Status::Corruption("oversized frame");
   }
   Bytes payload(n);
-  if (n > 0 && recv_all(fd_, payload.data(), n) <= 0) {
-    close();
+  if (n > 0 && recv_all(fd, payload.data(), n) <= 0) {
+    shutdown();
     return Status::Unavailable("peer closed mid-frame");
   }
   return payload;
 }
 
-TcpListener::~TcpListener() { shutdown(); }
+TcpListener::~TcpListener() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
 
 Result<std::unique_ptr<TcpListener>> TcpListener::listen(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -147,8 +159,10 @@ Result<std::unique_ptr<TcpListener>> TcpListener::listen(std::uint16_t port) {
 }
 
 Result<std::unique_ptr<TcpConnection>> TcpListener::accept() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Status::Unavailable("listener shut down");
   for (;;) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) {
       if (errno == EINTR) continue;
       return Status::Unavailable("listener shut down");
@@ -160,11 +174,11 @@ Result<std::unique_ptr<TcpConnection>> TcpListener::accept() {
 }
 
 void TcpListener::shutdown() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // Half-close only: wakes a blocked accept() without releasing the fd
+  // number, so the accept loop can never race a close/reuse. The destructor
+  // releases the fd once the loop has been joined.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 }  // namespace tiera

@@ -1,6 +1,7 @@
 // Minimal blocking TCP transport with length-framed messages.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -11,6 +12,13 @@
 namespace tiera {
 
 // A connected socket carrying [u32 length][payload] frames.
+//
+// Shutdown discipline (this is what keeps the type race-free under TSan):
+// any thread may call shutdown() to disable I/O — a peer blocked in
+// recv_frame()/send_frame() returns with kUnavailable, but the fd number
+// stays reserved so no concurrent reader can race a close/reuse. close()
+// actually releases the fd and must only run when no other thread is inside
+// an I/O call (the destructor, or the single owning thread).
 class TcpConnection {
  public:
   explicit TcpConnection(int fd) : fd_(fd) {}
@@ -26,14 +34,20 @@ class TcpConnection {
   // Blocks until a full frame arrives. kUnavailable on clean peer close.
   Result<Bytes> recv_frame();
 
+  // Cross-thread-safe: unblocks in-flight I/O without releasing the fd.
+  void shutdown();
   void close();
-  bool closed() const { return fd_ < 0; }
+  bool closed() const {
+    return fd_.load(std::memory_order_acquire) < 0 ||
+           shut_down_.load(std::memory_order_acquire);
+  }
 
   // Frames larger than this are rejected (corrupt length guard).
   static constexpr std::uint32_t kMaxFrame = 64u << 20;
 
  private:
-  int fd_;
+  std::atomic<int> fd_;
+  std::atomic<bool> shut_down_{false};
 };
 
 class TcpListener {
@@ -51,13 +65,16 @@ class TcpListener {
   // Blocks for the next connection; kUnavailable after shutdown().
   Result<std::unique_ptr<TcpConnection>> accept();
 
-  // Unblocks accept() and closes the socket.
+  // Unblocks accept() (Linux: shutdown() on a listening socket makes a
+  // blocked accept return). The fd itself is released by the destructor,
+  // after the accept loop has been joined, so accept() never races a
+  // close/reuse of the fd number.
   void shutdown();
 
  private:
   TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
 
-  int fd_;
+  std::atomic<int> fd_;
   std::uint16_t port_;
 };
 

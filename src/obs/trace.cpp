@@ -59,6 +59,8 @@ std::string_view chrome_category(TraceOp op) {
   switch (op) {
     case TraceOp::kEvent: return "policy";
     case TraceOp::kResponse: return "response";
+    case TraceOp::kRetry:
+    case TraceOp::kHedge: return "resilience";
     default: return "request";
   }
 }
@@ -72,6 +74,8 @@ std::string_view to_string(TraceOp op) {
     case TraceOp::kDelete: return "DELETE";
     case TraceOp::kEvent: return "EVENT";
     case TraceOp::kResponse: return "RESPONSE";
+    case TraceOp::kRetry: return "RETRY";
+    case TraceOp::kHedge: return "HEDGE";
   }
   return "?";
 }

@@ -44,6 +44,8 @@ enum class TraceOp : std::uint8_t {
   kDelete,
   kEvent,     // a policy rule firing (action/timer/threshold)
   kResponse,  // one response executed by a firing rule
+  kRetry,     // a tier op that needed the resilience layer (retries/breaker)
+  kHedge,     // a hedged read raced against a slow primary tier
 };
 
 std::string_view to_string(TraceOp op);

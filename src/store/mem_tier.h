@@ -7,7 +7,9 @@
 
 namespace tiera {
 
-class MemTier final : public Tier {
+// Not final: tests subclass it to inject scripted failures around the
+// virtual data path.
+class MemTier : public Tier {
  public:
   MemTier(std::string name, std::uint64_t capacity_bytes,
           LatencyModel latency = LatencyModel::memcached_local(),

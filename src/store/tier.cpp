@@ -13,6 +13,15 @@ thread_local Rng t_jitter_rng{0xD1CEBA5Eull ^
                                   std::this_thread::get_id())};
 }  // namespace
 
+std::string_view to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half-open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "?";
+}
+
 std::string_view to_string(TierKind kind) {
   switch (kind) {
     case TierKind::kMemory: return "memory";
@@ -49,9 +58,19 @@ Tier::Tier(std::string name, TierKind kind, std::uint64_t capacity_bytes,
   collector_id_ = reg.add_collector([this] { collect_metrics(); });
 }
 
+Tier::Tier(DecoratorTag, const Tier& inner)
+    : name_(inner.name_),
+      kind_(inner.kind_),
+      latency_(inner.latency_),
+      pricing_(inner.pricing_),
+      capacity_(0) {}
+
 Tier::~Tier() {
   // The collector reads this tier; drop it before any state dies.
-  MetricsRegistry::global().remove_collector(collector_id_);
+  // Decorators never registered one (collector_id_ stays 0).
+  if (collector_id_ != 0) {
+    MetricsRegistry::global().remove_collector(collector_id_);
+  }
 }
 
 void Tier::collect_metrics() {

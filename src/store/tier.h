@@ -43,6 +43,17 @@ enum class FailureMode {
   kTimeout,   // operations hang for the injected delay, then fail kTimedOut
 };
 
+// Circuit-breaker position of a tier, surfaced so threshold rules can react
+// to `tierX.breaker == open` (ResilientTier overrides; plain tiers are
+// always closed). Numeric values are the threshold-event encoding.
+enum class BreakerState : int {
+  kClosed = 0,
+  kHalfOpen = 1,
+  kOpen = 2,
+};
+
+std::string_view to_string(BreakerState state);
+
 struct TierStats {
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> gets{0};
@@ -84,25 +95,26 @@ class Tier {
 
   // --- Data path -----------------------------------------------------------
   // Stores (or overwrites) `key`. Fails with kCapacityExceeded when the
-  // object does not fit.
-  Status put(std::string_view key, ByteView value);
-  Result<Bytes> get(std::string_view key);
-  Status remove(std::string_view key);
-  bool contains(std::string_view key) const;
+  // object does not fit. Virtual so decorators (ResilientTier) can interpose
+  // retry/deadline/breaker logic around the base implementation.
+  virtual Status put(std::string_view key, ByteView value);
+  virtual Result<Bytes> get(std::string_view key);
+  virtual Status remove(std::string_view key);
+  virtual bool contains(std::string_view key) const;
 
   // --- Capacity ------------------------------------------------------------
-  std::uint64_t capacity() const { return capacity_.load(); }
-  std::uint64_t used() const { return used_.load(); }
+  virtual std::uint64_t capacity() const { return capacity_.load(); }
+  virtual std::uint64_t used() const { return used_.load(); }
   double fill_fraction() const {
     const auto cap = capacity();
     return cap ? static_cast<double>(used()) / static_cast<double>(cap) : 1.0;
   }
-  std::size_t object_count() const;
+  virtual std::size_t object_count() const;
 
   // grow/shrink responses (Table 1): resize by a percentage of current
   // capacity. Shrinking below current usage is refused.
-  Status grow(double percent_increase);
-  Status shrink(double percent_decrease);
+  virtual Status grow(double percent_increase);
+  virtual Status shrink(double percent_decrease);
 
   // --- Service concurrency ---------------------------------------------------
   // Maximum in-flight operations the backing service processes at once
@@ -110,24 +122,41 @@ class Tier {
   // background replication contends with foreground I/O — the effect behind
   // the paper's bandwidth-cap experiment (Fig. 14). Ops beyond the limit
   // queue for a slot before their service time runs.
-  void set_io_slots(std::size_t slots);
-  std::size_t io_slots() const;
+  virtual void set_io_slots(std::size_t slots);
+  virtual std::size_t io_slots() const;
 
   // --- Failure injection ---------------------------------------------------
-  void inject_failure(FailureMode mode, Duration timeout = from_ms(250));
-  void heal();
-  FailureMode failure_mode() const { return failure_mode_.load(); }
+  virtual void inject_failure(FailureMode mode, Duration timeout = from_ms(250));
+  virtual void heal();
+  virtual FailureMode failure_mode() const { return failure_mode_.load(); }
 
   // Ephemeral semantics: drop contents (no-op for durable tiers).
   virtual void reboot() {}
 
+  // --- Resilience introspection --------------------------------------------
+  // Plain tiers have no breaker and never suggest hedging; ResilientTier
+  // overrides both.
+  virtual BreakerState breaker_state() const { return BreakerState::kClosed; }
+  // Non-zero: the instance should hedge a GET to another location when this
+  // tier has not answered within the returned delay.
+  virtual Duration hedge_delay() const { return Duration::zero(); }
+
   // --- Introspection -------------------------------------------------------
-  const TierStats& stats() const { return stats_; }
+  virtual const TierStats& stats() const { return stats_; }
   const TierPricing& pricing() const { return pricing_; }
   const LatencyModel& latency_model() const { return latency_; }
-  void for_each_key(const std::function<void(std::string_view)>& fn) const;
+  virtual void for_each_key(
+      const std::function<void(std::string_view)>& fn) const;
 
  protected:
+  // Decorator constructor: copies the inner tier's identity (name, kind,
+  // pricing, latency model) but registers no metrics series and no registry
+  // collector — the wrapper forwards every op to the inner tier, which
+  // already owns the `tiera_tier_*{tier=<label>}` series; a second collector
+  // under the same labels would clobber the gauges.
+  struct DecoratorTag {};
+  Tier(DecoratorTag, const Tier& inner);
+
   // Service-time sampling; overridable so tiers can model caching effects
   // (BlockTier's OS-buffer-cache model discounts cached reads).
   virtual Duration sample_read_delay(std::string_view key,
@@ -159,16 +188,16 @@ class Tier {
   // delta-syncs them from `stats_` at render time, so the data path pays
   // nothing for them. Only the sampled latency histograms are pushed.
   struct Metrics {
-    Counter* puts;
-    Counter* gets;
-    Counter* removes;
-    Counter* failed_ops;
-    Counter* bytes_written;
-    Counter* bytes_read;
-    LatencyHistogram* put_latency;
-    LatencyHistogram* get_latency;
-    Gauge* used_bytes;
-    Gauge* capacity_bytes;
+    Counter* puts = nullptr;
+    Counter* gets = nullptr;
+    Counter* removes = nullptr;
+    Counter* failed_ops = nullptr;
+    Counter* bytes_written = nullptr;
+    Counter* bytes_read = nullptr;
+    LatencyHistogram* put_latency = nullptr;
+    LatencyHistogram* get_latency = nullptr;
+    Gauge* used_bytes = nullptr;
+    Gauge* capacity_bytes = nullptr;
   };
   // Last stats_ values the collector already pushed into the registry
   // counters; only the collector touches these (serialized by the registry).

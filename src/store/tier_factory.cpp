@@ -45,6 +45,16 @@ bool TierFactory::known_service(std::string_view service) {
          s == "ephemeral" || s == "s3";
 }
 
+namespace {
+// Wraps the service tier in the resilience decorator when the spec asks for
+// any of retries/deadline/breaker/hedge.
+Result<TierPtr> finish(TierPtr tier, const TierSpec& spec) {
+  if (!spec.resilience.any()) return tier;
+  return TierPtr(
+      std::make_shared<ResilientTier>(std::move(tier), spec.resilience));
+}
+}  // namespace
+
 Result<TierPtr> TierFactory::create(const TierSpec& spec) const {
   const std::string service = lower(spec.service);
   const std::string name =
@@ -53,22 +63,24 @@ Result<TierPtr> TierFactory::create(const TierSpec& spec) const {
                           (spec.label.empty() ? service : spec.label) + "-" +
                           service;
   if (service == "memcached") {
-    return TierPtr(std::make_shared<MemTier>(name, spec.capacity_bytes));
+    return finish(std::make_shared<MemTier>(name, spec.capacity_bytes), spec);
   }
   if (service == "memcached_remote") {
-    return TierPtr(std::make_shared<MemTier>(
-        name, spec.capacity_bytes, LatencyModel::memcached_remote()));
+    return finish(std::make_shared<MemTier>(name, spec.capacity_bytes,
+                                            LatencyModel::memcached_remote()),
+                  spec);
   }
   if (service == "ebs") {
-    return TierPtr(
-        std::make_shared<BlockTier>(name, spec.capacity_bytes, dir));
+    return finish(std::make_shared<BlockTier>(name, spec.capacity_bytes, dir),
+                  spec);
   }
   if (service == "ephemeral") {
-    return TierPtr(std::make_shared<EphemeralTier>(name, spec.capacity_bytes));
+    return finish(std::make_shared<EphemeralTier>(name, spec.capacity_bytes),
+                  spec);
   }
   if (service == "s3") {
-    return TierPtr(
-        std::make_shared<ObjectTier>(name, spec.capacity_bytes, dir));
+    return finish(std::make_shared<ObjectTier>(name, spec.capacity_bytes, dir),
+                  spec);
   }
   return Status::InvalidArgument("unknown storage service: " + spec.service);
 }

@@ -10,16 +10,28 @@
 #include "common/status.h"
 #include "store/file_tier.h"
 #include "store/mem_tier.h"
+#include "store/resilient_tier.h"
 
 namespace tiera {
 
 struct TierSpec {
+  TierSpec() = default;
+  TierSpec(std::string service, std::string label,
+           std::uint64_t capacity_bytes, ResiliencePolicy resilience = {})
+      : service(std::move(service)),
+        label(std::move(label)),
+        capacity_bytes(capacity_bytes),
+        resilience(resilience) {}
+
   // Service name. Recognised (case-insensitive): "memcached",
   // "memcached_remote" (cross-AZ replica), "ebs", "ephemeral", "s3".
   std::string service;
   // The tier's identifier inside the instance (tier1, tier2, ... in specs).
   std::string label;
   std::uint64_t capacity_bytes = 0;
+  // When any knob is set (spec fields `retries`, `deadline`, `breaker`,
+  // `hedge`), the factory wraps the tier in a ResilientTier.
+  ResiliencePolicy resilience;
 };
 
 // Parses "5G", "200M", "64K", "123" (bytes) — the sizes in spec files.

@@ -66,7 +66,15 @@ TEST_P(PolicyPropertyTest, ExclusiveLruInvariants) {
   }
   (*instance)->control().drain();
 
-  // Invariants.
+  // Invariants. Byte-correctness first: these GETs themselves fire the
+  // background promote rules (moves), so placement is only checkable after
+  // a second drain — stat() during a move transiently sees two locations.
+  for (const auto& [id, seed] : live) {
+    auto got = (*instance)->get(id);
+    ASSERT_TRUE(got.ok()) << id;
+    EXPECT_EQ(*got, make_payload(2048, seed)) << id;
+  }
+  (*instance)->control().drain();
   for (const auto& tier : (*instance)->tiers()) {
     EXPECT_LE(tier->used(), tier->capacity()) << tier->name();
   }
@@ -74,9 +82,6 @@ TEST_P(PolicyPropertyTest, ExclusiveLruInvariants) {
     const auto meta = (*instance)->stat(id);
     ASSERT_TRUE(meta.ok()) << id;
     EXPECT_EQ(meta->locations.size(), 1u) << id << " (exclusive placement)";
-    auto got = (*instance)->get(id);
-    ASSERT_TRUE(got.ok()) << id;
-    EXPECT_EQ(*got, make_payload(2048, seed)) << id;
   }
   EXPECT_EQ((*instance)->object_count(), live.size());
 }

@@ -1,0 +1,137 @@
+// End-to-end resilience: a write-back instance rides out a block-tier
+// outage with zero client-visible errors while the tier's circuit breaker
+// opens, fires the Fig. 17-style failover rule through the control layer,
+// and heals back through a half-open probe once the tier recovers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/spec_parser.h"
+#include "obs/metrics.h"
+#include "store/resilient_tier.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+constexpr std::string_view kSpec = R"(
+% Low-latency write-back instance with a resilient block tier: the breaker
+% signal drives a failover rule (grow the memory tier) when EBS goes dark.
+Tiera ResilienceDemo(time t) {
+  tier1: { name: Memcached, size: 64M };
+  tier2: { name: EBS, size: 256M, retries: 1, breaker: 3 };
+
+  event(insert.into) : response {
+    insert.object.dirty = true;
+    store(what: insert.object, to: tier1);
+  }
+
+  background event(time=t) : response {
+    copy(what: object.location == tier1 && object.dirty == true, to: tier2);
+  }
+
+  background event(tier2.breaker == open) : response {
+    grow(what: tier1, increment: 100%);
+  }
+}
+)";
+
+bool wait_until(const std::function<bool()>& pred,
+                Duration timeout = std::chrono::seconds(10)) {
+  const TimePoint deadline = now() + timeout;
+  while (now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(from_ms(10));
+  }
+  return pred();
+}
+
+TEST(ResilienceIntegrationTest, BlockTierOutageHealsWithoutClientErrors) {
+  ZeroLatencyScope zero;
+  TempDir dir;
+
+  auto spec = InstanceSpec::parse(kSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  auto instance =
+      spec->instantiate({.data_dir = dir.sub("inst")}, {{"t", "60ms"}});
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+
+  const TierPtr block = (*instance)->tier("tier2");
+  ASSERT_NE(block, nullptr);
+  auto* resilient = dynamic_cast<ResilientTier*>(block.get());
+  ASSERT_NE(resilient, nullptr) << "spec knobs should wrap the block tier";
+  const std::uint64_t mem_capacity_before =
+      (*instance)->tier("tier1")->capacity();
+
+  // Phase 1 (healthy): client writes land in tier1 and the write-back timer
+  // copies them to tier2.
+  const Bytes payload = make_payload(2048, 1);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        (*instance)->put("warm" + std::to_string(i), as_view(payload)).ok());
+  }
+  ASSERT_TRUE(wait_until([&] { return block->object_count() >= 4; }))
+      << "write-back copy never reached the block tier";
+  EXPECT_EQ(block->breaker_state(), BreakerState::kClosed);
+
+  // Phase 2 (outage): the block tier times out. Background write-back copies
+  // fail and trip the breaker; client PUT/GET must not see a single error.
+  block->inject_failure(FailureMode::kTimeout, from_ms(5));
+  int client_errors = 0;
+  int round = 0;
+  const bool opened = wait_until([&] {
+    const std::string id = "outage" + std::to_string(round++);
+    if (!(*instance)->put(id, as_view(payload)).ok()) ++client_errors;
+    if (!(*instance)->get(id).ok()) ++client_errors;
+    return block->breaker_state() == BreakerState::kOpen;
+  });
+  EXPECT_TRUE(opened) << "breaker never opened during the outage";
+  EXPECT_EQ(client_errors, 0);
+  EXPECT_GT(round, 0);
+
+  // The breaker gauge mirrors the state machine...
+  EXPECT_EQ(MetricsRegistry::global()
+                .gauge("tiera_tier_breaker_state", {{"tier", "tier2"}})
+                .value(),
+            2.0);
+  // ...and the breaker-state threshold event fired the failover rule.
+  EXPECT_TRUE(wait_until([&] {
+    return (*instance)->tier("tier1")->capacity() > mem_capacity_before;
+  })) << "failover rule (grow tier1) did not fire from the breaker signal";
+  bool rule_seen = false;
+  for (const auto& activity : (*instance)->control().rule_activity()) {
+    if (activity.event.find("breaker == open") != std::string::npos) {
+      rule_seen = true;
+      EXPECT_GE(activity.fires, 1u);
+    }
+  }
+  EXPECT_TRUE(rule_seen);
+
+  // Phase 3 (recovery): heal the tier; after the cool-down a half-open probe
+  // succeeds and write-back traffic closes the breaker again.
+  block->heal();
+  const bool closed = wait_until([&] {
+    const std::string id = "heal" + std::to_string(round++);
+    if (!(*instance)->put(id, as_view(payload)).ok()) ++client_errors;
+    return block->breaker_state() == BreakerState::kClosed;
+  });
+  EXPECT_TRUE(closed) << "breaker never closed after the tier healed";
+  EXPECT_EQ(client_errors, 0);
+  EXPECT_EQ(MetricsRegistry::global()
+                .gauge("tiera_tier_breaker_state", {{"tier", "tier2"}})
+                .value(),
+            0.0);
+
+  // With the breaker closed the write-back pipeline is live again: an
+  // object written during the outage makes it to the block tier.
+  ASSERT_TRUE(wait_until([&] { return block->contains("outage0"); }))
+      << "write-back did not resume after recovery";
+
+  (*instance)->control().drain();
+}
+
+}  // namespace
+}  // namespace tiera

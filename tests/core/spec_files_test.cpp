@@ -61,6 +61,7 @@ INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecFilesTest,
                                            "growing.tiera",
                                            "lru_cache.tiera",
                                            "prefetching.tiera",
+                                           "resilient.tiera",
                                            "snapshotting.tiera"));
 
 TEST(SpecFilesSmokeTest, DirectoryHasAllShippedSpecs) {

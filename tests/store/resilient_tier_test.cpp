@@ -1,0 +1,353 @@
+// ResilientTier unit tests: backoff schedule, retry loop, deadline budget,
+// circuit-breaker state machine, hedge-delay signal, and factory wrapping.
+#include "store/resilient_tier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "store/mem_tier.h"
+#include "store/tier_factory.h"
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::TempDir;
+using testing::ZeroLatencyScope;
+
+// MemTier that fails the next `n` put/get attempts with kUnavailable before
+// behaving normally again; counts every attempt that reached it.
+class CountdownTier : public MemTier {
+ public:
+  CountdownTier(std::string name, std::uint64_t capacity)
+      : MemTier(std::move(name), capacity) {}
+
+  Status put(std::string_view key, ByteView value) override {
+    if (consume()) return Status::Unavailable("injected put failure");
+    return MemTier::put(key, value);
+  }
+
+  Result<Bytes> get(std::string_view key) override {
+    if (consume()) return Status::Unavailable("injected get failure");
+    return MemTier::get(key);
+  }
+
+  void fail_next(int n) { remaining_.store(n); }
+  int attempts() const { return attempts_.load(); }
+
+ private:
+  bool consume() {
+    attempts_.fetch_add(1);
+    int current = remaining_.load();
+    while (current > 0) {
+      if (remaining_.compare_exchange_weak(current, current - 1)) return true;
+    }
+    return false;
+  }
+
+  std::atomic<int> remaining_{0};
+  std::atomic<int> attempts_{0};
+};
+
+struct Wrapped {
+  std::shared_ptr<CountdownTier> inner;
+  std::shared_ptr<ResilientTier> tier;
+};
+
+Wrapped make_wrapped(ResiliencePolicy policy,
+                     std::uint64_t capacity = 1 << 20) {
+  Wrapped w;
+  w.inner = std::make_shared<CountdownTier>("flaky", capacity);
+  w.tier = std::make_shared<ResilientTier>(w.inner, policy);
+  return w;
+}
+
+// --- nth_backoff -------------------------------------------------------------
+
+TEST(NthBackoffTest, ExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff = from_ms(2);
+  policy.multiplier = 2.0;
+  policy.max_backoff = from_ms(10);
+  policy.jitter = 0.0;  // deterministic
+  Rng rng(1);
+  EXPECT_EQ(nth_backoff(policy, 0, rng), from_ms(2));
+  EXPECT_EQ(nth_backoff(policy, 1, rng), from_ms(4));
+  EXPECT_EQ(nth_backoff(policy, 2, rng), from_ms(8));
+  EXPECT_EQ(nth_backoff(policy, 3, rng), from_ms(10));   // capped
+  EXPECT_EQ(nth_backoff(policy, 20, rng), from_ms(10));  // stays capped
+}
+
+TEST(NthBackoffTest, JitterStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff = from_ms(10);
+  policy.max_backoff = from_ms(1000);
+  policy.jitter = 0.5;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Duration pause = nth_backoff(policy, 0, rng);
+    EXPECT_GE(pause, from_ms(5));
+    EXPECT_LE(pause, from_ms(15));
+  }
+}
+
+// --- Retry loop --------------------------------------------------------------
+
+TEST(ResilientTierTest, RetriesUntilSuccess) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.retry.max_retries = 3;
+  auto w = make_wrapped(policy);
+  w.inner->fail_next(2);
+  EXPECT_TRUE(w.tier->put("k", as_view(make_payload(100, 1))).ok());
+  EXPECT_EQ(w.inner->attempts(), 3);  // 2 failures + 1 success
+  EXPECT_TRUE(w.tier->contains("k"));
+}
+
+TEST(ResilientTierTest, ExhaustedRetriesSurfaceTheError) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.retry.max_retries = 2;
+  auto w = make_wrapped(policy);
+  w.inner->fail_next(100);
+  const Status s = w.tier->put("k", as_view(make_payload(100, 1)));
+  EXPECT_TRUE(s.is_unavailable());
+  EXPECT_EQ(w.inner->attempts(), 3);  // first try + 2 retries
+}
+
+TEST(ResilientTierTest, NonRetryableErrorsAreNotRetried) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.retry.max_retries = 5;
+  auto w = make_wrapped(policy);
+  EXPECT_TRUE(w.tier->get("missing").status().is_not_found());
+  EXPECT_EQ(w.inner->attempts(), 1);
+
+  // Capacity errors are not a tier-health signal either.
+  auto small = make_wrapped(policy, /*capacity=*/100);
+  EXPECT_TRUE(small.tier->put("big", as_view(make_payload(500, 1)))
+                  .is_capacity_exceeded());
+  EXPECT_EQ(small.inner->attempts(), 1);
+}
+
+TEST(ResilientTierTest, DeadlineBoundsTheRetryLoop) {
+  // The deadline is a modelled-time budget, so it needs a positive scale;
+  // a large backoff makes the second attempt blow the budget deterministically.
+  ZeroLatencyScope scale(0.05);
+  ResiliencePolicy policy;
+  policy.retry.max_retries = 50;
+  policy.retry.initial_backoff = from_ms(200);
+  policy.retry.max_backoff = from_ms(200);
+  policy.deadline = from_ms(100);
+  auto w = make_wrapped(policy);
+  w.inner->fail_next(1000);
+  const Status s = w.tier->put("k", as_view(make_payload(100, 1)));
+  EXPECT_TRUE(s.is_timed_out()) << s.to_string();
+  EXPECT_LT(w.inner->attempts(), 10);
+}
+
+// --- Circuit breaker ---------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  BreakerPolicy policy;
+  policy.enabled = true;
+  policy.failure_threshold = 3;
+  CircuitBreaker breaker(policy);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // A success resets the consecutive count.
+  breaker.record_success();
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesAfterSuccesses) {
+  ZeroLatencyScope zero;  // cool-down runs in real time at scale 0
+  BreakerPolicy policy;
+  policy.enabled = true;
+  policy.failure_threshold = 1;
+  policy.open_for = from_ms(20);
+  policy.success_to_close = 2;
+  CircuitBreaker breaker(policy);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow());
+
+  std::this_thread::sleep_for(from_ms(30));
+  EXPECT_TRUE(breaker.allow());  // claims the half-open probe slot
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow());  // only one probe at a time
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  ZeroLatencyScope zero;
+  BreakerPolicy policy;
+  policy.enabled = true;
+  policy.failure_threshold = 1;
+  policy.open_for = from_ms(20);
+  CircuitBreaker breaker(policy);
+  breaker.record_failure();
+  std::this_thread::sleep_for(from_ms(30));
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow());
+}
+
+TEST(CircuitBreakerTest, ListenerSeesEveryTransition) {
+  ZeroLatencyScope zero;
+  BreakerPolicy policy;
+  policy.enabled = true;
+  policy.failure_threshold = 1;
+  policy.open_for = from_ms(10);
+  policy.success_to_close = 1;
+  CircuitBreaker breaker(policy);
+  std::vector<BreakerState> seen;
+  breaker.set_listener([&](BreakerState s) { seen.push_back(s); });
+  breaker.record_failure();
+  std::this_thread::sleep_for(from_ms(20));
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], BreakerState::kOpen);
+  EXPECT_EQ(seen[1], BreakerState::kHalfOpen);
+  EXPECT_EQ(seen[2], BreakerState::kClosed);
+}
+
+TEST(ResilientTierTest, BreakerFastFailsWithoutTouchingTheInnerTier) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.breaker.enabled = true;
+  policy.breaker.failure_threshold = 2;
+  policy.breaker.open_for = from_ms(60'000);  // never recovers in this test
+  auto w = make_wrapped(policy);
+  w.inner->fail_next(1000);
+  (void)w.tier->put("a", as_view(make_payload(10, 1)));
+  (void)w.tier->put("b", as_view(make_payload(10, 1)));
+  EXPECT_EQ(w.tier->breaker_state(), BreakerState::kOpen);
+
+  const int attempts_before = w.inner->attempts();
+  const Status s = w.tier->put("c", as_view(make_payload(10, 1)));
+  EXPECT_TRUE(s.is_unavailable());
+  EXPECT_NE(s.message().find("breaker open"), std::string::npos);
+  EXPECT_EQ(w.inner->attempts(), attempts_before);
+}
+
+TEST(ResilientTierTest, BreakerHealsThroughHalfOpenProbes) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.breaker.enabled = true;
+  policy.breaker.failure_threshold = 1;
+  policy.breaker.open_for = from_ms(20);
+  policy.breaker.success_to_close = 1;
+  auto w = make_wrapped(policy);
+  w.inner->fail_next(1);
+  (void)w.tier->put("a", as_view(make_payload(10, 1)));
+  EXPECT_EQ(w.tier->breaker_state(), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(from_ms(30));
+  EXPECT_TRUE(w.tier->put("a", as_view(make_payload(10, 1))).ok());
+  EXPECT_EQ(w.tier->breaker_state(), BreakerState::kClosed);
+}
+
+// --- Hedge-delay signal ------------------------------------------------------
+
+TEST(ResilientTierTest, HedgeDelayUsesMaxUntilHistoryThenQuantile) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.hedge.quantile = 0.95;
+  policy.hedge.min_delay = from_ms(1);
+  policy.hedge.max_delay = from_ms(200);
+  auto w = make_wrapped(policy);
+  EXPECT_EQ(w.tier->hedge_delay(), policy.hedge.max_delay);
+
+  ASSERT_TRUE(w.tier->put("k", as_view(make_payload(64, 1))).ok());
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(w.tier->get("k").ok());
+  // Inner gets are ~instant at scale 0, so the quantile clamps to min_delay.
+  EXPECT_EQ(w.tier->hedge_delay(), policy.hedge.min_delay);
+}
+
+TEST(ResilientTierTest, NoHedgeSignalWhenDisabled) {
+  ZeroLatencyScope zero;
+  auto w = make_wrapped(ResiliencePolicy{});
+  EXPECT_EQ(w.tier->hedge_delay(), Duration::zero());
+}
+
+// --- Delegation and factory wrapping -----------------------------------------
+
+TEST(ResilientTierTest, DelegatesManagementToInner) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.retry.max_retries = 1;
+  auto w = make_wrapped(policy, /*capacity=*/1000);
+  EXPECT_EQ(w.tier->capacity(), 1000u);
+  ASSERT_TRUE(w.tier->put("k", as_view(make_payload(100, 1))).ok());
+  EXPECT_EQ(w.tier->used(), 100u);
+  EXPECT_EQ(w.tier->object_count(), 1u);
+  ASSERT_TRUE(w.tier->grow(100).ok());
+  EXPECT_EQ(w.tier->capacity(), 2000u);
+  EXPECT_EQ(w.inner->capacity(), 2000u);
+  EXPECT_EQ(w.tier->name(), w.inner->name());
+  EXPECT_EQ(w.tier->kind(), w.inner->kind());
+
+  std::size_t keys = 0;
+  w.tier->for_each_key([&](std::string_view) { ++keys; });
+  EXPECT_EQ(keys, 1u);
+
+  ASSERT_TRUE(w.tier->remove("k").ok());
+  EXPECT_EQ(w.tier->used(), 0u);
+}
+
+TEST(ResilientTierTest, InjectedFailStopIsRetryable) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.breaker.enabled = true;
+  policy.breaker.failure_threshold = 1;
+  auto w = make_wrapped(policy);
+  w.tier->inject_failure(FailureMode::kFailStop);
+  EXPECT_TRUE(w.tier->put("k", as_view(make_payload(10, 1))).is_unavailable());
+  EXPECT_EQ(w.tier->breaker_state(), BreakerState::kOpen);
+  w.tier->heal();
+  EXPECT_EQ(w.tier->failure_mode(), FailureMode::kNone);
+}
+
+TEST(TierFactoryResilienceTest, WrapsOnlyWhenKnobsAreSet) {
+  ZeroLatencyScope zero;
+  TempDir dir;
+  TierFactory factory(dir.path());
+
+  TierSpec plain("memcached", "tier1", 1 << 20);
+  auto bare = factory.create(plain);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(dynamic_cast<ResilientTier*>(bare->get()), nullptr);
+
+  TierSpec knobs("ebs", "tier2", 1 << 20);
+  knobs.resilience.retry.max_retries = 2;
+  knobs.resilience.breaker.enabled = true;
+  auto wrapped = factory.create(knobs);
+  ASSERT_TRUE(wrapped.ok());
+  auto* resilient = dynamic_cast<ResilientTier*>(wrapped->get());
+  ASSERT_NE(resilient, nullptr);
+  EXPECT_EQ(resilient->policy().retry.max_retries, 2);
+  EXPECT_EQ((*wrapped)->breaker_state(), BreakerState::kClosed);
+  // The wrapper serves the data path end to end.
+  ASSERT_TRUE((*wrapped)->put("k", as_view(make_payload(64, 1))).ok());
+  EXPECT_TRUE((*wrapped)->get("k").ok());
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    tools/bench_diff.py BASELINE CURRENT [--threshold 0.15] [--metric cpu_time]
+
+Exits non-zero when any benchmark present in both files regressed by more
+than the threshold (relative slowdown of the chosen metric). Benchmarks that
+appear in only one file are reported but never fail the check, so adding or
+removing a benchmark does not require regenerating the baseline in the same
+commit.
+
+The baseline is committed at bench/BENCH_micro.json and regenerated with:
+    build/bench/micro_primitives --benchmark_min_time=0.05 \
+        --benchmark_format=json --benchmark_out=bench/BENCH_micro.json
+
+Microbenchmark timings wobble across machines and runs; 15% default
+threshold is deliberately loose — this is a tripwire for order-of-magnitude
+mistakes (an accidental O(n^2), a lock on the data path), not a precision
+instrument.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path, metric):
+    """Returns {name: metric_value} for the aggregate-free benchmark entries."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name")
+        value = entry.get(metric)
+        if name is None or value is None:
+            continue
+        out[name] = float(value)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly generated JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max allowed relative slowdown (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="cpu_time",
+        help="benchmark field to compare (default cpu_time)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline, args.metric)
+    current = load_benchmarks(args.current, args.metric)
+    if not baseline:
+        print(f"bench_diff: no benchmarks in baseline {args.baseline}")
+        return 2
+    if not current:
+        print(f"bench_diff: no benchmarks in current run {args.current}")
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(baseline) | set(current)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"{name:<{width}}  {'-':>12}  {current[name]:>12.1f}  (new)")
+            continue
+        if name not in current:
+            print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'-':>12}  (gone)")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(
+            f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  "
+            f"{delta:+7.1%}{flag}"
+        )
+
+    if regressions:
+        print(
+            f"\nbench_diff: {len(regressions)} benchmark(s) regressed more "
+            f"than {args.threshold:.0%}:"
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nbench_diff: OK ({len(current)} benchmarks within "
+          f"{args.threshold:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# The CI pipeline, runnable locally stage by stage. The GitHub workflow
+# (.github/workflows/ci.yml) is a thin matrix over these stages, so "CI is
+# red" always reproduces with one command:
+#
+#   $ tools/ci.sh release   # Release build + full ctest suite
+#   $ tools/ci.sh asan      # Debug + ASan/UBSan build + full ctest suite
+#   $ tools/ci.sh tsan      # tools/check.sh (TSan gate, concurrency tests)
+#   $ tools/ci.sh bench     # smoke-run micro benches, diff vs baseline
+#   $ tools/ci.sh format    # clang-format check (skips if not installed)
+#   $ tools/ci.sh all       # everything above, in order
+#
+# Each stage uses its own build tree (build-ci-*/, gitignored via build-*/)
+# so they never contaminate a developer's default build/.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc)"
+
+stage_release() {
+  echo "=== ci: release build + tests ==="
+  cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${repo_root}/build-ci-release" -j "${jobs}"
+  ctest --test-dir "${repo_root}/build-ci-release" --output-on-failure \
+    -j "${jobs}"
+}
+
+stage_asan() {
+  echo "=== ci: ASan+UBSan build + tests ==="
+  cmake -B "${repo_root}/build-ci-asan" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Debug -DTIERA_SANITIZE=address,undefined
+  cmake --build "${repo_root}/build-ci-asan" -j "${jobs}"
+  # halt_on_error surfaces UBSan findings as test failures, not just logs.
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ASAN_OPTIONS="detect_leaks=0" \
+  ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure \
+    -j "${jobs}"
+}
+
+stage_tsan() {
+  echo "=== ci: TSan gate (tools/check.sh) ==="
+  "${repo_root}/tools/check.sh"
+}
+
+stage_bench() {
+  echo "=== ci: bench smoke + regression diff ==="
+  cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${repo_root}/build-ci-release" -j "${jobs}" \
+    --target micro_primitives
+  # Reduced scale: this is a regression tripwire, not a measurement run.
+  "${repo_root}/build-ci-release/bench/micro_primitives" \
+    --benchmark_min_time=0.05 \
+    --benchmark_format=json \
+    --benchmark_out="${repo_root}/build-ci-release/BENCH_micro.json"
+  python3 "${repo_root}/tools/bench_diff.py" \
+    "${repo_root}/bench/BENCH_micro.json" \
+    "${repo_root}/build-ci-release/BENCH_micro.json" \
+    --threshold 0.15
+}
+
+stage_format() {
+  echo "=== ci: clang-format check ==="
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "clang-format not installed; skipping format check"
+    return 0
+  fi
+  local fail=0
+  while IFS= read -r file; do
+    if ! clang-format --style=file --dry-run --Werror "${file}"; then
+      fail=1
+    fi
+  done < <(git -C "${repo_root}" ls-files '*.cpp' '*.h')
+  if [[ ${fail} -ne 0 ]]; then
+    echo "format check failed; run: git ls-files '*.cpp' '*.h' | xargs clang-format -i"
+    return 1
+  fi
+  echo "format check passed"
+}
+
+usage() {
+  sed -n '2,14p' "$0"
+  exit 2
+}
+
+[[ $# -eq 1 ]] || usage
+case "$1" in
+  release) stage_release ;;
+  asan) stage_asan ;;
+  tsan) stage_tsan ;;
+  bench) stage_bench ;;
+  format) stage_format ;;
+  all)
+    stage_format
+    stage_release
+    stage_asan
+    stage_tsan
+    stage_bench
+    ;;
+  *) usage ;;
+esac
