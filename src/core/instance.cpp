@@ -460,32 +460,45 @@ std::optional<Result<Bytes>> TieraInstance::read_hedged(
     std::optional<Result<Bytes>> results[2];
   };
   auto race = std::make_shared<Race>();
-  const auto launch = [&race, &key](int slot, TierPtr tier) {
-    // Detached: the losing read may outlive this call. The thread touches
-    // only the race state and the tier, both kept alive by the captured
-    // shared_ptrs — never the instance.
-    std::thread([race, slot, tier, k = key] {
+  const auto launch = [this, &race, &key](int slot, TierPtr tier) {
+    // Pool task: the losing read may outlive this call, holding its worker
+    // only until the inner tier returns. The task touches only the race
+    // state and the tier, both kept alive by the captured shared_ptrs —
+    // never the instance.
+    return hedge_pool_.submit([race, slot, tier, k = key] {
       Result<Bytes> r = tier->get(k);
       {
         std::lock_guard lock(race->mu);
         race->results[slot].emplace(std::move(r));
       }
       race->cv.notify_all();
-    }).detach();
+    });
   };
 
-  launch(0, primary.tier);
+  if (!launch(0, primary.tier)) {
+    // Pool shutting down (instance teardown): degrade to a plain read.
+    Result<Bytes> r = primary.tier->get(key);
+    if (r.ok()) {
+      if (served_tier) *served_tier = primary.label;
+      return r;
+    }
+    *next_location = 1;
+    return std::nullopt;
+  }
   std::unique_lock lock(race->mu);
   if (!race->cv.wait_for(lock, delay,
                          [&] { return race->results[0].has_value(); })) {
     // Primary exceeded its latency quantile: issue the hedge and take
     // whichever location answers first.
     auto* resilient = dynamic_cast<ResilientTier*>(primary.tier.get());
-    if (resilient) resilient->note_hedge_issued();
     std::optional<TraceScope> span;
-    if (tracer_.enabled()) span.emplace();
-    launch(1, secondary.tier);
+    const bool hedged = launch(1, secondary.tier);
+    if (hedged) {
+      if (resilient) resilient->note_hedge_issued();
+      if (tracer_.enabled()) span.emplace();
+    }
     race->cv.wait(lock, [&] {
+      if (!hedged) return race->results[0].has_value();
       return (race->results[0] && race->results[1]) ||
              (race->results[0] && race->results[0]->ok()) ||
              (race->results[1] && race->results[1]->ok());
@@ -506,7 +519,8 @@ std::optional<Result<Bytes>> TieraInstance::read_hedged(
       if (served_tier) *served_tier = secondary.label;
       return *std::move(race->results[1]);
     }
-    *next_location = 2;  // both raced copies failed
+    // Resume the sequential fallback past every location actually raced.
+    *next_location = hedged ? 2 : 1;
     return std::nullopt;
   }
   if (race->results[0]->ok()) {

@@ -21,6 +21,7 @@
 #include "common/crypto.h"
 #include "common/histogram.h"
 #include "common/rate_limiter.h"
+#include "common/thread_pool.h"
 #include "core/control.h"
 #include "core/metadata_store.h"
 #include "core/policy.h"
@@ -246,6 +247,12 @@ class TieraInstance {
   std::unique_ptr<ControlLayer> control_;
   InstanceStats stats_;
   RequestTracer tracer_;
+
+  // Hedged reads race two tier GETs on this small reusable pool instead of
+  // creating a thread per hedge-eligible read; a losing read occupies a
+  // worker only until the inner tier returns. Tasks capture the race state
+  // and the tier by shared_ptr, never the instance.
+  ThreadPool hedge_pool_{4, "hedge"};
 
   // End-to-end series in the global registry (`tiera_instance_*`).
   // Pull-model: a registered collector delta-syncs counters from `stats_`

@@ -191,6 +191,21 @@ Result<double> parse_percent(std::string_view text) {
   }
 }
 
+// Whole-string integer: rejects trailing garbage ("5x", "3s") that
+// std::stoi alone would silently accept as a numeric prefix.
+Result<int> parse_int_strict(const std::string& text, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed != text.size()) {
+      return Status::InvalidArgument(std::string("bad ") + what + ": " + text);
+    }
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument(std::string("bad ") + what + ": " + text);
+  }
+}
+
 }  // namespace
 
 // Public (declared in spec_parser.h) so tierad's --retries/--deadline/
@@ -201,11 +216,9 @@ Result<ResiliencePolicy> parse_resilience_fields(const std::string& retries,
                                                  const std::string& hedge) {
   ResiliencePolicy policy;
   if (!retries.empty()) {
-    try {
-      policy.retry.max_retries = std::stoi(retries);
-    } catch (...) {
-      return Status::InvalidArgument("bad retries: " + retries);
-    }
+    Result<int> n = parse_int_strict(retries, "retries");
+    if (!n.ok()) return n.status();
+    policy.retry.max_retries = *n;
     if (policy.retry.max_retries < 0) {
       return Status::InvalidArgument("retries must be >= 0: " + retries);
     }
@@ -221,12 +234,10 @@ Result<ResiliencePolicy> parse_resilience_fields(const std::string& retries,
     } else if (breaker == "off") {
       policy.breaker.enabled = false;
     } else {
-      try {
-        policy.breaker.failure_threshold = std::stoi(breaker);
-        policy.breaker.enabled = true;
-      } catch (...) {
-        return Status::InvalidArgument("bad breaker: " + breaker);
-      }
+      Result<int> threshold = parse_int_strict(breaker, "breaker");
+      if (!threshold.ok()) return threshold.status();
+      policy.breaker.failure_threshold = *threshold;
+      policy.breaker.enabled = true;
       if (policy.breaker.failure_threshold < 1) {
         return Status::InvalidArgument("breaker threshold must be >= 1");
       }

@@ -42,32 +42,36 @@ void RpcServer::stop() {
     // shutdown() (not close()) keeps the fd reserved while reader threads
     // and in-flight pool tasks may still touch it.
     std::lock_guard lock(conns_mu_);
-    for (auto& weak : conns_) {
-      if (auto conn = weak.lock()) conn->shutdown();
+    for (auto& reader : readers_) {
+      if (auto conn = reader.conn.lock()) conn->shutdown();
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept loop is done, so conns_/serve_threads_ gain no new entries.
-  // Sweep once more for connections accepted during shutdown, then join
-  // every reader before stopping the pool.
-  std::vector<std::thread> readers;
+  // The accept loop is done, so readers_ gains no new entries. Sweep once
+  // more for connections accepted during shutdown, then join every reader
+  // before stopping the pool.
+  std::vector<Reader> readers;
   {
     std::lock_guard lock(conns_mu_);
-    for (auto& weak : conns_) {
-      if (auto conn = weak.lock()) conn->shutdown();
+    for (auto& reader : readers_) {
+      if (auto conn = reader.conn.lock()) conn->shutdown();
     }
-    conns_.clear();
-    readers = std::move(serve_threads_);
-    serve_threads_.clear();
+    readers = std::move(readers_);
+    readers_.clear();
   }
-  for (auto& thread : readers) {
-    if (thread.joinable()) thread.join();
+  for (auto& reader : readers) {
+    if (reader.thread.joinable()) reader.thread.join();
   }
   pool_.shutdown();
 }
 
 std::uint16_t RpcServer::port() const {
   return listener_ ? listener_->port() : requested_port_;
+}
+
+std::size_t RpcServer::tracked_readers() {
+  std::lock_guard lock(conns_mu_);
+  return readers_.size();
 }
 
 void RpcServer::accept_loop() {
@@ -78,11 +82,33 @@ void RpcServer::accept_loop() {
     // One lightweight reader thread per connection; request bodies are
     // serviced on the shared pool so slow requests do not block the socket.
     // Readers are tracked (not detached) so stop() can join them after
-    // half-closing the sockets.
+    // half-closing the sockets; finished readers are reaped here so a
+    // long-lived server with many short connections does not accumulate
+    // unjoined threads.
     std::lock_guard lock(conns_mu_);
-    conns_.emplace_back(shared);
-    serve_threads_.emplace_back(
-        [this, shared] { serve_connection(shared); });
+    reap_finished_readers_locked();
+    Reader reader;
+    reader.conn = shared;
+    reader.done = std::make_shared<std::atomic<bool>>(false);
+    reader.thread = std::thread([this, shared, done = reader.done] {
+      serve_connection(shared);
+      done->store(true, std::memory_order_release);
+    });
+    readers_.push_back(std::move(reader));
+  }
+}
+
+void RpcServer::reap_finished_readers_locked() {
+  auto it = readers_.begin();
+  while (it != readers_.end()) {
+    if (it->done->load(std::memory_order_acquire)) {
+      // The reader set `done` as its last action, so this join returns
+      // almost immediately.
+      if (it->thread.joinable()) it->thread.join();
+      it = readers_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

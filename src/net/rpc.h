@@ -42,6 +42,11 @@ class RpcServer {
   std::uint16_t port() const;
   std::uint64_t requests_served() const { return requests_served_.load(); }
 
+  // Reader threads currently tracked (live plus not-yet-reaped); finished
+  // readers are reaped on each accept, so this stays bounded by the number
+  // of live connections. Exposed for tests.
+  std::size_t tracked_readers();
+
  private:
   void accept_loop();
   void serve_connection(std::shared_ptr<TcpConnection> conn);
@@ -55,13 +60,22 @@ class RpcServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
 
-  // Live connections and their reader threads. Shutdown joins every reader
-  // before the pool stops, so no detached thread can outlive the server;
-  // connections are only shutdown() (half-closed) here — the fd is released
-  // by the last shared_ptr owner once all readers/pool tasks are done.
+  // One record per live connection: the reader thread plus a flag it sets
+  // just before exiting, so the accept loop can join and drop finished
+  // readers instead of accumulating them until stop(). Shutdown joins every
+  // remaining reader before the pool stops, so no detached thread can
+  // outlive the server; connections are only shutdown() (half-closed) here —
+  // the fd is released by the last shared_ptr owner once all readers/pool
+  // tasks are done.
+  struct Reader {
+    std::weak_ptr<TcpConnection> conn;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  void reap_finished_readers_locked();
+
   std::mutex conns_mu_;
-  std::vector<std::weak_ptr<TcpConnection>> conns_;
-  std::vector<std::thread> serve_threads_;
+  std::vector<Reader> readers_;
 
   // Registry series (`tiera_rpc_*`): request/error counters, per-request
   // service latency, and request-pool queue depth.

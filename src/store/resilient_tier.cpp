@@ -206,7 +206,14 @@ Status ResilientTier::run_op(const char* what,
       breaker_.record_success();
       break;
     }
-    if (!retryable(result)) break;  // NotFound etc: not a tier-health signal
+    if (!retryable(result)) {
+      // NotFound etc: not a failure-count signal, but the tier did answer, so
+      // it is reachable. Recording a success also releases the half-open
+      // probe slot this attempt may hold — without it the breaker would be
+      // stuck failing fast forever after a non-retryable probe result.
+      breaker_.record_success();
+      break;
+    }
     breaker_.record_failure();
     if (k >= policy_.retry.max_retries) break;
     if (budget > Duration::zero() && now() - start >= budget) {

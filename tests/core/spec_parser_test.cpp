@@ -236,6 +236,18 @@ TEST_F(SpecParserTest, RejectsMalformedSpecs) {
   }
 }
 
+TEST_F(SpecParserTest, ResilienceFieldsRejectTrailingGarbage) {
+  auto ok = parse_resilience_fields("5", "", "3", "");
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(ok->retry.max_retries, 5);
+  EXPECT_EQ(ok->breaker.failure_threshold, 3);
+  EXPECT_TRUE(ok->breaker.enabled);
+  // A numeric prefix followed by garbage is malformed, not "the prefix".
+  EXPECT_FALSE(parse_resilience_fields("5x", "", "", "").ok());
+  EXPECT_FALSE(parse_resilience_fields("", "", "3s", "").ok());
+  EXPECT_FALSE(parse_resilience_fields("x5", "", "", "").ok());
+}
+
 TEST_F(SpecParserTest, ErrorsCarryLineNumbers) {
   auto spec = InstanceSpec::parse("Tiera X() {\n  tier1: { name: }\n}");
   ASSERT_FALSE(spec.ok());

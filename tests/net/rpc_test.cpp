@@ -153,6 +153,33 @@ TEST(RpcTest, ConcurrentClients) {
   server.stop();
 }
 
+TEST(RpcTest, FinishedReadersAreReaped) {
+  RpcServer server(0, 2);
+  server.register_handler(1, [](ByteView body) -> Result<Bytes> {
+    return Bytes(body.begin(), body.end());
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  for (int i = 0; i < 16; ++i) {
+    auto client = RpcClient::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->call(1, {}).ok());
+  }
+  // Each destroyed client closes its connection and its reader exits; every
+  // accept reaps the finished readers. Poke with fresh connections until the
+  // tracked set shrinks to (roughly) just the live connection, instead of
+  // accumulating one thread per past connection.
+  std::size_t tracked = server.tracked_readers();
+  for (int attempt = 0; attempt < 200 && tracked > 2; ++attempt) {
+    std::this_thread::sleep_for(from_ms(10));
+    auto poke = RpcClient::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(poke.ok());
+    tracked = server.tracked_readers();
+  }
+  EXPECT_LE(tracked, 2u);
+  server.stop();
+}
+
 class TieraServiceTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -247,6 +247,27 @@ TEST(ResilientTierTest, BreakerFastFailsWithoutTouchingTheInnerTier) {
   EXPECT_EQ(w.inner->attempts(), attempts_before);
 }
 
+TEST(ResilientTierTest, NonRetryableProbeReleasesHalfOpenSlot) {
+  ZeroLatencyScope zero;
+  ResiliencePolicy policy;
+  policy.breaker.enabled = true;
+  policy.breaker.failure_threshold = 1;
+  policy.breaker.open_for = from_ms(20);
+  policy.breaker.success_to_close = 1;
+  auto w = make_wrapped(policy);
+  w.inner->fail_next(1);
+  (void)w.tier->put("a", as_view(make_payload(10, 1)));
+  EXPECT_EQ(w.tier->breaker_state(), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(from_ms(30));
+  // The half-open probe lands on a NotFound. The tier answered, so the
+  // probe slot must be released (and the answer counted as health) rather
+  // than leaving the breaker fast-failing forever.
+  EXPECT_TRUE(w.tier->get("missing").status().is_not_found());
+  EXPECT_TRUE(w.tier->put("a", as_view(make_payload(10, 1))).ok());
+  EXPECT_EQ(w.tier->breaker_state(), BreakerState::kClosed);
+}
+
 TEST(ResilientTierTest, BreakerHealsThroughHalfOpenProbes) {
   ZeroLatencyScope zero;
   ResiliencePolicy policy;
