@@ -91,6 +91,66 @@ void BM_InstanceGet4K(benchmark::State& state) {
 }
 BENCHMARK(BM_InstanceGet4K);
 
+// Same PUT/GET loops with one active latency objective: the delta against
+// BM_InstancePut4K/BM_InstanceGet4K is the SLO engine's hot-path cost (one
+// ring record per op plus the tracker-list snapshot load).
+void BM_InstancePut4KWithSlo(benchmark::State& state) {
+  set_time_scale(0.0);
+  set_log_level(LogLevel::kError);
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = "/tmp/tiera-bench/micro-instance-slo-put"}, 1ull << 32,
+      1ull << 32);
+  if (!instance.ok()) {
+    state.SkipWithError("instance creation failed");
+    return;
+  }
+  SloSpec slo;
+  slo.name = "put_p99";
+  slo.signal = SloSignal::kPutP99;
+  slo.target_ms = 2.0;
+  if (!(*instance)->add_slo(slo).ok()) {
+    state.SkipWithError("slo registration failed");
+    return;
+  }
+  const Bytes payload = make_payload(4096, 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*instance)->put(key_of(i++ % 1000), as_view(payload)));
+  }
+  state.SetLabel("one active SLO recording every PUT");
+}
+BENCHMARK(BM_InstancePut4KWithSlo);
+
+void BM_InstanceGet4KWithSlo(benchmark::State& state) {
+  set_time_scale(0.0);
+  set_log_level(LogLevel::kError);
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = "/tmp/tiera-bench/micro-instance-slo-get"}, 1ull << 32,
+      1ull << 32);
+  if (!instance.ok()) {
+    state.SkipWithError("instance creation failed");
+    return;
+  }
+  SloSpec slo;
+  slo.name = "get_p99";
+  slo.target_ms = 2.0;
+  if (!(*instance)->add_slo(slo).ok()) {
+    state.SkipWithError("slo registration failed");
+    return;
+  }
+  const Bytes payload = make_payload(4096, 1);
+  for (int i = 0; i < 1000; ++i) {
+    (void)(*instance)->put(key_of(i), as_view(payload));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*instance)->get(key_of(i++ % 1000)));
+  }
+  state.SetLabel("one active SLO recording every GET");
+}
+BENCHMARK(BM_InstanceGet4KWithSlo);
+
 void BM_Sha256_4K(benchmark::State& state) {
   const Bytes payload = make_payload(4096, 2);
   for (auto _ : state) {

@@ -9,6 +9,7 @@
 //   $ ./tiera_cli <port> stats [--format=prom|text]
 //   $ ./tiera_cli <port> trace [--json] [n]
 //   $ ./tiera_cli <port> top [period-seconds]
+//   $ ./tiera_cli <port> slo
 //
 // `trace --json` emits Chrome trace-event JSON (open in chrome://tracing or
 // https://ui.perfetto.dev); `top` refreshes live per-tier / per-rule activity
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <port> put|get|rm|stat|tiers|grow|stats|trace|top"
-                 " ...\n",
+                 "|slo ...\n",
                  argv[0]);
     return 2;
   }
@@ -168,6 +169,37 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(static_cast<int>(period * 1000)));
     }
+  }
+  if (command == "slo" && argc == 3) {
+    auto rows = (*client)->slo();
+    if (!rows.ok()) {
+      std::fprintf(stderr, "slo failed: %s\n",
+                   rows.status().to_string().c_str());
+      return 1;
+    }
+    if (rows->empty()) {
+      std::printf("no SLOs declared\n");
+      return 0;
+    }
+    std::printf("%-18s %-10s %10s %10s %8s %8s %8s %9s %5s\n", "SLO", "TIER",
+                "TARGET", "CURRENT", "WINDOW", "BURN-S", "BURN-L", "STATE",
+                "VIOL");
+    for (const auto& row : *rows) {
+      char target[32], current[32];
+      if (row.is_latency) {
+        std::snprintf(target, sizeof(target), "%.2fms", row.target);
+        std::snprintf(current, sizeof(current), "%.2fms", row.current);
+      } else {
+        std::snprintf(target, sizeof(target), "%.2f%%", row.target * 100.0);
+        std::snprintf(current, sizeof(current), "%.2f%%", row.current * 100.0);
+      }
+      std::printf("%-18s %-10s %10s %10s %7.0fs %8.2f %8.2f %9s %5llu\n",
+                  row.name.c_str(), row.tier.empty() ? "-" : row.tier.c_str(),
+                  target, current, row.window_s, row.burn_short, row.burn_long,
+                  row.violated ? "VIOLATED" : "ok",
+                  static_cast<unsigned long long>(row.violations));
+    }
+    return 0;
   }
   if (command == "grow" && argc == 5) {
     const Status s = (*client)->grow_tier(argv[3], std::atof(argv[4]));

@@ -245,23 +245,31 @@ void ControlLayer::evaluate_thresholds() {
     for (const auto& rule : rules_) {
       if (rule->event.kind != EventKind::kThreshold) continue;
       const ThresholdEventDef& def = rule->event.threshold;
-      const TierPtr tier = instance_.tier(def.tier);
-      if (!tier) continue;
       double value = 0;
-      switch (def.attribute) {
-        case TierAttribute::kFillFraction:
-          value = tier->fill_fraction();
-          break;
-        case TierAttribute::kUsedBytes:
-          value = static_cast<double>(tier->used());
-          break;
-        case TierAttribute::kObjectCount:
-          value = static_cast<double>(tier->object_count());
-          break;
-        case TierAttribute::kBreakerState:
-          value = static_cast<double>(
-              static_cast<int>(tier->breaker_state()));
-          break;
+      if (def.attribute == TierAttribute::kSloViolated) {
+        // SLO events carry the SLO name in `tier`; their value comes from
+        // the engine, not a tier lookup.
+        value = instance_.slo().violated_value(def.tier);
+      } else {
+        const TierPtr tier = instance_.tier(def.tier);
+        if (!tier) continue;
+        switch (def.attribute) {
+          case TierAttribute::kFillFraction:
+            value = tier->fill_fraction();
+            break;
+          case TierAttribute::kUsedBytes:
+            value = static_cast<double>(tier->used());
+            break;
+          case TierAttribute::kObjectCount:
+            value = static_cast<double>(tier->object_count());
+            break;
+          case TierAttribute::kBreakerState:
+            value = static_cast<double>(
+                static_cast<int>(tier->breaker_state()));
+            break;
+          case TierAttribute::kSloViolated:
+            break;  // handled above
+        }
       }
       const double current = rule->threshold_state->load();
       const bool over = value >= current;
@@ -311,9 +319,12 @@ void ControlLayer::timer_loop() {
         timer_tick_ * (scale > 0 ? scale : 1.0));
     precise_sleep(std::max<Duration>(wall_tick, from_ms(1)));
 
-    if (thresholds_requested_.exchange(false, std::memory_order_acq_rel)) {
-      evaluate_thresholds();
-    }
+    // SLO objectives are re-measured every tick; a compliance flip makes
+    // `slo.* == violated` rules fire (or re-arm) on this same pass.
+    bool thresholds_due =
+        thresholds_requested_.exchange(false, std::memory_order_acq_rel);
+    if (instance_.slo().evaluate()) thresholds_due = true;
+    if (thresholds_due) evaluate_thresholds();
 
     std::vector<std::shared_ptr<Rule>> due;
     {

@@ -41,9 +41,13 @@ enum class TierAttribute {
   kObjectCount,   // number of objects  (tierX.objects == 1000)
   kBreakerState,  // circuit breaker    (tierX.breaker == open); the value is
                   // the BreakerState encoding (closed 0, half-open 1, open 2)
+  kSloViolated,   // SLO state          (slo.get_p99 == violated); `tier`
+                  // holds the SLO name and the value is 1 while violated
 };
 
 struct ThresholdEventDef {
+  // Tier label — or, for kSloViolated, the SLO name (SLOs are not tier
+  // attributes; reusing the field keeps threshold plumbing uniform).
   std::string tier;
   TierAttribute attribute = TierAttribute::kFillFraction;
   double threshold = 1.0;  // fraction for kFillFraction, absolute otherwise
@@ -87,6 +91,12 @@ struct EventDef {
     e.kind = EventKind::kThreshold;
     e.threshold = {std::move(tier), attribute, threshold, sliding};
     return e;
+  }
+  // Fires when the named SLO flips to violated (`slo.get_p99 == violated`);
+  // re-arms when it recovers, like any other threshold event.
+  static EventDef on_slo(std::string slo_name) {
+    return on_threshold(std::move(slo_name), TierAttribute::kSloViolated,
+                        1.0);
   }
 
   EventDef& in_background() {

@@ -276,6 +276,7 @@ Status TieraInstance::put(std::string_view id, ByteView data,
 
   if (!ctx.stored) {
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    slo_.record_put(watch.elapsed(), "", false);
     tracer_.record(span, TraceOp::kPut, "", object_id, "", false);
     if (stale_locations.empty()) (void)meta_.erase(object_id);
     return Status::Unavailable("no tier accepted object " + object_id);
@@ -305,11 +306,17 @@ Status TieraInstance::put(std::string_view id, ByteView data,
     // failed: the write is not acknowledged, though any bytes that did land
     // stay readable.
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    slo_.record_put(watch.elapsed(),
+                    ctx.stored_tiers.empty() ? "" : ctx.stored_tiers.front(),
+                    false);
     tracer_.record(span, TraceOp::kPut, "", object_id,
                    ctx.stored_tiers.empty() ? "" : ctx.stored_tiers.front(),
                    false);
     return ctx.placement_error;
   }
+  slo_.record_put(watch.elapsed(),
+                  ctx.stored_tiers.empty() ? "" : ctx.stored_tiers.front(),
+                  true);
   tracer_.record(span, TraceOp::kPut, "", object_id,
                  ctx.stored_tiers.empty() ? "" : ctx.stored_tiers.front(),
                  true);
@@ -331,6 +338,7 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   Result<Bytes> at_rest = read_at_rest(*meta, &served_tier);
   if (!at_rest.ok()) {
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    slo_.record_get(watch.elapsed(), served_tier, false);
     tracer_.record(span, TraceOp::kGet, "", object_id, served_tier, false);
     return at_rest.status();
   }
@@ -370,6 +378,7 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   stats_.ops.add();
   stats_.get_latency.record(watch.elapsed());
+  slo_.record_get(watch.elapsed(), served_tier, true);
   tier_hit_counter(served_tier).inc();
   tracer_.record(span, TraceOp::kGet, "", object_id, served_tier, true);
   return bytes;
@@ -1222,14 +1231,49 @@ std::string TieraInstance::render_top() const {
                 "USED", "CAP", "FILL", "OBJECTS", "BREAKER");
   out += line;
   for (const auto& entry : tier_snapshot()) {
+    // Plain tiers have no breaker to report; "n/a" keeps the column honest
+    // (and aligned) instead of claiming a permanently closed breaker.
+    const std::string breaker =
+        entry.tier->has_breaker()
+            ? std::string(to_string(entry.tier->breaker_state()))
+            : "n/a";
     std::snprintf(line, sizeof(line), "%-14s %10s %10s %6.1f%% %8zu %9s\n",
                   entry.label.c_str(),
                   human_bytes(entry.tier->used()).c_str(),
                   human_bytes(entry.tier->capacity()).c_str(),
                   entry.tier->fill_fraction() * 100.0,
-                  entry.tier->object_count(),
-                  std::string(to_string(entry.tier->breaker_state())).c_str());
+                  entry.tier->object_count(), breaker.c_str());
     out += line;
+  }
+
+  const std::vector<SloStatus> slos = slo_.status();
+  if (!slos.empty()) {
+    out += '\n';
+    std::snprintf(line, sizeof(line),
+                  "%-18s %-10s %10s %10s %8s %8s %8s %9s %5s\n", "SLO", "TIER",
+                  "TARGET", "CURRENT", "WINDOW", "BURN-S", "BURN-L", "STATE",
+                  "VIOL");
+    out += line;
+    for (const auto& s : slos) {
+      char target_buf[32];
+      char current_buf[32];
+      if (s.is_latency) {
+        std::snprintf(target_buf, sizeof(target_buf), "%.2fms", s.target);
+        std::snprintf(current_buf, sizeof(current_buf), "%.2fms", s.current);
+      } else {
+        std::snprintf(target_buf, sizeof(target_buf), "%.2f%%",
+                      s.target * 100.0);
+        std::snprintf(current_buf, sizeof(current_buf), "%.2f%%",
+                      s.current * 100.0);
+      }
+      std::snprintf(line, sizeof(line),
+                    "%-18s %-10s %10s %10s %7.0fs %8.2f %8.2f %9s %5llu\n",
+                    s.name.c_str(), s.tier.empty() ? "-" : s.tier.c_str(),
+                    target_buf, current_buf, s.window_s, s.burn_short,
+                    s.burn_long, s.violated ? "VIOLATED" : "ok",
+                    static_cast<unsigned long long>(s.violations));
+      out += line;
+    }
   }
 
   out += '\n';

@@ -26,6 +26,7 @@
 #include "core/metadata_store.h"
 #include "core/policy.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "store/cost_model.h"
 #include "store/tier_factory.h"
@@ -116,6 +117,15 @@ class TieraInstance {
   }
   void clear_rules() { control_->clear_rules(); }
   ControlLayer& control() { return *control_; }
+
+  // --- Service-level objectives ----------------------------------------------
+  // Declared via `slo get_p99 < 2ms ...` in specs or directly here. The
+  // engine measures PUT/GET latency and error rate over sliding windows;
+  // the control layer evaluates objectives on its timer tick and fires
+  // `slo.<name> == violated` threshold rules on compliance flips.
+  Status add_slo(const SloSpec& spec) { return slo_.add(spec); }
+  SloEngine& slo() { return slo_; }
+  const SloEngine& slo() const { return slo_; }
 
   // --- Engine operations (the verbs of Table 1) ------------------------------
   // These keep metadata and tier contents consistent; responses are thin
@@ -246,6 +256,7 @@ class TieraInstance {
   MetadataStore meta_;
   std::unique_ptr<ControlLayer> control_;
   InstanceStats stats_;
+  SloEngine slo_{config_.name};
   RequestTracer tracer_;
 
   // Hedged reads race two tier GETs on this small reusable pool instead of

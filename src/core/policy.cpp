@@ -29,6 +29,11 @@ std::string EventDef::describe() const {
       out << "event(time=" << to_seconds(timer.period) << "s)";
       break;
     case EventKind::kThreshold: {
+      if (threshold.attribute == TierAttribute::kSloViolated) {
+        // `tier` carries the SLO name for SLO events.
+        out << "event(slo." << threshold.tier << " == violated)";
+        break;
+      }
       out << "event(" << threshold.tier;
       switch (threshold.attribute) {
         case TierAttribute::kFillFraction:
@@ -46,6 +51,8 @@ std::string EventDef::describe() const {
                   : threshold.threshold >= 1 ? "half-open"
                                              : "closed");
           break;
+        case TierAttribute::kSloViolated:
+          break;  // handled above
       }
       out << ")";
       break;

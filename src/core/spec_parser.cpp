@@ -87,7 +87,7 @@ class Lexer {
         pos_ += 2;
         continue;
       }
-      static constexpr std::string_view kSingles = "{}():;,=[]";
+      static constexpr std::string_view kSingles = "{}():;,=[]<";
       if (kSingles.find(c) != std::string_view::npos) {
         tokens.push_back({Token::Kind::kSymbol, std::string(1, c), line_});
         ++pos_;
@@ -323,6 +323,10 @@ class SpecParser {
         Result<InstanceSpec::RuleDecl> rule = parse_rule();
         if (!rule.ok()) return rule.status();
         spec.rules_.push_back(std::move(*rule));
+      } else if (peek_ident("slo")) {
+        Result<InstanceSpec::SloDecl> slo = parse_slo();
+        if (!slo.ok()) return slo.status();
+        spec.slos_.push_back(std::move(*slo));
       } else {
         Result<InstanceSpec::TierDecl> tier = parse_tier();
         if (!tier.ok()) return tier.status();
@@ -452,6 +456,39 @@ class SpecParser {
       }
       advance();
     }
+  }
+
+  // `slo <metric> < <target> [window <duration>] [burn <short>/<long>] ;`
+  // e.g. `slo get_p99 < 2ms window 60s burn 5m/1h;`. Values may be declared
+  // parameters; they stay raw text until instantiation.
+  Result<InstanceSpec::SloDecl> parse_slo() {
+    InstanceSpec::SloDecl slo;
+    slo.line = peek().line;
+    TIERA_RETURN_IF_ERROR(expect_ident("slo"));
+    Result<std::string> metric = take_ident();
+    if (!metric.ok()) return metric.status();
+    slo.metric_text = *metric;
+    TIERA_RETURN_IF_ERROR(expect_symbol("<"));
+    Result<std::string> target = take_value();
+    if (!target.ok()) return target.status();
+    slo.target_text = *target;
+    while (!peek_symbol(";")) {
+      if (peek_ident("window")) {
+        advance();
+        Result<std::string> value = take_value();
+        if (!value.ok()) return value.status();
+        slo.window_text = *value;
+      } else if (peek_ident("burn")) {
+        advance();
+        Result<std::string> value = take_value();
+        if (!value.ok()) return value.status();
+        slo.burn_text = *value;
+      } else {
+        return error("expected 'window', 'burn', or ';' in slo declaration");
+      }
+    }
+    TIERA_RETURN_IF_ERROR(expect_symbol(";"));
+    return slo;
   }
 
   Result<InstanceSpec::RuleDecl> parse_rule() {
@@ -900,6 +937,17 @@ class SpecInstantiator {
       return Status::InvalidArgument(
           "tag clauses only apply to action events: " + text);
     }
+    if (lhs.rfind("slo.", 0) == 0) {
+      // `slo.<name> == violated` — fires while the named objective is out
+      // of budget; re-arms when it recovers.
+      if (subst(rhs) != "violated") {
+        return Status::InvalidArgument(
+            "slo events must compare against 'violated': " + text);
+      }
+      event = EventDef::on_slo(lhs.substr(4));
+      event.background = background;
+      return event;
+    }
     if (ends_with(lhs, ".filled")) {
       Result<double> pct = parse_percent(subst(rhs));
       if (!pct.ok()) return pct.status();
@@ -948,6 +996,55 @@ class SpecInstantiator {
     return Status::InvalidArgument("unsupported event: " + text);
   }
 
+  Result<SloSpec> build_slo(const InstanceSpec::SloDecl& decl) const {
+    SloSpec spec;
+    // The declared metric doubles as the objective's name (what `slo.<name>`
+    // events and the `{slo=...}` metric label refer to). A dotted prefix
+    // that is not itself a signal scopes the objective to one tier:
+    // `tier2.get_p99` = p99 of GETs served by tier2.
+    spec.name = decl.metric_text;
+    if (!slo_signal_from_name(decl.metric_text, &spec.signal)) {
+      const auto dot = decl.metric_text.rfind('.');
+      if (dot == std::string::npos ||
+          !slo_signal_from_name(decl.metric_text.substr(dot + 1),
+                                &spec.signal)) {
+        return Status::InvalidArgument("unknown slo metric: " +
+                                       decl.metric_text);
+      }
+      spec.tier = decl.metric_text.substr(0, dot);
+    }
+    const std::string target = subst(decl.target_text);
+    if (slo_is_latency(spec.signal)) {
+      Result<Duration> d = parse_duration(target);
+      if (!d.ok()) return d.status();
+      spec.target_ms = to_seconds(*d) * 1000.0;
+    } else {
+      Result<double> pct = parse_percent(target);
+      if (!pct.ok()) return pct.status();
+      spec.target_fraction = *pct;
+    }
+    if (!decl.window_text.empty()) {
+      Result<Duration> window = parse_duration(subst(decl.window_text));
+      if (!window.ok()) return window.status();
+      spec.window = *window;
+    }
+    if (!decl.burn_text.empty()) {
+      const std::string burn = subst(decl.burn_text);
+      const auto slash = burn.find('/');
+      if (slash == std::string::npos) {
+        return Status::InvalidArgument(
+            "burn windows must be '<short>/<long>': " + burn);
+      }
+      Result<Duration> burn_short = parse_duration(burn.substr(0, slash));
+      if (!burn_short.ok()) return burn_short.status();
+      Result<Duration> burn_long = parse_duration(burn.substr(slash + 1));
+      if (!burn_long.ok()) return burn_long.status();
+      spec.burn_short = *burn_short;
+      spec.burn_long = *burn_long;
+    }
+    return spec;
+  }
+
  private:
   const std::map<std::string, std::string>& args_;
 };
@@ -974,6 +1071,14 @@ Status InstanceSpec::apply_to(
     TieraInstance& instance,
     const std::map<std::string, std::string>& args) const {
   SpecInstantiator inst(args);
+  // SLOs first: a rule may reference `slo.<name>`, and the engine rejects
+  // unknown targets only at fire time, so registration order keeps the
+  // common path sane.
+  for (const auto& slo_decl : slos_) {
+    Result<SloSpec> slo = inst.build_slo(slo_decl);
+    if (!slo.ok()) return slo.status();
+    TIERA_RETURN_IF_ERROR(instance.add_slo(*slo));
+  }
   for (const auto& rule_decl : rules_) {
     Result<EventDef> event = inst.build_event(rule_decl.event_text,
                                               rule_decl.background);

@@ -27,7 +27,9 @@
 // events (`time=t`, `time=30s`), threshold events (`tierX.filled == 75%`,
 // `tierX.used == 50M`, with optional `sliding` modifier); the `background`
 // event modifier; every Table 1 response verb; `if (tierX.filled) { ... }`
-// blocks; and `insert.object.dirty = true;` assignments.
+// blocks; `insert.object.dirty = true;` assignments; SLO declarations
+// (`slo get_p99 < 2ms window 60s burn 5m/1h;`) and SLO threshold events
+// (`event(slo.get_p99 == violated)`).
 #pragma once
 
 #include <map>
@@ -58,6 +60,7 @@ class InstanceSpec {
   const std::vector<std::string>& parameters() const { return param_names_; }
   std::size_t tier_count() const { return tiers_.size(); }
   std::size_t rule_count() const { return rules_.size(); }
+  std::size_t slo_count() const { return slos_.size(); }
 
   // Build a running instance. `args` binds parameter names to literal values
   // (e.g. {{"t", "30s"}}).
@@ -115,6 +118,17 @@ class InstanceSpec {
     int line = 0;
   };
 
+  // `slo get_p99 < 2ms window 60s burn 5m/1h;` — a windowed latency (or
+  // error-rate) objective. The metric may carry a tier prefix
+  // (`tier2.get_p99`) to scope the objective to one tier's requests.
+  struct SloDecl {
+    std::string metric_text;  // e.g. get_p99, error_rate, tier2.get_p99
+    std::string target_text;  // e.g. 2ms (latency) or 1% (error rate)
+    std::string window_text;  // e.g. 60s; empty = default
+    std::string burn_text;    // e.g. 5m/1h; empty = default
+    int line = 0;
+  };
+
  private:
   friend class SpecParser;
 
@@ -122,6 +136,7 @@ class InstanceSpec {
   std::vector<std::string> param_names_;
   std::vector<TierDecl> tiers_;
   std::vector<RuleDecl> rules_;
+  std::vector<SloDecl> slos_;
 };
 
 }  // namespace tiera

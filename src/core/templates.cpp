@@ -72,6 +72,44 @@ Result<InstancePtr> make_low_latency_instance(const TemplateOptions& opts,
   return instance;
 }
 
+Result<InstancePtr> make_slo_autoscale_instance(const TemplateOptions& opts,
+                                                std::uint64_t mem_bytes,
+                                                std::uint64_t ebs_bytes,
+                                                Duration writeback_period,
+                                                double target_ms) {
+  auto instance = create_instance(
+      opts, "SloAutoscaleInstance",
+      {{"Memcached", "tier1", mem_bytes}, {"EBS", "tier2", ebs_bytes}});
+  if (!instance.ok()) return instance;
+
+  SloSpec slo;
+  slo.name = "get_p99";
+  slo.signal = SloSignal::kGetP99;
+  slo.target_ms = target_ms;
+  TIERA_RETURN_IF_ERROR((*instance)->add_slo(slo));
+
+  (*instance)->add_rule(placement_rule({"tier1"}));
+
+  Rule writeback;
+  writeback.name = "write-back";
+  writeback.event = EventDef::on_timer(writeback_period);
+  writeback.responses.push_back(
+      make_copy(Selector::in_tier("tier1", /*dirty=*/true), {"tier2"}));
+  (*instance)->add_rule(std::move(writeback));
+
+  // While get_p99 is out of budget: make room in the fast tier and pull the
+  // working set up out of EBS. Fires once per violation edge (re-arms on
+  // recovery), so a persistent breach keeps escalating capacity.
+  Rule autoscale;
+  autoscale.name = "slo-autoscale";
+  autoscale.event = EventDef::on_slo("get_p99").in_background();
+  autoscale.responses.push_back(make_grow("tier1", 100.0));
+  autoscale.responses.push_back(make_copy(Selector::in_tier("tier2"),
+                                          {"tier1"}));
+  (*instance)->add_rule(std::move(autoscale));
+  return instance;
+}
+
 Result<InstancePtr> make_persistent_instance(const TemplateOptions& opts,
                                              std::uint64_t mem_bytes,
                                              std::uint64_t ebs_bytes,

@@ -100,6 +100,16 @@ Result<InstancePtr> make_replicated_ebs_instance(
     const TemplateOptions& opts, std::uint64_t bytes_per_volume,
     bool replicate, std::uint64_t bytes_between_syncs, double bandwidth_bps);
 
+// SLO-driven autoscaling (examples/specs/slo_autoscale.tiera): Memcached +
+// EBS write-back instance with a `get_p99 < target_ms` objective over a
+// 60 s window; while the objective is violated, a background rule grows the
+// Memcached tier by 100% and promotes everything from EBS into it.
+Result<InstancePtr> make_slo_autoscale_instance(const TemplateOptions& opts,
+                                                std::uint64_t mem_bytes,
+                                                std::uint64_t ebs_bytes,
+                                                Duration writeback_period,
+                                                double target_ms = 2.0);
+
 // §4.2.3 failover target configuration: reconfigure `instance` from
 // (Memcached, EBS write-through) to (Memcached, Ephemeral + S3 backup timer).
 // Used by the monitoring application after it detects the EBS outage.

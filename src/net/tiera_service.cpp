@@ -162,6 +162,34 @@ void TieraServer::register_handlers() {
       });
 
   server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kSlo),
+      [this](ByteView) -> Result<Bytes> {
+        const std::vector<SloStatus> rows = instance_.slo().status();
+        WireWriter w;
+        // Doubles cross as micro-unit u64 fixed point (the wire only does
+        // integers), same convention as kTraceSpans durations.
+        const auto micros = [](double v) {
+          return static_cast<std::uint64_t>(v < 0 ? 0 : v * 1e6);
+        };
+        w.u32(static_cast<std::uint32_t>(rows.size()));
+        for (const auto& row : rows) {
+          w.str(row.name);
+          w.str(row.tier);
+          w.str(row.signal);
+          w.u8(row.is_latency ? 1 : 0);
+          w.u8(row.violated ? 1 : 0);
+          w.u64(micros(row.target));
+          w.u64(micros(row.current));
+          w.u64(micros(row.window_s));
+          w.u64(row.samples);
+          w.u64(micros(row.burn_short));
+          w.u64(micros(row.burn_long));
+          w.u64(row.violations);
+        }
+        return w.take();
+      });
+
+  server_.register_handler(
       static_cast<std::uint8_t>(TieraMethod::kTraceSpans),
       [this](ByteView body) -> Result<Bytes> {
         std::uint32_t last_n = 512;
@@ -338,6 +366,44 @@ Result<std::vector<RequestTracer::Span>> RemoteTieraClient::trace_spans(
     spans.push_back(span);
   }
   return spans;
+}
+
+Result<std::vector<RemoteSloRow>> RemoteTieraClient::slo() {
+  Result<Bytes> reply =
+      client_->call(static_cast<std::uint8_t>(TieraMethod::kSlo), {});
+  if (!reply.ok()) return reply.status();
+  WireReader r(as_view(*reply));
+  std::uint32_t count = 0;
+  TIERA_RETURN_IF_ERROR(r.u32(count));
+  std::vector<RemoteSloRow> rows;
+  rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RemoteSloRow row;
+    std::uint8_t is_latency = 0, violated = 0;
+    std::uint64_t target = 0, current = 0, window = 0, burn_short = 0,
+                  burn_long = 0;
+    TIERA_RETURN_IF_ERROR(r.str(row.name));
+    TIERA_RETURN_IF_ERROR(r.str(row.tier));
+    TIERA_RETURN_IF_ERROR(r.str(row.signal));
+    TIERA_RETURN_IF_ERROR(r.u8(is_latency));
+    TIERA_RETURN_IF_ERROR(r.u8(violated));
+    TIERA_RETURN_IF_ERROR(r.u64(target));
+    TIERA_RETURN_IF_ERROR(r.u64(current));
+    TIERA_RETURN_IF_ERROR(r.u64(window));
+    TIERA_RETURN_IF_ERROR(r.u64(row.samples));
+    TIERA_RETURN_IF_ERROR(r.u64(burn_short));
+    TIERA_RETURN_IF_ERROR(r.u64(burn_long));
+    TIERA_RETURN_IF_ERROR(r.u64(row.violations));
+    row.is_latency = is_latency != 0;
+    row.violated = violated != 0;
+    row.target = static_cast<double>(target) / 1e6;
+    row.current = static_cast<double>(current) / 1e6;
+    row.window_s = static_cast<double>(window) / 1e6;
+    row.burn_short = static_cast<double>(burn_short) / 1e6;
+    row.burn_long = static_cast<double>(burn_long) / 1e6;
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 Status RemoteTieraClient::grow_tier(std::string_view label, double percent) {

@@ -24,6 +24,9 @@ enum class TieraMethod : std::uint8_t {
   // Structured span export (u32 count + fixed-shape span records); the text
   // rendering — Chrome trace JSON included — happens client-side.
   kTraceSpans = 10,
+  // SLO status rows (u32 count + fixed-shape records; doubles cross as
+  // micro-unit u64 fixed point).
+  kSlo = 11,
 };
 
 class TieraServer {
@@ -49,6 +52,23 @@ struct RemoteStatsSummary {
   std::uint64_t gets = 0;
   std::uint64_t removes = 0;
   std::uint64_t objects = 0;
+};
+
+// One SLO objective's live state, as reported by the kSlo verb. Latency
+// targets/currents are milliseconds; error-rate ones are fractions.
+struct RemoteSloRow {
+  std::string name;
+  std::string tier;     // empty = instance-wide
+  std::string signal;   // e.g. get_p99, error_rate
+  bool is_latency = true;
+  bool violated = false;
+  double target = 0;
+  double current = 0;
+  double window_s = 0;
+  std::uint64_t samples = 0;
+  double burn_short = 0;
+  double burn_long = 0;
+  std::uint64_t violations = 0;
 };
 
 struct RemoteObjectInfo {
@@ -85,6 +105,8 @@ class RemoteTieraClient {
   // to render_chrome_trace() for a chrome://tracing-loadable file.
   Result<std::vector<RequestTracer::Span>> trace_spans(
       std::uint32_t last_n = 512);
+  // Live state of every declared SLO.
+  Result<std::vector<RemoteSloRow>> slo();
 
  private:
   explicit RemoteTieraClient(std::unique_ptr<RpcClient> client)

@@ -136,6 +136,7 @@ class ResilientTier final : public Tier {
       const std::function<void(std::string_view)>& fn) const override;
 
   // --- Resilience introspection ---------------------------------------------
+  bool has_breaker() const override { return policy_.breaker.enabled; }
   BreakerState breaker_state() const override { return breaker_.state(); }
   Duration hedge_delay() const override;
 

@@ -135,7 +135,9 @@ class Tier {
 
   // --- Resilience introspection --------------------------------------------
   // Plain tiers have no breaker and never suggest hedging; ResilientTier
-  // overrides both.
+  // overrides these. `has_breaker` lets views print "n/a" instead of a
+  // misleading "closed" for tiers without one.
+  virtual bool has_breaker() const { return false; }
   virtual BreakerState breaker_state() const { return BreakerState::kClosed; }
   // Non-zero: the instance should hedge a GET to another location when this
   // tier has not answered within the returned delay.

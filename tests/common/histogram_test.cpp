@@ -63,6 +63,55 @@ TEST(LatencyHistogramTest, ResetClears) {
   EXPECT_EQ(h.max_ms(), 0.0);
 }
 
+TEST(LatencyHistogramTest, MergeOfEmptyHistogramsStaysEmpty) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile_ms(0.99), 0.0);
+  EXPECT_EQ(a.mean_ms(), 0.0);
+
+  // Merging an empty histogram into a populated one must not disturb it —
+  // in particular the empty side's +inf/-inf min/max sentinels must not
+  // leak into the target.
+  LatencyHistogram c;
+  c.record_ms(4.0);
+  c.merge(b);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_GT(c.min_ms(), 0.0);
+  EXPECT_LT(c.max_ms(), 1e9);
+
+  // And the reverse: empty absorbs populated wholesale.
+  b.merge(c);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_NEAR(b.mean_ms(), 4.0, 0.25);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantilesAllAgree) {
+  LatencyHistogram h;
+  h.record_ms(7.0);
+  // With one sample every quantile is that sample; the histogram reports
+  // min(bucket upper edge, max) so the answer is exact, not an edge.
+  for (const double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile_ms(q), 7.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeNewSinceDoesNotDoubleCount) {
+  LatencyHistogram live;
+  LatencyHistogram sink;
+  LatencyHistogram cursor;
+  live.record_ms(1.0);
+  sink.merge_new_since(live, cursor);
+  EXPECT_EQ(sink.count(), 1u);
+  // A second sync with no new samples must move nothing.
+  sink.merge_new_since(live, cursor);
+  EXPECT_EQ(sink.count(), 1u);
+  live.record_ms(2.0);
+  sink.merge_new_since(live, cursor);
+  EXPECT_EQ(sink.count(), 2u);
+}
+
 TEST(LatencyHistogramTest, ConcurrentRecording) {
   LatencyHistogram h;
   std::vector<std::thread> threads;

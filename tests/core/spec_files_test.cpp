@@ -62,6 +62,7 @@ INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecFilesTest,
                                            "lru_cache.tiera",
                                            "prefetching.tiera",
                                            "resilient.tiera",
+                                           "slo_autoscale.tiera",
                                            "snapshotting.tiera"));
 
 TEST(SpecFilesSmokeTest, DirectoryHasAllShippedSpecs) {

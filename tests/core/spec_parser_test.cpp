@@ -309,5 +309,118 @@ Tiera Sliding() {
   EXPECT_GT((*instance)->tier("tier2")->object_count(), 0u);
 }
 
+TEST_F(SpecParserTest, SloDeclarationParsesAndRegisters) {
+  constexpr std::string_view kSloSpec = R"(
+Tiera SloInstance() {
+  tier1: { name: Memcached, size: 8M };
+  tier2: { name: EBS, size: 8M };
+  slo get_p99 < 2ms window 60s burn 5m/1h;
+  event(insert.into) : response {
+    store(what: insert.object, to: tier1);
+  }
+  background event(slo.get_p99 == violated) : response {
+    grow(what: tier1, increment: 100%);
+  }
+}
+)";
+  auto spec = InstanceSpec::parse(kSloSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->slo_count(), 1u);
+  EXPECT_EQ(spec->rule_count(), 2u);
+
+  auto instance = spec->instantiate(opts("slo"));
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  ASSERT_EQ((*instance)->slo().size(), 1u);
+  const auto rows = (*instance)->slo().status();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "get_p99");
+  EXPECT_EQ(rows[0].tier, "");
+  EXPECT_DOUBLE_EQ(rows[0].target, 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].window_s, 60.0);
+}
+
+TEST_F(SpecParserTest, SloDefaultsAndPerTierScope) {
+  // Window/burn are optional; a dotted metric scopes the objective to a
+  // tier and error-rate targets parse as percentages.
+  constexpr std::string_view kSloSpec = R"(
+Tiera SloDefaults() {
+  tier1: { name: Memcached, size: 8M };
+  tier2: { name: EBS, size: 8M };
+  slo tier2.get_p99 < 5ms;
+  slo error_rate < 1%;
+  event(insert.into) : response {
+    store(what: insert.object, to: tier1);
+  }
+}
+)";
+  auto spec = InstanceSpec::parse(kSloSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->slo_count(), 2u);
+
+  auto instance = spec->instantiate(opts("slo-defaults"));
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  const auto rows = (*instance)->slo().status();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "tier2.get_p99");
+  EXPECT_EQ(rows[0].tier, "tier2");
+  EXPECT_EQ(rows[0].signal, "get_p99");
+  EXPECT_DOUBLE_EQ(rows[0].target, 5.0);
+  EXPECT_DOUBLE_EQ(rows[0].window_s, 60.0);  // default window
+  EXPECT_EQ(rows[1].name, "error_rate");
+  EXPECT_FALSE(rows[1].is_latency);
+  EXPECT_DOUBLE_EQ(rows[1].target, 0.01);
+}
+
+TEST_F(SpecParserTest, SloTargetCanBeAParameter) {
+  constexpr std::string_view kSloSpec = R"(
+Tiera SloParam(time lat) {
+  tier1: { name: Memcached, size: 8M };
+  tier2: { name: EBS, size: 8M };
+  slo get_p95 < lat;
+  event(insert.into) : response {
+    store(what: insert.object, to: tier1);
+  }
+}
+)";
+  auto spec = InstanceSpec::parse(kSloSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  auto instance = spec->instantiate(opts("slo-param"), {{"lat", "4ms"}});
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  const auto rows = (*instance)->slo().status();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].target, 4.0);
+}
+
+TEST_F(SpecParserTest, RejectsMalformedSlos) {
+  const auto reject = [&](std::string_view body) {
+    const std::string text = "Tiera Bad() {\n  tier1: { name: EBS, size: 1M "
+                             "};\n  tier2: { name: EBS, size: 1M };\n" +
+                             std::string(body) + "\n}";
+    auto spec = InstanceSpec::parse(text);
+    if (!spec.ok()) return true;  // parse-time rejection
+    return !spec->instantiate(opts("bad-slo")).ok();  // bind-time rejection
+  };
+  EXPECT_TRUE(reject("slo nonsense_metric < 2ms;"));
+  EXPECT_TRUE(reject("slo get_p99 < 2ms burn 5m;"));       // missing '/'
+  EXPECT_TRUE(reject("slo get_p99 2ms;"));                 // missing '<'
+  EXPECT_TRUE(reject("slo error_rate < 2ms;"));            // wants a percent
+  EXPECT_TRUE(reject("slo get_p99 < 2ms frobnicate 3s;")); // unknown clause
+
+  // And unknown comparisons in slo events.
+  constexpr std::string_view kBadEvent = R"(
+Tiera BadEvent() {
+  tier1: { name: EBS, size: 1M };
+  tier2: { name: EBS, size: 1M };
+  slo get_p99 < 2ms;
+  event(slo.get_p99 == open) : response {
+    grow(what: tier1, increment: 10%);
+  }
+}
+)";
+  auto spec = InstanceSpec::parse(kBadEvent);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->instantiate(opts("bad-slo-event")).ok());
+}
+
 }  // namespace
 }  // namespace tiera

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "net/tiera_service.h"
@@ -236,6 +237,48 @@ TEST_F(TieraServiceTest, ListTiersAndGrow) {
   ASSERT_TRUE(client_->grow_tier("tier1", 50.0).ok());
   EXPECT_EQ(instance_->tier("tier1")->capacity(), 12u << 20);
   EXPECT_FALSE(client_->grow_tier("tier9", 10.0).ok());
+}
+
+TEST_F(TieraServiceTest, SloTableRoundTripsOverRpc) {
+  // No objectives declared: the verb answers an empty table, not an error.
+  auto empty = client_->slo();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  SloSpec spec;
+  spec.name = "tier1.get_p99";
+  spec.tier = "tier1";
+  spec.target_ms = 2.5;
+  spec.window = std::chrono::seconds(30);
+  ASSERT_TRUE(instance_->add_slo(spec).ok());
+
+  // Generate some traffic so current/samples are non-trivial, then force an
+  // evaluation so violated/violations reflect the window.
+  ASSERT_TRUE(client_->put("slo-obj", as_view(make_payload(256, 1))).ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(client_->get("slo-obj").ok());
+  instance_->slo().evaluate();
+
+  auto rows = client_->slo();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const RemoteSloRow& row = (*rows)[0];
+  EXPECT_EQ(row.name, "tier1.get_p99");
+  EXPECT_EQ(row.tier, "tier1");
+  EXPECT_EQ(row.signal, "get_p99");
+  EXPECT_TRUE(row.is_latency);
+  // Doubles cross the wire as micro-units; 2.5 survives exactly.
+  EXPECT_DOUBLE_EQ(row.target, 2.5);
+  EXPECT_DOUBLE_EQ(row.window_s, 30.0);
+  EXPECT_EQ(row.samples, 10u);
+  // Under ZeroLatencyScope every GET is far below 2.5 ms.
+  EXPECT_FALSE(row.violated);
+  EXPECT_EQ(row.violations, 0u);
+  EXPECT_LT(row.current, 2.5);
+
+  const auto server_rows = instance_->slo().status();
+  ASSERT_EQ(server_rows.size(), 1u);
+  EXPECT_NEAR(row.current, server_rows[0].current, 1e-3);
+  EXPECT_NEAR(row.burn_short, server_rows[0].burn_short, 1e-3);
 }
 
 TEST_F(TieraServiceTest, ErrorsPropagateThroughRpc) {

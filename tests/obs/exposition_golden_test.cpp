@@ -1,0 +1,84 @@
+// Golden tests for the text exposition formats: label values containing
+// quotes, backslashes and newlines must render escaped exactly as the
+// Prometheus text format (0.0.4) prescribes, stay one-line-per-series, and
+// never collide two distinct values onto one series key.
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "obs/metrics.h"
+
+namespace tiera {
+namespace {
+
+TEST(ExpositionGoldenTest, PrometheusEscapesNastyLabelValues) {
+  MetricsRegistry registry;
+  // Raw value: ebs"fail<newline>over\rule
+  registry.counter("tiera_rule_fires_total", {{"rule", "ebs\"fail\nover\\rule"}})
+      .inc(3);
+  registry.gauge("tiera_tier_used_bytes", {{"tier", "a\\b"}}).set(42);
+
+  const std::string expected =
+      "# TYPE tiera_rule_fires_total counter\n"
+      "tiera_rule_fires_total{rule=\"ebs\\\"fail\\nover\\\\rule\"} 3\n"
+      "# TYPE tiera_tier_used_bytes gauge\n"
+      "tiera_tier_used_bytes{tier=\"a\\\\b\"} 42\n";
+  EXPECT_EQ(registry.render_prometheus(), expected);
+}
+
+TEST(ExpositionGoldenTest, TextRenderingEscapesTheSameWay) {
+  MetricsRegistry registry;
+  registry.counter("tiera_rule_fires_total", {{"rule", "ebs\"fail\nover\\rule"}})
+      .inc(3);
+
+  const std::string expected =
+      "tiera_rule_fires_total{rule=\"ebs\\\"fail\\nover\\\\rule\"} = 3\n";
+  EXPECT_EQ(registry.render_text(), expected);
+}
+
+TEST(ExpositionGoldenTest, EscapingIsInjective) {
+  // Values crafted so that naive (non-)escaping would merge them into one
+  // series key: the raw characters differ but contain each other's escape
+  // sequences.
+  MetricsRegistry registry;
+  registry.counter("tiera_x_total", {{"l", "a\"b"}}).inc(1);
+  registry.counter("tiera_x_total", {{"l", "a\\\"b"}}).inc(2);
+  registry.counter("tiera_x_total", {{"l", "x\ny"}}).inc(3);
+  registry.counter("tiera_x_total", {{"l", "x\\ny"}}).inc(4);
+  EXPECT_EQ(registry.series_count(), 4u);
+
+  // Re-requesting an existing value must find the same series, not mint a
+  // fifth one.
+  registry.counter("tiera_x_total", {{"l", "a\"b"}}).inc(10);
+  EXPECT_EQ(registry.series_count(), 4u);
+}
+
+TEST(ExpositionGoldenTest, EveryLineStaysMachineParseable) {
+  MetricsRegistry registry;
+  registry.counter("tiera_rule_fires_total", {{"rule", "nasty\n\"r\\1\""}})
+      .inc(7);
+  registry.gauge("tiera_slo_current",
+                 {{"slo", "get_p99"}, {"instance", "a\nb"}, {"tier", ""}})
+      .set(1.25);
+
+  // One series per line; a raw newline inside a label value would break the
+  // line-oriented exposition contract.
+  const std::regex line_re(
+      R"(^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary))$)"
+      R"(|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^\n]*\})? -?[0-9][^\n]*$)");
+  const std::string out = registry.render_prometheus();
+  std::size_t start = 0;
+  int lines = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "output must end with a newline";
+    const std::string line = out.substr(start, end - start);
+    EXPECT_TRUE(std::regex_match(line, line_re)) << "bad line: " << line;
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // 2 TYPE headers + 2 series
+}
+
+}  // namespace
+}  // namespace tiera

@@ -1,0 +1,249 @@
+// SLO engine unit tests: slice-ring rotation (including simulated clock
+// jumps in both directions), quantile/bad-fraction math, objective
+// registration and edge-accurate violation flips.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tiera {
+namespace {
+
+using testing::ZeroLatencyScope;
+
+TimePoint at(std::int64_t seconds) {
+  return TimePoint{std::chrono::duration_cast<Duration>(
+      std::chrono::seconds(seconds))};
+}
+
+TEST(SloWindowRingTest, QuantileTracksRecordedLatencies) {
+  SloWindowRing ring(60, std::chrono::seconds(1));
+  const TimePoint t = at(1000);
+  for (int i = 0; i < 99; ++i) ring.record(t, 1.0, false);
+  ring.record(t, 100.0, false);
+
+  EXPECT_EQ(ring.total(t), 100u);
+  // Log buckets: the reported quantile is the bucket's upper edge, within
+  // ~7.5% of the true value.
+  const double p50 = ring.percentile_ms(t, 0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 1.1);
+  const double p100 = ring.percentile_ms(t, 1.0);
+  EXPECT_GE(p100, 100.0);
+  EXPECT_LE(p100, 110.0);
+}
+
+TEST(SloWindowRingTest, EmptyRingReadsZero) {
+  SloWindowRing ring(60, std::chrono::seconds(1));
+  const TimePoint t = at(42);
+  EXPECT_EQ(ring.total(t), 0u);
+  EXPECT_EQ(ring.bad(t), 0u);
+  EXPECT_EQ(ring.percentile_ms(t, 0.99), 0.0);
+  EXPECT_EQ(ring.bad_fraction(t), 0.0);
+}
+
+TEST(SloWindowRingTest, SamplesExpireWithTheWindow) {
+  SloWindowRing ring(60, std::chrono::seconds(1));
+  ring.record(at(1000), 5.0, true);
+  EXPECT_EQ(ring.total(at(1000)), 1u);
+  // Still visible while the slice is within the last 60 epochs.
+  EXPECT_EQ(ring.total(at(1059)), 1u);
+  // One past the window: gone, even though the slot was never overwritten.
+  EXPECT_EQ(ring.total(at(1060)), 0u);
+  EXPECT_EQ(ring.percentile_ms(at(1060), 0.99), 0.0);
+}
+
+TEST(SloWindowRingTest, RotationReclaimsSlots) {
+  SloWindowRing ring(60, std::chrono::seconds(1));
+  ring.record(at(1000), 5.0, false);
+  ring.record(at(1000), 5.0, false);
+  // 60 s later the same slot is claimed for the new epoch; the old samples
+  // must not leak into the new window.
+  ring.record(at(1060), 7.0, true);
+  EXPECT_EQ(ring.total(at(1060)), 1u);
+  EXPECT_EQ(ring.bad(at(1060)), 1u);
+}
+
+TEST(SloWindowRingTest, ForwardClockJumpSelfHeals) {
+  SloWindowRing ring(60, std::chrono::seconds(1));
+  for (int i = 0; i < 10; ++i) ring.record(at(1000 + i), 3.0, false);
+  EXPECT_EQ(ring.total(at(1009)), 10u);
+
+  // Simulated clock leaps an hour ahead: every live slice is stale and must
+  // be skipped, not misread as fresh data.
+  const TimePoint jumped = at(1000 + 3600);
+  EXPECT_EQ(ring.total(jumped), 0u);
+  ring.record(jumped, 9.0, true);
+  EXPECT_EQ(ring.total(jumped), 1u);
+  EXPECT_EQ(ring.bad(jumped), 1u);
+}
+
+TEST(SloWindowRingTest, BackwardClockJumpSelfHeals) {
+  SloWindowRing ring(60, std::chrono::seconds(1));
+  ring.record(at(5000), 3.0, false);
+  // Reader at an earlier time: the recorded slice's epoch is in the future
+  // relative to the reader and must be ignored.
+  const TimePoint past = at(5000 - 3600);
+  EXPECT_EQ(ring.total(past), 0u);
+  // Recording at the earlier time reclaims a slot and works normally.
+  ring.record(past, 4.0, false);
+  EXPECT_EQ(ring.total(past), 1u);
+}
+
+TEST(SloWindowRingTest, BadFraction) {
+  SloWindowRing ring(60, std::chrono::seconds(1));
+  const TimePoint t = at(77);
+  for (int i = 0; i < 8; ++i) ring.record(t, 1.0, false);
+  ring.record(t, 1.0, true);
+  ring.record(t, 1.0, true);
+  EXPECT_DOUBLE_EQ(ring.bad_fraction(t), 0.2);
+}
+
+TEST(SloEngineTest, AddValidatesSpecs) {
+  ZeroLatencyScope zero;
+  SloEngine engine("validate-instance");
+
+  SloSpec unnamed;
+  unnamed.target_ms = 2;
+  EXPECT_FALSE(engine.add(unnamed).ok());
+
+  SloSpec no_target;
+  no_target.name = "get_p99";
+  EXPECT_FALSE(engine.add(no_target).ok());
+
+  SloSpec bad_fraction;
+  bad_fraction.name = "error_rate";
+  bad_fraction.signal = SloSignal::kErrorRate;
+  bad_fraction.target_fraction = 1.5;
+  EXPECT_FALSE(engine.add(bad_fraction).ok());
+
+  SloSpec ok;
+  ok.name = "get_p99";
+  ok.target_ms = 2;
+  EXPECT_TRUE(engine.add(ok).ok());
+  EXPECT_EQ(engine.size(), 1u);
+
+  // Duplicate names are rejected; the engine keeps the original.
+  EXPECT_FALSE(engine.add(ok).ok());
+  EXPECT_EQ(engine.size(), 1u);
+}
+
+TEST(SloEngineTest, ViolationFlipsOnEdgeAndRecovers) {
+  ZeroLatencyScope zero;
+  SloEngine engine("edge-instance");
+  SloSpec spec;
+  spec.name = "get_p99";
+  spec.target_ms = 2.0;
+  ASSERT_TRUE(engine.add(spec).ok());
+
+  // Slow GETs push p99 over the 2 ms target.
+  for (int i = 0; i < 50; ++i) {
+    engine.record_get(from_ms(10), "tier1", /*ok=*/true);
+  }
+  const TimePoint t = now();
+  EXPECT_TRUE(engine.evaluate(t));  // compliant -> violated: a flip
+  EXPECT_EQ(engine.violated_value("get_p99"), 1.0);
+  EXPECT_FALSE(engine.evaluate(t));  // still violated: no flip
+
+  auto rows = engine.status(t);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "get_p99");
+  EXPECT_EQ(rows[0].signal, "get_p99");
+  EXPECT_TRUE(rows[0].is_latency);
+  EXPECT_TRUE(rows[0].violated);
+  EXPECT_EQ(rows[0].violations, 1u);
+  EXPECT_EQ(rows[0].samples, 50u);
+  EXPECT_GT(rows[0].current, 2.0);
+  // Every sample was over target, so the short burn window burns the whole
+  // 1% budget at 100x.
+  EXPECT_NEAR(rows[0].burn_short, 100.0, 1.0);
+
+  // Two windows later the samples expired: the objective recovers.
+  const TimePoint later = t + 3 * spec.window;
+  EXPECT_TRUE(engine.evaluate(later));  // violated -> compliant: a flip
+  EXPECT_EQ(engine.violated_value("get_p99"), 0.0);
+  rows = engine.status(later);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].violated);
+  EXPECT_EQ(rows[0].violations, 1u);  // edges counted, not ticks
+}
+
+TEST(SloEngineTest, LatencySignalsFilterByOpKind) {
+  ZeroLatencyScope zero;
+  SloEngine engine("opkind-instance");
+  SloSpec spec;
+  spec.name = "put_p99";
+  spec.signal = SloSignal::kPutP99;
+  spec.target_ms = 2.0;
+  ASSERT_TRUE(engine.add(spec).ok());
+
+  // GET samples must not count toward a PUT objective.
+  for (int i = 0; i < 20; ++i) {
+    engine.record_get(from_ms(50), "tier1", true);
+  }
+  EXPECT_FALSE(engine.evaluate(now()));
+  EXPECT_EQ(engine.violated_value("put_p99"), 0.0);
+
+  for (int i = 0; i < 20; ++i) {
+    engine.record_put(from_ms(50), "tier1", true);
+  }
+  EXPECT_TRUE(engine.evaluate(now()));
+  EXPECT_EQ(engine.violated_value("put_p99"), 1.0);
+}
+
+TEST(SloEngineTest, PerTierObjectiveIgnoresOtherTiers) {
+  ZeroLatencyScope zero;
+  SloEngine engine("pertier-instance");
+  SloSpec spec;
+  spec.name = "tier2.get_p99";
+  spec.tier = "tier2";
+  spec.target_ms = 2.0;
+  ASSERT_TRUE(engine.add(spec).ok());
+
+  for (int i = 0; i < 20; ++i) {
+    engine.record_get(from_ms(50), "tier1", true);
+  }
+  EXPECT_FALSE(engine.evaluate(now()));
+
+  for (int i = 0; i < 20; ++i) {
+    engine.record_get(from_ms(50), "tier2", true);
+  }
+  EXPECT_TRUE(engine.evaluate(now()));
+  EXPECT_EQ(engine.violated_value("tier2.get_p99"), 1.0);
+}
+
+TEST(SloEngineTest, ErrorRateObjective) {
+  ZeroLatencyScope zero;
+  SloEngine engine("errrate-instance");
+  SloSpec spec;
+  spec.name = "error_rate";
+  spec.signal = SloSignal::kErrorRate;
+  spec.target_fraction = 0.10;
+  ASSERT_TRUE(engine.add(spec).ok());
+
+  // 2 failures in 10 ops = 20% > 10% target. Error-rate objectives count
+  // PUTs and GETs alike.
+  for (int i = 0; i < 8; ++i) engine.record_get(from_ms(1), "t", true);
+  engine.record_put(from_ms(1), "t", false);
+  engine.record_get(from_ms(1), "t", false);
+
+  const TimePoint t = now();
+  EXPECT_TRUE(engine.evaluate(t));
+  auto rows = engine.status(t);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].is_latency);
+  EXPECT_NEAR(rows[0].current, 0.2, 1e-9);
+  // burn = bad_fraction / budget = 0.2 / 0.1
+  EXPECT_NEAR(rows[0].burn_short, 2.0, 1e-9);
+}
+
+TEST(SloEngineTest, UnknownNameReadsZero) {
+  SloEngine engine("unknown-instance");
+  EXPECT_EQ(engine.violated_value("nope"), 0.0);
+  EXPECT_TRUE(engine.status().empty());
+  EXPECT_FALSE(engine.evaluate());
+}
+
+}  // namespace
+}  // namespace tiera

@@ -22,8 +22,10 @@ stage_release() {
   cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Release
   cmake --build "${repo_root}/build-ci-release" -j "${jobs}"
+  # --timeout caps each test so one hung binary fails fast instead of
+  # stalling the lane until the job-level timeout.
   ctest --test-dir "${repo_root}/build-ci-release" --output-on-failure \
-    -j "${jobs}"
+    --timeout 120 -j "${jobs}"
 }
 
 stage_asan() {
@@ -34,8 +36,9 @@ stage_asan() {
   # halt_on_error surfaces UBSan findings as test failures, not just logs.
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ASAN_OPTIONS="detect_leaks=0" \
+  # Sanitized binaries run slower; still cap each test (see stage_release).
   ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure \
-    -j "${jobs}"
+    --timeout 180 -j "${jobs}"
 }
 
 stage_tsan() {
@@ -54,10 +57,13 @@ stage_bench() {
     --benchmark_min_time=0.05 \
     --benchmark_format=json \
     --benchmark_out="${repo_root}/build-ci-release/BENCH_micro.json"
+  # Tee the diff so the workflow can upload it as an artifact even when the
+  # gate passes; the report is the evidence for "within threshold".
   python3 "${repo_root}/tools/bench_diff.py" \
     "${repo_root}/bench/BENCH_micro.json" \
     "${repo_root}/build-ci-release/BENCH_micro.json" \
-    --threshold 0.15
+    --threshold 0.15 \
+    | tee "${repo_root}/build-ci-release/bench_diff_report.txt"
 }
 
 stage_format() {
