@@ -206,13 +206,15 @@ Duration slice_for(Duration window, double scale) {
 }
 }  // namespace
 
-SloEngine::Tracker::Tracker(SloSpec s, int slices, Duration window_slice,
-                            Duration short_slice, Duration long_slice)
+SloEngine::Tracker::Tracker(SloSpec s, double scale, int slices,
+                            Duration window_slice, Duration short_slice,
+                            Duration long_slice)
     : spec(std::move(s)),
       is_get(slo_is_get(spec.signal)),
       quantile(slo_quantile(spec.signal)),
       budget(slo_is_latency(spec.signal) ? 1.0 - slo_quantile(spec.signal)
                                          : spec.target_fraction),
+      wall_to_model(1.0 / scale),
       window(slices, window_slice),
       burn_short(slices, short_slice),
       burn_long(slices, long_slice) {}
@@ -251,12 +253,26 @@ Status SloEngine::add(const SloSpec& spec) {
                                    "' windows must be positive");
   }
 
-  // Freeze window geometry against the effective time scale, exactly like
-  // timer rules scale their periods (control.cpp).
+  // Freeze the effective time scale, exactly like timer rules scale their
+  // periods (control.cpp): window geometry shrinks to wall time, recorded
+  // wall latencies are scaled back up to modelled ms (see record()).
   const double raw_scale = time_scale();
   const double scale = raw_scale > 0 ? raw_scale : 1.0;
+
+  std::lock_guard lock(mu_);
+  const TrackerList* cur = trackers_.load(std::memory_order_acquire);
+  // Reject duplicates before touching the registry: a rejected add must not
+  // clobber the live objective's published target/violated gauges.
+  if (cur) {
+    for (const auto& existing : *cur) {
+      if (existing->spec.name == spec.name) {
+        return Status::AlreadyExists("slo '" + spec.name + "'");
+      }
+    }
+  }
+
   auto tracker = std::make_shared<Tracker>(
-      spec, kSlicesPerWindow, slice_for(spec.window, scale),
+      spec, scale, kSlicesPerWindow, slice_for(spec.window, scale),
       slice_for(spec.burn_short, scale), slice_for(spec.burn_long, scale));
 
   MetricsRegistry& reg = MetricsRegistry::global();
@@ -277,17 +293,8 @@ Status SloEngine::add(const SloSpec& spec) {
                                  : spec.target_fraction);
   tracker->violated_gauge->set(0);
 
-  std::lock_guard lock(mu_);
-  const TrackerList* cur = trackers_.load(std::memory_order_acquire);
   auto next = std::make_unique<TrackerList>();
-  if (cur) {
-    for (const auto& existing : *cur) {
-      if (existing->spec.name == spec.name) {
-        return Status::AlreadyExists("slo '" + spec.name + "'");
-      }
-    }
-    *next = *cur;
-  }
+  if (cur) *next = *cur;
   next->push_back(std::move(tracker));
   trackers_.store(next.get(), std::memory_order_release);
   retired_.push_back(std::move(next));
@@ -304,9 +311,12 @@ void SloEngine::record(bool is_get, Duration latency, std::string_view tier,
   const TrackerList* list = trackers_.load(std::memory_order_acquire);
   if (!list) return;
   const TimePoint t = now();
-  const double latency_ms = to_ms(latency);
+  const double wall_ms = to_ms(latency);
   for (const auto& tracker : *list) {
     if (!tracker->spec.tier.empty() && tracker->spec.tier != tier) continue;
+    // Modelled ms, so comparisons against target_ms (and the published
+    // quantiles) are scale-invariant.
+    const double latency_ms = wall_ms * tracker->wall_to_model;
     bool bad = false;
     if (slo_is_latency(tracker->spec.signal)) {
       if (tracker->is_get != is_get) continue;

@@ -158,14 +158,20 @@ class SloEngine {
   explicit SloEngine(std::string instance_name);
 
   // Registers an objective (and its `tiera_slo_*` series). Rejects
-  // duplicate names and non-positive targets/windows. Window geometry is
-  // frozen at add time using the effective time scale, mirroring how timer
-  // rules scale their periods.
+  // duplicate names and non-positive targets/windows. The effective time
+  // scale is frozen at add time (mirroring how timer rules scale their
+  // periods): window geometry is scaled down to wall time, and recorded
+  // wall-clock latencies are scaled back up to modelled time, so
+  // `target_ms` and every published latency stay in modelled milliseconds
+  // regardless of the scale.
   Status add(const SloSpec& spec);
 
   std::size_t size() const;
 
   // --- Hot path --------------------------------------------------------------
+  // `latency` is measured wall-clock time; each objective converts it to
+  // modelled time with its frozen scale before bucketing and bad-sample
+  // classification.
   void record_put(Duration latency, std::string_view tier, bool ok) {
     record(/*is_get=*/false, latency, tier, ok);
   }
@@ -194,6 +200,9 @@ class SloEngine {
     bool is_get = false;
     double quantile = 0;      // 0 for error-rate objectives
     double budget = 0;        // error budget: 1-q (latency) or target
+    // Converts recorded wall-clock latency into modelled ms: 1/time_scale,
+    // frozen at add() alongside the window geometry.
+    double wall_to_model = 1.0;
     SloWindowRing window;
     SloWindowRing burn_short;
     SloWindowRing burn_long;
@@ -208,8 +217,8 @@ class SloEngine {
     Gauge* burn_long_gauge = nullptr;   // extra label window="<long>"
     Counter* violations_counter = nullptr;
 
-    Tracker(SloSpec s, int slices, Duration window_slice, Duration short_slice,
-            Duration long_slice);
+    Tracker(SloSpec s, double scale, int slices, Duration window_slice,
+            Duration short_slice, Duration long_slice);
     double current_value(TimePoint t) const;
     bool over_target(double current) const;
   };

@@ -31,9 +31,10 @@ bool wait_until(const std::function<bool()>& pred, double timeout_s) {
 }
 
 TEST(SloIntegrationTest, LatencyViolationFiresRuleAndRecovers) {
-  // Small positive scale: EBS reads (9 ms modelled, 25% jitter) cost
-  // ~0.34-0.56 ms of real time, Memcached reads ~0.02 ms. An SLO target of
-  // 0.2 ms separates the two cleanly.
+  // Small positive scale: targets stay in modelled time (the engine scales
+  // recorded wall latencies back up), so EBS reads register as ~6.75-11.25 ms
+  // (9 ms modelled, 25% jitter) and Memcached reads well under 1 ms. A 4 ms
+  // modelled target separates the two cleanly at any scale.
   ZeroLatencyScope scale(0.05);
   TempDir dir;
 
@@ -48,7 +49,7 @@ TEST(SloIntegrationTest, LatencyViolationFiresRuleAndRecovers) {
   SloSpec slo;
   slo.name = "get_p99";
   slo.signal = SloSignal::kGetP99;
-  slo.target_ms = 0.2;
+  slo.target_ms = 4.0;
   slo.window = std::chrono::seconds(20);  // 1 s of real time at this scale
   ASSERT_TRUE(instance.add_slo(slo).ok());
 

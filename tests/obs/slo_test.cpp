@@ -129,6 +129,72 @@ TEST(SloEngineTest, AddValidatesSpecs) {
   EXPECT_EQ(engine.size(), 1u);
 }
 
+TEST(SloEngineTest, RejectedDuplicateLeavesPublishedGaugesAlone) {
+  ZeroLatencyScope zero;
+  SloEngine engine("dupgauge-instance");
+  SloSpec spec;
+  spec.name = "get_p99";
+  spec.target_ms = 2.0;
+  ASSERT_TRUE(engine.add(spec).ok());
+
+  // Drive the live objective into violation so both gauges are non-default.
+  for (int i = 0; i < 20; ++i) engine.record_get(from_ms(10), "t", true);
+  ASSERT_TRUE(engine.evaluate(now()));
+
+  Gauge& target = MetricsRegistry::global().gauge(
+      "tiera_slo_target",
+      {{"slo", "get_p99"}, {"instance", "dupgauge-instance"}, {"tier", ""}});
+  Gauge& violated = MetricsRegistry::global().gauge(
+      "tiera_slo_violated",
+      {{"slo", "get_p99"}, {"instance", "dupgauge-instance"}, {"tier", ""}});
+  ASSERT_EQ(target.value(), 2.0);
+  ASSERT_EQ(violated.value(), 1.0);
+
+  // A rejected duplicate with a different target must not clobber the live
+  // objective's published series, even transiently.
+  SloSpec dup = spec;
+  dup.target_ms = 99.0;
+  EXPECT_FALSE(engine.add(dup).ok());
+  EXPECT_EQ(target.value(), 2.0);
+  EXPECT_EQ(violated.value(), 1.0);
+}
+
+TEST(SloEngineTest, TargetsAreModelledTimeUnderScale) {
+  // At scale 0.1 a modelled 10 ms op costs 1 ms of wall time. The engine
+  // must scale recorded wall latencies back to modelled ms so the declared
+  // 5 ms modelled target classifies that op as bad — and a genuinely fast
+  // op (0.1 ms wall = 1 ms modelled) as good.
+  ZeroLatencyScope scale(0.1);
+  SloEngine engine("scaled-instance");
+  SloSpec spec;
+  spec.name = "get_p99";
+  spec.target_ms = 5.0;
+  ASSERT_TRUE(engine.add(spec).ok());
+
+  for (int i = 0; i < 20; ++i) {
+    engine.record_get(from_ms(1.0), "t", true);  // 10 ms modelled: bad
+  }
+  const TimePoint t = now();
+  EXPECT_TRUE(engine.evaluate(t));
+  EXPECT_EQ(engine.violated_value("get_p99"), 1.0);
+  auto rows = engine.status(t);
+  ASSERT_EQ(rows.size(), 1u);
+  // The published quantile is modelled ms too (log buckets: ~7.5% width).
+  EXPECT_GE(rows[0].current, 10.0);
+  EXPECT_LE(rows[0].current, 11.0);
+  // Every sample was bad, so the burn windows saw bad_fraction 1.0.
+  EXPECT_NEAR(rows[0].burn_short, 100.0, 1.0);
+
+  SloEngine fast_engine("scaled-fast-instance");
+  spec.name = "fast.get_p99";
+  ASSERT_TRUE(fast_engine.add(spec).ok());
+  for (int i = 0; i < 20; ++i) {
+    fast_engine.record_get(from_ms(0.1), "t", true);  // 1 ms modelled: good
+  }
+  EXPECT_FALSE(fast_engine.evaluate(now()));
+  EXPECT_EQ(fast_engine.violated_value("fast.get_p99"), 0.0);
+}
+
 TEST(SloEngineTest, ViolationFlipsOnEdgeAndRecovers) {
   ZeroLatencyScope zero;
   SloEngine engine("edge-instance");

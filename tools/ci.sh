@@ -34,9 +34,9 @@ stage_asan() {
     -DCMAKE_BUILD_TYPE=Debug -DTIERA_SANITIZE=address,undefined
   cmake --build "${repo_root}/build-ci-asan" -j "${jobs}"
   # halt_on_error surfaces UBSan findings as test failures, not just logs.
+  # Sanitized binaries run slower; still cap each test (see stage_release).
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ASAN_OPTIONS="detect_leaks=0" \
-  # Sanitized binaries run slower; still cap each test (see stage_release).
   ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure \
     --timeout 180 -j "${jobs}"
 }
