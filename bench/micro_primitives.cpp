@@ -12,6 +12,7 @@
 #include "common/hash.h"
 #include "core/responses.h"
 #include "core/templates.h"
+#include "obs/stage.h"
 #include "store/mem_tier.h"
 
 namespace tiera {
@@ -150,6 +151,56 @@ void BM_InstanceGet4KWithSlo(benchmark::State& state) {
   state.SetLabel("one active SLO recording every GET");
 }
 BENCHMARK(BM_InstanceGet4KWithSlo);
+
+// Stage-timer cost: the default BM_InstancePut4K/Get4K above already run
+// with the default 1-in-8 stage sampling (that is the shipping
+// configuration); these variants record a breakdown for *every* op
+// (sample=1), so the delta is the worst-case full instrumentation cost.
+void BM_InstancePut4KWithStages(benchmark::State& state) {
+  set_time_scale(0.0);
+  set_log_level(LogLevel::kError);
+  set_stage_sample_every(1);
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = "/tmp/tiera-bench/micro-instance-stage-put"}, 1ull << 32,
+      1ull << 32);
+  if (!instance.ok()) {
+    state.SkipWithError("instance creation failed");
+    return;
+  }
+  const Bytes payload = make_payload(4096, 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*instance)->put(key_of(i++ % 1000), as_view(payload)));
+  }
+  set_stage_sample_every(8);
+  state.SetLabel("per-stage breakdown recorded on every PUT");
+}
+BENCHMARK(BM_InstancePut4KWithStages);
+
+void BM_InstanceGet4KWithStages(benchmark::State& state) {
+  set_time_scale(0.0);
+  set_log_level(LogLevel::kError);
+  set_stage_sample_every(1);
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = "/tmp/tiera-bench/micro-instance-stage-get"}, 1ull << 32,
+      1ull << 32);
+  if (!instance.ok()) {
+    state.SkipWithError("instance creation failed");
+    return;
+  }
+  const Bytes payload = make_payload(4096, 1);
+  for (int i = 0; i < 1000; ++i) {
+    (void)(*instance)->put(key_of(i), as_view(payload));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*instance)->get(key_of(i++ % 1000)));
+  }
+  set_stage_sample_every(8);
+  state.SetLabel("per-stage breakdown recorded on every GET");
+}
+BENCHMARK(BM_InstanceGet4KWithStages);
 
 void BM_Sha256_4K(benchmark::State& state) {
   const Bytes payload = make_payload(4096, 2);

@@ -1,0 +1,137 @@
+// CI perf-smoke gate for the cost-attribution subsystem.
+//
+// Drives an unsampled PUT/GET/DELETE load through an in-process instance
+// (server + RPC client, so the rpc.decode stage is exercised too) with the
+// sampling profiler running, then asserts the self-consistency invariant:
+// per-op stage sums must reconcile with the whole-op span within 10%, and
+// the folded profile must name the journal, policy-eval, and tier-I/O
+// frames. Writes the stage-breakdown report and folded stacks to the paths
+// given on the command line so CI can upload them as artifacts.
+//
+//   $ ./stage_smoke [stage_report.txt] [profile.folded]
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/responses.h"
+#include "core/templates.h"
+#include "net/tiera_service.h"
+#include "obs/profiler.h"
+#include "obs/stage.h"
+
+using namespace tiera;
+
+namespace {
+
+bool write_file(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kError);
+  set_time_scale(0.0);
+  // Unsampled: the reconciliation assertion wants every op's books, and the
+  // gate should catch accounting bugs on the first broken op.
+  set_stage_sample_every(1);
+
+  const char* report_path = argc > 1 ? argv[1] : "stage_report.txt";
+  const char* folded_path = argc > 2 ? argv[2] : "profile.folded";
+
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = bench::scratch_dir("stage-smoke"), .persist_metadata = true},
+      1ull << 30, 1ull << 30);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "FAIL: instance creation: %s\n",
+                 instance.status().to_string().c_str());
+    return 1;
+  }
+  TieraServer server(**instance, 0, 4);
+  if (!server.start().ok()) {
+    std::fprintf(stderr, "FAIL: server start\n");
+    return 1;
+  }
+  auto client = RemoteTieraClient::connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "FAIL: client connect\n");
+    return 1;
+  }
+
+  if (!Profiler::global().start(/*interval_us=*/200).ok()) {
+    std::fprintf(stderr, "FAIL: profiler start\n");
+    return 1;
+  }
+
+  const Bytes payload = make_payload(4096, 7);
+  constexpr int kOps = 3000;
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "smoke" + std::to_string(i % 500);
+    if (!(*client)->put(key, as_view(payload)).ok()) {
+      std::fprintf(stderr, "FAIL: put %d\n", i);
+      return 1;
+    }
+    if (!(*client)->get(key).ok()) {
+      std::fprintf(stderr, "FAIL: get %d\n", i);
+      return 1;
+    }
+    if (i % 10 == 9 && !(*client)->remove(key).ok()) {
+      std::fprintf(stderr, "FAIL: remove %d\n", i);
+      return 1;
+    }
+  }
+  (*instance)->control().drain();
+
+  const std::string folded = Profiler::global().stop();
+  server.stop();
+
+  const std::string report = render_stage_report();
+  std::fputs(report.c_str(), stdout);
+  (void)write_file(report_path, report);
+  (void)write_file(folded_path, folded);
+
+  bool ok = true;
+
+  // Invariant 1: Σ(named + other) ≈ total, per op, within 10%.
+  const double recon = stage_reconciliation_error();
+  std::printf("reconciliation error: %.2f%% (limit 10%%)\n", recon * 100.0);
+  if (recon > 0.10) {
+    std::fprintf(stderr, "FAIL: stage sums do not reconcile with whole-op "
+                         "latency\n");
+    ok = false;
+  }
+
+  // Invariant 2: every op class saw samples.
+  bool saw_put = false, saw_get = false, saw_delete = false;
+  for (const StageRow& row : stage_breakdown()) {
+    if (row.stage != "total") continue;
+    if (row.op == "put") saw_put = row.count > 0;
+    if (row.op == "get") saw_get = row.count > 0;
+    if (row.op == "delete") saw_delete = row.count > 0;
+  }
+  if (!saw_put || !saw_get || !saw_delete) {
+    std::fprintf(stderr, "FAIL: missing op breakdown (put=%d get=%d del=%d)\n",
+                 saw_put, saw_get, saw_delete);
+    ok = false;
+  }
+
+  // Invariant 3: the folded profile names the load-bearing frames.
+  for (const char* frame : {"journal.append", "policy.eval", "tier.io"}) {
+    if (folded.find(frame) == std::string::npos) {
+      std::fprintf(stderr, "FAIL: folded profile has no '%s' frame\n", frame);
+      ok = false;
+    }
+  }
+  if (folded.empty()) {
+    std::fprintf(stderr, "FAIL: folded profile is empty\n");
+    ok = false;
+  }
+
+  std::printf("%s\n", ok ? "STAGE-SMOKE PASS" : "STAGE-SMOKE FAIL");
+  return ok ? 0 : 1;
+}

@@ -10,10 +10,14 @@
 //   $ ./tiera_cli <port> trace [--json] [n]
 //   $ ./tiera_cli <port> top [period-seconds]
 //   $ ./tiera_cli <port> slo
+//   $ ./tiera_cli <port> profile [--seconds N] [--interval-us N]
+//                                [--folded|--flamegraph-html]
 //
 // `trace --json` emits Chrome trace-event JSON (open in chrome://tracing or
 // https://ui.perfetto.dev); `top` refreshes live per-tier / per-rule activity
-// tables until interrupted.
+// tables until interrupted. `profile` runs the server's sampling profiler
+// for N seconds and prints folded stacks (default) or a self-contained HTML
+// flamegraph — redirect to a file and open in a browser.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 
 #include "common/logging.h"
 #include "net/tiera_service.h"
+#include "obs/profiler.h"
 
 using namespace tiera;
 
@@ -32,7 +37,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <port> put|get|rm|stat|tiers|grow|stats|trace|top"
-                 "|slo ...\n",
+                 "|slo|profile ...\n",
                  argv[0]);
     return 2;
   }
@@ -198,6 +203,46 @@ int main(int argc, char** argv) {
                   target, current, row.window_s, row.burn_short, row.burn_long,
                   row.violated ? "VIOLATED" : "ok",
                   static_cast<unsigned long long>(row.violations));
+    }
+    return 0;
+  }
+  if (command == "profile") {
+    double seconds = 2.0;
+    std::uint32_t interval_us = 1000;
+    bool html = false;
+    bool bad = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--seconds" && i + 1 < argc) {
+        seconds = std::atof(argv[++i]);
+      } else if (arg == "--interval-us" && i + 1 < argc) {
+        interval_us = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      } else if (arg == "--flamegraph-html") {
+        html = true;
+      } else if (arg == "--folded") {
+        html = false;
+      } else {
+        bad = true;
+      }
+    }
+    if (bad || seconds <= 0) {
+      std::fprintf(stderr,
+                   "usage: profile [--seconds N] [--interval-us N] "
+                   "[--folded|--flamegraph-html]\n");
+      return 2;
+    }
+    auto folded = (*client)->profile(
+        static_cast<std::uint32_t>(seconds * 1000.0), interval_us);
+    if (!folded.ok()) {
+      std::fprintf(stderr, "profile failed: %s\n",
+                   folded.status().to_string().c_str());
+      return 1;
+    }
+    if (html) {
+      std::fputs(render_flamegraph_html(*folded, "tiera profile").c_str(),
+                 stdout);
+    } else {
+      std::fputs(folded->c_str(), stdout);
     }
     return 0;
   }

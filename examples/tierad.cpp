@@ -5,9 +5,12 @@
 //
 //   $ ./tierad <spec.tiera> [port] [param=value ...] [--stats-period=<sec>]
 //            [--retries=<n>] [--deadline=<dur>] [--breaker[=<n>]] [--hedge[=<q>%]]
+//            [--persist-metadata]
 //
 // --stats-period=N logs the metrics registry (human-readable rendering)
-// every N seconds while serving.
+// every N seconds while serving. --persist-metadata journals object
+// metadata to <data_dir>/metadb so a restarted tierad recovers its index
+// (and the journal.append stage/profiler frames are exercised).
 //
 // The resilience flags set the default ResiliencePolicy for tiers whose
 // spec declaration carries no knobs of its own (same grammar as the spec
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   bool demo = false;
+  bool persist_metadata = false;
   std::uint16_t port = 0;
   int stats_period_s = 0;
   std::string retries, deadline, breaker, hedge;
@@ -58,6 +62,8 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--persist-metadata") == 0) {
+      persist_metadata = true;
     } else if (std::strncmp(argv[i], "--stats-period=", 15) == 0) {
       stats_period_s = std::atoi(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
@@ -99,6 +105,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   opts.default_resilience = *resilience;
+  opts.persist_metadata = persist_metadata;
   auto instance = spec->instantiate(opts, args);
   if (!instance.ok()) {
     std::fprintf(stderr, "instantiate error: %s\n",

@@ -1,0 +1,64 @@
+#include "common/profile_stack.h"
+
+#include <mutex>
+#include <unordered_set>
+
+namespace tiera {
+
+namespace {
+
+std::atomic<bool> g_frames_enabled{false};
+
+struct StackRegistry {
+  std::mutex mu;
+  std::unordered_set<ProfileStack*> stacks;
+};
+
+// Leaked on purpose: thread-local destructors (which unregister) can run
+// during process teardown after function-local statics are destroyed.
+StackRegistry& registry() {
+  static StackRegistry* r = new StackRegistry;
+  return *r;
+}
+
+struct ThreadStackHolder {
+  ProfileStack stack;
+  ThreadStackHolder() {
+    StackRegistry& r = registry();
+    std::lock_guard lock(r.mu);
+    r.stacks.insert(&stack);
+  }
+  ~ThreadStackHolder() {
+    StackRegistry& r = registry();
+    std::lock_guard lock(r.mu);
+    r.stacks.erase(&stack);
+  }
+};
+
+}  // namespace
+
+bool profile_frames_enabled() {
+  return g_frames_enabled.load(std::memory_order_relaxed);
+}
+
+void set_profile_frames_enabled(bool enabled) {
+  g_frames_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ProfileStack& this_thread_profile_stack() {
+  thread_local ThreadStackHolder holder;
+  return holder.stack;
+}
+
+void profile_set_thread_name(const char* name) {
+  this_thread_profile_stack().set_name(name);
+}
+
+void for_each_profile_stack(
+    const std::function<void(const ProfileStack&)>& fn) {
+  StackRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (const ProfileStack* stack : r.stacks) fn(*stack);
+}
+
+}  // namespace tiera

@@ -1,0 +1,113 @@
+// ProfileStack: the per-thread annotation stack behind the sampling
+// profiler in src/obs.
+//
+// Instead of unwinding native frames (fragile under optimization, and the
+// mangled symbols would not name Tiera's logical stages), every
+// instrumented thread maintains a small stack of string-literal frame
+// names — "pool:tiera-responses", "put", "journal.append" — that the
+// sampler thread snapshots periodically to build perf-style folded stacks.
+//
+// This header lives in common (not obs) for the same reason trace_context.h
+// does: ThreadPool and the RPC reader threads install their root frames and
+// thread names here without the common layer depending on the profiler.
+//
+// Concurrency: the owner thread is the only writer; the sampler reads
+// concurrently. Every slot is an atomic pointer to a string with static (or
+// owner-outliving) storage, and the depth is published with release order,
+// so a racing sample sees a prefix of valid frame pointers — occasionally a
+// frame from the neighbouring op, which is noise a sampling profiler
+// tolerates by construction. Frame pushes are gated on a process-wide flag
+// so the idle cost of an instrumented scope is one relaxed load.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+namespace tiera {
+
+// True while a profiler capture wants frames recorded. Scopes that pushed
+// while enabled always pop (they remember), so toggling mid-scope never
+// unbalances a stack.
+bool profile_frames_enabled();
+void set_profile_frames_enabled(bool enabled);
+
+class ProfileStack {
+ public:
+  static constexpr int kMaxDepth = 48;
+
+  // Owner-thread side. `frame` must outlive the thread's registration
+  // (string literals and names owned by longer-lived objects qualify).
+  void push(const char* frame) {
+    const int d = depth_.load(std::memory_order_relaxed);
+    if (d >= kMaxDepth) {
+      ++overflow_;  // owner-only counter keeps pops balanced
+      return;
+    }
+    frames_[d].store(frame, std::memory_order_relaxed);
+    depth_.store(d + 1, std::memory_order_release);
+  }
+  void pop() {
+    if (overflow_ > 0) {
+      --overflow_;
+      return;
+    }
+    const int d = depth_.load(std::memory_order_relaxed);
+    if (d > 0) depth_.store(d - 1, std::memory_order_release);
+  }
+
+  void set_name(const char* name) {
+    name_.store(name, std::memory_order_release);
+  }
+
+  // Sampler side: copies up to `max` frames into `out`, returns the count.
+  int snapshot(const char* out[], int max) const {
+    int d = depth_.load(std::memory_order_acquire);
+    if (d > max) d = max;
+    for (int i = 0; i < d; ++i) {
+      out[i] = frames_[i].load(std::memory_order_relaxed);
+    }
+    return d;
+  }
+  const char* name() const { return name_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<const char*> frames_[kMaxDepth] = {};
+  std::atomic<int> depth_{0};
+  std::atomic<const char*> name_{nullptr};
+  int overflow_ = 0;
+};
+
+// The calling thread's stack; registers it with the process registry on
+// first use and unregisters at thread exit (under the registry lock, so the
+// sampler never reads a dead thread's stack).
+ProfileStack& this_thread_profile_stack();
+
+// Names the calling thread in folded output ("rpc-reader", "pool:hedge").
+// `name` must outlive the thread.
+void profile_set_thread_name(const char* name);
+
+// Runs `fn` for every live registered stack, under the registry lock.
+void for_each_profile_stack(const std::function<void(const ProfileStack&)>& fn);
+
+// RAII frame. Pushes only while profiling is enabled; remembers whether it
+// pushed so enable/disable races never unbalance the stack.
+class ProfScope {
+ public:
+  explicit ProfScope(const char* frame) {
+    if (profile_frames_enabled()) {
+      this_thread_profile_stack().push(frame);
+      pushed_ = true;
+    }
+  }
+  ~ProfScope() {
+    if (pushed_) this_thread_profile_stack().pop();
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+}  // namespace tiera

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/profile_stack.h"
+
 namespace tiera {
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
@@ -21,7 +23,7 @@ bool ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
     if (stopping_) return false;
-    queue_.push_back({std::move(task), current_trace_context()});
+    queue_.push_back({std::move(task), current_trace_context(), now()});
     observer = observer_;
     depth = queue_.size();
     active = active_;
@@ -59,7 +61,15 @@ std::size_t ThreadPool::queue_depth() const {
   return queue_.size();
 }
 
+std::size_t ThreadPool::active() const {
+  std::lock_guard lock(mu_);
+  return active_;
+}
+
 void ThreadPool::worker_loop() {
+  // name_ outlives the workers (joined in the destructor), so the profiler
+  // may hold the pointer for the thread's lifetime.
+  profile_set_thread_name(name_.c_str());
   for (;;) {
     Task task;
     {
@@ -73,6 +83,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    sojourn_.record(now() - task.enqueued);
     {
       // Adopt the submitter's trace context so spans recorded by this task
       // link back to the request/event that queued it.

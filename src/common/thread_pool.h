@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/trace_context.h"
 
 namespace tiera {
@@ -63,14 +64,23 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
   std::size_t queue_depth() const;
+  std::size_t active() const;
+  const std::string& name() const { return name_; }
+
+  // Queue-wait (sojourn) time of every task, from submit() to the moment a
+  // worker dequeues it. Read by obs::PoolMetrics for the
+  // `tiera_pool_sojourn_ms` series; safe to read concurrently.
+  const LatencyHistogram& sojourn() const { return sojourn_; }
 
  private:
   void worker_loop();
 
-  // A queued task plus the trace context it was submitted under.
+  // A queued task plus the trace context it was submitted under and the
+  // enqueue time for sojourn accounting.
   struct Task {
     std::function<void()> fn;
     TraceContext trace;
+    TimePoint enqueued;
   };
 
   mutable std::mutex mu_;
@@ -82,6 +92,7 @@ class ThreadPool {
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::string name_;
+  LatencyHistogram sojourn_;
 };
 
 }  // namespace tiera

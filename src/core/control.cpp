@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/profile_stack.h"
 #include "common/trace_context.h"
 #include "core/instance.h"
+#include "obs/stage.h"
 #include "obs/trace.h"
 
 namespace tiera {
@@ -182,6 +184,11 @@ void ControlLayer::run_responses(const std::shared_ptr<Rule>& rule,
 
 void ControlLayer::execute_rule(const std::shared_ptr<Rule>& rule,
                                 EventContext ctx) {
+  // Single entry point for pool-dispatched and timer-fired rules: give the
+  // whole execution a "background" op breakdown (its engine calls re-charge
+  // to tier.io / metadata.lookup / journal.append as usual).
+  OpStageScope stage_scope(StageOp::kBackground);
+  StageTimer policy_stage(Stage::kPolicyEval);
   run_responses(rule, ctx);
 }
 
@@ -312,6 +319,7 @@ void ControlLayer::request_threshold_evaluation() {
 }
 
 void ControlLayer::timer_loop() {
+  profile_set_thread_name("tiera-timer");
   while (running_.load(std::memory_order_relaxed)) {
     // Tick in scaled wall time so modelled timer periods stay proportional.
     const double scale = time_scale();
@@ -324,7 +332,11 @@ void ControlLayer::timer_loop() {
     bool thresholds_due =
         thresholds_requested_.exchange(false, std::memory_order_acq_rel);
     if (instance_.slo().evaluate()) thresholds_due = true;
-    if (thresholds_due) evaluate_thresholds();
+    if (thresholds_due) {
+      OpStageScope stage_scope(StageOp::kBackground);
+      StageTimer policy_stage(Stage::kPolicyEval);
+      evaluate_thresholds();
+    }
 
     std::vector<std::shared_ptr<Rule>> due;
     {

@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "core/policy.h"
 #include "obs/metrics.h"
+#include "obs/pool_metrics.h"
 
 namespace tiera {
 
@@ -91,6 +92,8 @@ class ControlLayer {
 
   TieraInstance& instance_;
   ThreadPool response_pool_;
+  // Declared after the pool it watches so it is destroyed first.
+  PoolMetrics response_pool_metrics_{response_pool_};
   const Duration timer_tick_;
 
   mutable std::shared_mutex rules_mu_;

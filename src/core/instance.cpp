@@ -10,6 +10,8 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/pool_metrics.h"
+#include "obs/stage.h"
 
 namespace tiera {
 
@@ -212,6 +214,7 @@ Status TieraInstance::put(std::string_view id, ByteView data,
   // background responses queued on the control pool — records child spans
   // under this context.
   TraceScope span;
+  OpStageScope stage_scope(StageOp::kPut);
   Stopwatch watch;
   const std::string object_id(id);
 
@@ -254,21 +257,26 @@ Status TieraInstance::put(std::string_view id, ByteView data,
   ctx.object_id = object_id;
   ctx.payload = std::make_shared<const Bytes>(data.begin(), data.end());
 
-  // Pass 1: placement logic (`event(insert.into)` rules).
-  control_->on_action(ActionType::kInsert, ctx, {},
-                      ControlLayer::MatchScope::kUnfilteredOnly);
-  if (!ctx.stored && config_.default_placement) {
-    const auto snapshot = tier_snapshot();
-    if (!snapshot.empty()) {
-      (void)engine_store(object_id, ctx.payload, {snapshot.front().label},
-                         /*dedup=*/false, &ctx);
+  {
+    // Both rule passes plus the threshold sweep are "policy" time; the
+    // engine_store they trigger re-charges its tier writes to tier.io.
+    StageTimer policy_stage(Stage::kPolicyEval);
+    // Pass 1: placement logic (`event(insert.into)` rules).
+    control_->on_action(ActionType::kInsert, ctx, {},
+                        ControlLayer::MatchScope::kUnfilteredOnly);
+    if (!ctx.stored && config_.default_placement) {
+      const auto snapshot = tier_snapshot();
+      if (!snapshot.empty()) {
+        (void)engine_store(object_id, ctx.payload, {snapshot.front().label},
+                           /*dedup=*/false, &ctx);
+      }
     }
-  }
-  // Pass 2: reactions to where it landed (`insert.into == tierX`).
-  control_->on_action(ActionType::kInsert, ctx, ctx.stored_tiers,
-                      ControlLayer::MatchScope::kFilteredOnly);
+    // Pass 2: reactions to where it landed (`insert.into == tierX`).
+    control_->on_action(ActionType::kInsert, ctx, ctx.stored_tiers,
+                        ControlLayer::MatchScope::kFilteredOnly);
 
-  control_->evaluate_thresholds();
+    control_->evaluate_thresholds();
+  }
 
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.ops.add();
@@ -325,6 +333,7 @@ Status TieraInstance::put(std::string_view id, ByteView data,
 
 Result<Bytes> TieraInstance::get(std::string_view id) {
   TraceScope span;
+  OpStageScope stage_scope(StageOp::kGet);
   Stopwatch watch;
   const std::string object_id(id);
   const auto meta = meta_.get(object_id);
@@ -345,21 +354,26 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
 
   // Undo at-rest transforms (applied compress-first, so undo decrypt-first).
   Bytes bytes = std::move(at_rest).value();
-  if (meta->encrypted) {
-    std::optional<ChaChaKey> key;
-    {
-      std::lock_guard lock(key_mu_);
-      key = encryption_key_;
+  {
+    StageTimer build_stage(Stage::kResponseBuild);
+    if (meta->encrypted) {
+      std::optional<ChaChaKey> key;
+      {
+        std::lock_guard lock(key_mu_);
+        key = encryption_key_;
+      }
+      if (!key) {
+        return Status::Corruption("object encrypted, no key registered");
+      }
+      Result<Bytes> plain = chacha_decrypt(as_view(bytes), *key);
+      if (!plain.ok()) return plain.status();
+      bytes = std::move(plain).value();
     }
-    if (!key) return Status::Corruption("object encrypted, no key registered");
-    Result<Bytes> plain = chacha_decrypt(as_view(bytes), *key);
-    if (!plain.ok()) return plain.status();
-    bytes = std::move(plain).value();
-  }
-  if (meta->compressed) {
-    Result<Bytes> inflated = lz_decompress(as_view(bytes));
-    if (!inflated.ok()) return inflated.status();
-    bytes = std::move(inflated).value();
+    if (meta->compressed) {
+      Result<Bytes> inflated = lz_decompress(as_view(bytes));
+      if (!inflated.ok()) return inflated.status();
+      bytes = std::move(inflated).value();
+    }
   }
 
   (void)meta_.update(object_id, [&](ObjectMeta& cur) {
@@ -373,7 +387,10 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   ctx.instance = this;
   ctx.object_id = object_id;
   ctx.action_tier = served_tier;
-  control_->on_action(ActionType::kGet, ctx, {served_tier});
+  {
+    StageTimer policy_stage(Stage::kPolicyEval);
+    control_->on_action(ActionType::kGet, ctx, {served_tier});
+  }
 
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   stats_.ops.add();
@@ -386,6 +403,7 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
 
 Status TieraInstance::remove(std::string_view id) {
   TraceScope span;
+  OpStageScope stage_scope(StageOp::kDelete);
   Stopwatch watch;
   const std::string object_id(id);
   if (!meta_.contains(object_id)) return Status::NotFound("no such object");
@@ -395,10 +413,16 @@ Status TieraInstance::remove(std::string_view id) {
   ctx.object_id = object_id;
   // Delete events fire before the object disappears so responses can still
   // act on it (archive-on-delete policies).
-  control_->on_action(ActionType::kDelete, ctx, {});
+  {
+    StageTimer policy_stage(Stage::kPolicyEval);
+    control_->on_action(ActionType::kDelete, ctx, {});
+  }
 
   TIERA_RETURN_IF_ERROR(engine_delete({object_id}, {}, &ctx));
-  control_->evaluate_thresholds();
+  {
+    StageTimer policy_stage(Stage::kPolicyEval);
+    control_->evaluate_thresholds();
+  }
   stats_.removes.fetch_add(1, std::memory_order_relaxed);
   stats_.ops.add();
   metrics_.delete_latency->record(watch.elapsed());
@@ -428,6 +452,8 @@ Status TieraInstance::add_tags(std::string_view id,
 
 Result<Bytes> TieraInstance::read_at_rest(const ObjectMeta& meta,
                                           std::string* served_tier) {
+  // Whole-body tier.io: covers fallback chains and hedge waits alike.
+  StageTimer io_stage(Stage::kTierIo);
   const std::string key = meta.storage_key();
   std::vector<TierEntry> locations;
   for (const auto& entry : tier_snapshot()) {
@@ -630,6 +656,7 @@ Status TieraInstance::engine_store(std::string_view id,
     // object carries it), only metadata changes — no billable tier request.
     const bool bytes_present = maybe_resident && (*t)->contains(storage_key);
     if (!bytes_present) {
+      StageTimer io_stage(Stage::kTierIo);
       const Status s = (*t)->put(storage_key, at_rest);
       if (!s.ok()) {
         last = s;
@@ -856,6 +883,7 @@ Status TieraInstance::engine_delete(const std::vector<std::string>& ids,
       if (!meta->in_tier(label)) continue;
       Result<TierPtr> t = find_tier(label);
       if (t.ok() && !content_needed_in_tier(*meta, label)) {
+        StageTimer io_stage(Stage::kTierIo);
         const Status s = (*t)->remove(meta->storage_key());
         if (!s.ok() && !s.is_not_found()) last = s;
       }
@@ -1297,6 +1325,13 @@ std::string TieraInstance::render_top() const {
                     r.last_error.c_str());
       out += line;
     }
+  }
+
+  // Pool saturation (every PoolMetrics-bound pool in the process).
+  const std::string pools = render_pool_table();
+  if (!pools.empty()) {
+    out += '\n';
+    out += pools;
   }
   return out;
 }

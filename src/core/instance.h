@@ -23,6 +23,7 @@
 #include "common/rate_limiter.h"
 #include "common/thread_pool.h"
 #include "core/control.h"
+#include "obs/pool_metrics.h"
 #include "core/metadata_store.h"
 #include "core/policy.h"
 #include "obs/metrics.h"
@@ -264,6 +265,8 @@ class TieraInstance {
   // worker only until the inner tier returns. Tasks capture the race state
   // and the tier by shared_ptr, never the instance.
   ThreadPool hedge_pool_{4, "hedge"};
+  // Declared after the pool it watches so it is destroyed first.
+  PoolMetrics hedge_pool_metrics_{hedge_pool_};
 
   // End-to-end series in the global registry (`tiera_instance_*`).
   // Pull-model: a registered collector delta-syncs counters from `stats_`

@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/stage.h"
 
 namespace tiera {
 
@@ -64,6 +65,7 @@ Status MetadataStore::unpersist(std::string_view id) {
 }
 
 std::optional<ObjectMeta> MetadataStore::get(std::string_view id) const {
+  StageTimer stage(Stage::kMetadataLookup);
   const Shard& shard = shard_for(id);
   std::lock_guard lock(shard.mu);
   auto it = shard.map.find(std::string(id));
@@ -72,12 +74,14 @@ std::optional<ObjectMeta> MetadataStore::get(std::string_view id) const {
 }
 
 bool MetadataStore::contains(std::string_view id) const {
+  StageTimer stage(Stage::kMetadataLookup);
   const Shard& shard = shard_for(id);
   std::lock_guard lock(shard.mu);
   return shard.map.count(std::string(id)) > 0;
 }
 
 Status MetadataStore::put(const ObjectMeta& meta) {
+  StageTimer stage(Stage::kMetadataLookup);
   Shard& shard = shard_for(meta.id);
   {
     std::lock_guard lock(shard.mu);
@@ -88,6 +92,7 @@ Status MetadataStore::put(const ObjectMeta& meta) {
 
 Status MetadataStore::update(std::string_view id,
                              const std::function<bool(ObjectMeta&)>& fn) {
+  StageTimer stage(Stage::kMetadataLookup);
   Shard& shard = shard_for(id);
   ObjectMeta snapshot;
   {
@@ -101,6 +106,7 @@ Status MetadataStore::update(std::string_view id,
 }
 
 Status MetadataStore::erase(std::string_view id) {
+  StageTimer stage(Stage::kMetadataLookup);
   Shard& shard = shard_for(id);
   {
     std::lock_guard lock(shard.mu);
@@ -122,6 +128,7 @@ std::size_t MetadataStore::size() const {
 
 void MetadataStore::for_each(
     const std::function<void(const ObjectMeta&)>& fn) const {
+  StageTimer stage(Stage::kMetadataLookup);
   for (const auto& shard : shards_) {
     std::vector<ObjectMeta> snapshot;
     {
@@ -143,6 +150,7 @@ std::vector<std::string> MetadataStore::select(
 }
 
 void MetadataStore::touch_in_tier(std::string_view tier, std::string_view id) {
+  StageTimer stage(Stage::kMetadataLookup);
   std::lock_guard lock(lru_mu_);
   TierLru& lru = tier_lru_[std::string(tier)];
   auto it = lru.pos.find(std::string(id));
@@ -156,6 +164,7 @@ void MetadataStore::touch_in_tier(std::string_view tier, std::string_view id) {
 
 void MetadataStore::remove_from_tier(std::string_view tier,
                                      std::string_view id) {
+  StageTimer stage(Stage::kMetadataLookup);
   std::lock_guard lock(lru_mu_);
   auto lit = tier_lru_.find(std::string(tier));
   if (lit == tier_lru_.end()) return;

@@ -10,6 +10,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/stage.h"
 
 namespace tiera {
 
@@ -157,6 +158,9 @@ Status MetaDb::replay() {
 
 Status MetaDb::append_record(std::uint8_t type, std::string_view key,
                              ByteView value) {
+  // Journal cost attribution: encode + write + (optional) fsync all count
+  // as journal.append in the per-op stage breakdown.
+  StageTimer stage(Stage::kJournalAppend);
   Bytes rec;
   rec.reserve(kRecordHeader + key.size() + value.size());
   rec.resize(4);  // crc placeholder

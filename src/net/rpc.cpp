@@ -1,6 +1,7 @@
 #include "net/rpc.h"
 
 #include "common/logging.h"
+#include "common/profile_stack.h"
 
 namespace tiera {
 
@@ -10,6 +11,7 @@ RpcServer::RpcServer(std::uint16_t port, std::size_t request_threads)
   metrics_.requests = &reg.counter("tiera_rpc_requests_total");
   metrics_.errors = &reg.counter("tiera_rpc_errors_total");
   metrics_.queue_depth = &reg.gauge("tiera_rpc_queue_depth");
+  metrics_.readers = &reg.gauge("tiera_rpc_reader_threads");
   metrics_.request_latency = &reg.histogram("tiera_rpc_request_latency_ms");
   Gauge* queue_depth = metrics_.queue_depth;
   pool_.set_observer([queue_depth](std::size_t depth, std::size_t) {
@@ -75,6 +77,7 @@ std::size_t RpcServer::tracked_readers() {
 }
 
 void RpcServer::accept_loop() {
+  profile_set_thread_name("rpc-accept");
   while (running_.load()) {
     auto conn = listener_->accept();
     if (!conn.ok()) return;  // shut down
@@ -95,6 +98,7 @@ void RpcServer::accept_loop() {
       done->store(true, std::memory_order_release);
     });
     readers_.push_back(std::move(reader));
+    metrics_.readers->set(static_cast<double>(readers_.size()));
   }
 }
 
@@ -110,9 +114,11 @@ void RpcServer::reap_finished_readers_locked() {
       ++it;
     }
   }
+  metrics_.readers->set(static_cast<double>(readers_.size()));
 }
 
 void RpcServer::serve_connection(std::shared_ptr<TcpConnection> conn) {
+  profile_set_thread_name("rpc-reader");
   while (running_.load()) {
     Result<Bytes> frame = conn->recv_frame();
     if (!frame.ok()) return;

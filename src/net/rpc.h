@@ -20,6 +20,7 @@
 #include "net/tcp.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/pool_metrics.h"
 
 namespace tiera {
 
@@ -53,6 +54,8 @@ class RpcServer {
 
   const std::uint16_t requested_port_;
   ThreadPool pool_;
+  // Declared after the pool it watches so it is destroyed first.
+  PoolMetrics pool_metrics_{pool_};
   std::map<std::uint8_t, RpcHandler> handlers_;
 
   std::unique_ptr<TcpListener> listener_;
@@ -83,6 +86,7 @@ class RpcServer {
     Counter* requests;
     Counter* errors;
     Gauge* queue_depth;
+    Gauge* readers;
     LatencyHistogram* request_latency;
   };
   Metrics metrics_;

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "obs/profiler.h"
+#include "obs/stage.h"
+
 namespace tiera {
 
 namespace {
@@ -40,13 +43,20 @@ void TieraServer::register_handlers() {
   server_.register_handler(
       static_cast<std::uint8_t>(TieraMethod::kPut),
       [this](ByteView body) -> Result<Bytes> {
+        // The RPC-level scope owns the breakdown for remote ops; the nested
+        // instance-level scope inside put() is inert, so rpc.decode and the
+        // engine stages land in the same per-op rows.
+        OpStageScope stage_scope(StageOp::kPut);
         WireReader r(body);
         std::string id;
         Bytes data;
         std::vector<std::string> tags;
-        TIERA_RETURN_IF_ERROR(r.str(id));
-        TIERA_RETURN_IF_ERROR(r.bytes(data));
-        TIERA_RETURN_IF_ERROR(read_string_list(r, tags));
+        {
+          StageTimer decode_stage(Stage::kRpcDecode);
+          TIERA_RETURN_IF_ERROR(r.str(id));
+          TIERA_RETURN_IF_ERROR(r.bytes(data));
+          TIERA_RETURN_IF_ERROR(read_string_list(r, tags));
+        }
         TIERA_RETURN_IF_ERROR(instance_.put(id, as_view(data), tags));
         return Bytes{};
       });
@@ -54,18 +64,26 @@ void TieraServer::register_handlers() {
   server_.register_handler(
       static_cast<std::uint8_t>(TieraMethod::kGet),
       [this](ByteView body) -> Result<Bytes> {
+        OpStageScope stage_scope(StageOp::kGet);
         WireReader r(body);
         std::string id;
-        TIERA_RETURN_IF_ERROR(r.str(id));
+        {
+          StageTimer decode_stage(Stage::kRpcDecode);
+          TIERA_RETURN_IF_ERROR(r.str(id));
+        }
         return instance_.get(id);
       });
 
   server_.register_handler(
       static_cast<std::uint8_t>(TieraMethod::kRemove),
       [this](ByteView body) -> Result<Bytes> {
+        OpStageScope stage_scope(StageOp::kDelete);
         WireReader r(body);
         std::string id;
-        TIERA_RETURN_IF_ERROR(r.str(id));
+        {
+          StageTimer decode_stage(Stage::kRpcDecode);
+          TIERA_RETURN_IF_ERROR(r.str(id));
+        }
         TIERA_RETURN_IF_ERROR(instance_.remove(id));
         return Bytes{};
       });
@@ -187,6 +205,24 @@ void TieraServer::register_handlers() {
           w.u64(row.violations);
         }
         return w.take();
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kProfile),
+      [](ByteView body) -> Result<Bytes> {
+        std::uint32_t duration_ms = 1000;
+        std::uint32_t interval_us = 1000;
+        if (!body.empty()) {
+          WireReader r(body);
+          TIERA_RETURN_IF_ERROR(r.u32(duration_ms));
+          TIERA_RETURN_IF_ERROR(r.u32(interval_us));
+        }
+        // Blocks one request-pool worker for the capture window; the
+        // profiler itself refuses concurrent captures.
+        Result<std::string> folded =
+            Profiler::global().capture(duration_ms, interval_us);
+        if (!folded.ok()) return folded.status();
+        return to_bytes(*folded);
       });
 
   server_.register_handler(
@@ -404,6 +440,17 @@ Result<std::vector<RemoteSloRow>> RemoteTieraClient::slo() {
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+Result<std::string> RemoteTieraClient::profile(std::uint32_t duration_ms,
+                                               std::uint32_t interval_us) {
+  WireWriter w;
+  w.u32(duration_ms);
+  w.u32(interval_us);
+  Result<Bytes> reply = client_->call(
+      static_cast<std::uint8_t>(TieraMethod::kProfile), as_view(w.data()));
+  if (!reply.ok()) return reply.status();
+  return std::string(reply->begin(), reply->end());
 }
 
 Status RemoteTieraClient::grow_tier(std::string_view label, double percent) {

@@ -27,6 +27,9 @@ enum class TieraMethod : std::uint8_t {
   // SLO status rows (u32 count + fixed-shape records; doubles cross as
   // micro-unit u64 fixed point).
   kSlo = 11,
+  // Sampling profiler capture: u32 duration_ms + u32 interval_us request,
+  // perf-style folded stacks ("frame;frame count" lines) in the reply.
+  kProfile = 12,
 };
 
 class TieraServer {
@@ -107,6 +110,10 @@ class RemoteTieraClient {
       std::uint32_t last_n = 512);
   // Live state of every declared SLO.
   Result<std::vector<RemoteSloRow>> slo();
+  // Run the server-side sampling profiler for `duration_ms` (sampling every
+  // `interval_us`) and return the folded stacks. Blocks for the duration.
+  Result<std::string> profile(std::uint32_t duration_ms,
+                              std::uint32_t interval_us = 1000);
 
  private:
   explicit RemoteTieraClient(std::unique_ptr<RpcClient> client)

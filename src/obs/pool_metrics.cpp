@@ -1,0 +1,115 @@
+#include "obs/pool_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace tiera {
+
+namespace {
+
+// Live bindings, for render_pool_table(). Leaked for the same reason as the
+// profile-stack registry: pool owners may be destroyed during teardown.
+struct PoolList {
+  std::mutex mu;
+  std::vector<PoolMetrics*> pools;
+};
+
+PoolList& pool_list() {
+  static PoolList* list = new PoolList;
+  return *list;
+}
+
+struct PoolRow {
+  std::string name;
+  std::size_t size = 0;
+  std::size_t active = 0;
+  std::size_t queue = 0;
+  std::uint64_t done = 0;
+  double sojourn_p50_ms = 0;
+  double sojourn_p99_ms = 0;
+};
+
+}  // namespace
+
+class PoolMetricsAccess {
+ public:
+  static PoolRow row(const PoolMetrics& pm);
+};
+
+PoolMetrics::PoolMetrics(ThreadPool& pool, std::string label)
+    : pool_(pool), label_(label.empty() ? pool.name() : std::move(label)) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const MetricsRegistry::Labels labels = {{"pool", label_}};
+  queue_depth_ = &reg.gauge("tiera_pool_queue_depth", labels);
+  active_ = &reg.gauge("tiera_pool_active", labels);
+  size_ = &reg.gauge("tiera_pool_size", labels);
+  sojourn_ = &reg.histogram("tiera_pool_sojourn_ms", labels);
+  collector_id_ = reg.add_collector([this] { collect(); });
+  {
+    PoolList& list = pool_list();
+    std::lock_guard lock(list.mu);
+    list.pools.push_back(this);
+  }
+}
+
+PoolMetrics::~PoolMetrics() {
+  {
+    PoolList& list = pool_list();
+    std::lock_guard lock(list.mu);
+    list.pools.erase(
+        std::remove(list.pools.begin(), list.pools.end(), this),
+        list.pools.end());
+  }
+  MetricsRegistry::global().remove_collector(collector_id_);
+}
+
+void PoolMetrics::collect() {
+  queue_depth_->set(static_cast<double>(pool_.queue_depth()));
+  active_->set(static_cast<double>(pool_.active()));
+  size_->set(static_cast<double>(pool_.size()));
+  sojourn_->merge_new_since(pool_.sojourn(), sojourn_cursor_);
+}
+
+PoolRow PoolMetricsAccess::row(const PoolMetrics& pm) {
+  PoolRow r;
+  r.name = pm.label_;
+  r.size = pm.pool_.size();
+  r.active = pm.pool_.active();
+  r.queue = pm.pool_.queue_depth();
+  const LatencyHistogram& sojourn = pm.pool_.sojourn();
+  r.done = sojourn.count();
+  r.sojourn_p50_ms = sojourn.percentile_ms(0.5);
+  r.sojourn_p99_ms = sojourn.percentile_ms(0.99);
+  return r;
+}
+
+std::string render_pool_table() {
+  std::vector<PoolRow> rows;
+  {
+    PoolList& list = pool_list();
+    std::lock_guard lock(list.mu);
+    rows.reserve(list.pools.size());
+    for (const PoolMetrics* pm : list.pools) {
+      rows.push_back(PoolMetricsAccess::row(*pm));
+    }
+  }
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-16s %6s %6s %6s %10s %12s %12s\n",
+                "POOL", "SIZE", "ACT", "QUEUE", "DONE", "SOJ-P50ms",
+                "SOJ-P99ms");
+  out += line;
+  for (const PoolRow& r : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-16s %6zu %6zu %6zu %10llu %12.3f %12.3f\n",
+                  r.name.c_str(), r.size, r.active, r.queue,
+                  static_cast<unsigned long long>(r.done), r.sojourn_p50_ms,
+                  r.sojourn_p99_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tiera

@@ -1,0 +1,46 @@
+// Saturation gauges for a ThreadPool: queue depth, active workers, pool
+// size, and task sojourn time, exported as
+//   tiera_pool_queue_depth{pool=...}  tiera_pool_active{pool=...}
+//   tiera_pool_size{pool=...}         tiera_pool_sojourn_ms{pool=...}
+//
+// Construct one next to (and declared after) the pool it watches, so the
+// binding is destroyed first. Registration also adds the pool to a process
+// list that render_pool_table() reads for `tiera_cli top`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace tiera {
+
+class PoolMetrics {
+ public:
+  // `label` becomes the pool= label value; defaults to pool.name().
+  explicit PoolMetrics(ThreadPool& pool, std::string label = "");
+  ~PoolMetrics();
+
+  PoolMetrics(const PoolMetrics&) = delete;
+  PoolMetrics& operator=(const PoolMetrics&) = delete;
+
+ private:
+  friend class PoolMetricsAccess;  // render_pool_table()
+  void collect();
+
+  ThreadPool& pool_;
+  std::string label_;
+  Gauge* queue_depth_;
+  Gauge* active_;
+  Gauge* size_;
+  LatencyHistogram* sojourn_;
+  LatencyHistogram sojourn_cursor_;  // delta-sync cursor (merge_new_since)
+  std::uint64_t collector_id_ = 0;
+};
+
+// One row per live PoolMetrics: pool name, size, active, queue depth,
+// sojourn p50/p99. Appended to `tiera_cli top` output.
+std::string render_pool_table();
+
+}  // namespace tiera

@@ -1,0 +1,219 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/profile_stack.h"
+#include "obs/metrics.h"
+
+namespace tiera {
+
+namespace {
+
+constexpr std::uint64_t kMinIntervalUs = 100;
+constexpr std::uint64_t kMaxIntervalUs = 1'000'000;
+
+}  // namespace
+
+Profiler& Profiler::global() {
+  static Profiler* p = new Profiler;  // leaked: may outlive static teardown
+  return *p;
+}
+
+Profiler::Profiler() = default;
+
+Status Profiler::start(std::uint64_t interval_us) {
+  interval_us = std::clamp(interval_us, kMinIntervalUs, kMaxIntervalUs);
+  std::lock_guard lock(mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("profiler capture already running");
+  }
+  if (sampler_.joinable()) sampler_.join();  // reap the previous capture
+  counts_.clear();
+  total_samples_ = 0;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  set_profile_frames_enabled(true);
+  MetricsRegistry::global().gauge("tiera_profiler_running").set(1);
+  sampler_ = std::thread([this, interval_us] { sampler_loop(interval_us); });
+  return Status::Ok();
+}
+
+std::string Profiler::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard lock(mu_);
+    if (running_.load(std::memory_order_acquire)) {
+      stop_requested_.store(true, std::memory_order_release);
+      to_join = std::move(sampler_);
+    }
+  }
+  if (to_join.joinable()) to_join.join();
+  set_profile_frames_enabled(false);
+  MetricsRegistry::global().gauge("tiera_profiler_running").set(0);
+  return folded();
+}
+
+Result<std::string> Profiler::capture(std::uint64_t duration_ms,
+                                      std::uint64_t interval_us) {
+  if (duration_ms == 0 || duration_ms > 5 * 60 * 1000) {
+    return Status::InvalidArgument("profile duration must be 1ms..5min");
+  }
+  TIERA_RETURN_IF_ERROR(start(interval_us));
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  return stop();
+}
+
+void Profiler::sampler_loop(std::uint64_t interval_us) {
+  profile_set_thread_name("tiera-profiler");
+  const char* frames[ProfileStack::kMaxDepth];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(interval_us));
+    // Fold each live stack into "thread;frame;..." under the registry
+    // lock; idle threads (no frames) count toward their thread's idle bin
+    // so wall-time shares stay honest.
+    std::lock_guard lock(mu_);
+    for_each_profile_stack([this, &frames](const ProfileStack& stack) {
+      const int depth = stack.snapshot(frames, ProfileStack::kMaxDepth);
+      const char* name = stack.name();
+      std::string key = name ? name : "thread";
+      if (depth == 0) {
+        key += ";-idle-";
+      } else {
+        for (int i = 0; i < depth; ++i) {
+          key += ';';
+          key += frames[i] ? frames[i] : "?";
+        }
+      }
+      ++counts_[key];
+      ++total_samples_;
+    });
+  }
+  std::lock_guard lock(mu_);
+  MetricsRegistry::global()
+      .gauge("tiera_profiler_samples_total")
+      .set(static_cast<double>(total_samples_));
+  running_.store(false, std::memory_order_release);
+}
+
+std::string Profiler::folded() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& [key, count] : counts_) {
+    out += key;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+void Profiler::reset() {
+  stop();
+  std::lock_guard lock(mu_);
+  if (sampler_.joinable()) sampler_.join();
+  counts_.clear();
+  total_samples_ = 0;
+}
+
+namespace {
+
+struct FlameNode {
+  std::string name;
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+  std::map<std::string, FlameNode> children;
+};
+
+void emit_node(const FlameNode& node, int depth, double left_frac,
+               double parent_total, std::string* out) {
+  const double width_frac =
+      parent_total > 0 ? static_cast<double>(node.total) / parent_total : 0;
+  if (width_frac < 0.001) return;  // invisible below 0.1% width
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<div class=\"f\" style=\"left:%.4f%%;width:%.4f%%;top:%dpx\" "
+                "title=\"%s (%llu samples)\"><span>%s</span></div>\n",
+                left_frac * 100.0, width_frac * 100.0, depth * 18,
+                node.name.c_str(),
+                static_cast<unsigned long long>(node.total),
+                node.name.c_str());
+  *out += buf;
+  double child_left = left_frac;
+  for (const auto& [name, child] : node.children) {
+    emit_node(child, depth + 1, child_left, parent_total, out);
+    child_left += parent_total > 0
+                      ? static_cast<double>(child.total) / parent_total
+                      : 0;
+  }
+}
+
+}  // namespace
+
+std::string render_flamegraph_html(const std::string& folded,
+                                   const std::string& title) {
+  FlameNode root;
+  root.name = "all";
+  std::size_t pos = 0;
+  int max_depth = 1;
+  while (pos < folded.size()) {
+    std::size_t eol = folded.find('\n', pos);
+    if (eol == std::string::npos) eol = folded.size();
+    const std::string line = folded.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::uint64_t count = std::strtoull(line.c_str() + space + 1,
+                                              nullptr, 10);
+    if (count == 0) continue;
+    root.total += count;
+    FlameNode* node = &root;
+    std::size_t fp = 0;
+    int depth = 1;
+    while (fp < space) {
+      std::size_t sep = line.find(';', fp);
+      if (sep == std::string::npos || sep > space) sep = space;
+      const std::string frame = line.substr(fp, sep - fp);
+      node = &node->children[frame];
+      node->name = frame;
+      node->total += count;
+      fp = sep + 1;
+      ++depth;
+    }
+    node->self += count;
+    max_depth = std::max(max_depth, depth);
+  }
+
+  std::string boxes;
+  double left = 0;
+  for (const auto& [name, child] : root.children) {
+    emit_node(child, 0, left, static_cast<double>(root.total), &boxes);
+    left += root.total > 0
+                ? static_cast<double>(child.total) / root.total
+                : 0;
+  }
+
+  std::string html;
+  html += "<!doctype html><html><head><meta charset=\"utf-8\"><title>";
+  html += title;
+  html += "</title><style>\n"
+          "body{font:12px monospace;margin:12px}\n"
+          "#fg{position:relative;border:1px solid #ccc}\n"
+          ".f{position:absolute;height:16px;overflow:hidden;"
+          "background:#f80;border:1px solid #fff;box-sizing:border-box;"
+          "white-space:nowrap;cursor:default}\n"
+          ".f:hover{background:#fb4}\n"
+          ".f span{padding-left:2px}\n"
+          "</style></head><body><h3>";
+  html += title;
+  html += " &mdash; " + std::to_string(root.total) + " samples</h3>\n";
+  html += "<div id=\"fg\" style=\"height:" +
+          std::to_string(max_depth * 18 + 4) + "px\">\n";
+  html += boxes;
+  html += "</div></body></html>\n";
+  return html;
+}
+
+}  // namespace tiera

@@ -1,0 +1,76 @@
+// Sampling wall-clock profiler over Tiera's annotated threads.
+//
+// A capture spins up one sampler thread that wakes every `interval` and
+// snapshots every registered ProfileStack (worker pools, RPC readers and
+// request handlers, the control timer thread — any thread that touched an
+// instrumented scope). Each snapshot folds into a
+// `thread-name;frame;frame;...` key and bumps its count, so the result is
+// perf-style folded stacks ready for flamegraph tooling:
+//
+//   rpc-requests;put;journal.append 412
+//   rpc-requests;put;tier.io 187
+//   tiera-responses;background;policy.eval;tier.io 44
+//
+// Safety: the sampler only reads atomics inside live ProfileStacks, under
+// the stack registry lock (threads unregister before exit), so there is no
+// signal handling, no unwinding, and nothing async-signal-unsafe — a
+// capture is safe to trigger over RPC on a production instance. While no
+// capture runs, instrumented scopes cost one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tiera {
+
+class Profiler {
+ public:
+  static Profiler& global();
+
+  // Starts a background capture. Fails if one is already running.
+  // `interval_us` is clamped to [100, 1'000'000].
+  Status start(std::uint64_t interval_us = 1000);
+  // Stops the capture and returns the folded stacks accumulated since
+  // start(). Safe to call when idle (returns whatever the last capture
+  // left, possibly empty).
+  std::string stop();
+
+  // Blocking convenience used by the kProfile RPC verb: capture for
+  // `duration_ms`, return folded output.
+  Result<std::string> capture(std::uint64_t duration_ms,
+                              std::uint64_t interval_us = 1000);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Folded stacks of the current/last capture, "stack count" per line,
+  // sorted by key for deterministic output.
+  std::string folded() const;
+
+  void reset();
+
+ private:
+  Profiler();
+  void sampler_loop(std::uint64_t interval_us);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counts_;  // folded key -> samples
+  std::uint64_t total_samples_ = 0;
+  std::thread sampler_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+// Renders folded stacks as a self-contained HTML flamegraph (pure
+// HTML/CSS/JS, no external assets) for `tiera_cli profile
+// --flamegraph-html`.
+std::string render_flamegraph_html(const std::string& folded,
+                                   const std::string& title);
+
+}  // namespace tiera

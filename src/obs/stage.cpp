@@ -1,0 +1,276 @@
+#include "obs/stage.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace tiera {
+
+namespace {
+
+constexpr int kMaxStageDepth = 16;
+
+const char* const kStageNames[kStageSlotCount] = {
+    "rpc.decode",   "policy.eval",    "metadata.lookup", "journal.append",
+    "tier.io",      "response.build", "other",           "total",
+};
+
+const char* const kOpNames[kStageOpCount] = {"put", "get", "delete",
+                                             "background"};
+
+// Per-thread accounting for the (at most one) recording op scope.
+struct OpState {
+  bool active = false;
+  StageOp op = StageOp::kPut;
+  TimePoint op_start;
+  // Start of the current segment: the last stage push/pop. Elapsed segment
+  // time belongs to the innermost open stage (or to "other" when none is).
+  TimePoint seg_start;
+  int depth = 0;
+  Stage stack[kMaxStageDepth];
+  double accum_us[kNamedStageCount] = {};
+  std::uint64_t op_counter = 0;  // sampling decision
+  // Nesting depth of OpStageScopes regardless of sampling, so a nested
+  // scope (instance put() under an RPC handler) stays inert — it neither
+  // starts its own breakdown nor pushes a duplicate profiler frame.
+  int scope_depth = 0;
+};
+
+thread_local OpState t_op;
+
+std::uint64_t env_sample_every() {
+  if (const char* env = std::getenv("TIERA_STAGE_SAMPLE_N")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return 8;  // match the tier latency sampling default
+}
+
+std::atomic<std::uint64_t>& sample_every_atomic() {
+  static std::atomic<std::uint64_t> value{env_sample_every()};
+  return value;
+}
+
+// The 4×8 histogram table, created once against the global registry.
+// References stay valid for the registry's (process) lifetime.
+struct StageSeries {
+  LatencyHistogram* h[kStageOpCount][kStageSlotCount];
+  StageSeries() {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    for (int op = 0; op < kStageOpCount; ++op) {
+      for (int s = 0; s < kStageSlotCount; ++s) {
+        h[op][s] = &reg.histogram(
+            "tiera_op_stage_latency_ms",
+            {{"op", kOpNames[op]}, {"stage", kStageNames[s]}});
+      }
+    }
+    reg.gauge("tiera_stage_sample_every")
+        .set(static_cast<double>(sample_every_atomic().load()));
+  }
+};
+
+StageSeries& series() {
+  static StageSeries s;
+  return s;
+}
+
+double us_between(TimePoint a, TimePoint b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  return kStageNames[static_cast<int>(stage)];
+}
+
+const char* stage_op_name(StageOp op) {
+  return kOpNames[static_cast<int>(op)];
+}
+
+std::uint64_t stage_sample_every() { return sample_every_atomic().load(); }
+
+void set_stage_sample_every(std::uint64_t n) {
+  sample_every_atomic().store(n);
+  MetricsRegistry::global()
+      .gauge("tiera_stage_sample_every")
+      .set(static_cast<double>(n));
+}
+
+bool stage_recording_active() { return t_op.active; }
+
+OpStageScope::OpStageScope(StageOp op) {
+  OpState& st = t_op;
+  if (st.scope_depth++ > 0) return;  // nested op: fold into the enclosing op
+  owner_ = true;
+  if (profile_frames_enabled()) {
+    this_thread_profile_stack().push(stage_op_name(op));
+    pushed_frame_ = true;
+  }
+  const std::uint64_t every = sample_every_atomic().load();
+  if (every == 0 || (st.op_counter++ % every) != 0) return;
+  recording_ = true;
+  st.active = true;
+  st.op = op;
+  st.depth = 0;
+  for (double& a : st.accum_us) a = 0;
+  st.op_start = st.seg_start = now();
+}
+
+OpStageScope::~OpStageScope() {
+  OpState& st = t_op;
+  --st.scope_depth;
+  if (pushed_frame_) this_thread_profile_stack().pop();
+  if (!recording_) return;
+  const TimePoint end = now();
+  // A stage scope outliving its op scope would be a bug in the caller;
+  // charge whatever is still open so the books balance regardless.
+  while (st.depth > 0) {
+    st.accum_us[static_cast<int>(st.stack[--st.depth])] +=
+        us_between(st.seg_start, end);
+    st.seg_start = end;
+  }
+  const double whole_us = us_between(st.op_start, end);
+  double named_us = 0;
+  for (double a : st.accum_us) named_us += a;
+  const double other_us = whole_us > named_us ? whole_us - named_us : 0;
+
+  StageSeries& s = series();
+  const int op = static_cast<int>(st.op);
+  for (int i = 0; i < kNamedStageCount; ++i) {
+    if (st.accum_us[i] > 0) s.h[op][i]->record_ms(st.accum_us[i] / 1000.0);
+  }
+  s.h[op][static_cast<int>(Stage::kOther)]->record_ms(other_us / 1000.0);
+  s.h[op][static_cast<int>(Stage::kTotal)]->record_ms(whole_us / 1000.0);
+  st.active = false;
+}
+
+StageTimer::StageTimer(Stage stage) {
+  if (profile_frames_enabled()) {
+    this_thread_profile_stack().push(stage_name(stage));
+    pushed_frame_ = true;
+  }
+  OpState& st = t_op;
+  if (!st.active || st.depth >= kMaxStageDepth) return;
+  recording_ = true;
+  const TimePoint t = now();
+  if (st.depth > 0) {
+    // The elapsed segment belongs to the (now paused) parent stage.
+    st.accum_us[static_cast<int>(st.stack[st.depth - 1])] +=
+        us_between(st.seg_start, t);
+  }
+  st.stack[st.depth++] = stage;
+  st.seg_start = t;
+}
+
+StageTimer::~StageTimer() {
+  if (recording_) {
+    OpState& st = t_op;
+    const TimePoint t = now();
+    if (st.depth > 0) {
+      st.accum_us[static_cast<int>(st.stack[--st.depth])] +=
+          us_between(st.seg_start, t);
+    }
+    st.seg_start = t;
+  }
+  if (pushed_frame_) this_thread_profile_stack().pop();
+}
+
+std::vector<StageRow> stage_breakdown() {
+  StageSeries& s = series();
+  std::vector<StageRow> rows;
+  for (int op = 0; op < kStageOpCount; ++op) {
+    for (int st = 0; st < kStageSlotCount; ++st) {
+      const LatencyHistogram& h = *s.h[op][st];
+      if (h.count() == 0) continue;
+      StageRow row;
+      row.op = kOpNames[op];
+      row.stage = kStageNames[st];
+      row.count = h.count();
+      row.sum_ms = h.sum_ms();
+      row.mean_us = h.mean_ms() * 1000.0;
+      row.p50_us = h.percentile_ms(0.5) * 1000.0;
+      row.p99_us = h.percentile_ms(0.99) * 1000.0;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+namespace {
+
+// Per-op totals used by the report and the reconciliation checks.
+struct OpTotals {
+  double named_ms = 0;
+  double other_ms = 0;
+  double total_ms = 0;
+  std::uint64_t samples = 0;
+};
+
+OpTotals op_totals(int op) {
+  StageSeries& s = series();
+  OpTotals t;
+  for (int i = 0; i < kNamedStageCount; ++i) t.named_ms += s.h[op][i]->sum_ms();
+  t.other_ms = s.h[op][static_cast<int>(Stage::kOther)]->sum_ms();
+  t.total_ms = s.h[op][static_cast<int>(Stage::kTotal)]->sum_ms();
+  t.samples = s.h[op][static_cast<int>(Stage::kTotal)]->count();
+  return t;
+}
+
+}  // namespace
+
+std::string render_stage_report() {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-12s %-16s %10s %12s %10s %10s\n", "OP",
+                "STAGE", "COUNT", "MEAN-us", "P50-us", "P99-us");
+  out += line;
+  const std::vector<StageRow> rows = stage_breakdown();
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof(line), "%-12s %-16s %10llu %12.2f %10.2f %10.2f\n",
+                  r.op.c_str(), r.stage.c_str(),
+                  static_cast<unsigned long long>(r.count), r.mean_us,
+                  r.p50_us, r.p99_us);
+    out += line;
+  }
+  for (int op = 0; op < kStageOpCount; ++op) {
+    const OpTotals t = op_totals(op);
+    if (t.samples == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "%s: %llu sampled ops, coverage %.1f%% of whole-op time "
+                  "(other %.1f%%)\n",
+                  kOpNames[op], static_cast<unsigned long long>(t.samples),
+                  t.total_ms > 0 ? 100.0 * t.named_ms / t.total_ms : 0.0,
+                  t.total_ms > 0 ? 100.0 * t.other_ms / t.total_ms : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+double stage_reconciliation_error() {
+  double worst = 0;
+  for (int op = 0; op < kStageOpCount; ++op) {
+    const OpTotals t = op_totals(op);
+    if (t.samples == 0 || t.total_ms <= 0) continue;
+    const double err =
+        std::abs(t.named_ms + t.other_ms - t.total_ms) / t.total_ms;
+    if (err > worst) worst = err;
+  }
+  return worst;
+}
+
+double stage_attribution_gap() {
+  double worst = 0;
+  for (int op = 0; op < kStageOpCount; ++op) {
+    const OpTotals t = op_totals(op);
+    if (t.samples == 0 || t.total_ms <= 0) continue;
+    const double gap = t.other_ms / t.total_ms;
+    if (gap > worst) worst = gap;
+  }
+  return worst;
+}
+
+}  // namespace tiera

@@ -160,10 +160,9 @@ std::size_t Tier::io_slots() const {
 }
 
 Status Tier::put(std::string_view key, ByteView value) {
-  // Latency is sampled (see kLatencySampleEvery); counters stay exact.
+  // Latency is sampled (see latency_sample_every()); counters stay exact.
   const bool timed =
-      (stats_.puts.load(std::memory_order_relaxed) &
-       (kLatencySampleEvery - 1)) == 0;
+      latency_sample_hit(stats_.puts.load(std::memory_order_relaxed));
   const TimePoint start = timed ? now() : TimePoint{};
   TIERA_RETURN_IF_ERROR(check_failure());
   {
@@ -193,8 +192,7 @@ Status Tier::put(std::string_view key, ByteView value) {
 
 Result<Bytes> Tier::get(std::string_view key) {
   const bool timed =
-      (stats_.gets.load(std::memory_order_relaxed) &
-       (kLatencySampleEvery - 1)) == 0;
+      latency_sample_hit(stats_.gets.load(std::memory_order_relaxed));
   const TimePoint start = timed ? now() : TimePoint{};
   TIERA_RETURN_IF_ERROR(check_failure());
   Result<Bytes> result = load_raw(key);

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -286,6 +287,38 @@ TEST_F(TieraServiceTest, ErrorsPropagateThroughRpc) {
   const Status s = client_->put("x", as_view(make_payload(10, 1)));
   EXPECT_FALSE(s.ok());
   instance_->tier("tier1")->heal();
+}
+
+TEST_F(TieraServiceTest, ProfileRoundTripNamesServerFrames) {
+  // Drive traffic from a second thread while the kProfile capture blocks the
+  // calling client connection, so the sampler has live op frames to see.
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    auto client = RemoteTieraClient::connect("127.0.0.1", server_->port());
+    if (!client.ok()) return;
+    const Bytes payload = make_payload(1024, 9);
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string key = "prof" + std::to_string(i++ % 32);
+      (void)(*client)->put(key, as_view(payload));
+      (void)(*client)->get(key);
+    }
+  });
+
+  auto folded = client_->profile(/*duration_ms=*/300, /*interval_us=*/200);
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+
+  ASSERT_TRUE(folded.ok());
+  EXPECT_FALSE(folded->empty());
+  // The request pool threads carry the op frames pushed by the handlers.
+  EXPECT_NE(folded->find("rpc-requests"), std::string::npos) << *folded;
+  EXPECT_NE(folded->find("put"), std::string::npos) << *folded;
+  // Every line is "stack count".
+  EXPECT_NE(folded->find(' '), std::string::npos);
+
+  // Invalid durations are rejected server-side, not crashed on.
+  EXPECT_FALSE(client_->profile(/*duration_ms=*/0).ok());
 }
 
 }  // namespace

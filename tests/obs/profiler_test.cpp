@@ -1,0 +1,117 @@
+// Sampling profiler: capture lifecycle, folded-stack content, ProfScope
+// balance under enable/disable races, and the flamegraph renderer.
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/profile_stack.h"
+
+namespace tiera {
+namespace {
+
+TEST(ProfilerTest, CaptureProducesNamedFoldedStacks) {
+  Profiler& prof = Profiler::global();
+  prof.reset();
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    profile_set_thread_name("prof-test-worker");
+    while (!stop.load(std::memory_order_relaxed)) {
+      ProfScope frame("busy.loop");
+      // Keep the frame live long enough for the 200us sampler to see it.
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  ASSERT_TRUE(prof.start(/*interval_us=*/200).ok());
+  EXPECT_TRUE(prof.running());
+  // A second capture cannot start while one runs.
+  EXPECT_FALSE(prof.start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const std::string folded = prof.stop();
+  EXPECT_FALSE(prof.running());
+  stop.store(true, std::memory_order_relaxed);
+  worker.join();
+
+  ASSERT_FALSE(folded.empty());
+  EXPECT_NE(folded.find("prof-test-worker;busy.loop"), std::string::npos)
+      << folded;
+  // stop() keeps the result: folded() re-reads the same capture.
+  EXPECT_EQ(prof.folded(), folded);
+}
+
+TEST(ProfilerTest, CaptureValidatesDuration) {
+  Profiler& prof = Profiler::global();
+  EXPECT_FALSE(prof.capture(/*duration_ms=*/0).ok());
+  EXPECT_FALSE(prof.capture(/*duration_ms=*/10 * 60 * 1000).ok());
+  auto folded = prof.capture(/*duration_ms=*/20, /*interval_us=*/200);
+  ASSERT_TRUE(folded.ok());
+}
+
+TEST(ProfilerTest, ProfScopeStaysBalancedAcrossToggles) {
+  ProfileStack& stack = this_thread_profile_stack();
+  const char* frames[ProfileStack::kMaxDepth];
+
+  // Scope opened while disabled pushes nothing, even if profiling turns on
+  // before it closes.
+  set_profile_frames_enabled(false);
+  {
+    ProfScope scope("toggle.a");
+    set_profile_frames_enabled(true);
+    EXPECT_EQ(stack.snapshot(frames, ProfileStack::kMaxDepth), 0);
+  }
+  EXPECT_EQ(stack.snapshot(frames, ProfileStack::kMaxDepth), 0);
+
+  // Scope opened while enabled pops on exit even if profiling turned off
+  // mid-scope.
+  {
+    ProfScope scope("toggle.b");
+    ASSERT_EQ(stack.snapshot(frames, ProfileStack::kMaxDepth), 1);
+    EXPECT_STREQ(frames[0], "toggle.b");
+    set_profile_frames_enabled(false);
+  }
+  EXPECT_EQ(stack.snapshot(frames, ProfileStack::kMaxDepth), 0);
+}
+
+TEST(ProfilerTest, StackOverflowKeepsPopsBalanced) {
+  set_profile_frames_enabled(true);
+  ProfileStack& stack = this_thread_profile_stack();
+  const char* frames[ProfileStack::kMaxDepth + 8];
+  {
+    // Deeper than kMaxDepth: pushes past the cap are dropped but their pops
+    // must not eat real frames.
+    std::vector<std::unique_ptr<ProfScope>> scopes;
+    for (int i = 0; i < ProfileStack::kMaxDepth + 5; ++i) {
+      scopes.push_back(std::make_unique<ProfScope>("deep"));
+    }
+    EXPECT_EQ(stack.snapshot(frames, ProfileStack::kMaxDepth + 8),
+              ProfileStack::kMaxDepth);
+    while (!scopes.empty()) scopes.pop_back();
+  }
+  EXPECT_EQ(stack.snapshot(frames, ProfileStack::kMaxDepth + 8), 0);
+  set_profile_frames_enabled(false);
+}
+
+TEST(ProfilerTest, FlamegraphHtmlIsSelfContained) {
+  const std::string folded =
+      "rpc-requests;put;journal.append 412\n"
+      "rpc-requests;put;tier.io 187\n"
+      "tiera-responses;background;policy.eval 44\n";
+  const std::string html = render_flamegraph_html(folded, "unit test graph");
+  EXPECT_NE(html.find("<html"), std::string::npos);
+  EXPECT_NE(html.find("unit test graph"), std::string::npos);
+  EXPECT_NE(html.find("journal.append"), std::string::npos);
+  EXPECT_NE(html.find("tier.io"), std::string::npos);
+  // Self-contained: no external scripts or stylesheets.
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tiera

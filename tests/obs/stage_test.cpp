@@ -1,0 +1,137 @@
+// Stage-timer accounting: sampling, self-time attribution under nesting,
+// inert nested op scopes, and the Σ(named + other) == total invariant.
+//
+// The stage histograms live in the global registry, so each test uses a
+// different StageOp (or diffs counts before/after) to stay independent of
+// the others in this binary.
+#include "obs/stage.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace tiera {
+namespace {
+
+void spin_for(std::chrono::microseconds d) {
+  // Busy-wait: sleep_for overshoots by scheduler quanta, which would swamp
+  // the ratios the nesting test asserts on.
+  const auto deadline = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+double stage_sum_ms(const char* op, const char* stage) {
+  for (const StageRow& row : stage_breakdown()) {
+    if (row.op == op && row.stage == stage) return row.sum_ms;
+  }
+  return 0;
+}
+
+std::uint64_t stage_count(const char* op, const char* stage) {
+  for (const StageRow& row : stage_breakdown()) {
+    if (row.op == op && row.stage == stage) return row.count;
+  }
+  return 0;
+}
+
+TEST(StageTest, SamplingRecordsOneInN) {
+  set_stage_sample_every(4);
+  const std::uint64_t before = stage_count("get", "total");
+  for (int i = 0; i < 8; ++i) {
+    OpStageScope scope(StageOp::kGet);
+    StageTimer stage(Stage::kMetadataLookup);
+  }
+  // The per-thread op counter's phase is unknown (other tests may have
+  // advanced it), but 8 ops at 1-in-4 always record exactly 2.
+  EXPECT_EQ(stage_count("get", "total") - before, 2u);
+  set_stage_sample_every(1);
+}
+
+TEST(StageTest, ZeroDisablesRecording) {
+  set_stage_sample_every(0);
+  const std::uint64_t before = stage_count("background", "total");
+  {
+    OpStageScope scope(StageOp::kBackground);
+    StageTimer stage(Stage::kPolicyEval);
+    spin_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(stage_count("background", "total"), before);
+  set_stage_sample_every(1);
+}
+
+TEST(StageTest, NestedStagesChargeSelfTimeOnly) {
+  set_stage_sample_every(1);
+  {
+    OpStageScope scope(StageOp::kDelete);
+    ASSERT_TRUE(scope.recording());
+    StageTimer outer(Stage::kPolicyEval);
+    spin_for(std::chrono::microseconds(2000));
+    {
+      StageTimer inner(Stage::kTierIo);
+      spin_for(std::chrono::microseconds(4000));
+    }
+    spin_for(std::chrono::microseconds(2000));
+  }
+  const double policy_ms = stage_sum_ms("delete", "policy.eval");
+  const double tier_ms = stage_sum_ms("delete", "tier.io");
+  const double total_ms = stage_sum_ms("delete", "total");
+  // policy.eval is charged its ~4ms of self time, not the ~8ms wall span
+  // that includes the nested tier.io stage.
+  EXPECT_GT(tier_ms, 3.0);
+  EXPECT_GT(policy_ms, 3.0);
+  EXPECT_LT(policy_ms, 0.8 * total_ms);
+  EXPECT_GT(total_ms, 7.0);
+  // Σ(named + other) == total by construction.
+  const double named_other =
+      policy_ms + tier_ms + stage_sum_ms("delete", "other");
+  EXPECT_NEAR(named_other, total_ms, 0.01 * total_ms + 0.001);
+}
+
+TEST(StageTest, NestedOpScopeIsInert) {
+  set_stage_sample_every(1);
+  const std::uint64_t puts_before = stage_count("put", "total");
+  const std::uint64_t gets_before = stage_count("get", "total");
+  {
+    OpStageScope outer(StageOp::kPut);
+    ASSERT_TRUE(outer.recording());
+    StageTimer stage(Stage::kPolicyEval);
+    // An instance-level op issued while serving another op (RPC handler
+    // calling put(), a background response reading an object) folds into
+    // the enclosing breakdown instead of starting its own.
+    OpStageScope inner(StageOp::kGet);
+    EXPECT_FALSE(inner.recording());
+  }
+  EXPECT_EQ(stage_count("put", "total") - puts_before, 1u);
+  EXPECT_EQ(stage_count("get", "total"), gets_before);
+}
+
+TEST(StageTest, StageTimerWithoutOpScopeIsNoOp) {
+  set_stage_sample_every(1);
+  const std::uint64_t before = stage_count("put", "tier.io");
+  {
+    StageTimer orphan(Stage::kTierIo);
+    spin_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(stage_count("put", "tier.io"), before);
+}
+
+TEST(StageTest, ReconciliationHoldsAcrossEverythingRecorded) {
+  // Whatever the other tests in this binary recorded, the books balance.
+  EXPECT_LT(stage_reconciliation_error(), 0.01);
+  EXPECT_LE(stage_attribution_gap(), 1.0);
+}
+
+TEST(StageTest, SampleRateExportedAsGauge) {
+  set_stage_sample_every(16);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::global().gauge("tiera_stage_sample_every").value(),
+      16.0);
+  set_stage_sample_every(8);
+}
+
+}  // namespace
+}  // namespace tiera

@@ -69,13 +69,17 @@ def main():
         return 2
 
     regressions = []
+    added = []
+    removed = []
     width = max(len(n) for n in sorted(set(baseline) | set(current)))
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:
+            added.append(name)
             print(f"{name:<{width}}  {'-':>12}  {current[name]:>12.1f}  (new)")
             continue
         if name not in current:
+            removed.append(name)
             print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'-':>12}  (gone)")
             continue
         base, cur = baseline[name], current[name]
@@ -89,6 +93,20 @@ def main():
             f"{delta:+7.1%}{flag}"
         )
 
+    # Benchmarks present in only one file are informational: new benches land
+    # without a baseline refresh in the same commit, and retired ones do not
+    # block the check either.
+    if added:
+        print(f"\nbench_diff: {len(added)} benchmark(s) not in baseline "
+              f"(informational, never fail the diff):")
+        for name in added:
+            print(f"  {name} (new)")
+    if removed:
+        print(f"\nbench_diff: {len(removed)} baseline benchmark(s) missing "
+              f"from the current run (informational):")
+        for name in removed:
+            print(f"  {name} (gone)")
+
     if regressions:
         print(
             f"\nbench_diff: {len(regressions)} benchmark(s) regressed more "
@@ -97,7 +115,8 @@ def main():
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}")
         return 1
-    print(f"\nbench_diff: OK ({len(current)} benchmarks within "
+    compared = len(set(baseline) & set(current))
+    print(f"\nbench_diff: OK ({compared} benchmarks within "
           f"{args.threshold:.0%} of baseline)")
     return 0
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regression test for tools/bench_diff.py (registered with ctest).
+
+Locks in the contract the CI bench gate depends on:
+  * benchmarks present only in the current run are "added" informational
+    rows — they must never fail the diff (new benches land without a
+    baseline refresh in the same commit);
+  * benchmarks present only in the baseline are "gone" informational rows;
+  * a real regression beyond the threshold still fails.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIFF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_diff.py")
+
+
+def bench_json(entries):
+    return {
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "cpu_time": value}
+            for name, value in entries.items()
+        ]
+    }
+
+
+def run_diff(baseline, current, extra_args=()):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        with open(base_path, "w", encoding="utf-8") as fh:
+            json.dump(bench_json(baseline), fh)
+        with open(cur_path, "w", encoding="utf-8") as fh:
+            json.dump(bench_json(current), fh)
+        proc = subprocess.run(
+            [sys.executable, BENCH_DIFF, base_path, cur_path, *extra_args],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        return proc.returncode, proc.stdout
+
+
+def expect(condition, label, output):
+    if condition:
+        print(f"ok: {label}")
+        return True
+    print(f"FAIL: {label}\n--- bench_diff output ---\n{output}")
+    return False
+
+
+def main():
+    ok = True
+
+    # New-run-only benchmark (the stage-breakdown benches land this way):
+    # reported as "(new)", exit 0.
+    code, out = run_diff(
+        {"BM_InstancePut4K": 100.0},
+        {"BM_InstancePut4K": 101.0, "BM_InstancePut4KWithStages": 120.0},
+    )
+    ok &= expect(code == 0, "new-only benchmark does not fail", out)
+    ok &= expect("(new)" in out, "new-only benchmark reported as (new)", out)
+
+    # Baseline-only benchmark: reported as "(gone)", exit 0.
+    code, out = run_diff(
+        {"BM_InstancePut4K": 100.0, "BM_Retired": 50.0},
+        {"BM_InstancePut4K": 99.0},
+    )
+    ok &= expect(code == 0, "baseline-only benchmark does not fail", out)
+    ok &= expect("(gone)" in out, "missing benchmark reported as (gone)", out)
+
+    # A genuine regression past the threshold still trips the gate, even
+    # when an added benchmark is present in the same run.
+    code, out = run_diff(
+        {"BM_InstancePut4K": 100.0},
+        {"BM_InstancePut4K": 140.0, "BM_InstancePut4KWithStages": 120.0},
+        extra_args=("--threshold", "0.15"),
+    )
+    ok &= expect(code == 1, "regression beyond threshold fails", out)
+    ok &= expect("REGRESSION" in out, "regression row flagged", out)
+
+    # Within-threshold wobble passes.
+    code, out = run_diff(
+        {"BM_InstancePut4K": 100.0},
+        {"BM_InstancePut4K": 110.0},
+        extra_args=("--threshold", "0.15"),
+    )
+    ok &= expect(code == 0, "within-threshold delta passes", out)
+
+    print("bench_diff_test:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,7 @@ stage_bench() {
   cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Release
   cmake --build "${repo_root}/build-ci-release" -j "${jobs}" \
-    --target micro_primitives
+    --target micro_primitives stage_smoke
   # Reduced scale: this is a regression tripwire, not a measurement run.
   "${repo_root}/build-ci-release/bench/micro_primitives" \
     --benchmark_min_time=0.05 \
@@ -64,6 +64,15 @@ stage_bench() {
     "${repo_root}/build-ci-release/BENCH_micro.json" \
     --threshold 0.15 \
     | tee "${repo_root}/build-ci-release/bench_diff_report.txt"
+  # Cost-attribution gate: drives RPC PUT/GET/DELETE load with unsampled
+  # stage timers and the profiler running, then asserts per-op stage sums
+  # reconcile with whole-op latency within 10% and the folded stacks name
+  # the journal/policy/tier-I/O frames. The report and folded profile are
+  # uploaded as workflow artifacts (evidence for where hot-path time goes
+  # at this commit).
+  "${repo_root}/build-ci-release/bench/stage_smoke" \
+    "${repo_root}/build-ci-release/stage_report.txt" \
+    "${repo_root}/build-ci-release/profile.folded"
 }
 
 stage_format() {
