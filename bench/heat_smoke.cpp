@@ -1,0 +1,151 @@
+// CI smoke gate for the heat & spend telemetry subsystem.
+//
+// Drives a zipfian PUT load (theta 0.99, >= 100k distinct keys) through a
+// real instance and asserts the acceptance bar for the sketch geometry: the
+// reported per-tier top-20 must contain at least 18 of the true top-20 keys
+// (>= 90% recall) while the tracker's memory stays at its fixed bound. Also
+// checks the cost ledger's reconciliation invariant — per-rule byte totals
+// must equal the engine's policy_bytes counter. Writes the rendered
+// heat/cost report to the path given on the command line so CI can upload
+// it as an artifact.
+//
+//   $ ./heat_smoke [heat_report.txt]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/responses.h"
+#include "core/templates.h"
+#include "obs/cost_meter.h"
+#include "obs/heat.h"
+
+using namespace tiera;
+
+namespace {
+
+bool write_file(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kError);
+  set_time_scale(0.0);
+
+  const char* report_path = argc > 1 ? argv[1] : "heat_report.txt";
+
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = bench::scratch_dir("heat-smoke")}, 1ull << 30, 1ull << 30);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "FAIL: instance creation: %s\n",
+                 instance.status().to_string().c_str());
+    return 1;
+  }
+  if ((*instance)->heat() == nullptr || (*instance)->cost_meter() == nullptr) {
+    std::fprintf(stderr, "FAIL: telemetry not enabled by default\n");
+    return 1;
+  }
+
+  // Zipfian over >= 100k distinct keys. Theta 0.99 is the YCSB standard;
+  // the Gray et al. generator is singular at exactly 1.0.
+  constexpr std::uint64_t kKeySpace = 100000;
+  constexpr int kAccesses = 400000;
+  Rng rng(42);
+  ZipfianDistribution zipf(kKeySpace, /*theta=*/0.99, /*scrambled=*/true);
+  const Bytes payload = make_payload(512, 9);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  truth.reserve(kKeySpace / 4);
+  for (int i = 0; i < kAccesses; ++i) {
+    const std::uint64_t key = zipf.next(rng);
+    ++truth[key];
+    if (!(*instance)->put("obj-" + std::to_string(key), as_view(payload))
+             .ok()) {
+      std::fprintf(stderr, "FAIL: put %d\n", i);
+      return 1;
+    }
+  }
+  (*instance)->control().drain();
+
+  bool ok = true;
+
+  // Invariant 1: reported top-20 recall >= 90% against the exact counts.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked(truth.begin(),
+                                                              truth.end());
+  if (ranked.size() < 20) {
+    std::fprintf(stderr, "FAIL: only %zu distinct keys drawn\n",
+                 ranked.size());
+    return 1;
+  }
+  std::partial_sort(
+      ranked.begin(), ranked.begin() + 20, ranked.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
+  const auto snap = (*instance)->heat()->snapshot(20);
+  int overlap = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "obj-" + std::to_string(ranked[i].first);
+    for (const auto& tier : snap.tiers) {
+      const auto hit = std::find_if(
+          tier.top.begin(), tier.top.end(),
+          [&](const auto& entry) { return entry.key == key; });
+      if (hit != tier.top.end()) {
+        ++overlap;
+        break;
+      }
+    }
+  }
+  std::printf("top-20 recall: %d/20 (limit 18)\n", overlap);
+  if (overlap < 18) {
+    std::fprintf(stderr, "FAIL: heat top-K recall below 90%%\n");
+    ok = false;
+  }
+
+  // Invariant 2: tracker memory stayed at its fixed bound through 100k
+  // distinct keys (per tier: sketch + top-K registers, no per-key state).
+  const HeatOptions& options = (*instance)->heat()->options();
+  const std::uint64_t per_tier =
+      static_cast<std::uint64_t>(options.sketch_shards) *
+          options.sketch_depth * options.sketch_width *
+          sizeof(std::uint32_t) +
+      static_cast<std::uint64_t>(options.top_k) * 256;
+  const std::uint64_t bound = per_tier * snap.tiers.size() + 4096;
+  const std::uint64_t used = (*instance)->heat()->memory_bytes();
+  std::printf("heat memory: %llu bytes (bound %llu)\n",
+              static_cast<unsigned long long>(used),
+              static_cast<unsigned long long>(bound));
+  if (used == 0 || used > bound) {
+    std::fprintf(stderr, "FAIL: heat memory outside fixed bound\n");
+    ok = false;
+  }
+
+  // Invariant 3: the cost ledger reconciles — every policy-moved byte is
+  // attributed to exactly one rule.
+  const auto cost = (*instance)->cost_meter()->snapshot();
+  std::uint64_t rule_bytes = 0;
+  for (const auto& rule : cost.rules) rule_bytes += rule.bytes_moved;
+  const std::uint64_t policy_bytes = (*instance)->stats().policy_bytes.load();
+  std::printf("rule bytes: %llu, policy bytes: %llu\n",
+              static_cast<unsigned long long>(rule_bytes),
+              static_cast<unsigned long long>(policy_bytes));
+  if (rule_bytes != policy_bytes) {
+    std::fprintf(stderr, "FAIL: per-rule cost bytes do not reconcile with "
+                         "tiera_instance_policy_bytes_total\n");
+    ok = false;
+  }
+
+  const std::string report = (*instance)->render_top("heat,cost");
+  std::fputs(report.c_str(), stdout);
+  (void)write_file(report_path, report);
+
+  std::printf("%s\n", ok ? "HEAT-SMOKE PASS" : "HEAT-SMOKE FAIL");
+  return ok ? 0 : 1;
+}

@@ -52,11 +52,15 @@ void BM_TierGet4K(benchmark::State& state) {
 }
 BENCHMARK(BM_TierGet4K);
 
+// The base instance benches run the bare data path (track_heat=false); the
+// WithHeat variants below re-enable the default heat/cost telemetry, so the
+// delta is the sketch-add + counter cost per op (budget: <= 5%).
 void BM_InstancePut4K(benchmark::State& state) {
   set_time_scale(0.0);
   set_log_level(LogLevel::kError);
   auto instance = make_memcached_ebs_instance(
-      {.data_dir = "/tmp/tiera-bench/micro-instance"}, 1ull << 32, 1ull << 32);
+      {.data_dir = "/tmp/tiera-bench/micro-instance", .track_heat = false},
+      1ull << 32, 1ull << 32);
   if (!instance.ok()) {
     state.SkipWithError("instance creation failed");
     return;
@@ -75,8 +79,8 @@ void BM_InstanceGet4K(benchmark::State& state) {
   set_time_scale(0.0);
   set_log_level(LogLevel::kError);
   auto instance = make_memcached_ebs_instance(
-      {.data_dir = "/tmp/tiera-bench/micro-instance-get"}, 1ull << 32,
-      1ull << 32);
+      {.data_dir = "/tmp/tiera-bench/micro-instance-get", .track_heat = false},
+      1ull << 32, 1ull << 32);
   if (!instance.ok()) {
     state.SkipWithError("instance creation failed");
     return;
@@ -91,6 +95,48 @@ void BM_InstanceGet4K(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InstanceGet4K);
+
+void BM_InstancePut4KWithHeat(benchmark::State& state) {
+  set_time_scale(0.0);
+  set_log_level(LogLevel::kError);
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = "/tmp/tiera-bench/micro-instance-heat-put"}, 1ull << 32,
+      1ull << 32);
+  if (!instance.ok()) {
+    state.SkipWithError("instance creation failed");
+    return;
+  }
+  const Bytes payload = make_payload(4096, 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*instance)->put(key_of(i++ % 1000), as_view(payload)));
+  }
+  state.SetLabel("heat sketch + cost counters on every PUT");
+}
+BENCHMARK(BM_InstancePut4KWithHeat);
+
+void BM_InstanceGet4KWithHeat(benchmark::State& state) {
+  set_time_scale(0.0);
+  set_log_level(LogLevel::kError);
+  auto instance = make_memcached_ebs_instance(
+      {.data_dir = "/tmp/tiera-bench/micro-instance-heat-get"}, 1ull << 32,
+      1ull << 32);
+  if (!instance.ok()) {
+    state.SkipWithError("instance creation failed");
+    return;
+  }
+  const Bytes payload = make_payload(4096, 1);
+  for (int i = 0; i < 1000; ++i) {
+    (void)(*instance)->put(key_of(i), as_view(payload));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*instance)->get(key_of(i++ % 1000)));
+  }
+  state.SetLabel("heat sketch + cost counters on every GET");
+}
+BENCHMARK(BM_InstanceGet4KWithHeat);
 
 // Same PUT/GET loops with one active latency objective: the delta against
 // BM_InstancePut4K/BM_InstanceGet4K is the SLO engine's hot-path cost (one

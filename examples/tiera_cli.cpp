@@ -8,16 +8,21 @@
 //   $ ./tiera_cli <port> grow <tier> <percent>
 //   $ ./tiera_cli <port> stats [--format=prom|text]
 //   $ ./tiera_cli <port> trace [--json] [n]
-//   $ ./tiera_cli <port> top [period-seconds]
+//   $ ./tiera_cli <port> top [--sections slo,pool,...] [period-seconds]
 //   $ ./tiera_cli <port> slo
+//   $ ./tiera_cli <port> heat [--top N]
 //   $ ./tiera_cli <port> profile [--seconds N] [--interval-us N]
 //                                [--folded|--flamegraph-html]
 //
 // `trace --json` emits Chrome trace-event JSON (open in chrome://tracing or
 // https://ui.perfetto.dev); `top` refreshes live per-tier / per-rule activity
-// tables until interrupted. `profile` runs the server's sampling profiler
-// for N seconds and prints folded stacks (default) or a self-contained HTML
-// flamegraph — redirect to a file and open in a browser.
+// tables until interrupted (`--sections` limits it to a comma-separated
+// subset of header,tiers,slo,rules,pool,heat,cost). `heat` prints the
+// per-tier hot-key top-K, heat histograms and the live cost-meter breakdown.
+// `profile` runs the server's sampling profiler for N seconds and prints
+// folded stacks (default) or a self-contained HTML flamegraph — redirect to
+// a file and open in a browser.
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +42,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <port> put|get|rm|stat|tiers|grow|stats|trace|top"
-                 "|slo|profile ...\n",
+                 "|slo|heat|profile ...\n",
                  argv[0]);
     return 2;
   }
@@ -158,10 +163,28 @@ int main(int argc, char** argv) {
     std::fputs(text->c_str(), stdout);
     return 0;
   }
-  if (command == "top" && (argc == 3 || argc == 4)) {
-    const double period = argc == 4 ? std::atof(argv[3]) : 2.0;
+  if (command == "top") {
+    double period = 2.0;
+    std::string format = "top";
+    bool bad = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--sections" && i + 1 < argc) {
+        format = std::string("top:") + argv[++i];
+      } else if (!arg.empty() && (std::isdigit(arg[0]) || arg[0] == '.')) {
+        period = std::atof(arg.c_str());
+      } else {
+        bad = true;
+      }
+    }
+    if (bad) {
+      std::fprintf(stderr,
+                   "usage: top [--sections header,tiers,slo,rules,pool,heat,"
+                   "cost] [period-seconds]\n");
+      return 2;
+    }
     for (;;) {
-      auto text = (*client)->stats("top");
+      auto text = (*client)->stats(format);
       if (!text.ok()) {
         std::fprintf(stderr, "top failed: %s\n",
                      text.status().to_string().c_str());
@@ -203,6 +226,89 @@ int main(int argc, char** argv) {
                   target, current, row.window_s, row.burn_short, row.burn_long,
                   row.violated ? "VIOLATED" : "ok",
                   static_cast<unsigned long long>(row.violations));
+    }
+    return 0;
+  }
+  if (command == "heat") {
+    std::uint32_t top_n = 20;
+    bool bad = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--top" && i + 1 < argc) {
+        top_n = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      } else {
+        bad = true;
+      }
+    }
+    if (bad || top_n == 0) {
+      std::fprintf(stderr, "usage: heat [--top N]\n");
+      return 2;
+    }
+    auto report = (*client)->heat(top_n);
+    if (!report.ok()) {
+      std::fprintf(stderr, "heat failed: %s\n",
+                   report.status().to_string().c_str());
+      return 1;
+    }
+    if (!report->enabled) {
+      std::printf("heat tracking disabled on server (track_heat=false)\n");
+      return 0;
+    }
+    std::printf("heat: half-life=%.0fs epochs=%llu mem=%llu bytes\n",
+                report->half_life_s,
+                static_cast<unsigned long long>(report->decay_epochs),
+                static_cast<unsigned long long>(report->memory_bytes));
+    for (const auto& tier : report->tiers) {
+      std::printf("\n[%s] tracked=%llu records=%llu bytes=%llu "
+                  "evictions=%llu\n",
+                  tier.tier.c_str(),
+                  static_cast<unsigned long long>(tier.tracked_keys),
+                  static_cast<unsigned long long>(tier.records),
+                  static_cast<unsigned long long>(tier.bytes),
+                  static_cast<unsigned long long>(tier.evictions));
+      std::printf("  %-40s %10s %10s\n", "KEY", "EST", "RATE/S");
+      for (const auto& entry : tier.top) {
+        std::printf("  %-40s %10llu %10.2f\n", entry.key.c_str(),
+                    static_cast<unsigned long long>(entry.estimate),
+                    entry.rate_per_s);
+      }
+      // Histogram buckets are [2^i, 2^(i+1)) decayed-estimate ranges; only
+      // print the occupied ones.
+      bool any = false;
+      for (std::size_t b = 0; b < tier.histogram.size(); ++b) {
+        if (tier.histogram[b] == 0) continue;
+        if (!any) std::printf("  heat histogram (est range: keys):\n");
+        any = true;
+        std::printf("    [%llu, %llu): %llu\n",
+                    static_cast<unsigned long long>(1ull << b),
+                    static_cast<unsigned long long>(1ull << (b + 1)),
+                    static_cast<unsigned long long>(tier.histogram[b]));
+      }
+    }
+    std::printf("\ncost: total=$%.6f burn=$%.4f/mo modelled=%.0fs\n",
+                report->total_dollars, report->monthly_burn_dollars,
+                report->modelled_seconds);
+    std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "TIER", "STORAGE$",
+                "REQUEST$", "EGRESS$", "BURN$/MO", "READ-B", "WRITE-B");
+    for (const auto& tier : report->tier_costs) {
+      std::printf("%-10s %12.6f %12.6f %12.6f %12.4f %12llu %12llu\n",
+                  tier.tier.c_str(), tier.storage_dollars,
+                  tier.request_dollars, tier.egress_dollars,
+                  tier.monthly_burn_dollars,
+                  static_cast<unsigned long long>(tier.read_bytes),
+                  static_cast<unsigned long long>(tier.write_bytes));
+    }
+    if (!report->rule_costs.empty()) {
+      std::printf("%-10s %-18s %12s %8s %12s\n", "RULE", "NAME", "BYTES",
+                  "OBJ", "$");
+      for (const auto& rule : report->rule_costs) {
+        std::printf("%-10llu %-18s %12llu %8llu %12.6f\n",
+                    static_cast<unsigned long long>(rule.rule_id),
+                    rule.name.c_str(),
+                    static_cast<unsigned long long>(rule.bytes),
+                    static_cast<unsigned long long>(rule.objects),
+                    rule.dollars);
+      }
     }
     return 0;
   }

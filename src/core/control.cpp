@@ -146,6 +146,13 @@ void ControlLayer::run_responses(const std::shared_ptr<Rule>& rule,
   metrics_.events_fired->inc();
   metrics_.active_responses->add(1);
   if (rule->stats) rule->stats->fires->inc();
+  // Engine ops attribute data-movement spend to the firing rule (CostMeter).
+  // Saved/restored around the loop: a response may re-enter the control
+  // layer (dynamic policy change) with its own rule context.
+  const std::uint64_t saved_rule_id = ctx.rule_id;
+  std::string saved_rule_name = std::move(ctx.rule_name);
+  ctx.rule_id = rule->id;
+  ctx.rule_name = rule->name;
   const std::uint64_t bytes_before = ctx.bytes_moved;
   const std::uint64_t objects_before = ctx.objects_touched;
   bool all_ok = true;
@@ -179,6 +186,8 @@ void ControlLayer::run_responses(const std::shared_ptr<Rule>& rule,
                 rule->name.empty() ? "rule:" + std::to_string(rule->id)
                                    : "rule:" + rule->name,
                 ctx.object_id, "", all_ok, rule->id);
+  ctx.rule_id = saved_rule_id;
+  ctx.rule_name = std::move(saved_rule_name);
   metrics_.active_responses->add(-1);
 }
 
@@ -326,6 +335,10 @@ void ControlLayer::timer_loop() {
     const auto wall_tick = std::chrono::duration_cast<Duration>(
         timer_tick_ * (scale > 0 ? scale : 1.0));
     precise_sleep(std::max<Duration>(wall_tick, from_ms(1)));
+
+    // Heat decay and cost accrual advance in modelled time, one tick per
+    // pass (mirroring how timer periods scale).
+    instance_.tick_observability(timer_tick_);
 
     // SLO objectives are re-measured every tick; a compliance flip makes
     // `slo.* == violated` rules fire (or re-arm) on this same pass.

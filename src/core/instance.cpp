@@ -100,6 +100,14 @@ Result<std::unique_ptr<TieraInstance>> TieraInstance::create(
 Status TieraInstance::init() {
   std::error_code ec;
   std::filesystem::create_directories(config_.data_dir, ec);
+  if (config_.track_heat) {
+    // Created before the tiers so every add_tier (initial and dynamic)
+    // registers its cost account.
+    HeatOptions heat_options = config_.heat_options;
+    heat_options.half_life = config_.heat_half_life;
+    heat_ = std::make_unique<HeatTracker>(config_.name, heat_options);
+    cost_ = std::make_unique<CostMeter>(config_.name);
+  }
   for (const auto& spec : config_.tiers) {
     TIERA_RETURN_IF_ERROR(add_tier(spec));
   }
@@ -137,13 +145,25 @@ Status TieraInstance::add_tier(const TierSpec& spec) {
       if (control_) control_->request_threshold_evaluation();
     });
   }
-  std::unique_lock lock(tiers_mu_);
-  for (const auto& entry : tiers_) {
-    if (entry.label == spec.label) {
-      return Status::AlreadyExists("tier " + spec.label);
+  TierPtr created = std::move(tier).value();
+  {
+    std::unique_lock lock(tiers_mu_);
+    for (const auto& entry : tiers_) {
+      if (entry.label == spec.label) {
+        return Status::AlreadyExists("tier " + spec.label);
+      }
     }
+    tiers_.push_back({spec.label, created});
   }
-  tiers_.push_back({spec.label, std::move(tier).value()});
+  if (cost_) {
+    const TierPricing& p = created->pricing();
+    cost_->add_tier(spec.label, {.dollars_per_gb_month = p.dollars_per_gb_month,
+                                 .dollars_per_put = p.dollars_per_put,
+                                 .dollars_per_get = p.dollars_per_get,
+                                 .dollars_per_io = p.dollars_per_io,
+                                 .dollars_per_gb_egress = p.dollars_per_gb_egress,
+                                 .bill_by_capacity = p.bill_by_capacity});
+  }
   return Status::Ok();
 }
 
@@ -354,6 +374,8 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
 
   // Undo at-rest transforms (applied compress-first, so undo decrypt-first).
   Bytes bytes = std::move(at_rest).value();
+  // What left the tier (at-rest size), for heat and egress accounting.
+  const std::uint64_t served_bytes = bytes.size();
   {
     StageTimer build_stage(Stage::kResponseBuild);
     if (meta->encrypted) {
@@ -397,6 +419,8 @@ Result<Bytes> TieraInstance::get(std::string_view id) {
   stats_.get_latency.record(watch.elapsed());
   slo_.record_get(watch.elapsed(), served_tier, true);
   tier_hit_counter(served_tier).inc();
+  if (heat_) heat_->record(served_tier, object_id, served_bytes);
+  if (cost_) cost_->record_client_read(served_tier, served_bytes);
   tracer_.record(span, TraceOp::kGet, "", object_id, served_tier, true);
   return bytes;
 }
@@ -615,10 +639,13 @@ Status TieraInstance::engine_store(std::string_view id,
   // Bytes to place: the insert payload, or the current at-rest bytes.
   Bytes at_rest_storage;
   ByteView at_rest;
+  // Tier the bytes were read out of (empty for insert payloads) — the
+  // egress source for per-rule cost attribution.
+  std::string source_tier;
   if (payload) {
     at_rest = as_view(*payload);
   } else {
-    Result<Bytes> current = read_at_rest(*meta, nullptr);
+    Result<Bytes> current = read_at_rest(*meta, &source_tier);
     if (!current.ok()) return current.status();
     at_rest_storage = std::move(current).value();
     at_rest = as_view(at_rest_storage);
@@ -663,6 +690,16 @@ Status TieraInstance::engine_store(std::string_view id,
         continue;
       }
       bytes_written += at_rest.size();
+      if (cost_) {
+        // Rule attribution mirrors the policy_bytes accounting below, so
+        // per-rule byte totals reconcile with tiera_instance_policy_bytes.
+        cost_->record_rule_move(ctx ? ctx->rule_id : 0,
+                                ctx ? ctx->rule_name : std::string_view{},
+                                source_tier, label, at_rest.size());
+        // Client-facing ingress: only bytes that arrived with the request.
+        if (payload) cost_->record_client_write(label, at_rest.size());
+      }
+      if (heat_ && payload) heat_->record(label, object_id, at_rest.size());
     }
     touched = true;
     durable_dest = durable_dest || (*t)->durable();
@@ -721,7 +758,8 @@ Status TieraInstance::replicate_locked(const std::string& id,
     }
   }
   if (!all_present) {
-    Result<Bytes> bytes = read_at_rest(*meta, nullptr);
+    std::string source_tier;
+    Result<Bytes> bytes = read_at_rest(*meta, &source_tier);
     if (!bytes.ok()) return bytes.status();
     const std::string storage_key = meta->storage_key();
     for (const auto& label : dest_tiers) {
@@ -738,6 +776,11 @@ Status TieraInstance::replicate_locked(const std::string& id,
       }
       bytes_written += bytes->size();
       touched = true;
+      if (cost_) {
+        cost_->record_rule_move(ctx ? ctx->rule_id : 0,
+                                ctx ? ctx->rule_name : std::string_view{},
+                                source_tier, label, bytes->size());
+      }
       const bool durable_dest = (*t)->durable();
       (void)meta_.update(id, [&](ObjectMeta& cur) {
         cur.locations.insert(label);
@@ -1231,50 +1274,76 @@ std::string human_bytes(std::uint64_t n) {
   return buf;
 }
 
+// True when `name` appears in the comma-separated `sections` list (empty
+// list = every section).
+bool top_section_wanted(std::string_view sections, std::string_view name) {
+  if (sections.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= sections.size()) {
+    std::size_t comma = sections.find(',', pos);
+    if (comma == std::string_view::npos) comma = sections.size();
+    std::string_view token = sections.substr(pos, comma - pos);
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token == name) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
 }  // namespace
 
-std::string TieraInstance::render_top() const {
+std::string TieraInstance::render_top(std::string_view sections) const {
   std::string out;
   char line[256];
+  const auto want = [&](std::string_view name) {
+    return top_section_wanted(sections, name);
+  };
 
-  std::snprintf(line, sizeof(line),
-                "instance %-16s objects=%zu ops/s=%.1f\n", config_.name.c_str(),
-                meta_.size(), stats_.ops.ops_per_sec());
-  out += line;
-  std::snprintf(
-      line, sizeof(line),
-      "puts=%llu gets=%llu removes=%llu misses=%llu failures=%llu "
-      "policy_bytes=%s policy_objects=%llu trace_dropped=%llu\n\n",
-      static_cast<unsigned long long>(stats_.puts.load()),
-      static_cast<unsigned long long>(stats_.gets.load()),
-      static_cast<unsigned long long>(stats_.removes.load()),
-      static_cast<unsigned long long>(stats_.get_misses.load()),
-      static_cast<unsigned long long>(stats_.failures.load()),
-      human_bytes(stats_.policy_bytes.load()).c_str(),
-      static_cast<unsigned long long>(stats_.policy_objects.load()),
-      static_cast<unsigned long long>(tracer_.dropped()));
-  out += line;
-
-  std::snprintf(line, sizeof(line), "%-14s %10s %10s %7s %8s %9s\n", "TIER",
-                "USED", "CAP", "FILL", "OBJECTS", "BREAKER");
-  out += line;
-  for (const auto& entry : tier_snapshot()) {
-    // Plain tiers have no breaker to report; "n/a" keeps the column honest
-    // (and aligned) instead of claiming a permanently closed breaker.
-    const std::string breaker =
-        entry.tier->has_breaker()
-            ? std::string(to_string(entry.tier->breaker_state()))
-            : "n/a";
-    std::snprintf(line, sizeof(line), "%-14s %10s %10s %6.1f%% %8zu %9s\n",
-                  entry.label.c_str(),
-                  human_bytes(entry.tier->used()).c_str(),
-                  human_bytes(entry.tier->capacity()).c_str(),
-                  entry.tier->fill_fraction() * 100.0,
-                  entry.tier->object_count(), breaker.c_str());
+  if (want("header")) {
+    std::snprintf(line, sizeof(line),
+                  "instance %-16s objects=%zu ops/s=%.1f\n",
+                  config_.name.c_str(), meta_.size(),
+                  stats_.ops.ops_per_sec());
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "puts=%llu gets=%llu removes=%llu misses=%llu failures=%llu "
+        "policy_bytes=%s policy_objects=%llu trace_dropped=%llu\n\n",
+        static_cast<unsigned long long>(stats_.puts.load()),
+        static_cast<unsigned long long>(stats_.gets.load()),
+        static_cast<unsigned long long>(stats_.removes.load()),
+        static_cast<unsigned long long>(stats_.get_misses.load()),
+        static_cast<unsigned long long>(stats_.failures.load()),
+        human_bytes(stats_.policy_bytes.load()).c_str(),
+        static_cast<unsigned long long>(stats_.policy_objects.load()),
+        static_cast<unsigned long long>(tracer_.dropped()));
     out += line;
   }
 
-  const std::vector<SloStatus> slos = slo_.status();
+  if (want("tiers")) {
+    std::snprintf(line, sizeof(line), "%-14s %10s %10s %7s %8s %9s\n", "TIER",
+                  "USED", "CAP", "FILL", "OBJECTS", "BREAKER");
+    out += line;
+    for (const auto& entry : tier_snapshot()) {
+      // Plain tiers have no breaker to report; "n/a" keeps the column honest
+      // (and aligned) instead of claiming a permanently closed breaker.
+      const std::string breaker =
+          entry.tier->has_breaker()
+              ? std::string(to_string(entry.tier->breaker_state()))
+              : "n/a";
+      std::snprintf(line, sizeof(line), "%-14s %10s %10s %6.1f%% %8zu %9s\n",
+                    entry.label.c_str(),
+                    human_bytes(entry.tier->used()).c_str(),
+                    human_bytes(entry.tier->capacity()).c_str(),
+                    entry.tier->fill_fraction() * 100.0,
+                    entry.tier->object_count(), breaker.c_str());
+      out += line;
+    }
+  }
+
+  const std::vector<SloStatus> slos =
+      want("slo") ? slo_.status() : std::vector<SloStatus>{};
   if (!slos.empty()) {
     out += '\n';
     std::snprintf(line, sizeof(line),
@@ -1304,36 +1373,127 @@ std::string TieraInstance::render_top() const {
     }
   }
 
-  out += '\n';
-  std::snprintf(line, sizeof(line),
-                "%4s %-16s %8s %5s %8s %8s %10s %8s  %s\n", "RULE", "NAME",
-                "FIRES", "ERR", "P50ms", "P99ms", "BYTES", "OBJ", "EVENT");
-  out += line;
-  for (const auto& r : control_->rule_activity()) {
+  if (want("rules")) {
+    out += '\n';
     std::snprintf(line, sizeof(line),
-                  "%4llu %-16s %8llu %5llu %8.2f %8.2f %10s %8llu  %s\n",
-                  static_cast<unsigned long long>(r.id),
-                  (r.name.empty() ? "-" : r.name).c_str(),
-                  static_cast<unsigned long long>(r.fires),
-                  static_cast<unsigned long long>(r.errors), r.p50_ms,
-                  r.p99_ms, human_bytes(r.bytes_moved).c_str(),
-                  static_cast<unsigned long long>(r.objects_touched),
-                  r.event.c_str());
+                  "%4s %-16s %8s %5s %8s %8s %10s %8s  %s\n", "RULE", "NAME",
+                  "FIRES", "ERR", "P50ms", "P99ms", "BYTES", "OBJ", "EVENT");
     out += line;
-    if (!r.last_error.empty()) {
-      std::snprintf(line, sizeof(line), "     last error: %s\n",
-                    r.last_error.c_str());
+    for (const auto& r : control_->rule_activity()) {
+      std::snprintf(line, sizeof(line),
+                    "%4llu %-16s %8llu %5llu %8.2f %8.2f %10s %8llu  %s\n",
+                    static_cast<unsigned long long>(r.id),
+                    (r.name.empty() ? "-" : r.name).c_str(),
+                    static_cast<unsigned long long>(r.fires),
+                    static_cast<unsigned long long>(r.errors), r.p50_ms,
+                    r.p99_ms, human_bytes(r.bytes_moved).c_str(),
+                    static_cast<unsigned long long>(r.objects_touched),
+                    r.event.c_str());
+      out += line;
+      if (!r.last_error.empty()) {
+        std::snprintf(line, sizeof(line), "     last error: %s\n",
+                      r.last_error.c_str());
+        out += line;
+      }
+    }
+  }
+
+  if (want("heat") && heat_) {
+    const HeatSnapshot snap = heat_->snapshot(/*top_n=*/10);
+    out += '\n';
+    std::snprintf(line, sizeof(line),
+                  "HEAT  half-life=%.0fs epochs=%llu mem=%s\n",
+                  snap.half_life_s,
+                  static_cast<unsigned long long>(snap.decay_epochs),
+                  human_bytes(snap.memory_bytes).c_str());
+    out += line;
+    std::snprintf(line, sizeof(line), "%-14s %-28s %10s %10s\n", "TIER", "KEY",
+                  "EST", "RATE/S");
+    out += line;
+    for (const auto& tier : snap.tiers) {
+      for (const auto& hot : tier.top) {
+        std::snprintf(line, sizeof(line), "%-14s %-28s %10llu %10.2f\n",
+                      tier.tier.c_str(), hot.key.c_str(),
+                      static_cast<unsigned long long>(hot.estimate),
+                      hot.rate_per_s);
+        out += line;
+      }
+      std::snprintf(
+          line, sizeof(line),
+          "%-14s tracked=%llu records=%llu bytes=%s evictions=%llu\n",
+          tier.tier.c_str(), static_cast<unsigned long long>(tier.tracked_keys),
+          static_cast<unsigned long long>(tier.records),
+          human_bytes(tier.bytes).c_str(),
+          static_cast<unsigned long long>(tier.evictions));
       out += line;
     }
   }
 
-  // Pool saturation (every PoolMetrics-bound pool in the process).
-  const std::string pools = render_pool_table();
-  if (!pools.empty()) {
+  if (want("cost") && cost_) {
+    const CostSnapshot snap = cost_->snapshot();
     out += '\n';
-    out += pools;
+    std::snprintf(line, sizeof(line),
+                  "COST  total=$%.4f burn=$%.2f/mo modelled=%.0fs\n",
+                  snap.total_dollars, snap.monthly_burn_dollars,
+                  snap.modelled_seconds);
+    out += line;
+    std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s %10s %10s\n",
+                  "TIER", "STORAGE$", "REQUEST$", "EGRESS$", "BURN$/MO",
+                  "READ", "WRITE");
+    out += line;
+    for (const auto& tier : snap.tiers) {
+      std::snprintf(line, sizeof(line),
+                    "%-14s %10.4f %10.4f %10.4f %10.2f %10s %10s\n",
+                    tier.tier.c_str(), tier.storage_dollars,
+                    tier.request_dollars, tier.egress_dollars,
+                    tier.monthly_burn_dollars,
+                    human_bytes(tier.client_read_bytes).c_str(),
+                    human_bytes(tier.client_write_bytes).c_str());
+      out += line;
+    }
+    if (!snap.rules.empty()) {
+      std::snprintf(line, sizeof(line), "%4s %-16s %10s %8s %10s\n", "RULE",
+                    "NAME", "BYTES", "OBJ", "$");
+      out += line;
+      for (const auto& rule : snap.rules) {
+        std::snprintf(line, sizeof(line), "%4llu %-16s %10s %8llu %10.6f\n",
+                      static_cast<unsigned long long>(rule.rule_id),
+                      (rule.rule_name.empty() ? "-" : rule.rule_name).c_str(),
+                      human_bytes(rule.bytes_moved).c_str(),
+                      static_cast<unsigned long long>(rule.objects_moved),
+                      rule.dollars);
+        out += line;
+      }
+    }
+  }
+
+  // Pool saturation (every PoolMetrics-bound pool in the process).
+  if (want("pool")) {
+    const std::string pools = render_pool_table();
+    if (!pools.empty()) {
+      out += '\n';
+      out += pools;
+    }
   }
   return out;
+}
+
+void TieraInstance::tick_observability(Duration modelled_elapsed) {
+  if (heat_) heat_->on_tick(modelled_elapsed);
+  if (cost_) {
+    std::vector<TierUsage> usage;
+    const auto snapshot = tier_snapshot();
+    usage.reserve(snapshot.size());
+    for (const auto& entry : snapshot) {
+      const TierStats& s = entry.tier->stats();
+      usage.push_back({entry.label, entry.tier->used(),
+                       entry.tier->capacity(),
+                       s.puts.load(std::memory_order_relaxed),
+                       s.gets.load(std::memory_order_relaxed),
+                       s.removes.load(std::memory_order_relaxed)});
+    }
+    cost_->accrue(usage, modelled_elapsed);
+  }
 }
 
 double TieraInstance::monthly_cost(double observed_seconds) const {

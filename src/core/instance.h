@@ -26,6 +26,8 @@
 #include "obs/pool_metrics.h"
 #include "core/metadata_store.h"
 #include "core/policy.h"
+#include "obs/cost_meter.h"
+#include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
@@ -59,6 +61,16 @@ struct InstanceConfig {
   // Ring size; the TIERA_TRACE_CAPACITY environment variable overrides it
   // (overflow shows up in `tiera_trace_dropped_total`).
   std::size_t trace_capacity = 512;
+  // Heat & spend telemetry: per-object access-frequency sketches
+  // (tiera_heat_*) and the live cost meter (tiera_cost_*,
+  // tiera_tier_{read,write}_bytes_total). On by default — the combined
+  // hot-path cost is a sketch add plus a few relaxed counter bumps; benches
+  // that want the bare data path set this false.
+  bool track_heat = true;
+  // Heat decay half-life in modelled time (counts halve this often).
+  Duration heat_half_life = std::chrono::seconds(60);
+  // Sketch/top-K geometry; defaults suit ~100k+ distinct keys per tier.
+  HeatOptions heat_options;
 };
 
 struct InstanceStats {
@@ -128,6 +140,20 @@ class TieraInstance {
   SloEngine& slo() { return slo_; }
   const SloEngine& slo() const { return slo_; }
 
+  // --- Heat & spend telemetry ------------------------------------------------
+  // Null when config.track_heat is false. The heat tracker sees every
+  // client-facing access (GETs against the serving tier, PUT payloads
+  // against every tier they land in); the cost meter accrues storage /
+  // request / egress dollars on the control tick and attributes policy
+  // movement per rule.
+  HeatTracker* heat() { return heat_.get(); }
+  const HeatTracker* heat() const { return heat_.get(); }
+  CostMeter* cost_meter() { return cost_.get(); }
+  const CostMeter* cost_meter() const { return cost_.get(); }
+  // Control-tick hook (modelled elapsed time): advances heat decay and
+  // accrues spend from current tier occupancy and op-count deltas.
+  void tick_observability(Duration modelled_elapsed);
+
   // --- Engine operations (the verbs of Table 1) ------------------------------
   // These keep metadata and tier contents consistent; responses are thin
   // wrappers over them and applications may call them directly.
@@ -188,7 +214,10 @@ class TieraInstance {
   RequestTracer& tracer() { return tracer_; }
   const RequestTracer& tracer() const { return tracer_; }
   // Live per-tier / per-rule activity tables (the `tiera_cli top` view).
-  std::string render_top() const;
+  // `sections` filters which tables print: a comma-separated subset of
+  // {header,tiers,slo,rules,pool,heat,cost}; empty renders everything.
+  // Unknown section names are ignored.
+  std::string render_top(std::string_view sections = {}) const;
   double monthly_cost(double observed_seconds = 0) const;
   std::vector<TierCost> cost_breakdown(double observed_seconds = 0) const;
 
@@ -259,6 +288,9 @@ class TieraInstance {
   InstanceStats stats_;
   SloEngine slo_{config_.name};
   RequestTracer tracer_;
+  // Heat & spend telemetry (null when config_.track_heat is false).
+  std::unique_ptr<HeatTracker> heat_;
+  std::unique_ptr<CostMeter> cost_;
 
   // Hedged reads race two tier GETs on this small reusable pool instead of
   // creating a thread per hedge-eligible read; a losing read occupies a

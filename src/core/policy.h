@@ -50,6 +50,12 @@ struct EventContext {
   // sums.
   std::uint64_t bytes_moved = 0;
   std::uint64_t objects_touched = 0;
+  // The rule whose responses are currently executing (set by the control
+  // layer right before the response loop). Engine ops use it to attribute
+  // data-movement spend per rule in the CostMeter; 0 = no rule context
+  // (e.g. the default-placement fallback).
+  std::uint64_t rule_id = 0;
+  std::string rule_name;
   // First error reported by a foreground placement/replication response.
   // PUT acknowledges only writes whose whole synchronous policy succeeded
   // (a write-through copy to a failed tier fails the PUT, as in Fig. 17).

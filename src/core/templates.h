@@ -28,6 +28,9 @@ struct TemplateOptions {
   std::string data_dir = "/tmp/tiera-instance";
   std::size_t response_threads = 4;
   bool persist_metadata = false;
+  // Heat & spend telemetry (InstanceConfig::track_heat). Benches that want
+  // the bare data path turn it off.
+  bool track_heat = true;
   // Applied to spec-file tiers that declare no resilience knobs of their own
   // (tierad's --retries/--deadline/--breaker/--hedge flags land here).
   ResiliencePolicy default_resilience = {};

@@ -155,6 +155,10 @@ void TieraServer::register_handlers() {
             text = MetricsRegistry::global().render_text();
           } else if (format == "top") {
             text = instance_.render_top();
+          } else if (format.rfind("top:", 0) == 0) {
+            // "top:slo,pool" renders only the named sections.
+            text = instance_.render_top(
+                std::string_view(format).substr(4));  // skip "top:"
           } else {
             return Status::InvalidArgument("unknown stats format: " + format);
           }
@@ -223,6 +227,72 @@ void TieraServer::register_handlers() {
             Profiler::global().capture(duration_ms, interval_us);
         if (!folded.ok()) return folded.status();
         return to_bytes(*folded);
+      });
+
+  server_.register_handler(
+      static_cast<std::uint8_t>(TieraMethod::kHeat),
+      [this](ByteView body) -> Result<Bytes> {
+        std::uint32_t top_n = 20;
+        if (!body.empty()) {
+          WireReader r(body);
+          TIERA_RETURN_IF_ERROR(r.u32(top_n));
+        }
+        WireWriter w;
+        const HeatTracker* heat = instance_.heat();
+        const CostMeter* cost = instance_.cost_meter();
+        w.u8(heat != nullptr ? 1 : 0);
+        if (heat == nullptr) return w.take();
+        // Rates cross as micro units, dollars as nano units (see header).
+        const auto micros = [](double v) {
+          return static_cast<std::uint64_t>(v < 0 ? 0 : v * 1e6);
+        };
+        const auto nanos = [](double v) {
+          return static_cast<std::uint64_t>(v < 0 ? 0 : v * 1e9);
+        };
+        const HeatSnapshot snap = heat->snapshot(top_n);
+        w.u64(micros(snap.half_life_s));
+        w.u64(snap.decay_epochs);
+        w.u64(snap.memory_bytes);
+        w.u32(static_cast<std::uint32_t>(snap.tiers.size()));
+        for (const auto& tier : snap.tiers) {
+          w.str(tier.tier);
+          w.u32(static_cast<std::uint32_t>(tier.top.size()));
+          for (const auto& hot : tier.top) {
+            w.str(hot.key);
+            w.u64(hot.estimate);
+            w.u64(micros(hot.rate_per_s));
+          }
+          w.u32(static_cast<std::uint32_t>(tier.histogram.size()));
+          for (const std::uint64_t bucket : tier.histogram) w.u64(bucket);
+          w.u64(tier.tracked_keys);
+          w.u64(tier.records);
+          w.u64(tier.bytes);
+          w.u64(tier.evictions);
+        }
+        const CostSnapshot costs =
+            cost != nullptr ? cost->snapshot() : CostSnapshot{};
+        w.u64(nanos(costs.total_dollars));
+        w.u64(nanos(costs.monthly_burn_dollars));
+        w.u64(micros(costs.modelled_seconds));
+        w.u32(static_cast<std::uint32_t>(costs.tiers.size()));
+        for (const auto& tier : costs.tiers) {
+          w.str(tier.tier);
+          w.u64(nanos(tier.storage_dollars));
+          w.u64(nanos(tier.request_dollars));
+          w.u64(nanos(tier.egress_dollars));
+          w.u64(nanos(tier.monthly_burn_dollars));
+          w.u64(tier.client_read_bytes);
+          w.u64(tier.client_write_bytes);
+        }
+        w.u32(static_cast<std::uint32_t>(costs.rules.size()));
+        for (const auto& rule : costs.rules) {
+          w.u64(rule.rule_id);
+          w.str(rule.rule_name);
+          w.u64(rule.bytes_moved);
+          w.u64(rule.objects_moved);
+          w.u64(nanos(rule.dollars));
+        }
+        return w.take();
       });
 
   server_.register_handler(
@@ -451,6 +521,102 @@ Result<std::string> RemoteTieraClient::profile(std::uint32_t duration_ms,
       static_cast<std::uint8_t>(TieraMethod::kProfile), as_view(w.data()));
   if (!reply.ok()) return reply.status();
   return std::string(reply->begin(), reply->end());
+}
+
+Result<RemoteHeatReport> RemoteTieraClient::heat(std::uint32_t top_n) {
+  WireWriter w;
+  w.u32(top_n);
+  Result<Bytes> reply = client_->call(
+      static_cast<std::uint8_t>(TieraMethod::kHeat), as_view(w.data()));
+  if (!reply.ok()) return reply.status();
+  WireReader r(as_view(*reply));
+  RemoteHeatReport report;
+  std::uint8_t enabled = 0;
+  TIERA_RETURN_IF_ERROR(r.u8(enabled));
+  report.enabled = enabled != 0;
+  if (!report.enabled) return report;
+  const auto from_micros = [](std::uint64_t v) {
+    return static_cast<double>(v) / 1e6;
+  };
+  const auto from_nanos = [](std::uint64_t v) {
+    return static_cast<double>(v) / 1e9;
+  };
+  std::uint64_t half_life = 0;
+  TIERA_RETURN_IF_ERROR(r.u64(half_life));
+  report.half_life_s = from_micros(half_life);
+  TIERA_RETURN_IF_ERROR(r.u64(report.decay_epochs));
+  TIERA_RETURN_IF_ERROR(r.u64(report.memory_bytes));
+  std::uint32_t tier_count = 0;
+  TIERA_RETURN_IF_ERROR(r.u32(tier_count));
+  report.tiers.reserve(tier_count);
+  for (std::uint32_t i = 0; i < tier_count; ++i) {
+    RemoteTierHeat tier;
+    TIERA_RETURN_IF_ERROR(r.str(tier.tier));
+    std::uint32_t top_count = 0;
+    TIERA_RETURN_IF_ERROR(r.u32(top_count));
+    tier.top.reserve(top_count);
+    for (std::uint32_t j = 0; j < top_count; ++j) {
+      RemoteHeatEntry entry;
+      std::uint64_t rate = 0;
+      TIERA_RETURN_IF_ERROR(r.str(entry.key));
+      TIERA_RETURN_IF_ERROR(r.u64(entry.estimate));
+      TIERA_RETURN_IF_ERROR(r.u64(rate));
+      entry.rate_per_s = from_micros(rate);
+      tier.top.push_back(std::move(entry));
+    }
+    std::uint32_t bucket_count = 0;
+    TIERA_RETURN_IF_ERROR(r.u32(bucket_count));
+    tier.histogram.resize(bucket_count);
+    for (std::uint32_t j = 0; j < bucket_count; ++j) {
+      TIERA_RETURN_IF_ERROR(r.u64(tier.histogram[j]));
+    }
+    TIERA_RETURN_IF_ERROR(r.u64(tier.tracked_keys));
+    TIERA_RETURN_IF_ERROR(r.u64(tier.records));
+    TIERA_RETURN_IF_ERROR(r.u64(tier.bytes));
+    TIERA_RETURN_IF_ERROR(r.u64(tier.evictions));
+    report.tiers.push_back(std::move(tier));
+  }
+  std::uint64_t total = 0, burn = 0, modelled = 0;
+  TIERA_RETURN_IF_ERROR(r.u64(total));
+  TIERA_RETURN_IF_ERROR(r.u64(burn));
+  TIERA_RETURN_IF_ERROR(r.u64(modelled));
+  report.total_dollars = from_nanos(total);
+  report.monthly_burn_dollars = from_nanos(burn);
+  report.modelled_seconds = from_micros(modelled);
+  std::uint32_t cost_count = 0;
+  TIERA_RETURN_IF_ERROR(r.u32(cost_count));
+  report.tier_costs.reserve(cost_count);
+  for (std::uint32_t i = 0; i < cost_count; ++i) {
+    RemoteTierCost tier;
+    std::uint64_t storage = 0, request = 0, egress = 0, tier_burn = 0;
+    TIERA_RETURN_IF_ERROR(r.str(tier.tier));
+    TIERA_RETURN_IF_ERROR(r.u64(storage));
+    TIERA_RETURN_IF_ERROR(r.u64(request));
+    TIERA_RETURN_IF_ERROR(r.u64(egress));
+    TIERA_RETURN_IF_ERROR(r.u64(tier_burn));
+    TIERA_RETURN_IF_ERROR(r.u64(tier.read_bytes));
+    TIERA_RETURN_IF_ERROR(r.u64(tier.write_bytes));
+    tier.storage_dollars = from_nanos(storage);
+    tier.request_dollars = from_nanos(request);
+    tier.egress_dollars = from_nanos(egress);
+    tier.monthly_burn_dollars = from_nanos(tier_burn);
+    report.tier_costs.push_back(std::move(tier));
+  }
+  std::uint32_t rule_count = 0;
+  TIERA_RETURN_IF_ERROR(r.u32(rule_count));
+  report.rule_costs.reserve(rule_count);
+  for (std::uint32_t i = 0; i < rule_count; ++i) {
+    RemoteRuleCost rule;
+    std::uint64_t dollars = 0;
+    TIERA_RETURN_IF_ERROR(r.u64(rule.rule_id));
+    TIERA_RETURN_IF_ERROR(r.str(rule.name));
+    TIERA_RETURN_IF_ERROR(r.u64(rule.bytes));
+    TIERA_RETURN_IF_ERROR(r.u64(rule.objects));
+    TIERA_RETURN_IF_ERROR(r.u64(dollars));
+    rule.dollars = from_nanos(dollars);
+    report.rule_costs.push_back(std::move(rule));
+  }
+  return report;
 }
 
 Status RemoteTieraClient::grow_tier(std::string_view label, double percent) {

@@ -30,6 +30,11 @@ enum class TieraMethod : std::uint8_t {
   // Sampling profiler capture: u32 duration_ms + u32 interval_us request,
   // perf-style folded stacks ("frame;frame count" lines) in the reply.
   kProfile = 12,
+  // Heat & spend report: u32 top_n request; structured per-tier top-K hot
+  // keys + heat histograms and the cost-meter tier/rule breakdown. Rates
+  // cross as micro-unit u64; dollars as nano-unit u64 (request charges are
+  // micro-dollar sized, so micro units would truncate them to zero).
+  kHeat = 13,
 };
 
 class TieraServer {
@@ -74,6 +79,57 @@ struct RemoteSloRow {
   std::uint64_t violations = 0;
 };
 
+// --- kHeat report rows -------------------------------------------------------
+
+struct RemoteHeatEntry {
+  std::string key;
+  std::uint64_t estimate = 0;  // decayed access count
+  double rate_per_s = 0;       // modelled time
+};
+
+struct RemoteTierHeat {
+  std::string tier;
+  std::vector<RemoteHeatEntry> top;        // hottest first
+  std::vector<std::uint64_t> histogram;    // [2^i, 2^(i+1)) estimate buckets
+  std::uint64_t tracked_keys = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t evictions = 0;
+};
+
+struct RemoteTierCost {
+  std::string tier;
+  double storage_dollars = 0;
+  double request_dollars = 0;
+  double egress_dollars = 0;
+  double monthly_burn_dollars = 0;
+  std::uint64_t read_bytes = 0;   // client-facing, tiera_tier_read_bytes_total
+  std::uint64_t write_bytes = 0;
+};
+
+struct RemoteRuleCost {
+  std::uint64_t rule_id = 0;
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint64_t objects = 0;
+  double dollars = 0;
+};
+
+// Everything `tiera_cli heat` renders. `enabled` is false when the server
+// instance runs with track_heat off (all other fields are then empty).
+struct RemoteHeatReport {
+  bool enabled = false;
+  double half_life_s = 0;
+  std::uint64_t decay_epochs = 0;
+  std::uint64_t memory_bytes = 0;
+  std::vector<RemoteTierHeat> tiers;
+  double total_dollars = 0;
+  double monthly_burn_dollars = 0;
+  double modelled_seconds = 0;
+  std::vector<RemoteTierCost> tier_costs;
+  std::vector<RemoteRuleCost> rule_costs;
+};
+
 struct RemoteObjectInfo {
   std::string id;
   std::uint64_t size = 0;
@@ -99,7 +155,8 @@ class RemoteTieraClient {
 
   // Rendered metrics registry; `format` is "prom" (Prometheus text
   // exposition), "text" (human-readable) or "top" (live per-tier/per-rule
-  // activity tables).
+  // activity tables). "top:slo,pool,..." renders only the named top
+  // sections (header,tiers,slo,rules,pool,heat,cost).
   Result<std::string> stats(std::string_view format);
   Result<RemoteStatsSummary> stats_summary();
   // Text trace of the server's last `last_n` requests.
@@ -114,6 +171,9 @@ class RemoteTieraClient {
   // `interval_us`) and return the folded stacks. Blocks for the duration.
   Result<std::string> profile(std::uint32_t duration_ms,
                               std::uint32_t interval_us = 1000);
+  // Per-tier hot keys (top `top_n`), heat histograms and the live cost
+  // breakdown.
+  Result<RemoteHeatReport> heat(std::uint32_t top_n = 20);
 
  private:
   explicit RemoteTieraClient(std::unique_ptr<RpcClient> client)

@@ -1,0 +1,234 @@
+#include "obs/cost_meter.h"
+
+#include <algorithm>
+
+namespace tiera {
+
+namespace {
+
+constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+
+double per_op_dollars(const CostRates& rates, std::uint64_t puts,
+                      std::uint64_t gets, std::uint64_t removes) {
+  const double ios = static_cast<double>(puts + gets + removes);
+  return static_cast<double>(puts) * rates.dollars_per_put +
+         static_cast<double>(gets) * rates.dollars_per_get +
+         ios * rates.dollars_per_io;
+}
+
+}  // namespace
+
+CostMeter::CostMeter(std::string instance_name)
+    : instance_name_(std::move(instance_name)) {
+  auto& reg = MetricsRegistry::global();
+  total_gauge_ = &reg.gauge("tiera_cost_total_dollars");
+  burn_gauge_ = &reg.gauge("tiera_cost_monthly_burn_dollars");
+}
+
+CostMeter::~CostMeter() = default;
+
+void CostMeter::add_tier(std::string_view label, const CostRates& rates) {
+  std::lock_guard lock(mu_);
+  const AccountList* current = accounts_.load(std::memory_order_acquire);
+  if (current != nullptr) {
+    for (const auto& account : *current) {
+      if (account->label == label) {
+        account->rates = rates;  // refresh; spend history stays
+        return;
+      }
+    }
+  }
+  auto account = std::make_shared<Account>();
+  account->label.assign(label.data(), label.size());
+  account->rates = rates;
+  auto& reg = MetricsRegistry::global();
+  const MetricsRegistry::Labels labels = {{"tier", account->label}};
+  account->read_bytes_counter =
+      &reg.counter("tiera_tier_read_bytes_total", labels);
+  account->write_bytes_counter =
+      &reg.counter("tiera_tier_write_bytes_total", labels);
+  account->storage_gauge = &reg.gauge("tiera_cost_storage_dollars", labels);
+  account->request_gauge = &reg.gauge("tiera_cost_request_dollars", labels);
+  account->egress_gauge = &reg.gauge("tiera_cost_egress_dollars", labels);
+  auto next = std::make_unique<AccountList>();
+  if (current != nullptr) *next = *current;
+  next->push_back(std::move(account));
+  accounts_.store(next.get(), std::memory_order_release);
+  retired_.push_back(std::move(next));
+}
+
+CostMeter::Account* CostMeter::find_account(std::string_view label) const {
+  const AccountList* list = accounts_.load(std::memory_order_acquire);
+  if (list == nullptr) return nullptr;
+  for (const auto& account : *list) {
+    if (account->label == label) return account.get();
+  }
+  return nullptr;
+}
+
+void CostMeter::record_client_read(std::string_view tier, std::uint64_t bytes) {
+  if (Account* account = find_account(tier)) {
+    account->read_bytes_counter->inc(bytes);
+  }
+}
+
+void CostMeter::record_client_write(std::string_view tier,
+                                    std::uint64_t bytes) {
+  if (Account* account = find_account(tier)) {
+    account->write_bytes_counter->inc(bytes);
+  }
+}
+
+CostMeter::RuleAccount& CostMeter::rule_account(std::uint64_t id,
+                                                std::string_view name) {
+  for (auto& rule : rules_) {
+    if (rule->id == id) return *rule;
+  }
+  auto rule = std::make_unique<RuleAccount>();
+  rule->id = id;
+  rule->name.assign(name.data(), name.size());
+  if (rule->name.empty() && id == 0) rule->name = "unattributed";
+  rule->dollars_gauge = &MetricsRegistry::global().gauge(
+      "tiera_cost_rule_dollars",
+      {{"rule", std::to_string(id)}, {"name", rule->name}});
+  rules_.push_back(std::move(rule));
+  return *rules_.back();
+}
+
+void CostMeter::record_rule_move(std::uint64_t rule_id,
+                                 std::string_view rule_name,
+                                 std::string_view src_tier,
+                                 std::string_view dest_tier,
+                                 std::uint64_t bytes, std::uint64_t objects) {
+  std::lock_guard lock(mu_);
+  double dollars = 0;
+  if (Account* dest = find_account(dest_tier)) {
+    dollars += per_op_dollars(dest->rates, /*puts=*/objects, /*gets=*/0,
+                              /*removes=*/0);
+  }
+  if (!src_tier.empty()) {
+    if (Account* src = find_account(src_tier)) {
+      dollars += per_op_dollars(src->rates, /*puts=*/0, /*gets=*/objects,
+                                /*removes=*/0);
+      dollars += static_cast<double>(bytes) / kGb *
+                 src->rates.dollars_per_gb_egress;
+      // The tier ledger bills this egress too (attribution view vs ledger —
+      // see file comment); stage it for the next accrue().
+      src->rule_egress_bytes += bytes;
+    }
+  }
+  RuleAccount& rule = rule_account(rule_id, rule_name);
+  rule.bytes += bytes;
+  rule.objects += objects;
+  rule.dollars += dollars;
+  rule.dollars_gauge->set(rule.dollars);
+}
+
+void CostMeter::accrue(const std::vector<TierUsage>& usage,
+                       Duration modelled_elapsed) {
+  const double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          modelled_elapsed)
+          .count();
+  if (elapsed_s <= 0) return;
+  std::lock_guard lock(mu_);
+  modelled_seconds_ += elapsed_s;
+  const double months = elapsed_s / kCostMeterSecondsPerMonth;
+  double total = 0;
+  double burn = 0;
+  const AccountList* list = accounts_.load(std::memory_order_acquire);
+  if (list == nullptr) return;
+  for (const auto& account : *list) {
+    const TierUsage* used = nullptr;
+    for (const auto& u : usage) {
+      if (u.label == account->label) {
+        used = &u;
+        break;
+      }
+    }
+    double interval_dollars = 0;
+    double storage_month_rate = 0;
+    if (used != nullptr) {
+      const double billable_gb =
+          static_cast<double>(account->rates.bill_by_capacity
+                                  ? used->capacity_bytes
+                                  : used->used_bytes) /
+          kGb;
+      storage_month_rate = billable_gb * account->rates.dollars_per_gb_month;
+      const double storage_delta = storage_month_rate * months;
+      account->storage_dollars += storage_delta;
+      interval_dollars += storage_delta;
+
+      const double request_delta = per_op_dollars(
+          account->rates, used->puts - account->billed_puts,
+          used->gets - account->billed_gets,
+          used->removes - account->billed_removes);
+      account->billed_puts = used->puts;
+      account->billed_gets = used->gets;
+      account->billed_removes = used->removes;
+      account->request_dollars += request_delta;
+      interval_dollars += request_delta;
+    }
+    const std::uint64_t egress_bytes =
+        account->read_bytes_counter->value() + account->rule_egress_bytes;
+    if (egress_bytes > account->billed_egress_bytes) {
+      const double egress_delta =
+          static_cast<double>(egress_bytes - account->billed_egress_bytes) /
+          kGb * account->rates.dollars_per_gb_egress;
+      account->billed_egress_bytes = egress_bytes;
+      account->egress_dollars += egress_delta;
+      interval_dollars += egress_delta;
+    }
+    // Burn: storage burns at the occupancy-determined rate; request/egress
+    // burn extrapolates this interval's activity to a month.
+    account->monthly_burn =
+        storage_month_rate + (interval_dollars - storage_month_rate * months) /
+                                 elapsed_s * kCostMeterSecondsPerMonth;
+    account->storage_gauge->set(account->storage_dollars);
+    account->request_gauge->set(account->request_dollars);
+    account->egress_gauge->set(account->egress_dollars);
+    total += account->storage_dollars + account->request_dollars +
+             account->egress_dollars;
+    burn += account->monthly_burn;
+  }
+  total_gauge_->set(total);
+  burn_gauge_->set(burn);
+}
+
+CostSnapshot CostMeter::snapshot() const {
+  CostSnapshot snap;
+  std::lock_guard lock(mu_);
+  snap.modelled_seconds = modelled_seconds_;
+  const AccountList* list = accounts_.load(std::memory_order_acquire);
+  if (list != nullptr) {
+    for (const auto& account : *list) {
+      TierCostSnapshot tier;
+      tier.tier = account->label;
+      tier.storage_dollars = account->storage_dollars;
+      tier.request_dollars = account->request_dollars;
+      tier.egress_dollars = account->egress_dollars;
+      tier.monthly_burn_dollars = account->monthly_burn;
+      tier.client_read_bytes = account->read_bytes_counter->value();
+      tier.client_write_bytes = account->write_bytes_counter->value();
+      snap.total_dollars += tier.total();
+      snap.monthly_burn_dollars += tier.monthly_burn_dollars;
+      snap.tiers.push_back(std::move(tier));
+    }
+  }
+  for (const auto& rule : rules_) {
+    RuleCostSnapshot r;
+    r.rule_id = rule->id;
+    r.rule_name = rule->name;
+    r.bytes_moved = rule->bytes;
+    r.objects_moved = rule->objects;
+    r.dollars = rule->dollars;
+    snap.rules.push_back(std::move(r));
+  }
+  std::sort(snap.rules.begin(), snap.rules.end(),
+            [](const RuleCostSnapshot& a, const RuleCostSnapshot& b) {
+              return a.dollars > b.dollars;
+            });
+  return snap;
+}
+
+}  // namespace tiera

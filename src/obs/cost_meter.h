@@ -1,0 +1,196 @@
+// Live spend accumulator: what this instance has actually spent, so far.
+//
+// CostModel (src/store/cost_model.h) answers "what would a month of this
+// look like" by extrapolating cumulative counters; the paper's cost figures
+// (Figs. 9-13) are exactly that projection. This meter answers the
+// operational question instead: dollars accrued *to date*, attributed per
+// tier and per policy rule, ticking live on the control layer's timer.
+//
+// Three spend classes, mirroring the cloud bills the paper models:
+//  * storage  — $/GB-month integrated over occupancy: each tick charges
+//               billable_bytes * rate * elapsed/month, where billable bytes
+//               follow the tier's bill_by_capacity flag (provisioned tiers
+//               like EBS bill capacity, object stores bill bytes used).
+//  * request  — per-op charges from tier op-count deltas (puts*$put +
+//               gets*$get + all_ops*$io, the CostModel convention), which
+//               catches background/policy traffic without any hot-path hook.
+//  * egress   — (simulated) $/GB on bytes leaving a tier: client-facing
+//               reads plus policy moves/copies reading from the tier.
+//
+// Attribution: per-tier accounts are the ledger — their sum IS the total.
+// Per-rule accounts are a *view* of the same spend (the egress + request
+// charges a rule's data movement caused), so the RULE table does not add to
+// the TIER table; its byte totals reconcile with the engine's
+// tiera_instance_policy_bytes_total accounting instead.
+//
+// Satellite series: tiera_tier_read_bytes_total / tiera_tier_write_bytes_total
+// count *client-facing* bytes per serving tier (a GET served by m1 counts
+// read bytes against m1; a PUT stored to m1+t2 counts write bytes against
+// both). The pre-existing tiera_tier_bytes_{read,written}_total count every
+// tier I/O including migrations — these two families answer different
+// questions and both stay.
+//
+// Layering: obs cannot depend on store, so pricing arrives as a plain
+// CostRates struct (TieraInstance copies it from each tier's TierPricing).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace tiera {
+
+// Billing-month length used to turn $/GB-month into $/GB-second; matches
+// CostModel::kSecondsPerMonth.
+inline constexpr double kCostMeterSecondsPerMonth = 30.0 * 24 * 3600;
+
+// Mirror of TierPricing (src/store/tier.h) — kept structurally identical so
+// the instance can copy field-for-field.
+struct CostRates {
+  double dollars_per_gb_month = 0;
+  double dollars_per_put = 0;
+  double dollars_per_get = 0;
+  double dollars_per_io = 0;
+  double dollars_per_gb_egress = 0;
+  bool bill_by_capacity = false;
+};
+
+// One tier's occupancy + cumulative op counts at accrual time (read from
+// Tier::used()/capacity() and TierStats by the caller).
+struct TierUsage {
+  std::string label;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t removes = 0;
+};
+
+struct TierCostSnapshot {
+  std::string tier;
+  double storage_dollars = 0;
+  double request_dollars = 0;
+  double egress_dollars = 0;
+  // Spend rate extrapolated from current occupancy and recent request/egress
+  // activity, in $/month of modelled time.
+  double monthly_burn_dollars = 0;
+  std::uint64_t client_read_bytes = 0;
+  std::uint64_t client_write_bytes = 0;
+  double total() const {
+    return storage_dollars + request_dollars + egress_dollars;
+  }
+};
+
+struct RuleCostSnapshot {
+  std::uint64_t rule_id = 0;  // 0 = movement with no rule attribution
+  std::string rule_name;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t objects_moved = 0;
+  double dollars = 0;  // egress + request charges of this rule's movement
+};
+
+struct CostSnapshot {
+  std::vector<TierCostSnapshot> tiers;   // ledger: sums to total_dollars
+  std::vector<RuleCostSnapshot> rules;   // attribution view, not additive
+  double total_dollars = 0;
+  double monthly_burn_dollars = 0;
+  double modelled_seconds = 0;  // modelled time the meter has accrued over
+};
+
+// All spend state of one instance. record_client_{read,write} are hot-path
+// safe (copy-on-write account list + relaxed counter adds); accrue() runs on
+// the control tick; record_rule_move() runs on policy-response threads.
+class CostMeter {
+ public:
+  explicit CostMeter(std::string instance_name);
+  ~CostMeter();
+
+  CostMeter(const CostMeter&) = delete;
+  CostMeter& operator=(const CostMeter&) = delete;
+
+  // Registers a tier's account and its metric series. Safe to call for an
+  // existing label (rates are refreshed; the account persists).
+  void add_tier(std::string_view label, const CostRates& rates);
+
+  // --- Hot path ------------------------------------------------------------
+  // Client-facing bytes served from / written to a tier. Unknown labels are
+  // dropped (the instance registers every tier at construction).
+  void record_client_read(std::string_view tier, std::uint64_t bytes);
+  void record_client_write(std::string_view tier, std::uint64_t bytes);
+
+  // --- Policy path ---------------------------------------------------------
+  // One engine-level data movement executed for a rule: `bytes` written to
+  // `dest_tier`, read out of `src_tier` (empty when the payload was already
+  // in hand — a fresh PUT placement has no source egress). Charges the
+  // rule's account dest-put + src-get + src-egress at the tiers' rates.
+  void record_rule_move(std::uint64_t rule_id, std::string_view rule_name,
+                        std::string_view src_tier, std::string_view dest_tier,
+                        std::uint64_t bytes, std::uint64_t objects = 1);
+
+  // --- Control tick --------------------------------------------------------
+  // Advances the meter by `modelled_elapsed`: integrates storage $ over the
+  // interval and bills request/egress deltas accumulated since last tick.
+  void accrue(const std::vector<TierUsage>& usage, Duration modelled_elapsed);
+
+  CostSnapshot snapshot() const;
+
+ private:
+  struct Account {
+    std::string label;
+    CostRates rates;
+    // Hot-path counters (also the published satellite series — Counter is a
+    // relaxed atomic, so no delta-sync indirection is needed).
+    Counter* read_bytes_counter = nullptr;   // tiera_tier_read_bytes_total
+    Counter* write_bytes_counter = nullptr;  // tiera_tier_write_bytes_total
+    // Accrued spend; guarded by mu_.
+    double storage_dollars = 0;
+    double request_dollars = 0;
+    double egress_dollars = 0;
+    double monthly_burn = 0;
+    // Billing cursors (last counter values already billed); guarded by mu_.
+    std::uint64_t billed_puts = 0;
+    std::uint64_t billed_gets = 0;
+    std::uint64_t billed_removes = 0;
+    std::uint64_t billed_egress_bytes = 0;
+    std::uint64_t rule_egress_bytes = 0;  // policy reads, billed with client's
+    Gauge* storage_gauge = nullptr;
+    Gauge* request_gauge = nullptr;
+    Gauge* egress_gauge = nullptr;
+  };
+  using AccountList = std::vector<std::shared_ptr<Account>>;
+
+  struct RuleAccount {
+    std::uint64_t id = 0;
+    std::string name;
+    std::uint64_t bytes = 0;
+    std::uint64_t objects = 0;
+    double dollars = 0;
+    Gauge* dollars_gauge = nullptr;  // tiera_cost_rule_dollars{rule,name}
+  };
+
+  // Lock-free lookup on the COW list; nullptr when unknown.
+  Account* find_account(std::string_view label) const;
+  RuleAccount& rule_account(std::uint64_t id, std::string_view name);
+
+  const std::string instance_name_;
+
+  // Copy-on-write account list (instance hit-counter idiom); retired lists
+  // outlive every racing reader.
+  std::atomic<const AccountList*> accounts_{nullptr};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<const AccountList>> retired_;
+
+  std::vector<std::unique_ptr<RuleAccount>> rules_;  // guarded by mu_
+  double modelled_seconds_ = 0;                      // guarded by mu_
+  Gauge* total_gauge_ = nullptr;  // tiera_cost_total_dollars
+  Gauge* burn_gauge_ = nullptr;   // tiera_cost_monthly_burn_dollars
+};
+
+}  // namespace tiera

@@ -1,0 +1,410 @@
+#include "obs/heat.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace tiera {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Derives the two independent row hashes for double hashing. Forcing h2 odd
+// makes it a bijection modulo the power-of-two width, so rows index
+// distinct permutations of the columns.
+void split_hash(std::uint64_t key_hash, std::uint64_t* h1, std::uint64_t* h2) {
+  *h1 = key_hash;
+  *h2 = (key_hash >> 32) | (key_hash << 32);
+  *h2 |= 1;
+}
+
+}  // namespace
+
+// --- CountMinSketch ----------------------------------------------------------
+
+CountMinSketch::CountMinSketch(int shards, int depth, std::size_t width)
+    : shards_(std::max(shards, 1)),
+      depth_(std::clamp(depth, 1, kMaxDepth)),
+      width_(round_up_pow2(std::max<std::size_t>(width, 16))),
+      counters_(static_cast<std::size_t>(shards_) * depth_ * width_),
+      shard_used_(static_cast<std::size_t>(shards_)) {}
+
+std::size_t CountMinSketch::col_of(std::uint64_t key_hash, int row) const {
+  std::uint64_t h1, h2;
+  split_hash(key_hash, &h1, &h2);
+  return (h1 + static_cast<std::uint64_t>(row) * h2) & (width_ - 1);
+}
+
+int CountMinSketch::shard_for_thread() const {
+  // Hash of the thread id, cached per thread: repeated adds from one thread
+  // stay in one shard, so a hot key's increments from T threads spread over
+  // min(T, shards) tables.
+  static thread_local const std::size_t tl_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<int>(tl_hash % static_cast<std::size_t>(shards_));
+}
+
+std::uint64_t CountMinSketch::add(std::uint64_t key_hash, std::uint32_t n) {
+  std::size_t cols[kMaxDepth];
+  for (int row = 0; row < depth_; ++row) cols[row] = col_of(key_hash, row);
+  const int shard = shard_for_thread();
+  if (shard_used_[shard].load(std::memory_order_relaxed) == 0) {
+    shard_used_[shard].store(1, std::memory_order_relaxed);
+  }
+  // The calling shard's min comes from the values written here — no second
+  // pass over its counters.
+  std::uint64_t own_min = std::numeric_limits<std::uint64_t>::max();
+  for (int row = 0; row < depth_; ++row) {
+    auto& counter = counters_[slot(shard, row, cols[row])];
+    // Saturate instead of wrapping. The relaxed check-then-add can overshoot
+    // by a few concurrent increments near the cap, which halving absorbs.
+    std::uint64_t v = counter.load(std::memory_order_relaxed);
+    if (v < std::numeric_limits<std::uint32_t>::max() - n) {
+      v = counter.fetch_add(n, std::memory_order_relaxed) + n;
+    }
+    own_min = std::min(own_min, v);
+  }
+  std::uint64_t total = own_min;
+  for (int other = 0; other < shards_; ++other) {
+    if (other == shard ||
+        shard_used_[other].load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    std::uint64_t shard_min = std::numeric_limits<std::uint64_t>::max();
+    for (int row = 0; row < depth_; ++row) {
+      const std::uint64_t v =
+          counters_[slot(other, row, cols[row])].load(std::memory_order_relaxed);
+      shard_min = std::min(shard_min, v);
+    }
+    total += shard_min;
+  }
+  return total;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key_hash) const {
+  std::size_t cols[kMaxDepth];
+  for (int row = 0; row < depth_; ++row) cols[row] = col_of(key_hash, row);
+  std::uint64_t total = 0;
+  for (int shard = 0; shard < shards_; ++shard) {
+    // An untouched shard's min-over-rows is zero; skip its cache lines.
+    if (shard_used_[shard].load(std::memory_order_relaxed) == 0) continue;
+    std::uint64_t shard_min = std::numeric_limits<std::uint64_t>::max();
+    for (int row = 0; row < depth_; ++row) {
+      const std::uint64_t v =
+          counters_[slot(shard, row, cols[row])].load(std::memory_order_relaxed);
+      shard_min = std::min(shard_min, v);
+    }
+    total += shard_min;
+  }
+  return total;
+}
+
+void CountMinSketch::halve() {
+  for (auto& counter : counters_) {
+    const std::uint32_t v = counter.load(std::memory_order_relaxed);
+    if (v != 0) counter.store(v >> 1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> CountMinSketch::histogram() const {
+  std::vector<std::uint64_t> buckets(kHistogramBuckets, 0);
+  for (std::size_t col = 0; col < width_; ++col) {
+    // Same combination rule as estimate(): per shard min-over-rows at this
+    // column, summed across shards. Not exactly any key's estimate (keys
+    // occupy different columns per row), but distributed the same way.
+    std::uint64_t total = 0;
+    for (int shard = 0; shard < shards_; ++shard) {
+      if (shard_used_[shard].load(std::memory_order_relaxed) == 0) continue;
+      std::uint64_t shard_min = std::numeric_limits<std::uint64_t>::max();
+      for (int row = 0; row < depth_; ++row) {
+        shard_min = std::min(shard_min, static_cast<std::uint64_t>(
+            counters_[slot(shard, row, col)].load(std::memory_order_relaxed)));
+      }
+      total += shard_min;
+    }
+    if (total == 0) continue;
+    int bucket = 0;
+    while ((total >>= 1) != 0) ++bucket;
+    buckets[std::min(bucket, kHistogramBuckets - 1)]++;
+  }
+  return buckets;
+}
+
+// --- HeatTopK ---------------------------------------------------------------
+
+HeatTopK::HeatTopK(std::size_t capacity, const CountMinSketch* sketch)
+    : capacity_(std::max<std::size_t>(capacity, 1)), sketch_(sketch) {
+  members_.reserve(capacity_);
+}
+
+void HeatTopK::offer(std::string_view key, std::uint64_t key_hash,
+                     std::uint64_t estimate) {
+  // Cold-key early-out: a full table admits nothing at or below the cached
+  // minimum, so the overwhelming majority of offers end here, lock-free.
+  if (size_.load(std::memory_order_relaxed) >= capacity_ &&
+      estimate <= threshold_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Only offers that clear the early-out tick the scan budget; a scan is
+  // allowed once per capacity_ of them.
+  const std::uint64_t seq =
+      offer_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::shared_lock lock(mu_);
+    auto it = members_.find(key_hash);
+    if (it != members_.end()) {
+      it->second->cached_estimate.store(estimate, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Non-member above the threshold: admission needs a free slot or an
+  // eviction scan. When the table is full and the scan budget is spent,
+  // deny without the exclusive lock — and remember this estimate as the new
+  // bar so the ties right behind it stay on the lock-free path.
+  if (size_.load(std::memory_order_relaxed) >= capacity_ &&
+      seq - last_scan_seq_.load(std::memory_order_relaxed) < capacity_) {
+    if (estimate > threshold_.load(std::memory_order_relaxed)) {
+      threshold_.store(estimate, std::memory_order_relaxed);
+    }
+    return;
+  }
+  std::unique_lock lock(mu_);
+  auto it = members_.find(key_hash);
+  if (it != members_.end()) {
+    it->second->cached_estimate.store(estimate, std::memory_order_relaxed);
+    return;
+  }
+  if (members_.size() >= capacity_) {
+    // Re-check the scan budget under the lock (another thread may have
+    // spent it between the lock-free check and here).
+    if (seq - last_scan_seq_.load(std::memory_order_relaxed) < capacity_) {
+      return;
+    }
+    last_scan_seq_.store(seq, std::memory_order_relaxed);
+    // Re-query the sketch for every member: cached estimates go stale (they
+    // only refresh when that key is offered), and evicting on stale data
+    // would keep cooled-off keys pinned in the table.
+    auto victim = members_.end();
+    std::uint64_t victim_est = std::numeric_limits<std::uint64_t>::max();
+    for (auto m = members_.begin(); m != members_.end(); ++m) {
+      const std::uint64_t est = sketch_->estimate(m->first);
+      m->second->cached_estimate.store(est, std::memory_order_relaxed);
+      if (est < victim_est) {
+        victim_est = est;
+        victim = m;
+      }
+    }
+    if (estimate <= victim_est) {
+      // Not hotter than the coldest member; remember the (refreshed)
+      // admission bar and bail.
+      threshold_.store(victim_est, std::memory_order_relaxed);
+      return;
+    }
+    members_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto member = std::make_unique<Member>();
+  member->key.assign(key.data(), key.size());
+  member->cached_estimate.store(estimate, std::memory_order_relaxed);
+  members_.emplace(key_hash, std::move(member));
+  size_.store(members_.size(), std::memory_order_relaxed);
+  if (members_.size() >= capacity_) {
+    std::uint64_t min_est = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& [hash, m] : members_) {
+      min_est = std::min(
+          min_est, m->cached_estimate.load(std::memory_order_relaxed));
+    }
+    threshold_.store(min_est, std::memory_order_relaxed);
+  }
+}
+
+void HeatTopK::on_decay() {
+  std::unique_lock lock(mu_);
+  for (auto& [hash, member] : members_) {
+    const std::uint64_t v =
+        member->cached_estimate.load(std::memory_order_relaxed);
+    member->cached_estimate.store(v >> 1, std::memory_order_relaxed);
+  }
+  const std::uint64_t t = threshold_.load(std::memory_order_relaxed);
+  threshold_.store(t >> 1, std::memory_order_relaxed);
+}
+
+std::vector<HeatEntry> HeatTopK::snapshot(std::size_t top_n) const {
+  std::vector<HeatEntry> out;
+  {
+    std::shared_lock lock(mu_);
+    out.reserve(members_.size());
+    for (const auto& [hash, member] : members_) {
+      HeatEntry entry;
+      entry.key = member->key;
+      entry.estimate = sketch_->estimate(hash);
+      out.push_back(std::move(entry));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const HeatEntry& a, const HeatEntry& b) {
+    return a.estimate != b.estimate ? a.estimate > b.estimate : a.key < b.key;
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+// --- HeatTracker ------------------------------------------------------------
+
+HeatTracker::TierHeat::TierHeat(std::string tier_label,
+                                const HeatOptions& options)
+    : label(std::move(tier_label)),
+      sketch(options.sketch_shards, options.sketch_depth, options.sketch_width),
+      topk(options.top_k, &sketch) {
+  auto& reg = MetricsRegistry::global();
+  const MetricsRegistry::Labels labels = {{"tier", label}};
+  records_counter = &reg.counter("tiera_heat_records_total", labels);
+  evictions_counter = &reg.counter("tiera_heat_evictions_total", labels);
+  tracked_gauge = &reg.gauge("tiera_heat_tracked_keys", labels);
+  top_rate_gauge = &reg.gauge("tiera_heat_top_rate_per_s", labels);
+}
+
+HeatTracker::HeatTracker(std::string instance_name, HeatOptions options)
+    : instance_name_(std::move(instance_name)),
+      options_(options),
+      half_life_s_(std::max(
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              options.half_life)
+              .count(),
+          1e-6)) {
+  auto& reg = MetricsRegistry::global();
+  decay_counter_ = &reg.counter("tiera_heat_decay_epochs_total");
+  memory_gauge_ = &reg.gauge("tiera_heat_memory_bytes");
+  collector_id_ = reg.add_collector([this] { collect_metrics(); });
+}
+
+HeatTracker::~HeatTracker() {
+  MetricsRegistry::global().remove_collector(collector_id_);
+}
+
+double HeatTracker::rate_of(std::uint64_t estimate) const {
+  return static_cast<double>(estimate) / (2.0 * half_life_s_);
+}
+
+HeatTracker::TierHeat& HeatTracker::tier_heat(std::string_view tier) {
+  const TierList* list = tiers_.load(std::memory_order_acquire);
+  if (list != nullptr) {
+    for (const auto& entry : *list) {
+      if (entry->label == tier) return *entry;
+    }
+  }
+  std::lock_guard lock(mu_);
+  const TierList* current = tiers_.load(std::memory_order_acquire);
+  if (current != nullptr) {
+    for (const auto& entry : *current) {
+      if (entry->label == tier) return *entry;
+    }
+  }
+  auto next = std::make_unique<TierList>();
+  if (current != nullptr) *next = *current;
+  next->push_back(std::make_shared<TierHeat>(std::string(tier), options_));
+  TierHeat& created = *next->back();
+  tiers_.store(next.get(), std::memory_order_release);
+  retired_.push_back(std::move(next));
+  return created;
+}
+
+void HeatTracker::record(std::string_view tier, std::string_view key,
+                         std::uint64_t bytes) {
+  TierHeat& heat = tier_heat(tier);
+  const std::uint64_t hash = fnv1a64(key);
+  const std::uint64_t estimate = heat.sketch.add(hash);
+  heat.topk.offer(key, hash, estimate);
+  heat.records.fetch_add(1, std::memory_order_relaxed);
+  heat.bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void HeatTracker::on_tick(Duration modelled_elapsed) {
+  // Decay runs only from the control timer thread; mu_ also orders it
+  // against tier creation.
+  std::lock_guard lock(mu_);
+  since_decay_ += modelled_elapsed;
+  const TierList* list = tiers_.load(std::memory_order_acquire);
+  while (since_decay_ >= options_.half_life) {
+    since_decay_ -= options_.half_life;
+    if (list != nullptr) {
+      for (const auto& entry : *list) {
+        entry->sketch.halve();
+        entry->topk.on_decay();
+      }
+    }
+    decay_epochs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+HeatSnapshot HeatTracker::snapshot(std::size_t top_n) const {
+  HeatSnapshot snap;
+  snap.half_life_s = half_life_s_;
+  snap.decay_epochs = decay_epochs_.load(std::memory_order_relaxed);
+  snap.memory_bytes = memory_bytes();
+  const TierList* list = tiers_.load(std::memory_order_acquire);
+  if (list == nullptr) return snap;
+  for (const auto& entry : *list) {
+    TierHeatSnapshot tier;
+    tier.tier = entry->label;
+    tier.top = entry->topk.snapshot(top_n);
+    for (auto& hot : tier.top) hot.rate_per_s = rate_of(hot.estimate);
+    tier.histogram = entry->sketch.histogram();
+    tier.tracked_keys = entry->topk.size();
+    tier.records = entry->records.load(std::memory_order_relaxed);
+    tier.bytes = entry->bytes.load(std::memory_order_relaxed);
+    tier.evictions = entry->topk.evictions();
+    snap.tiers.push_back(std::move(tier));
+  }
+  return snap;
+}
+
+std::uint64_t HeatTracker::memory_bytes() const {
+  // Per-tier fixed bound: the sketch allocation plus the top-K table at
+  // capacity (member struct + hash-map node + a key). The bound is what
+  // matters — it is independent of how many distinct keys flow through —
+  // so charge a generous flat 256 bytes per member slot.
+  constexpr std::uint64_t kPerMemberBound = 256;
+  std::uint64_t total = 0;
+  const TierList* list = tiers_.load(std::memory_order_acquire);
+  if (list == nullptr) return 0;
+  for (const auto& entry : *list) {
+    total += entry->sketch.memory_bytes();
+    total += options_.top_k * kPerMemberBound;
+  }
+  return total;
+}
+
+void HeatTracker::collect_metrics() {
+  const TierList* list = tiers_.load(std::memory_order_acquire);
+  const std::uint64_t epochs = decay_epochs_.load(std::memory_order_relaxed);
+  if (epochs > synced_epochs_) {
+    decay_counter_->inc(epochs - synced_epochs_);
+    synced_epochs_ = epochs;
+  }
+  memory_gauge_->set(static_cast<double>(memory_bytes()));
+  if (list == nullptr) return;
+  for (const auto& entry : *list) {
+    const std::uint64_t records = entry->records.load(std::memory_order_relaxed);
+    if (records > entry->synced_records) {
+      entry->records_counter->inc(records - entry->synced_records);
+      entry->synced_records = records;
+    }
+    const std::uint64_t evictions = entry->topk.evictions();
+    if (evictions > entry->synced_evictions) {
+      entry->evictions_counter->inc(evictions - entry->synced_evictions);
+      entry->synced_evictions = evictions;
+    }
+    entry->tracked_gauge->set(static_cast<double>(entry->topk.size()));
+    const auto top = entry->topk.snapshot(1);
+    entry->top_rate_gauge->set(top.empty() ? 0.0 : rate_of(top[0].estimate));
+  }
+}
+
+}  // namespace tiera

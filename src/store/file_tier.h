@@ -102,11 +102,13 @@ class ObjectTier final : public FileTier {
              LatencyModel latency = LatencyModel::s3(),
              TierPricing pricing = default_pricing());
 
-  // 2014 S3: $0.03/GB-month stored, $5/1M PUT, $0.4/1M GET.
+  // 2014 S3: $0.03/GB-month stored, $5/1M PUT, $0.4/1M GET, $0.12/GB
+  // transfer out.
   static TierPricing default_pricing() {
     return {.dollars_per_gb_month = 0.03,
             .dollars_per_put = 5.0 / 1e6,
             .dollars_per_get = 0.4 / 1e6,
+            .dollars_per_gb_egress = 0.12,
             .bill_by_capacity = false};
   }
 };

@@ -67,12 +67,17 @@ struct TierStats {
   }
 };
 
-// Per-GB-month and per-request pricing used by CostModel.
+// Per-GB-month and per-request pricing used by CostModel and the live
+// CostMeter.
 struct TierPricing {
   double dollars_per_gb_month = 0.0;
   double dollars_per_put = 0.0;      // billable mutating request
   double dollars_per_get = 0.0;      // billable read request
   double dollars_per_io = 0.0;       // EBS-style I/O charge (any op)
+  // (Simulated) data-transfer-out charge on bytes leaving the tier: client
+  // reads and policy moves/copies sourced from it. Zero for tiers whose
+  // service bills transfer separately or not at all (EBS, local memory).
+  double dollars_per_gb_egress = 0.0;
   // Capacity-billed services (EBS volumes, cache nodes) charge for the
   // provisioned size; usage-billed (S3) charge for stored bytes.
   bool bill_by_capacity = true;

@@ -321,5 +321,80 @@ TEST_F(TieraServiceTest, ProfileRoundTripNamesServerFrames) {
   EXPECT_FALSE(client_->profile(/*duration_ms=*/0).ok());
 }
 
+TEST_F(TieraServiceTest, HeatReportRoundTripsOverRpc) {
+  // Traffic: one hot key, a handful of cold ones, all served from tier1.
+  const Bytes payload = make_payload(2048, 7);
+  ASSERT_TRUE(client_->put("hot-obj", as_view(payload)).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        client_->put("cold-" + std::to_string(i), as_view(payload)).ok());
+  }
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(client_->get("hot-obj").ok());
+  // Advance modelled time so the cost meter has accrued something — half a
+  // half-life, so heat estimates are not decayed mid-assertion.
+  instance_->tick_observability(std::chrono::seconds(30));
+
+  auto report = client_->heat(/*top_n=*/5);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report->enabled);
+  EXPECT_DOUBLE_EQ(report->half_life_s, 60.0);  // config default
+  EXPECT_GT(report->memory_bytes, 0u);
+
+  ASSERT_EQ(report->tiers.size(), 1u);  // only tier1 saw traffic
+  const RemoteTierHeat& tier = report->tiers[0];
+  EXPECT_EQ(tier.tier, "tier1");
+  ASSERT_FALSE(tier.top.empty());
+  EXPECT_LE(tier.top.size(), 5u);  // top_n honored
+  EXPECT_EQ(tier.top[0].key, "hot-obj");
+  EXPECT_GE(tier.top[0].estimate, 41u);  // 40 GETs + 1 PUT, never undercounts
+  EXPECT_GT(tier.top[0].rate_per_s, 0.0);
+  EXPECT_EQ(tier.histogram.size(),
+            static_cast<std::size_t>(CountMinSketch::kHistogramBuckets));
+  EXPECT_GE(tier.records, 46u);
+  EXPECT_GT(tier.bytes, 0u);
+
+  // Cost section mirrors the server-side snapshot. Byte totals compare
+  // against the server's own view, not absolute values — the per-tier byte
+  // counters are global registry series shared across the tests in this
+  // binary.
+  const auto server_cost = instance_->cost_meter()->snapshot();
+  EXPECT_NEAR(report->total_dollars, server_cost.total_dollars, 1e-6);
+  EXPECT_GE(report->modelled_seconds, 30.0);
+  ASSERT_EQ(report->tier_costs.size(), 2u);
+  std::uint64_t read_bytes = 0;
+  std::uint64_t server_read_bytes = 0;
+  for (const auto& cost : report->tier_costs) read_bytes += cost.read_bytes;
+  for (const auto& tier : server_cost.tiers) {
+    server_read_bytes += tier.client_read_bytes;
+  }
+  EXPECT_EQ(read_bytes, server_read_bytes);
+  EXPECT_GE(read_bytes, 40u * 2048u);
+  // Default placement runs with no rule context: everything lands on the
+  // "unattributed" rule-0 account.
+  ASSERT_FALSE(report->rule_costs.empty());
+  EXPECT_EQ(report->rule_costs[0].rule_id, 0u);
+  EXPECT_EQ(report->rule_costs[0].name, "unattributed");
+  EXPECT_EQ(report->rule_costs[0].bytes, 6u * 2048u);
+}
+
+TEST_F(TieraServiceTest, StatsTopSectionsFilter) {
+  ASSERT_TRUE(client_->put("obj", as_view(make_payload(128, 1))).ok());
+  // Full top view includes every table.
+  auto full = client_->stats("top");
+  ASSERT_TRUE(full.ok());
+  EXPECT_NE(full->find("TIER"), std::string::npos);
+  EXPECT_NE(full->find("HEAT"), std::string::npos);
+  EXPECT_NE(full->find("COST"), std::string::npos);
+  // A sections filter renders only the named tables.
+  auto filtered = client_->stats("top:heat,cost");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NE(filtered->find("HEAT"), std::string::npos);
+  EXPECT_NE(filtered->find("COST"), std::string::npos);
+  EXPECT_EQ(filtered->find("instance "), std::string::npos);  // header gone
+  auto slo_only = client_->stats("top:slo");
+  ASSERT_TRUE(slo_only.ok());
+  EXPECT_EQ(slo_only->find("HEAT"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tiera

@@ -1,0 +1,246 @@
+// HeatTracker unit tests: count-min sketch bounds (never undercounts,
+// bounded overestimate), halving decay (ordering preserved, rate math),
+// top-K admission/eviction under churn, fixed memory, and a TSan-checked
+// record-vs-decay-vs-snapshot race.
+#include "obs/heat.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace tiera {
+namespace {
+
+std::string key_of(int i) { return "obj-" + std::to_string(i); }
+
+TEST(CountMinSketchTest, NeverUndercountsAndOverestimateIsBounded) {
+  // Single shard so the classic bound applies directly.
+  CountMinSketch sketch(/*shards=*/1, /*depth=*/4, /*width=*/2048);
+  // 200 keys, key i added (i+1) times: 20100 adds total.
+  constexpr int kKeys = 200;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t hash = fnv1a64(key_of(i));
+    for (int n = 0; n <= i; ++n) sketch.add(hash);
+    total += static_cast<std::uint64_t>(i) + 1;
+  }
+  // eps = e / width; with width 2048 and N ~ 2e4 the slack is ~27 counts.
+  const double eps_slack = 2.718281828 / 2048.0 * static_cast<double>(total);
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t truth = static_cast<std::uint64_t>(i) + 1;
+    const std::uint64_t est = sketch.estimate(fnv1a64(key_of(i)));
+    EXPECT_GE(est, truth) << key_of(i);
+    EXPECT_LE(est, truth + static_cast<std::uint64_t>(eps_slack) + 1)
+        << key_of(i);
+  }
+  // A key never added estimates within the same collision slack of zero.
+  EXPECT_LE(sketch.estimate(fnv1a64("never-added")),
+            static_cast<std::uint64_t>(eps_slack) + 1);
+}
+
+TEST(CountMinSketchTest, WidthRoundsUpAndMemoryIsFixed) {
+  CountMinSketch sketch(/*shards=*/2, /*depth=*/3, /*width=*/1000);
+  EXPECT_EQ(sketch.width(), 1024u);  // next power of two
+  EXPECT_EQ(sketch.depth(), 3);
+  EXPECT_EQ(sketch.shards(), 2);
+  const std::size_t before = sketch.memory_bytes();
+  EXPECT_EQ(before, 2u * 3u * 1024u * sizeof(std::uint32_t));
+  // 100k distinct keys later, the footprint has not moved.
+  for (int i = 0; i < 100000; ++i) sketch.add(fnv1a64(key_of(i)));
+  EXPECT_EQ(sketch.memory_bytes(), before);
+}
+
+TEST(CountMinSketchTest, HalvingPreservesOrderingAndHalvesEstimates) {
+  CountMinSketch sketch(/*shards=*/1, /*depth=*/4, /*width=*/2048);
+  const std::uint64_t hot = fnv1a64("hot");
+  const std::uint64_t warm = fnv1a64("warm");
+  const std::uint64_t cool = fnv1a64("cool");
+  for (int i = 0; i < 1000; ++i) sketch.add(hot);
+  for (int i = 0; i < 100; ++i) sketch.add(warm);
+  for (int i = 0; i < 10; ++i) sketch.add(cool);
+
+  const std::uint64_t hot_before = sketch.estimate(hot);
+  sketch.halve();
+  const std::uint64_t hot_after = sketch.estimate(hot);
+  // Integer halving: exactly v >> 1 per counter.
+  EXPECT_EQ(hot_after, hot_before / 2);
+  // Relative order survives any number of epochs.
+  sketch.halve();
+  sketch.halve();
+  EXPECT_GT(sketch.estimate(hot), sketch.estimate(warm));
+  EXPECT_GT(sketch.estimate(warm), sketch.estimate(cool));
+}
+
+TEST(CountMinSketchTest, HistogramCountsOccupiedColumns) {
+  CountMinSketch sketch(/*shards=*/1, /*depth=*/1, /*width=*/64);
+  EXPECT_EQ(sketch.histogram(), std::vector<std::uint64_t>(
+                                    CountMinSketch::kHistogramBuckets, 0));
+  for (int i = 0; i < 8; ++i) sketch.add(fnv1a64("k"));  // one column at 8
+  const auto buckets = sketch.histogram();
+  EXPECT_EQ(buckets[3], 1u);  // 8 lies in [2^3, 2^4)
+  std::uint64_t occupied = 0;
+  for (const auto b : buckets) occupied += b;
+  EXPECT_EQ(occupied, 1u);
+}
+
+TEST(HeatTopKTest, KeepsHottestKeysUnderChurn) {
+  CountMinSketch sketch(/*shards=*/1, /*depth=*/4, /*width=*/4096);
+  HeatTopK topk(/*capacity=*/8, &sketch);
+  // 8 genuinely hot keys (100 accesses each)...
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "hot-" + std::to_string(i);
+    const std::uint64_t hash = fnv1a64(key);
+    for (int n = 0; n < 100; ++n) topk.offer(key, hash, sketch.add(hash));
+  }
+  // ...then heavy churn: 2000 one-shot keys try to displace them.
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "cold-" + std::to_string(i);
+    const std::uint64_t hash = fnv1a64(key);
+    topk.offer(key, hash, sketch.add(hash));
+  }
+  const auto top = topk.snapshot(8);
+  ASSERT_EQ(top.size(), 8u);
+  for (const auto& entry : top) {
+    EXPECT_EQ(entry.key.rfind("hot-", 0), 0u) << entry.key;
+    EXPECT_GE(entry.estimate, 100u);
+  }
+}
+
+TEST(HeatTopKTest, EvictsCooledKeysForRisingOnes) {
+  CountMinSketch sketch(/*shards=*/1, /*depth=*/4, /*width=*/4096);
+  HeatTopK topk(/*capacity=*/4, &sketch);
+  auto pump = [&](const std::string& key, int n) {
+    const std::uint64_t hash = fnv1a64(key);
+    for (int i = 0; i < n; ++i) topk.offer(key, hash, sketch.add(hash));
+  };
+  pump("old-0", 50);
+  pump("old-1", 50);
+  pump("old-2", 50);
+  pump("old-3", 50);
+  // The old generation cools by two epochs (50 -> 12)...
+  sketch.halve();
+  topk.on_decay();
+  sketch.halve();
+  topk.on_decay();
+  // ...and a new generation overtakes it. Eviction must re-query the sketch
+  // (the cached estimates still say 50) and let the risers in.
+  pump("new-0", 30);
+  pump("new-1", 30);
+  const auto top = topk.snapshot(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key.rfind("new-", 0), 0u) << top[0].key;
+  EXPECT_EQ(top[1].key.rfind("new-", 0), 0u) << top[1].key;
+  EXPECT_GE(topk.evictions(), 2u);
+}
+
+TEST(HeatTrackerTest, SnapshotReportsDecayedRates) {
+  HeatOptions options;
+  options.half_life = std::chrono::seconds(10);
+  HeatTracker tracker("heat-rate-test", options);
+  for (int i = 0; i < 200; ++i) tracker.record("m1", "hotkey", 4096);
+  // Rate is estimate / (2 * half_life): the steady-state upper bound.
+  auto snap = tracker.snapshot(5);
+  ASSERT_EQ(snap.tiers.size(), 1u);
+  ASSERT_FALSE(snap.tiers[0].top.empty());
+  EXPECT_EQ(snap.tiers[0].top[0].key, "hotkey");
+  const auto& hot = snap.tiers[0].top[0];
+  EXPECT_DOUBLE_EQ(hot.rate_per_s,
+                   static_cast<double>(hot.estimate) / (2.0 * 10.0));
+  EXPECT_EQ(snap.tiers[0].records, 200u);
+  EXPECT_EQ(snap.tiers[0].bytes, 200u * 4096u);
+
+  // One full half-life halves the estimate; two more epochs keep halving.
+  tracker.on_tick(std::chrono::seconds(10));
+  EXPECT_EQ(tracker.decay_epochs(), 1u);
+  auto decayed = tracker.snapshot(5);
+  ASSERT_FALSE(decayed.tiers[0].top.empty());
+  EXPECT_EQ(decayed.tiers[0].top[0].estimate, hot.estimate / 2);
+  tracker.on_tick(std::chrono::seconds(25));  // 2 epochs + 5s remainder
+  EXPECT_EQ(tracker.decay_epochs(), 3u);
+}
+
+TEST(HeatTrackerTest, MemoryBoundIndependentOfKeyCount) {
+  HeatOptions options;
+  options.sketch_shards = 2;
+  options.sketch_depth = 4;
+  options.sketch_width = 1024;
+  options.top_k = 16;
+  HeatTracker tracker("heat-mem-test", options);
+  tracker.record("m1", "seed", 1);
+  const std::uint64_t bound = tracker.memory_bytes();
+  EXPECT_GT(bound, 0u);
+  for (int i = 0; i < 50000; ++i) tracker.record("m1", key_of(i), 1);
+  EXPECT_EQ(tracker.memory_bytes(), bound);
+  // A second tier doubles the bound, nothing else does.
+  tracker.record("t2", "seed", 1);
+  EXPECT_EQ(tracker.memory_bytes(), 2 * bound);
+}
+
+TEST(HeatTrackerTest, ZipfishLoadSurfacesTrueHotSet) {
+  HeatOptions options;
+  options.top_k = 32;
+  HeatTracker tracker("heat-zipf-test", options);
+  // Deterministic zipf-ish workload: key i gets 2000/(i+1) accesses, plus a
+  // long tail of singletons — the top 10 must all surface.
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = key_of(i);
+    for (int n = 0; n < 2000 / (i + 1); ++n) tracker.record("m1", key, 100);
+  }
+  for (int i = 1000; i < 3000; ++i) tracker.record("m1", key_of(i), 100);
+  const auto snap = tracker.snapshot(10);
+  ASSERT_EQ(snap.tiers.size(), 1u);
+  ASSERT_EQ(snap.tiers[0].top.size(), 10u);
+  int found = 0;
+  for (const auto& entry : snap.tiers[0].top) {
+    for (int i = 0; i < 10; ++i) {
+      if (entry.key == key_of(i)) ++found;
+    }
+  }
+  EXPECT_GE(found, 9);  // sketch noise may displace at most one
+}
+
+// TSan target: writers record() while the control tick decays and a reader
+// snapshots. No synchronization beyond the tracker's own.
+TEST(HeatTrackerTest, ConcurrentRecordDecaySnapshot) {
+  HeatOptions options;
+  options.half_life = std::chrono::milliseconds(1);
+  options.top_k = 16;
+  HeatTracker tracker("heat-race-test", options);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracker, &stop, t] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        tracker.record(t % 2 == 0 ? "m1" : "t2", key_of(i++ % 64), 512);
+      }
+    });
+  }
+  threads.emplace_back([&tracker, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      tracker.on_tick(std::chrono::milliseconds(1));
+    }
+  });
+  threads.emplace_back([&tracker, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = tracker.snapshot(8);
+      for (const auto& tier : snap.tiers) {
+        // Touch the data so the compiler cannot drop the reads.
+        ASSERT_LE(tier.top.size(), 8u);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+  const auto snap = tracker.snapshot(8);
+  EXPECT_EQ(snap.tiers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tiera

@@ -51,7 +51,7 @@ stage_bench() {
   cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Release
   cmake --build "${repo_root}/build-ci-release" -j "${jobs}" \
-    --target micro_primitives stage_smoke
+    --target micro_primitives stage_smoke heat_smoke
   # Reduced scale: this is a regression tripwire, not a measurement run.
   "${repo_root}/build-ci-release/bench/micro_primitives" \
     --benchmark_min_time=0.05 \
@@ -73,6 +73,13 @@ stage_bench() {
   "${repo_root}/build-ci-release/bench/stage_smoke" \
     "${repo_root}/build-ci-release/stage_report.txt" \
     "${repo_root}/build-ci-release/profile.folded"
+  # Heat-telemetry gate: zipfian PUT load over 100k distinct keys; the
+  # reported per-tier top-20 must contain >= 90% of the true top-20, the
+  # tracker's memory must hold its fixed bound, and per-rule cost bytes must
+  # reconcile with tiera_instance_policy_bytes_total. The rendered heat/cost
+  # report is uploaded as a workflow artifact.
+  "${repo_root}/build-ci-release/bench/heat_smoke" \
+    "${repo_root}/build-ci-release/heat_report.txt"
 }
 
 stage_format() {
