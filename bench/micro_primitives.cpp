@@ -5,6 +5,8 @@
 // modelled service time.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/logging.h"
 
 #include "common/compress.h"
@@ -55,46 +57,77 @@ BENCHMARK(BM_TierGet4K);
 // The base instance benches run the bare data path (track_heat=false); the
 // WithHeat variants below re-enable the default heat/cost telemetry, so the
 // delta is the sketch-add + counter cost per op (budget: <= 5%).
+// Per-thread keyspaces ("t<thread>-<n>") keep the contention on the engine
+// (object-lock stripes, tier internals, metadata) rather than on shared
+// benchmark keys. Thread 0 owns setup/teardown; google-benchmark's barrier
+// at loop entry publishes the shared instance to the other threads.
+std::string thread_key(int thread, std::uint64_t i) {
+  std::string key = "t";
+  key += std::to_string(thread);
+  key += '-';
+  key += std::to_string(i);
+  return key;
+}
+
 void BM_InstancePut4K(benchmark::State& state) {
-  set_time_scale(0.0);
-  set_log_level(LogLevel::kError);
-  auto instance = make_memcached_ebs_instance(
-      {.data_dir = "/tmp/tiera-bench/micro-instance", .track_heat = false},
-      1ull << 32, 1ull << 32);
-  if (!instance.ok()) {
-    state.SkipWithError("instance creation failed");
-    return;
+  static std::unique_ptr<TieraInstance> shared;
+  if (state.thread_index() == 0) {
+    set_time_scale(0.0);
+    set_log_level(LogLevel::kError);
+    shared.reset();
+    auto instance = make_memcached_ebs_instance(
+        {.data_dir = "/tmp/tiera-bench/micro-instance", .track_heat = false},
+        1ull << 32, 1ull << 32);
+    if (instance.ok()) {
+      shared = std::move(*instance);
+    } else {
+      state.SkipWithError("instance creation failed");
+    }
   }
   const Bytes payload = make_payload(4096, 1);
+  const int thread = state.thread_index();
   std::uint64_t i = 0;
   for (auto _ : state) {
+    if (!shared) break;
     benchmark::DoNotOptimize(
-        (*instance)->put(key_of(i++ % 1000), as_view(payload)));
+        shared->put(thread_key(thread, i++ % 1000), as_view(payload)));
   }
   state.SetLabel("write-through policy, no modelled latency");
+  if (state.thread_index() == 0) shared.reset();
 }
-BENCHMARK(BM_InstancePut4K);
+BENCHMARK(BM_InstancePut4K)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
 
 void BM_InstanceGet4K(benchmark::State& state) {
-  set_time_scale(0.0);
-  set_log_level(LogLevel::kError);
-  auto instance = make_memcached_ebs_instance(
-      {.data_dir = "/tmp/tiera-bench/micro-instance-get", .track_heat = false},
-      1ull << 32, 1ull << 32);
-  if (!instance.ok()) {
-    state.SkipWithError("instance creation failed");
-    return;
+  static std::unique_ptr<TieraInstance> shared;
+  if (state.thread_index() == 0) {
+    set_time_scale(0.0);
+    set_log_level(LogLevel::kError);
+    shared.reset();
+    auto instance = make_memcached_ebs_instance(
+        {.data_dir = "/tmp/tiera-bench/micro-instance-get",
+         .track_heat = false},
+        1ull << 32, 1ull << 32);
+    if (instance.ok()) {
+      shared = std::move(*instance);
+      const Bytes payload = make_payload(4096, 1);
+      for (int t = 0; t < state.threads(); ++t) {
+        for (int i = 0; i < 1000; ++i) {
+          (void)shared->put(thread_key(t, i), as_view(payload));
+        }
+      }
+    } else {
+      state.SkipWithError("instance creation failed");
+    }
   }
-  const Bytes payload = make_payload(4096, 1);
-  for (int i = 0; i < 1000; ++i) {
-    (void)(*instance)->put(key_of(i), as_view(payload));
-  }
+  const int thread = state.thread_index();
   std::uint64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize((*instance)->get(key_of(i++ % 1000)));
+    if (!shared) break;
+    benchmark::DoNotOptimize(shared->get(thread_key(thread, i++ % 1000)));
   }
+  if (state.thread_index() == 0) shared.reset();
 }
-BENCHMARK(BM_InstanceGet4K);
+BENCHMARK(BM_InstanceGet4K)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
 
 void BM_InstancePut4KWithHeat(benchmark::State& state) {
   set_time_scale(0.0);

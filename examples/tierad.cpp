@@ -5,7 +5,15 @@
 //
 //   $ ./tierad <spec.tiera> [port] [param=value ...] [--stats-period=<sec>]
 //            [--retries=<n>] [--deadline=<dur>] [--breaker[=<n>]] [--hedge[=<q>%]]
-//            [--persist-metadata]
+//            [--persist-metadata] [--journal-sync] [--journal-batch=<size>]
+//            [--loops=<n>] [--shards=<n>]
+//
+// --loops/--shards size the request core: epoll event loops owning the
+// sockets and per-core worker shards running the handlers (0 = one per
+// hardware thread). --journal-sync fsyncs the metadata journal on every
+// acknowledged write; --journal-batch bounds the group-commit batches that
+// amortize those fsyncs across concurrent writers (a `journal_batch:`
+// declaration in the spec overrides the flag).
 //
 // --stats-period=N logs the metrics registry (human-readable rendering)
 // every N seconds while serving. --persist-metadata journals object
@@ -35,6 +43,7 @@
 
 #include "core/spec_parser.h"
 #include "net/tiera_service.h"
+#include "store/tier_factory.h"
 #include "obs/metrics.h"
 
 using namespace tiera;
@@ -55,6 +64,9 @@ int main(int argc, char** argv) {
   }
   bool demo = false;
   bool persist_metadata = false;
+  bool journal_sync = false;
+  std::string journal_batch;
+  ReactorOptions reactor;
   std::uint16_t port = 0;
   int stats_period_s = 0;
   std::string retries, deadline, breaker, hedge;
@@ -64,6 +76,14 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (std::strcmp(argv[i], "--persist-metadata") == 0) {
       persist_metadata = true;
+    } else if (std::strcmp(argv[i], "--journal-sync") == 0) {
+      journal_sync = true;
+    } else if (std::strncmp(argv[i], "--journal-batch=", 16) == 0) {
+      journal_batch = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--loops=", 8) == 0) {
+      reactor.loops = static_cast<std::size_t>(std::atoi(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      reactor.shards = static_cast<std::size_t>(std::atoi(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--stats-period=", 15) == 0) {
       stats_period_s = std::atoi(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
@@ -106,6 +126,16 @@ int main(int argc, char** argv) {
   }
   opts.default_resilience = *resilience;
   opts.persist_metadata = persist_metadata;
+  opts.journal_sync = journal_sync;
+  if (!journal_batch.empty()) {
+    auto batch = parse_size(journal_batch);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "--journal-batch error: %s\n",
+                   batch.status().to_string().c_str());
+      return 2;
+    }
+    opts.journal_batch_bytes = *batch;
+  }
   auto instance = spec->instantiate(opts, args);
   if (!instance.ok()) {
     std::fprintf(stderr, "instantiate error: %s\n",
@@ -116,7 +146,7 @@ int main(int argc, char** argv) {
   // should answer "what did the last N requests do" out of the box.
   (*instance)->tracer().set_enabled(true);
 
-  TieraServer server(**instance, port, /*request_threads=*/8);
+  TieraServer server(**instance, port, reactor);
   if (!server.start().ok()) {
     std::fprintf(stderr, "server failed to start\n");
     return 1;

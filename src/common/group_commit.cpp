@@ -1,0 +1,80 @@
+#include "common/group_commit.h"
+
+#include <algorithm>
+
+namespace tiera {
+
+GroupCommitter::GroupCommitter(FlushFn flush, Options options)
+    : flush_(std::move(flush)), options_(options) {}
+
+std::uint64_t GroupCommitter::stage(ByteView record) {
+  std::lock_guard lock(mu_);
+  append(staged_, record);
+  ++staged_records_;
+  const std::uint64_t seq = ++staged_seq_;
+  // A lingering leader waits for bytes to accumulate; wake it if this
+  // record filled the batch.
+  if (staged_.size() >= options_.max_batch_bytes) cv_.notify_all();
+  return seq;
+}
+
+Status GroupCommitter::commit(std::uint64_t seq) {
+  std::unique_lock lock(mu_);
+  return commit_locked(lock, seq, /*linger=*/true);
+}
+
+Status GroupCommitter::drain() {
+  std::unique_lock lock(mu_);
+  return commit_locked(lock, staged_seq_, /*linger=*/false);
+}
+
+Status GroupCommitter::commit_locked(std::unique_lock<std::mutex>& lock,
+                                     std::uint64_t seq, bool linger) {
+  for (;;) {
+    if (flushed_seq_ >= seq) return sticky_;
+    if (!flushing_) break;  // become the leader
+    cv_.wait(lock);
+  }
+  flushing_ = true;
+
+  if (linger && options_.max_wait > Duration::zero()) {
+    // Collect followers: wait until the batch fills or the window closes.
+    // stage() notifies when it fills the batch early.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              options_.max_wait);
+    while (staged_.size() < options_.max_batch_bytes) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+  }
+
+  Bytes batch = std::move(staged_);
+  staged_.clear();
+  const std::uint64_t batch_records = staged_records_;
+  staged_records_ = 0;
+  const std::uint64_t batch_seq = staged_seq_;
+
+  Status status = Status::Ok();
+  if (!batch.empty()) {
+    lock.unlock();
+    status = flush_(as_view(batch), batch_records);
+    lock.lock();
+    stats_.batches += 1;
+    stats_.records += batch_records;
+    stats_.max_batch_records =
+        std::max(stats_.max_batch_records, batch_records);
+  }
+  flushed_seq_ = batch_seq;
+  if (!status.ok() && sticky_.ok()) sticky_ = status;
+  flushing_ = false;
+  cv_.notify_all();
+  return sticky_;
+}
+
+GroupCommitter::Stats GroupCommitter::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace tiera

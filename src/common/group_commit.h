@@ -1,0 +1,83 @@
+// Leader/follower group commit for append-only journals.
+//
+// Writers stage() encoded records (cheap: one buffer append under the lock)
+// and then commit() their sequence number. The first committer to find
+// unflushed records becomes the batch leader: it lingers up to max_wait for
+// concurrent writers to stage into the batch (or until max_batch_bytes
+// accumulate), swaps the staging buffer out, and calls the flush function
+// once for the whole batch — one write and, when the owner syncs, one fsync
+// for every record in it. Followers sleep on the condition variable and wake
+// when the leader advances the flushed sequence past theirs.
+//
+// A failed flush is sticky: the journal is broken from that point on, and
+// every subsequent commit returns the original error (callers treat the
+// store as read-only, same as a failed raw append before this existed).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace tiera {
+
+class GroupCommitter {
+ public:
+  struct Options {
+    // Flush without waiting once this many bytes are staged.
+    std::uint64_t max_batch_bytes = 256 << 10;
+    // How long the batch leader lingers for followers. Zero means flush
+    // immediately (batches still form while a flush is in flight).
+    Duration max_wait = std::chrono::microseconds(200);
+  };
+
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::uint64_t records = 0;
+    std::uint64_t max_batch_records = 0;
+  };
+
+  // Writes one coalesced batch to stable storage. Called with the internal
+  // lock released; never called concurrently with itself.
+  using FlushFn = std::function<Status(ByteView batch, std::uint64_t records)>;
+
+  GroupCommitter(FlushFn flush, Options options);
+
+  // Appends a record to the staging buffer; returns its sequence number.
+  // The caller serializes stage() calls against its own index update (so
+  // journal order matches index order) — typically under the owner's lock.
+  std::uint64_t stage(ByteView record);
+
+  // Blocks until every record up to `seq` is flushed. Returns the sticky
+  // journal error if any batch has ever failed to flush.
+  Status commit(std::uint64_t seq);
+
+  // Flush everything staged so far without lingering (used before
+  // compaction swaps the journal fd, and by explicit sync()).
+  Status drain();
+
+  Stats stats() const;
+
+ private:
+  Status commit_locked(std::unique_lock<std::mutex>& lock, std::uint64_t seq,
+                       bool linger);
+
+  const FlushFn flush_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Bytes staged_;
+  std::uint64_t staged_records_ = 0;
+  std::uint64_t staged_seq_ = 0;
+  std::uint64_t flushed_seq_ = 0;
+  bool flushing_ = false;
+  Status sticky_ = Status::Ok();
+  Stats stats_;
+};
+
+}  // namespace tiera

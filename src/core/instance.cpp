@@ -112,7 +112,11 @@ Status TieraInstance::init() {
     TIERA_RETURN_IF_ERROR(add_tier(spec));
   }
   if (config_.persist_metadata) {
-    auto db = MetaDb::open(config_.data_dir + "/metadata.db");
+    MetaDbOptions db_options;
+    db_options.sync_every_write = config_.journal_sync;
+    db_options.journal_batch_bytes = config_.journal_batch_bytes;
+    db_options.journal_batch_wait = config_.journal_batch_wait;
+    auto db = MetaDb::open(config_.data_dir + "/metadata.db", db_options);
     if (!db.ok()) return db.status();
     meta_.attach_db(std::move(db).value());
     TIERA_RETURN_IF_ERROR(meta_.recover());
@@ -602,7 +606,7 @@ Status TieraInstance::rewrite_at_rest(const ObjectMeta& meta, ByteView bytes) {
 }
 
 std::mutex& TieraInstance::object_lock(std::string_view id) const {
-  return object_stripes_[fnv1a64(id) % kObjectStripes];
+  return object_stripes_[fnv1a64(id) % kObjectStripes].mu;
 }
 
 bool TieraInstance::content_needed_in_tier(const ObjectMeta& meta,

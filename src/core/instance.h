@@ -45,6 +45,14 @@ struct InstanceConfig {
   std::size_t response_threads = 4;
   // Persist object metadata through metadb (BerkeleyDB's role in the paper).
   bool persist_metadata = false;
+  // fsync the metadata journal on every acknowledged write. With group
+  // commit, concurrent writers staging into the same batch share one fsync.
+  bool journal_sync = false;
+  // Group-commit batch bound: flush once this many bytes are staged...
+  std::uint64_t journal_batch_bytes = 256 << 10;
+  // ...or once the batch leader has lingered this long for followers
+  // (only meaningful when journal_sync is on).
+  Duration journal_batch_wait = std::chrono::microseconds(200);
   // When no placement rule stores an inserted object, fall back to the first
   // tier (the paper's specs always include a placement rule; this keeps
   // partially configured instances usable).
@@ -276,9 +284,16 @@ class TieraInstance {
   static constexpr std::size_t kObjectStripes = 256;
   std::mutex& object_lock(std::string_view id) const;
 
+  // Each stripe gets its own cache line: with requests sharded per-core by
+  // object id, neighbouring stripes are owned by different cores, and
+  // packed mutexes (40 bytes on glibc) would false-share.
+  struct alignas(64) PaddedStripe {
+    std::mutex mu;
+  };
+
   InstanceConfig config_;
   TierFactory factory_;
-  mutable std::array<std::mutex, kObjectStripes> object_stripes_;
+  mutable std::array<PaddedStripe, kObjectStripes> object_stripes_;
 
   mutable std::shared_mutex tiers_mu_;
   std::vector<TierEntry> tiers_;

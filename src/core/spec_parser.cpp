@@ -327,6 +327,16 @@ class SpecParser {
         Result<InstanceSpec::SloDecl> slo = parse_slo();
         if (!slo.ok()) return slo.status();
         spec.slos_.push_back(std::move(*slo));
+      } else if (peek_ident("journal_batch") && peek(1).text == ":" &&
+                 peek(2).text != "{") {
+        // `journal_batch: 256K;` — distinguished from a tier declaration
+        // (label `: {`) by the non-brace value.
+        advance();
+        TIERA_RETURN_IF_ERROR(expect_symbol(":"));
+        Result<std::string> value = take_value();
+        if (!value.ok()) return value.status();
+        spec.journal_batch_text_ = *value;
+        TIERA_RETURN_IF_ERROR(expect_symbol(";"));
       } else {
         Result<InstanceSpec::TierDecl> tier = parse_tier();
         if (!tier.ok()) return tier.status();
@@ -1108,7 +1118,16 @@ Result<InstancePtr> InstanceSpec::instantiate(
   config.data_dir = opts.data_dir;
   config.response_threads = opts.response_threads;
   config.persist_metadata = opts.persist_metadata;
+  config.journal_sync = opts.journal_sync;
+  config.journal_batch_bytes = opts.journal_batch_bytes;
+  config.journal_batch_wait = opts.journal_batch_wait;
   SpecInstantiator inst(args);
+  if (!journal_batch_text_.empty()) {
+    Result<std::uint64_t> batch =
+        parse_size(inst.subst(journal_batch_text_));
+    if (!batch.ok()) return batch.status();
+    config.journal_batch_bytes = *batch;
+  }
   for (const auto& tier : tiers_) {
     Result<std::uint64_t> size = parse_size(inst.subst(tier.size_text));
     if (!size.ok()) return size.status();

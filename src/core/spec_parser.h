@@ -29,7 +29,8 @@
 // event modifier; every Table 1 response verb; `if (tierX.filled) { ... }`
 // blocks; `insert.object.dirty = true;` assignments; SLO declarations
 // (`slo get_p99 < 2ms window 60s burn 5m/1h;`) and SLO threshold events
-// (`event(slo.get_p99 == violated)`).
+// (`event(slo.get_p99 == violated)`); the `journal_batch: <size>;`
+// declaration bounding the metadata journal's group-commit batches.
 #pragma once
 
 #include <map>
@@ -59,6 +60,8 @@ class InstanceSpec {
   // Declared parameters, in order (e.g. {"t"} for `(time t)`).
   const std::vector<std::string>& parameters() const { return param_names_; }
   std::size_t tier_count() const { return tiers_.size(); }
+  // Raw text of the `journal_batch:` declaration; empty when absent.
+  const std::string& journal_batch_text() const { return journal_batch_text_; }
   std::size_t rule_count() const { return rules_.size(); }
   std::size_t slo_count() const { return slos_.size(); }
 
@@ -137,6 +140,10 @@ class InstanceSpec {
   std::vector<TierDecl> tiers_;
   std::vector<RuleDecl> rules_;
   std::vector<SloDecl> slos_;
+  // `journal_batch: 256K;` — group-commit batch bound for the metadata
+  // journal. Empty = inherit TemplateOptions::journal_batch_bytes. May
+  // reference a declared parameter.
+  std::string journal_batch_text_;
 };
 
 }  // namespace tiera

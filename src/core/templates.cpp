@@ -12,6 +12,9 @@ Result<InstancePtr> create_instance(const TemplateOptions& opts,
   config.data_dir = opts.data_dir;
   config.response_threads = opts.response_threads;
   config.persist_metadata = opts.persist_metadata;
+  config.journal_sync = opts.journal_sync;
+  config.journal_batch_bytes = opts.journal_batch_bytes;
+  config.journal_batch_wait = opts.journal_batch_wait;
   config.track_heat = opts.track_heat;
   config.tiers = std::move(tiers);
   return TieraInstance::create(std::move(config));

@@ -28,6 +28,12 @@ struct TemplateOptions {
   std::string data_dir = "/tmp/tiera-instance";
   std::size_t response_threads = 4;
   bool persist_metadata = false;
+  // Metadata-journal durability (InstanceConfig::journal_*): fsync every
+  // acknowledged write, with group commit amortizing the fsyncs across
+  // concurrent writers (tierad's --journal-sync/--journal-batch flags).
+  bool journal_sync = false;
+  std::uint64_t journal_batch_bytes = 256 << 10;
+  Duration journal_batch_wait = std::chrono::microseconds(200);
   // Heat & spend telemetry (InstanceConfig::track_heat). Benches that want
   // the bare data path turn it off.
   bool track_heat = true;

@@ -51,12 +51,28 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
 }  // namespace
 
 MetaDb::MetaDb(std::string path, MetaDbOptions options)
-    : path_(std::move(path)), options_(options) {
+    : path_(std::move(path)),
+      options_(options),
+      journal_(
+          [this](ByteView batch, std::uint64_t records) {
+            return flush_batch(batch, records);
+          },
+          GroupCommitter::Options{
+              .max_batch_bytes = options.journal_batch_bytes,
+              // Lingering only buys anything when each batch pays an fsync;
+              // unsynced appends flush to the page cache immediately so a
+              // process crash loses nothing it would not have lost before.
+              .max_wait = options.sync_every_write
+                              ? options.journal_batch_wait
+                              : Duration::zero()}) {
   MetricsRegistry& reg = MetricsRegistry::global();
   metrics_.puts = &reg.counter("tiera_metadb_puts_total");
   metrics_.gets = &reg.counter("tiera_metadb_gets_total");
   metrics_.erases = &reg.counter("tiera_metadb_erases_total");
   metrics_.compactions = &reg.counter("tiera_metadb_compactions_total");
+  metrics_.gc_batches = &reg.counter("tiera_metadb_group_commit_batches_total");
+  metrics_.gc_records = &reg.counter("tiera_metadb_group_commit_records_total");
+  metrics_.gc_fsyncs = &reg.counter("tiera_metadb_group_commit_fsyncs_total");
   metrics_.log_bytes = &reg.gauge("tiera_metadb_log_bytes");
   metrics_.live_keys = &reg.gauge("tiera_metadb_live_keys");
 }
@@ -156,11 +172,8 @@ Status MetaDb::replay() {
   return Status::Ok();
 }
 
-Status MetaDb::append_record(std::uint8_t type, std::string_view key,
-                             ByteView value) {
-  // Journal cost attribution: encode + write + (optional) fsync all count
-  // as journal.append in the per-op stage breakdown.
-  StageTimer stage(Stage::kJournalAppend);
+std::uint64_t MetaDb::stage_record(std::uint8_t type, std::string_view key,
+                                   ByteView value) {
   Bytes rec;
   rec.reserve(kRecordHeader + key.size() + value.size());
   rec.resize(4);  // crc placeholder
@@ -176,34 +189,54 @@ Status MetaDb::append_record(std::uint8_t type, std::string_view key,
   const std::uint32_t crc = crc32c(ByteView(rec.data() + 4, rec.size() - 4));
   std::memcpy(rec.data(), &crc, 4);
 
-  if (!write_all(fd_, rec.data(), rec.size())) return errno_status("write");
   log_bytes_ += rec.size();
-  if (options_.sync_every_write && ::fsync(fd_) != 0) {
-    return errno_status("fsync");
+  return journal_.stage(as_view(rec));
+}
+
+// The group-commit flush: one write (and one fsync when configured) for a
+// whole batch of staged records. Runs outside mu_, but never concurrently
+// with an fd_ swap — compaction drains the journal under mu_ first.
+Status MetaDb::flush_batch(ByteView batch, std::uint64_t records) {
+  metrics_.gc_batches->inc();
+  metrics_.gc_records->inc(records);
+  if (!write_all(fd_, batch.data(), batch.size())) {
+    return errno_status("write");
+  }
+  if (options_.sync_every_write) {
+    if (::fsync(fd_) != 0) return errno_status("fsync");
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.gc_fsyncs->inc();
   }
   return Status::Ok();
 }
 
 Status MetaDb::put(std::string_view key, ByteView value) {
-  std::lock_guard lock(mu_);
-  metrics_.puts->inc();
-  TIERA_RETURN_IF_ERROR(append_record(kTypePut, key, value));
-  auto it = index_.find(std::string(key));
-  if (it != index_.end()) {
-    live_bytes_ -= record_size(key.size(), it->second.size());
-    it->second.assign(value.begin(), value.end());
-  } else {
-    index_.emplace(std::string(key), Bytes(value.begin(), value.end()));
+  // Journal cost attribution: encode + stage + group-commit wait all count
+  // as journal.append in the per-op stage breakdown.
+  StageTimer stage(Stage::kJournalAppend);
+  std::uint64_t seq = 0;
+  bool compact_needed = false;
+  {
+    std::lock_guard lock(mu_);
+    metrics_.puts->inc();
+    seq = stage_record(kTypePut, key, value);
+    auto it = index_.find(std::string(key));
+    if (it != index_.end()) {
+      live_bytes_ -= record_size(key.size(), it->second.size());
+      it->second.assign(value.begin(), value.end());
+    } else {
+      index_.emplace(std::string(key), Bytes(value.begin(), value.end()));
+    }
+    live_bytes_ += record_size(key.size(), value.size());
+    metrics_.log_bytes->set(static_cast<double>(log_bytes_));
+    metrics_.live_keys->set(static_cast<double>(index_.size()));
+    compact_needed =
+        log_bytes_ >= options_.auto_compact_min_bytes && log_bytes_ > 0 &&
+        static_cast<double>(log_bytes_ - live_bytes_) >
+            options_.auto_compact_ratio * static_cast<double>(log_bytes_);
   }
-  live_bytes_ += record_size(key.size(), value.size());
-  metrics_.log_bytes->set(static_cast<double>(log_bytes_));
-  metrics_.live_keys->set(static_cast<double>(index_.size()));
-
-  if (log_bytes_ >= options_.auto_compact_min_bytes && log_bytes_ > 0 &&
-      static_cast<double>(log_bytes_ - live_bytes_) >
-          options_.auto_compact_ratio * static_cast<double>(log_bytes_)) {
-    return compact_locked();
-  }
+  TIERA_RETURN_IF_ERROR(journal_.commit(seq));
+  if (compact_needed) return compact();
   return Status::Ok();
 }
 
@@ -221,16 +254,20 @@ bool MetaDb::contains(std::string_view key) const {
 }
 
 Status MetaDb::erase(std::string_view key) {
-  std::lock_guard lock(mu_);
-  metrics_.erases->inc();
-  auto it = index_.find(std::string(key));
-  if (it == index_.end()) return Status::NotFound("metadb key");
-  TIERA_RETURN_IF_ERROR(append_record(kTypeErase, key, {}));
-  live_bytes_ -= record_size(key.size(), it->second.size());
-  index_.erase(it);
-  metrics_.log_bytes->set(static_cast<double>(log_bytes_));
-  metrics_.live_keys->set(static_cast<double>(index_.size()));
-  return Status::Ok();
+  StageTimer stage(Stage::kJournalAppend);
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(mu_);
+    metrics_.erases->inc();
+    auto it = index_.find(std::string(key));
+    if (it == index_.end()) return Status::NotFound("metadb key");
+    seq = stage_record(kTypeErase, key, {});
+    live_bytes_ -= record_size(key.size(), it->second.size());
+    index_.erase(it);
+    metrics_.log_bytes->set(static_cast<double>(log_bytes_));
+    metrics_.live_keys->set(static_cast<double>(index_.size()));
+  }
+  return journal_.commit(seq);
 }
 
 void MetaDb::scan(
@@ -274,12 +311,28 @@ Status MetaDb::compact() {
 }
 
 Status MetaDb::sync() {
+  // Flush anything still staged in the group-commit buffer, then fsync.
+  TIERA_RETURN_IF_ERROR(journal_.drain());
   std::lock_guard lock(mu_);
   if (fd_ >= 0 && ::fsync(fd_) != 0) return errno_status("fsync");
   return Status::Ok();
 }
 
+MetaDb::JournalStats MetaDb::journal_stats() const {
+  const GroupCommitter::Stats s = journal_.stats();
+  JournalStats out;
+  out.batches = s.batches;
+  out.records = s.records;
+  out.max_batch_records = s.max_batch_records;
+  out.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  return out;
+}
+
 Status MetaDb::compact_locked() {
+  // Drain staged records to the old fd before swapping it; mu_ is held, so
+  // no new records can stage while the swap happens and no flush can be in
+  // flight once drain returns.
+  TIERA_RETURN_IF_ERROR(journal_.drain());
   metrics_.compactions->inc();
   const std::string tmp_path = path_ + ".compact";
   const int tmp_fd =

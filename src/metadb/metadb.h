@@ -7,6 +7,7 @@
 // that rewrites the live set. Single-process, thread-safe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,19 +16,31 @@
 #include <unordered_map>
 
 #include "common/bytes.h"
+#include "common/clock.h"
+#include "common/group_commit.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
 namespace tiera {
 
 struct MetaDbOptions {
-  // fsync after every append. Off by default: the paper's durability story
-  // for metadata is periodic persistence, and tests exercise both modes.
+  // fsync after every acknowledged append. Off by default: the paper's
+  // durability story for metadata is periodic persistence, and tests
+  // exercise both modes. With group commit, "every write" means every
+  // acknowledged batch — no put/erase returns before its record is synced,
+  // but concurrent writers share one fsync.
   bool sync_every_write = false;
   // Compact automatically when dead bytes exceed this fraction of the log.
   double auto_compact_ratio = 0.5;
   // Minimum log size before auto-compaction triggers.
   std::uint64_t auto_compact_min_bytes = 1 << 20;
+  // Group commit: flush once this many bytes are staged...
+  std::uint64_t journal_batch_bytes = 256 << 10;
+  // ...or after the batch leader has lingered this long for followers.
+  // Only applies when sync_every_write is on; unsynced appends go straight
+  // to the OS page cache so a process crash loses nothing it would not
+  // have lost before.
+  Duration journal_batch_wait = std::chrono::microseconds(200);
 };
 
 class MetaDb {
@@ -67,13 +80,26 @@ class MetaDb {
 
   const std::string& path() const { return path_; }
 
+  // Group-commit telemetry (also exported as the
+  // tiera_metadb_group_commit_{batches,records,fsyncs}_total counters).
+  struct JournalStats {
+    std::uint64_t batches = 0;
+    std::uint64_t records = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t max_batch_records = 0;
+  };
+  JournalStats journal_stats() const;
+
  private:
   explicit MetaDb(std::string path, MetaDbOptions options);
 
   Status open_log();
   Status replay();
-  Status append_record(std::uint8_t type, std::string_view key,
-                       ByteView value);
+  // Encodes and stages a record; requires mu_ held (journal order must
+  // match index-update order). Returns the sequence to commit().
+  std::uint64_t stage_record(std::uint8_t type, std::string_view key,
+                             ByteView value);
+  Status flush_batch(ByteView batch, std::uint64_t records);
   Status compact_locked();  // requires mu_ held
 
   const std::string path_;
@@ -85,6 +111,9 @@ class MetaDb {
     Counter* gets;
     Counter* erases;
     Counter* compactions;
+    Counter* gc_batches;
+    Counter* gc_records;
+    Counter* gc_fsyncs;
     Gauge* log_bytes;
     Gauge* live_keys;
   };
@@ -95,6 +124,12 @@ class MetaDb {
   int fd_ = -1;
   std::uint64_t log_bytes_ = 0;
   std::uint64_t live_bytes_ = 0;
+  std::atomic<std::uint64_t> fsyncs_{0};
+  // Declared last: the flush function touches fd_ and the counters above.
+  // Writers stage under mu_ and commit outside it; compaction drains the
+  // journal (under mu_, which excludes new stagers) before swapping fd_,
+  // so no flush can be in flight while the fd changes.
+  GroupCommitter journal_;
 };
 
 }  // namespace tiera

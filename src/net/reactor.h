@@ -1,0 +1,150 @@
+// Event-driven RPC core: N epoll loops own the sockets, per-object worker
+// shards run the handlers.
+//
+// Wire format is unchanged from the blocking transport (net/tcp.h):
+// [u32 length][u64 request_id | u8 method | body] in,
+// [u32 length][u64 request_id | u8 status | string message | body] out.
+//
+// Threading model:
+//   - loop threads ("rpc-loop-<i>"): epoll_wait, non-blocking reads, frame
+//     decode, and response writes. Every accepted connection is handed to
+//     one loop (round-robin) and stays pinned to it for life, so its decode
+//     state machine — partial frames, write queue, in-flight count — is
+//     touched by exactly one thread and needs no locks.
+//   - shard threads ("rpc-shard-<i>"): handler execution. Requests hash by
+//     a caller-provided shard key (the object id for Tiera's data verbs) to
+//     a single-threaded worker, so one object's requests run FIFO on one
+//     core and the instance's striped object locks stop bouncing between
+//     cores. Handlers that block for a long time (profiler captures) can be
+//     routed to a separate admin pool by returning kAdminKey.
+//   - responses post back to the owning loop's mailbox (eventfd wakeup) and
+//     are written on the loop thread, with EPOLLOUT-driven retry when the
+//     client reads slowly.
+//
+// Backpressure: each loop caps decoded-but-unanswered requests
+// (max_inflight_per_loop). At the cap it unsubscribes EPOLLIN on every
+// connection it owns — the kernel socket buffers and TCP flow control push
+// back on clients — and resubscribes once in-flight work drains below half
+// the cap. tiera_rpc_backpressure_pauses_total counts the transitions.
+//
+// Connection teardown is immediate: EOF (or a socket error) reaps the
+// connection on the loop thread as soon as its last response is flushed —
+// nothing waits for a future accept() the way the old thread-per-connection
+// server did.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/pool_metrics.h"
+
+namespace tiera {
+
+using RpcHandler = std::function<Result<Bytes>(ByteView body)>;
+
+// Maps a decoded request to an execution shard before the body is parsed.
+// Runs on the loop thread, so it must stay cheap (Tiera's extracts the
+// leading object-id string and hashes it). Return kAdminKey to run the
+// request on the admin pool instead of a shard.
+using ShardKeyFn =
+    std::function<std::uint64_t(std::uint8_t method, ByteView body)>;
+
+struct ReactorOptions {
+  std::size_t loops = 0;   // epoll event loops; 0 = hardware_concurrency
+  std::size_t shards = 0;  // worker shards; 0 = hardware_concurrency
+  // Per-loop cap on decoded-but-unanswered requests before the loop stops
+  // reading its sockets.
+  std::size_t max_inflight_per_loop = 1024;
+};
+
+class ReactorServer {
+ public:
+  // Requests whose shard key is kAdminKey run on a small shared pool
+  // instead of a shard — for slow administrative verbs (e.g. a blocking
+  // profiler capture) that must not stall an execution shard.
+  static constexpr std::uint64_t kAdminKey = ~0ull;
+
+  ReactorServer(std::uint16_t port, ReactorOptions options = {});
+  ~ReactorServer();
+
+  ReactorServer(const ReactorServer&) = delete;
+  ReactorServer& operator=(const ReactorServer&) = delete;
+
+  // Both must be called before start().
+  void register_handler(std::uint8_t method, RpcHandler handler);
+  void set_shard_key(ShardKeyFn fn);
+
+  // Bind + spin up the loops and shards.
+  Status start();
+  void stop();
+
+  std::uint16_t port() const;
+  std::uint64_t requests_served() const { return requests_served_.load(); }
+  std::size_t loop_count() const { return loops_.size(); }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  // Live connections across all loops. Drops to zero as soon as every
+  // client has disconnected — EOF reaps connections directly on the loop.
+  std::size_t tracked_connections() const;
+  // Decoded requests not yet answered, across all loops.
+  std::size_t inflight() const;
+  // Times any loop hit its in-flight cap and paused socket reads.
+  std::uint64_t backpressure_pauses() const;
+
+ private:
+  class Loop;
+  friend class Loop;
+
+  struct Request {
+    std::size_t loop;
+    std::uint64_t conn_id;
+    std::uint64_t request_id;
+    std::uint8_t method;
+    Bytes body;
+  };
+
+  // Called from loop threads: route a decoded request to its shard.
+  void dispatch(Request request);
+  // Runs on a shard/admin thread: execute the handler, post the response
+  // frame back to the owning loop.
+  void execute(const Request& request);
+
+  const std::uint16_t requested_port_;
+  const ReactorOptions options_;
+  std::map<std::uint8_t, RpcHandler> handlers_;  // immutable after start()
+  ShardKeyFn shard_key_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> next_conn_{0};  // round-robin loop assignment
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  // One single-threaded pool per shard: reuses the pool's trace-context
+  // propagation, sojourn accounting and tiera_pool_* gauges.
+  std::vector<std::unique_ptr<ThreadPool>> shards_;
+  std::vector<std::unique_ptr<PoolMetrics>> shard_metrics_;
+  std::unique_ptr<ThreadPool> admin_pool_;
+
+  // Registry series (`tiera_rpc_*`).
+  struct Metrics {
+    Counter* requests;
+    Counter* errors;
+    Counter* backpressure_pauses;
+    Gauge* connections;
+    Gauge* inflight;
+    LatencyHistogram* request_latency;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace tiera

@@ -1,168 +1,22 @@
 #include "net/rpc.h"
 
-#include "common/logging.h"
-#include "common/profile_stack.h"
-
 namespace tiera {
 
+namespace {
+
+ReactorOptions shards_only(std::size_t request_threads) {
+  ReactorOptions options;
+  options.shards = request_threads;
+  return options;
+}
+
+}  // namespace
+
 RpcServer::RpcServer(std::uint16_t port, std::size_t request_threads)
-    : requested_port_(port), pool_(request_threads, "rpc-requests") {
-  MetricsRegistry& reg = MetricsRegistry::global();
-  metrics_.requests = &reg.counter("tiera_rpc_requests_total");
-  metrics_.errors = &reg.counter("tiera_rpc_errors_total");
-  metrics_.queue_depth = &reg.gauge("tiera_rpc_queue_depth");
-  metrics_.readers = &reg.gauge("tiera_rpc_reader_threads");
-  metrics_.request_latency = &reg.histogram("tiera_rpc_request_latency_ms");
-  Gauge* queue_depth = metrics_.queue_depth;
-  pool_.set_observer([queue_depth](std::size_t depth, std::size_t) {
-    queue_depth->set(static_cast<double>(depth));
-  });
-}
+    : ReactorServer(port, shards_only(request_threads)) {}
 
-RpcServer::~RpcServer() { stop(); }
-
-void RpcServer::register_handler(std::uint8_t method, RpcHandler handler) {
-  handlers_[method] = std::move(handler);
-}
-
-Status RpcServer::start() {
-  auto listener = TcpListener::listen(requested_port_);
-  if (!listener.ok()) return listener.status();
-  listener_ = std::move(listener).value();
-  running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  TIERA_LOG(kInfo, "net") << "rpc server listening on port "
-                          << listener_->port();
-  return Status::Ok();
-}
-
-void RpcServer::stop() {
-  if (!running_.exchange(false)) return;
-  if (listener_) listener_->shutdown();
-  {
-    // Half-close live connections so per-connection recv loops unblock.
-    // shutdown() (not close()) keeps the fd reserved while reader threads
-    // and in-flight pool tasks may still touch it.
-    std::lock_guard lock(conns_mu_);
-    for (auto& reader : readers_) {
-      if (auto conn = reader.conn.lock()) conn->shutdown();
-    }
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept loop is done, so readers_ gains no new entries. Sweep once
-  // more for connections accepted during shutdown, then join every reader
-  // before stopping the pool.
-  std::vector<Reader> readers;
-  {
-    std::lock_guard lock(conns_mu_);
-    for (auto& reader : readers_) {
-      if (auto conn = reader.conn.lock()) conn->shutdown();
-    }
-    readers = std::move(readers_);
-    readers_.clear();
-  }
-  for (auto& reader : readers) {
-    if (reader.thread.joinable()) reader.thread.join();
-  }
-  pool_.shutdown();
-}
-
-std::uint16_t RpcServer::port() const {
-  return listener_ ? listener_->port() : requested_port_;
-}
-
-std::size_t RpcServer::tracked_readers() {
-  std::lock_guard lock(conns_mu_);
-  return readers_.size();
-}
-
-void RpcServer::accept_loop() {
-  profile_set_thread_name("rpc-accept");
-  while (running_.load()) {
-    auto conn = listener_->accept();
-    if (!conn.ok()) return;  // shut down
-    std::shared_ptr<TcpConnection> shared = std::move(conn).value();
-    // One lightweight reader thread per connection; request bodies are
-    // serviced on the shared pool so slow requests do not block the socket.
-    // Readers are tracked (not detached) so stop() can join them after
-    // half-closing the sockets; finished readers are reaped here so a
-    // long-lived server with many short connections does not accumulate
-    // unjoined threads.
-    std::lock_guard lock(conns_mu_);
-    reap_finished_readers_locked();
-    Reader reader;
-    reader.conn = shared;
-    reader.done = std::make_shared<std::atomic<bool>>(false);
-    reader.thread = std::thread([this, shared, done = reader.done] {
-      serve_connection(shared);
-      done->store(true, std::memory_order_release);
-    });
-    readers_.push_back(std::move(reader));
-    metrics_.readers->set(static_cast<double>(readers_.size()));
-  }
-}
-
-void RpcServer::reap_finished_readers_locked() {
-  auto it = readers_.begin();
-  while (it != readers_.end()) {
-    if (it->done->load(std::memory_order_acquire)) {
-      // The reader set `done` as its last action, so this join returns
-      // almost immediately.
-      if (it->thread.joinable()) it->thread.join();
-      it = readers_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  metrics_.readers->set(static_cast<double>(readers_.size()));
-}
-
-void RpcServer::serve_connection(std::shared_ptr<TcpConnection> conn) {
-  profile_set_thread_name("rpc-reader");
-  while (running_.load()) {
-    Result<Bytes> frame = conn->recv_frame();
-    if (!frame.ok()) return;
-    auto request = std::make_shared<Bytes>(std::move(frame).value());
-    const bool submitted = pool_.submit([this, conn, request] {
-      Stopwatch watch;
-      WireReader reader(as_view(*request));
-      std::uint64_t request_id = 0;
-      std::uint8_t method = 0;
-      WireWriter response;
-      if (!reader.u64(request_id).ok() || !reader.u8(method).ok()) {
-        metrics_.errors->inc();
-        return;  // malformed frame: drop
-      }
-      response.u64(request_id);
-      auto it = handlers_.find(method);
-      if (it == handlers_.end()) {
-        response.u8(static_cast<std::uint8_t>(StatusCode::kInvalidArgument));
-        response.str("unknown method");
-        response.bytes({});
-        metrics_.errors->inc();
-      } else {
-        const std::size_t header = 8 + 1;
-        Result<Bytes> result = it->second(
-            ByteView(request->data() + header, request->size() - header));
-        if (result.ok()) {
-          response.u8(static_cast<std::uint8_t>(StatusCode::kOk));
-          response.str("");
-          response.bytes(as_view(*result));
-        } else {
-          response.u8(static_cast<std::uint8_t>(result.status().code()));
-          response.str(result.status().message());
-          response.bytes({});
-          metrics_.errors->inc();
-        }
-      }
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
-      metrics_.requests->inc();
-      metrics_.request_latency->record(watch.elapsed());
-      (void)conn->send_frame(as_view(response.data()));
-    });
-    if (!submitted) return;
-  }
-}
+RpcServer::RpcServer(std::uint16_t port, ReactorOptions options)
+    : ReactorServer(port, options) {}
 
 Result<std::unique_ptr<RpcClient>> RpcClient::connect(const std::string& host,
                                                       std::uint16_t port) {

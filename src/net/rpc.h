@@ -3,93 +3,27 @@
 // Request frame : u64 request_id | u8 method | body
 // Response frame: u64 request_id | u8 status  | string message | body
 //
-// The server accepts connections on a dedicated thread and services each
-// request on a thread pool, matching the prototype's "thread pool dedicated
-// to service client requests" (§3).
+// The server side is the epoll reactor in net/reactor.h: N event loops own
+// the sockets and per-core shard workers run the handlers. RpcServer is a
+// thin alias that maps the historical (port, request_threads) signature onto
+// ReactorOptions — request_threads becomes the shard count.
 #pragma once
 
-#include <atomic>
-#include <functional>
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <mutex>
-#include <thread>
-#include <vector>
+#include <string>
 
-#include "common/thread_pool.h"
+#include "net/reactor.h"
 #include "net/tcp.h"
 #include "net/wire.h"
-#include "obs/metrics.h"
-#include "obs/pool_metrics.h"
 
 namespace tiera {
 
-using RpcHandler = std::function<Result<Bytes>(ByteView body)>;
-
-class RpcServer {
+class RpcServer : public ReactorServer {
  public:
   RpcServer(std::uint16_t port, std::size_t request_threads);
-  ~RpcServer();
-
-  RpcServer(const RpcServer&) = delete;
-  RpcServer& operator=(const RpcServer&) = delete;
-
-  void register_handler(std::uint8_t method, RpcHandler handler);
-
-  // Bind + start the accept loop.
-  Status start();
-  void stop();
-
-  std::uint16_t port() const;
-  std::uint64_t requests_served() const { return requests_served_.load(); }
-
-  // Reader threads currently tracked (live plus not-yet-reaped); finished
-  // readers are reaped on each accept, so this stays bounded by the number
-  // of live connections. Exposed for tests.
-  std::size_t tracked_readers();
-
- private:
-  void accept_loop();
-  void serve_connection(std::shared_ptr<TcpConnection> conn);
-
-  const std::uint16_t requested_port_;
-  ThreadPool pool_;
-  // Declared after the pool it watches so it is destroyed first.
-  PoolMetrics pool_metrics_{pool_};
-  std::map<std::uint8_t, RpcHandler> handlers_;
-
-  std::unique_ptr<TcpListener> listener_;
-  std::thread accept_thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> requests_served_{0};
-
-  // One record per live connection: the reader thread plus a flag it sets
-  // just before exiting, so the accept loop can join and drop finished
-  // readers instead of accumulating them until stop(). Shutdown joins every
-  // remaining reader before the pool stops, so no detached thread can
-  // outlive the server; connections are only shutdown() (half-closed) here —
-  // the fd is released by the last shared_ptr owner once all readers/pool
-  // tasks are done.
-  struct Reader {
-    std::weak_ptr<TcpConnection> conn;
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  void reap_finished_readers_locked();
-
-  std::mutex conns_mu_;
-  std::vector<Reader> readers_;
-
-  // Registry series (`tiera_rpc_*`): request/error counters, per-request
-  // service latency, and request-pool queue depth.
-  struct Metrics {
-    Counter* requests;
-    Counter* errors;
-    Gauge* queue_depth;
-    Gauge* readers;
-    LatencyHistogram* request_latency;
-  };
-  Metrics metrics_;
+  RpcServer(std::uint16_t port, ReactorOptions options);
 };
 
 // Blocking client: one connection, serialized calls (thread-safe).

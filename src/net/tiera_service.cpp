@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/hash.h"
 #include "obs/profiler.h"
 #include "obs/stage.h"
 
@@ -27,11 +28,44 @@ Status read_string_list(WireReader& r, std::vector<std::string>& items) {
   return Status::Ok();
 }
 
+// Routes each request to an execution shard before the body is fully
+// parsed. Data verbs carry the object id as the leading wire string, so the
+// same object always lands on the same single-threaded shard (its requests
+// run FIFO on one core and never contend on the instance's striped object
+// locks). Everything else — stats, traces, and especially the blocking
+// kProfile capture — goes to the admin pool so it cannot stall a shard.
+std::uint64_t tiera_shard_key(std::uint8_t method, ByteView body) {
+  switch (static_cast<TieraMethod>(method)) {
+    case TieraMethod::kPut:
+    case TieraMethod::kGet:
+    case TieraMethod::kRemove:
+    case TieraMethod::kStat:
+    case TieraMethod::kAddTags: {
+      if (body.size() < 4) return ReactorServer::kAdminKey;  // malformed
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) len |= std::uint32_t(body[i]) << (8 * i);
+      if (body.size() - 4 < len) return ReactorServer::kAdminKey;
+      // Clear the top bit so a hash can never collide with kAdminKey.
+      return fnv1a64(ByteView(body.data() + 4, len)) & 0x7fffffffffffffffull;
+    }
+    default:
+      return ReactorServer::kAdminKey;
+  }
+}
+
 }  // namespace
 
 TieraServer::TieraServer(TieraInstance& instance, std::uint16_t port,
                          std::size_t request_threads)
     : instance_(instance), server_(port, request_threads) {
+  server_.set_shard_key(tiera_shard_key);
+  register_handlers();
+}
+
+TieraServer::TieraServer(TieraInstance& instance, std::uint16_t port,
+                         ReactorOptions options)
+    : instance_(instance), server_(port, options) {
+  server_.set_shard_key(tiera_shard_key);
   register_handlers();
 }
 

@@ -40,12 +40,18 @@ enum class TieraMethod : std::uint8_t {
 class TieraServer {
  public:
   // `port` 0 picks an ephemeral port (see port() after start()).
+  // `request_threads` becomes the reactor's shard count.
   TieraServer(TieraInstance& instance, std::uint16_t port,
               std::size_t request_threads = 8);
+  // Full control over the event-loop/shard geometry.
+  TieraServer(TieraInstance& instance, std::uint16_t port,
+              ReactorOptions options);
 
   Status start();
   void stop();
   std::uint16_t port() const { return server_.port(); }
+  std::size_t loop_count() const { return server_.loop_count(); }
+  std::size_t shard_count() const { return server_.shard_count(); }
 
  private:
   void register_handlers();

@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -17,17 +19,16 @@ namespace tiera {
 
 namespace {
 
-// Filenames are the hex of the key, or hex prefix + sha256 when too long for
-// one path component. Decodable in the common case, unique in every case.
-std::string encode_key(std::string_view key) {
-  const std::string hex = to_hex(as_view(key));
-  if (hex.size() <= 200) return hex;
-  return hex.substr(0, 120) + "-" + Sha256::hex_digest(as_view(key));
+// Dead-record accounting mirrors the log's framing: header + key + value.
+constexpr std::uint64_t kLogRecordHeader = 4 + 1 + 4 + 4;
+
+std::uint64_t record_bytes(std::size_t key_len, std::size_t value_len) {
+  return kLogRecordHeader + key_len + value_len;
 }
 
-Status errno_status(const std::string& what) {
-  return Status::Internal(what + ": " + std::strerror(errno));
-}
+// Compact once the log passes this size with mostly dead bytes.
+constexpr std::uint64_t kCompactMinBytes = 8ull << 20;
+constexpr double kCompactDeadRatio = 0.5;
 
 // RAM-copy latency for a modelled page-cache hit.
 LatencyModel cache_hit_model() {
@@ -47,22 +48,58 @@ FileTier::FileTier(std::string name, TierKind kind,
       directory_(std::move(directory)) {
   std::error_code ec;
   fs::create_directories(directory_, ec);
-  load_existing();
-}
-
-std::string FileTier::file_path(std::string_view key) const {
-  return directory_ + "/" + encode_key(key);
-}
-
-void FileTier::load_existing() {
-  std::error_code ec;
+  open_log();
+  migrate_legacy_files();
   std::uint64_t total = 0;
+  for (const auto& [key, loc] : index_) total += loc.length;
+  reset_usage();
+  add_reloaded_usage(total);
+  if (!index_.empty()) {
+    TIERA_LOG(kInfo, "store") << this->name() << " reloaded " << index_.size()
+                              << " objects (" << total << " bytes) from "
+                              << directory_;
+  }
+}
+
+void FileTier::open_log() {
+  auto log = SegmentLog::open(
+      directory_, SegmentLogOptions{},
+      [this](std::string_view key, bool live, const LogLocation& loc) {
+        auto it = index_.find(std::string(key));
+        if (it != index_.end()) {
+          dead_bytes_ += record_bytes(key.size(), it->second.length);
+          if (!live) {
+            // Tombstone: the record itself is dead weight too.
+            dead_bytes_ += record_bytes(key.size(), 0);
+            index_.erase(it);
+            return;
+          }
+          it->second = loc;
+        } else if (live) {
+          index_.emplace(std::string(key), loc);
+        } else {
+          dead_bytes_ += record_bytes(key.size(), 0);
+        }
+      });
+  if (!log.ok()) {
+    TIERA_LOG(kError, "store") << name() << " segment log open failed: "
+                               << log.status().to_string();
+    return;
+  }
+  log_ = std::move(log).value();
+}
+
+// One-time import of directories written by the old one-file-per-object
+// format (filename = hex key, or hex prefix + sha when too long): append
+// each file's bytes to the log, then remove the file.
+void FileTier::migrate_legacy_files() {
+  if (!log_) return;
+  std::error_code ec;
+  std::size_t migrated = 0;
   for (const auto& entry : fs::directory_iterator(directory_, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string hex = entry.path().filename().string();
-    // Recover the key from its hex name when possible; hashed names keep the
-    // hex prefix only, so reconstruct those keys as opaque (rare: >100-char
-    // keys). We store them under their file name to stay addressable.
+    if (hex.rfind("seg-", 0) == 0) continue;
     std::string key;
     bool decodable = hex.find('-') == std::string::npos && hex.size() % 2 == 0;
     if (decodable) {
@@ -83,80 +120,92 @@ void FileTier::load_existing() {
       }
     }
     if (!decodable) key = hex;
-    const std::uint64_t size = entry.file_size(ec);
-    index_[key] = size;
-    total += size;
+    std::ifstream in(entry.path(), std::ios::binary);
+    Bytes value((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+    if (!in && !in.eof()) continue;
+    auto loc = log_->append(key, as_view(value));
+    if (!loc.ok()) continue;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      dead_bytes_ += record_bytes(key.size(), it->second.length);
+      it->second = *loc;
+    } else {
+      index_.emplace(std::move(key), *loc);
+    }
+    fs::remove(entry.path(), ec);
+    ++migrated;
   }
-  reset_usage();
-  add_reloaded_usage(total);
-  if (!index_.empty()) {
-    TIERA_LOG(kInfo, "store") << name() << " reloaded " << index_.size()
-                              << " objects (" << total << " bytes) from "
-                              << directory_;
+  if (migrated > 0) {
+    TIERA_LOG(kInfo, "store") << name() << " migrated " << migrated
+                              << " legacy object files into the segment log";
   }
 }
 
 Status FileTier::store_raw(std::string_view key, ByteView value) {
-  const std::string path = file_path(key);
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return errno_status("file tier open");
-  const std::uint8_t* data = value.data();
-  std::size_t len = value.size();
-  while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return errno_status("file tier write");
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    return errno_status("file tier rename");
-  }
+  if (!log_) return Status::Internal(name() + ": segment log unavailable");
   std::lock_guard lock(index_mu_);
-  index_[std::string(key)] = value.size();
+  auto loc = log_->append(key, value);
+  if (!loc.ok()) return loc.status();
+  auto it = index_.find(std::string(key));
+  if (it != index_.end()) {
+    dead_bytes_ += record_bytes(key.size(), it->second.length);
+    it->second = *loc;
+  } else {
+    index_.emplace(std::string(key), *loc);
+  }
+  return maybe_compact_locked();
+}
+
+// >= not >: after one full overwrite generation the log is exactly half
+// dead, and a strict compare would stall compaction right at the boundary
+// while every further generation keeps appending.
+Status FileTier::maybe_compact_locked() {
+  if (!log_) return Status::Ok();
+  if (log_->log_bytes() >= kCompactMinBytes &&
+      static_cast<double>(dead_bytes_) >=
+          kCompactDeadRatio * static_cast<double>(log_->log_bytes())) {
+    return compact_locked();
+  }
   return Status::Ok();
 }
 
 Result<Bytes> FileTier::load_raw(std::string_view key) const {
-  {
-    std::lock_guard lock(index_mu_);
-    if (index_.find(std::string(key)) == index_.end()) {
-      return Status::NotFound(name() + ": no such object");
+  // The location is fetched under the index lock but the pread runs outside
+  // it; a compaction can relocate the value in between (its old segment
+  // disappears), so retry with a fresh location rather than surfacing a
+  // spurious miss.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    LogLocation loc;
+    {
+      std::lock_guard lock(index_mu_);
+      auto it = index_.find(std::string(key));
+      if (it == index_.end()) {
+        return Status::NotFound(name() + ": no such object");
+      }
+      loc = it->second;
+    }
+    if (!log_) return Status::Internal(name() + ": segment log unavailable");
+    auto value = log_->read(loc);
+    if (value.ok() || value.status().code() != StatusCode::kNotFound) {
+      return value;
     }
   }
-  const std::string path = file_path(key);
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::NotFound(name() + ": no such object");
-  Bytes out;
-  std::uint8_t buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return errno_status("file tier read");
-    }
-    if (n == 0) break;
-    out.insert(out.end(), buf, buf + n);
-  }
-  ::close(fd);
-  return out;
+  return Status::Internal(name() + ": object relocated repeatedly");
 }
 
 Status FileTier::erase_raw(std::string_view key) {
-  {
-    std::lock_guard lock(index_mu_);
-    index_.erase(std::string(key));
-  }
-  ::unlink(file_path(key).c_str());
-  return Status::Ok();
+  if (!log_) return Status::Internal(name() + ": segment log unavailable");
+  std::lock_guard lock(index_mu_);
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return Status::Ok();
+  dead_bytes_ += record_bytes(key.size(), it->second.length);
+  dead_bytes_ += record_bytes(key.size(), 0);  // the tombstone itself
+  index_.erase(it);
+  TIERA_RETURN_IF_ERROR(log_->append_tombstone(key));
+  // Erase-heavy churn (exclusive caching demotes/promotes) adds dead bytes
+  // without ever passing through store_raw, so check the trigger here too.
+  return maybe_compact_locked();
 }
 
 bool FileTier::contains_raw(std::string_view key) const {
@@ -168,7 +217,7 @@ std::optional<std::uint64_t> FileTier::size_raw(std::string_view key) const {
   std::lock_guard lock(index_mu_);
   auto it = index_.find(std::string(key));
   if (it == index_.end()) return std::nullopt;
-  return it->second;
+  return it->second.length;
 }
 
 std::size_t FileTier::count_raw() const {
@@ -179,16 +228,42 @@ std::size_t FileTier::count_raw() const {
 void FileTier::keys_raw(
     const std::function<void(std::string_view)>& fn) const {
   std::lock_guard lock(index_mu_);
-  for (const auto& [key, size] : index_) fn(key);
+  for (const auto& [key, loc] : index_) fn(key);
 }
 
 void FileTier::wipe() {
   std::lock_guard lock(index_mu_);
-  for (const auto& [key, size] : index_) {
-    ::unlink(file_path(key).c_str());
-  }
+  if (log_) (void)log_->wipe();
   index_.clear();
+  dead_bytes_ = 0;
   reset_usage();
+}
+
+std::uint64_t FileTier::log_bytes() const {
+  return log_ ? log_->log_bytes() : 0;
+}
+
+std::uint64_t FileTier::dead_log_bytes() const {
+  std::lock_guard lock(index_mu_);
+  return dead_bytes_;
+}
+
+Status FileTier::compact_log() {
+  std::lock_guard lock(index_mu_);
+  return compact_locked();
+}
+
+Status FileTier::compact_locked() {
+  if (!log_) return Status::Internal(name() + ": segment log unavailable");
+  TIERA_RETURN_IF_ERROR(log_->compact(
+      [this](const SegmentLog::LiveVisitor& visit) {
+        for (const auto& [key, loc] : index_) visit(key, loc);
+      },
+      [this](std::string_view key, const LogLocation& loc) {
+        index_[std::string(key)] = loc;
+      }));
+  dead_bytes_ = 0;
+  return Status::Ok();
 }
 
 // --- BlockTier --------------------------------------------------------------

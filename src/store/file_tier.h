@@ -1,10 +1,12 @@
 // File-backed tiers: the EBS-like block store and the S3-like object store.
 //
-// Objects are written to one file each under the tier directory (filename =
-// hex-encoded key, hashed when too long) and mirrored in a RAM index for
-// fast lookups; on open the directory is rescanned, so contents survive
-// process restarts — the durability property that distinguishes these tiers
-// from memory/ephemeral ones.
+// Objects live in an append-only segment log under the tier directory
+// (store/segment_log.h) and are mirrored in a RAM index of key -> location;
+// on open the log is replayed, so contents survive process restarts — the
+// durability property that distinguishes these tiers from memory/ephemeral
+// ones. Overwrites and deletes leave dead records behind; the tier compacts
+// the log once dead bytes dominate. Directories written by the old
+// one-file-per-object format are migrated into the log on open.
 //
 // BlockTier optionally models the instance's OS buffer cache: a bounded LRU
 // of recently touched objects whose hits are charged memory-like latency
@@ -14,8 +16,10 @@
 #pragma once
 
 #include <list>
+#include <memory>
 #include <unordered_map>
 
+#include "store/segment_log.h"
 #include "store/sharded_map.h"
 #include "store/tier.h"
 
@@ -31,6 +35,11 @@ class FileTier : public Tier {
   // Drop every stored object (used by tests and by EphemeralTier::reboot).
   void wipe();
 
+  // Segment-log footprint, live + dead record bytes. Exposed for tests.
+  std::uint64_t log_bytes() const;
+  std::uint64_t dead_log_bytes() const;
+  Status compact_log();
+
  protected:
   Status store_raw(std::string_view key, ByteView value) override;
   Result<Bytes> load_raw(std::string_view key) const override;
@@ -42,13 +51,18 @@ class FileTier : public Tier {
       const std::function<void(std::string_view)>& fn) const override;
 
  private:
-  std::string file_path(std::string_view key) const;
-  void load_existing();
+  void open_log();
+  void migrate_legacy_files();
+  Status compact_locked();        // requires index_mu_ held
+  Status maybe_compact_locked();  // requires index_mu_ held
 
   const std::string directory_;
-  // key -> object size; guarded by index_mu_.
+  std::unique_ptr<SegmentLog> log_;
+  // key -> value location in the log; guarded by index_mu_. Writers hold
+  // the lock across append + index update so log order matches index order.
   mutable std::mutex index_mu_;
-  std::unordered_map<std::string, std::uint64_t> index_;
+  std::unordered_map<std::string, LogLocation> index_;
+  std::uint64_t dead_bytes_ = 0;
 };
 
 class BlockTier final : public FileTier {

@@ -1,0 +1,333 @@
+#include "store/segment_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace tiera {
+
+namespace {
+
+constexpr std::uint8_t kTypePut = 1;
+constexpr std::uint8_t kTypeTombstone = 2;
+constexpr std::size_t kRecordHeader = 4 + 1 + 4 + 4;
+
+Status errno_status(const char* op) {
+  return Status::Internal(std::string("segment log ") + op + ": " +
+                          std::strerror(errno));
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Bytes encode_record(std::uint8_t type, std::string_view key, ByteView value) {
+  Bytes rec;
+  rec.reserve(kRecordHeader + key.size() + value.size());
+  rec.resize(4);  // crc placeholder
+  rec.push_back(type);
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  const auto value_len = static_cast<std::uint32_t>(value.size());
+  rec.insert(rec.end(), reinterpret_cast<const std::uint8_t*>(&key_len),
+             reinterpret_cast<const std::uint8_t*>(&key_len) + 4);
+  rec.insert(rec.end(), reinterpret_cast<const std::uint8_t*>(&value_len),
+             reinterpret_cast<const std::uint8_t*>(&value_len) + 4);
+  append(rec, key);
+  append(rec, value);
+  const std::uint32_t crc = crc32c(ByteView(rec.data() + 4, rec.size() - 4));
+  std::memcpy(rec.data(), &crc, 4);
+  return rec;
+}
+
+}  // namespace
+
+SegmentLog::SegmentLog(std::string directory, SegmentLogOptions options)
+    : directory_(std::move(directory)), options_(options) {}
+
+SegmentLog::~SegmentLog() {
+  std::unique_lock lock(mu_);
+  for (auto& [segment, fd] : segment_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  segment_fds_.clear();
+}
+
+std::string SegmentLog::segment_path(std::uint64_t segment) const {
+  return directory_ + "/seg-" + std::to_string(segment) + ".log";
+}
+
+Result<std::unique_ptr<SegmentLog>> SegmentLog::open(
+    std::string directory, SegmentLogOptions options, const ReplayFn& replay) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  std::unique_ptr<SegmentLog> log(
+      new SegmentLog(std::move(directory), options));
+
+  // Collect existing segment numbers; everything else in the directory is
+  // the caller's problem (FileTier migrates legacy per-object files).
+  std::vector<std::uint64_t> segments;
+  for (const auto& entry : fs::directory_iterator(log->directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 8 || name.rfind("seg-", 0) != 0 ||
+        name.substr(name.size() - 4) != ".log") {
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string digits = name.substr(4, name.size() - 8);
+    const unsigned long long n = std::strtoull(digits.c_str(), &end, 10);
+    if (errno != 0 || end == digits.c_str() || *end != '\0' || n == 0) continue;
+    segments.push_back(n);
+  }
+  std::sort(segments.begin(), segments.end());
+
+  for (const std::uint64_t segment : segments) {
+    TIERA_RETURN_IF_ERROR(log->replay_segment(segment, replay));
+  }
+
+  std::unique_lock lock(log->mu_);
+  log->current_segment_ = segments.empty() ? 1 : segments.back();
+  TIERA_RETURN_IF_ERROR(log->open_segment_locked(log->current_segment_));
+  struct stat st {};
+  if (::fstat(log->segment_fds_[log->current_segment_], &st) != 0) {
+    return errno_status("fstat");
+  }
+  log->current_offset_ = static_cast<std::uint64_t>(st.st_size);
+  lock.unlock();
+  return log;
+}
+
+Status SegmentLog::replay_segment(std::uint64_t segment,
+                                  const ReplayFn& replay) {
+  const std::string path = segment_path(segment);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_status("open for replay");
+  Bytes data;
+  {
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return errno_status("read for replay");
+      }
+      if (n == 0) break;
+      data.insert(data.end(), buf, buf + n);
+    }
+  }
+  ::close(fd);
+
+  std::size_t pos = 0;
+  std::size_t valid_end = 0;
+  while (pos + kRecordHeader <= data.size()) {
+    std::uint32_t crc, key_len, value_len;
+    std::memcpy(&crc, data.data() + pos, 4);
+    const std::uint8_t type = data[pos + 4];
+    std::memcpy(&key_len, data.data() + pos + 5, 4);
+    std::memcpy(&value_len, data.data() + pos + 9, 4);
+    const std::uint64_t body = std::uint64_t(key_len) + value_len;
+    if (pos + kRecordHeader + body > data.size()) break;  // torn tail
+    const ByteView payload(data.data() + pos + 4, 1 + 8 + body);
+    if (crc32c(payload) != crc) break;  // corrupt tail: stop here
+    if (type != kTypePut && type != kTypeTombstone) break;
+    const std::string_view key(
+        reinterpret_cast<const char*>(data.data() + pos + kRecordHeader),
+        key_len);
+    LogLocation loc;
+    loc.segment = segment;
+    loc.offset = pos + kRecordHeader + key_len;
+    loc.length = value_len;
+    replay(key, type == kTypePut, loc);
+    pos += kRecordHeader + body;
+    valid_end = pos;
+  }
+  log_bytes_ += valid_end;
+  if (valid_end < data.size()) {
+    TIERA_LOG(kWarn, "store")
+        << "segment log discarding " << (data.size() - valid_end)
+        << " torn/corrupt bytes at tail of " << path;
+    if (::truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
+      return errno_status("truncate");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SegmentLog::open_segment_locked(std::uint64_t segment) {
+  if (segment_fds_.count(segment)) return Status::Ok();
+  const int fd = ::open(segment_path(segment).c_str(),
+                        O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errno_status("open segment");
+  segment_fds_[segment] = fd;
+  return Status::Ok();
+}
+
+Status SegmentLog::roll_if_needed_locked() {
+  if (current_offset_ < options_.segment_bytes) return Status::Ok();
+  ++current_segment_;
+  current_offset_ = 0;
+  return open_segment_locked(current_segment_);
+}
+
+Status SegmentLog::append_record_locked(std::uint8_t type,
+                                        std::string_view key, ByteView value,
+                                        LogLocation* loc) {
+  TIERA_RETURN_IF_ERROR(roll_if_needed_locked());
+  const Bytes rec = encode_record(type, key, value);
+  const int fd = segment_fds_[current_segment_];
+  if (!write_all(fd, rec.data(), rec.size())) return errno_status("write");
+  if (loc) {
+    loc->segment = current_segment_;
+    loc->offset = current_offset_ + kRecordHeader + key.size();
+    loc->length = static_cast<std::uint32_t>(value.size());
+  }
+  current_offset_ += rec.size();
+  log_bytes_ += rec.size();
+  return Status::Ok();
+}
+
+Result<LogLocation> SegmentLog::append(std::string_view key, ByteView value) {
+  std::unique_lock lock(mu_);
+  LogLocation loc;
+  TIERA_RETURN_IF_ERROR(append_record_locked(kTypePut, key, value, &loc));
+  return loc;
+}
+
+Status SegmentLog::append_tombstone(std::string_view key) {
+  std::unique_lock lock(mu_);
+  return append_record_locked(kTypeTombstone, key, {}, nullptr);
+}
+
+Result<Bytes> SegmentLog::read(const LogLocation& loc) const {
+  std::shared_lock lock(mu_);
+  auto it = segment_fds_.find(loc.segment);
+  if (it == segment_fds_.end()) {
+    return Status::NotFound("segment log: no such segment");
+  }
+  Bytes out(loc.length);
+  std::size_t done = 0;
+  while (done < loc.length) {
+    const ssize_t n =
+        ::pread(it->second, out.data() + done, loc.length - done,
+                static_cast<off_t>(loc.offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("pread");
+    }
+    if (n == 0) return Status::Internal("segment log: short read");
+    done += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+Status SegmentLog::sync() {
+  std::unique_lock lock(mu_);
+  auto it = segment_fds_.find(current_segment_);
+  if (it != segment_fds_.end() && ::fsync(it->second) != 0) {
+    return errno_status("fsync");
+  }
+  return Status::Ok();
+}
+
+Status SegmentLog::compact(
+    const std::function<void(const LiveVisitor&)>& for_each_live,
+    const std::function<void(std::string_view key, const LogLocation& loc)>&
+        update) {
+  std::unique_lock lock(mu_);
+  // Copy the live set into fresh segments numbered after the current one.
+  // Replay applies segments in order, so the copies (newest) win over the
+  // stale records even if a crash leaves both generations on disk.
+  const std::uint64_t first_new = current_segment_ + 1;
+  std::uint64_t old_log_bytes = log_bytes_;
+  current_segment_ = first_new;
+  current_offset_ = 0;
+  log_bytes_ = 0;
+  TIERA_RETURN_IF_ERROR(open_segment_locked(current_segment_));
+
+  Status status = Status::Ok();
+  for_each_live([&](std::string_view key, const LogLocation& loc) {
+    if (!status.ok()) return;
+    // Read from the old location (old segment fds are still open).
+    auto it = segment_fds_.find(loc.segment);
+    if (it == segment_fds_.end()) {
+      status = Status::Internal("segment log compact: missing segment");
+      return;
+    }
+    Bytes value(loc.length);
+    std::size_t done = 0;
+    while (done < loc.length) {
+      const ssize_t n =
+          ::pread(it->second, value.data() + done, loc.length - done,
+                  static_cast<off_t>(loc.offset + done));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        status = errno_status("compact pread");
+        return;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    LogLocation new_loc;
+    status = append_record_locked(kTypePut, key, as_view(value), &new_loc);
+    if (status.ok()) update(key, new_loc);
+  });
+  if (!status.ok()) return status;
+
+  // Make the copies durable before deleting their sources.
+  for (auto it = segment_fds_.lower_bound(first_new);
+       it != segment_fds_.end(); ++it) {
+    if (::fsync(it->second) != 0) return errno_status("compact fsync");
+  }
+  for (auto it = segment_fds_.begin();
+       it != segment_fds_.end() && it->first < first_new;) {
+    ::close(it->second);
+    ::unlink(segment_path(it->first).c_str());
+    it = segment_fds_.erase(it);
+  }
+  TIERA_LOG(kInfo, "store") << "segment log " << directory_ << " compacted "
+                            << old_log_bytes << " -> " << log_bytes_
+                            << " bytes";
+  return Status::Ok();
+}
+
+Status SegmentLog::wipe() {
+  std::unique_lock lock(mu_);
+  for (auto& [segment, fd] : segment_fds_) {
+    ::close(fd);
+    ::unlink(segment_path(segment).c_str());
+  }
+  segment_fds_.clear();
+  current_segment_ = 1;
+  current_offset_ = 0;
+  log_bytes_ = 0;
+  return open_segment_locked(current_segment_);
+}
+
+std::uint64_t SegmentLog::log_bytes() const {
+  std::shared_lock lock(mu_);
+  return log_bytes_;
+}
+
+}  // namespace tiera

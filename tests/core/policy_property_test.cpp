@@ -38,9 +38,8 @@ TEST_P(PolicyPropertyTest, ExclusiveLruInvariants) {
       case 0:
       case 1: {  // put / overwrite
         const std::uint64_t seed = rng.next();
-        ASSERT_TRUE(
-            (*instance)->put(id, as_view(make_payload(2048, seed))).ok())
-            << "step " << step;
+        const Status put = (*instance)->put(id, as_view(make_payload(2048, seed)));
+        ASSERT_TRUE(put.ok()) << "step " << step << ": " << put.to_string();
         live[id] = seed;
         break;
       }

@@ -155,30 +155,33 @@ TEST(RpcTest, ConcurrentClients) {
   server.stop();
 }
 
-TEST(RpcTest, FinishedReadersAreReaped) {
+TEST(RpcTest, DisconnectsAreReapedWithoutNewConnects) {
   RpcServer server(0, 2);
   server.register_handler(1, [](ByteView body) -> Result<Bytes> {
     return Bytes(body.begin(), body.end());
   });
   ASSERT_TRUE(server.start().ok());
 
-  for (int i = 0; i < 16; ++i) {
-    auto client = RpcClient::connect("127.0.0.1", server.port());
-    ASSERT_TRUE(client.ok());
-    ASSERT_TRUE((*client)->call(1, {}).ok());
+  {
+    std::vector<std::unique_ptr<RpcClient>> clients;
+    for (int i = 0; i < 16; ++i) {
+      auto client = RpcClient::connect("127.0.0.1", server.port());
+      ASSERT_TRUE(client.ok());
+      // A completed round trip proves the loop adopted the connection.
+      ASSERT_TRUE((*client)->call(1, {}).ok());
+      clients.push_back(std::move(*client));
+    }
+    EXPECT_EQ(server.tracked_connections(), 16u);
   }
-  // Each destroyed client closes its connection and its reader exits; every
-  // accept reaps the finished readers. Poke with fresh connections until the
-  // tracked set shrinks to (roughly) just the live connection, instead of
-  // accumulating one thread per past connection.
-  std::size_t tracked = server.tracked_readers();
-  for (int attempt = 0; attempt < 200 && tracked > 2; ++attempt) {
-    std::this_thread::sleep_for(from_ms(10));
-    auto poke = RpcClient::connect("127.0.0.1", server.port());
-    ASSERT_TRUE(poke.ok());
-    tracked = server.tracked_readers();
+  // Every client is gone. EOF reaps each connection directly on its event
+  // loop — the count must reach zero with NO further connections arriving
+  // (the old accept-thread design only reaped on the next accept()).
+  std::size_t tracked = server.tracked_connections();
+  for (int attempt = 0; attempt < 500 && tracked != 0; ++attempt) {
+    std::this_thread::sleep_for(from_ms(5));
+    tracked = server.tracked_connections();
   }
-  EXPECT_LE(tracked, 2u);
+  EXPECT_EQ(tracked, 0u);
   server.stop();
 }
 
@@ -311,8 +314,8 @@ TEST_F(TieraServiceTest, ProfileRoundTripNamesServerFrames) {
 
   ASSERT_TRUE(folded.ok());
   EXPECT_FALSE(folded->empty());
-  // The request pool threads carry the op frames pushed by the handlers.
-  EXPECT_NE(folded->find("rpc-requests"), std::string::npos) << *folded;
+  // The shard worker threads carry the op frames pushed by the handlers.
+  EXPECT_NE(folded->find("rpc-shard"), std::string::npos) << *folded;
   EXPECT_NE(folded->find("put"), std::string::npos) << *folded;
   // Every line is "stack count".
   EXPECT_NE(folded->find(' '), std::string::npos);

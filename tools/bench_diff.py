@@ -25,6 +25,20 @@ import json
 import sys
 
 
+def canonical_name(name):
+    """Folds the single-threaded series onto the bare benchmark name.
+
+    google-benchmark renames `BM_X` to `BM_X/threads:1` the moment the
+    registration gains `->Threads(...)` variants; the measured work is
+    identical, so treating them as the same series keeps history comparable
+    when a benchmark grows threaded variants. Other `/threads:N` series stay
+    distinct.
+    """
+    if name.endswith("/threads:1"):
+        return name[: -len("/threads:1")]
+    return name
+
+
 def load_benchmarks(path, metric):
     """Returns {name: metric_value} for the aggregate-free benchmark entries."""
     with open(path, "r", encoding="utf-8") as fh:
@@ -38,7 +52,7 @@ def load_benchmarks(path, metric):
         value = entry.get(metric)
         if name is None or value is None:
             continue
-        out[name] = float(value)
+        out[canonical_name(name)] = float(value)
     return out
 
 

@@ -91,6 +91,32 @@ def main():
     )
     ok &= expect(code == 0, "within-threshold delta passes", out)
 
+    # "/threads:1" is the same series as the bare name: when a benchmark
+    # grows ->Threads() variants, its single-threaded run must still be
+    # compared against the old bare-name baseline (and regressions there
+    # still fail).
+    code, out = run_diff(
+        {"BM_InstancePut4K": 100.0},
+        {"BM_InstancePut4K/threads:1": 140.0,
+         "BM_InstancePut4K/threads:4": 90.0},
+        extra_args=("--threshold", "0.15"),
+    )
+    ok &= expect(code == 1, "threads:1 compared against bare-name baseline",
+                 out)
+    ok &= expect("BM_InstancePut4K/threads:4" in out and "(new)" in out,
+                 "other threads:N series stay distinct (new)", out)
+
+    # And the same fold works in the other direction once the baseline
+    # itself carries /threads:1 names.
+    code, out = run_diff(
+        {"BM_InstancePut4K/threads:1": 100.0,
+         "BM_InstancePut4K/threads:4": 90.0},
+        {"BM_InstancePut4K/threads:1": 101.0,
+         "BM_InstancePut4K/threads:4": 91.0},
+        extra_args=("--threshold", "0.15"),
+    )
+    ok &= expect(code == 0, "threads:N baselines compare cleanly", out)
+
     print("bench_diff_test:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 

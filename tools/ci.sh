@@ -51,7 +51,7 @@ stage_bench() {
   cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Release
   cmake --build "${repo_root}/build-ci-release" -j "${jobs}" \
-    --target micro_primitives stage_smoke heat_smoke
+    --target micro_primitives stage_smoke heat_smoke saturation_smoke
   # Reduced scale: this is a regression tripwire, not a measurement run.
   "${repo_root}/build-ci-release/bench/micro_primitives" \
     --benchmark_min_time=0.05 \
@@ -80,6 +80,15 @@ stage_bench() {
   # report is uploaded as a workflow artifact.
   "${repo_root}/build-ci-release/bench/heat_smoke" \
     "${repo_root}/build-ci-release/heat_report.txt"
+  # Request-core saturation gate: end-to-end QPS through the epoll reactor
+  # and per-core shards at 1/4/8 client threads with journal_sync on. Hard
+  # gates: zero request errors, fsyncs*4 < records under saturation (group
+  # commit really coalesces), no throughput collapse under concurrency. The
+  # 4-thread >= 3x 1-thread scaling gate only arms when
+  # TIERA_SATURATION_STRICT=1 (it needs real cores; CI containers often
+  # pin us to one). The report is uploaded as a workflow artifact.
+  "${repo_root}/build-ci-release/bench/saturation_smoke" \
+    "${repo_root}/build-ci-release/saturation_report.txt"
 }
 
 stage_format() {
