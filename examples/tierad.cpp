@@ -7,6 +7,8 @@
 //            [--retries=<n>] [--deadline=<dur>] [--breaker[=<n>]] [--hedge[=<q>%]]
 //            [--persist-metadata] [--journal-sync] [--journal-batch=<size>]
 //            [--loops=<n>] [--shards=<n>]
+//            [--admission] [--no-admission] [--tenant-rate=<req/s>]
+//            [--tenant-burst=<dur>] [--shed-burn=<x>] [--shed-inflight=<f>]
 //
 // --loops/--shards size the request core: epoll event loops owning the
 // sockets and per-core worker shards running the handlers (0 = one per
@@ -19,6 +21,15 @@
 // every N seconds while serving. --persist-metadata journals object
 // metadata to <data_dir>/metadb so a restarted tierad recovers its index
 // (and the journal.append stage/profiler frames are exercised).
+//
+// Admission control (the overload front door, DESIGN.md §14): an
+// `admission: { ... };` block in the spec enables it with the declared
+// knobs; --admission enables it with defaults when the spec has no block;
+// --no-admission forces it off either way. The --tenant-rate/--tenant-burst/
+// --shed-burn/--shed-inflight flags override individual knobs. Shed
+// requests fail fast with OVERLOADED and show up in
+// tiera_admission_shed_total and the `top` ADMISSION table, not in
+// tiera_rpc_errors_total.
 //
 // The resilience flags set the default ResiliencePolicy for tiers whose
 // spec declaration carries no knobs of its own (same grammar as the spec
@@ -65,6 +76,9 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool persist_metadata = false;
   bool journal_sync = false;
+  bool force_admission = false;
+  bool no_admission = false;
+  std::string tenant_rate, tenant_burst, shed_burn, shed_inflight;
   std::string journal_batch;
   ReactorOptions reactor;
   std::uint16_t port = 0;
@@ -84,6 +98,18 @@ int main(int argc, char** argv) {
       reactor.loops = static_cast<std::size_t>(std::atoi(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       reactor.shards = static_cast<std::size_t>(std::atoi(argv[i] + 9));
+    } else if (std::strcmp(argv[i], "--admission") == 0) {
+      force_admission = true;
+    } else if (std::strcmp(argv[i], "--no-admission") == 0) {
+      no_admission = true;
+    } else if (std::strncmp(argv[i], "--tenant-rate=", 14) == 0) {
+      tenant_rate = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--tenant-burst=", 15) == 0) {
+      tenant_burst = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--shed-burn=", 12) == 0) {
+      shed_burn = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--shed-inflight=", 16) == 0) {
+      shed_inflight = argv[i] + 16;
     } else if (std::strncmp(argv[i], "--stats-period=", 15) == 0) {
       stats_period_s = std::atoi(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
@@ -147,6 +173,33 @@ int main(int argc, char** argv) {
   (*instance)->tracer().set_enabled(true);
 
   TieraServer server(**instance, port, reactor);
+  if ((spec->has_admission() || force_admission) && !no_admission) {
+    auto admission = spec->admission_config();
+    if (!admission.ok()) {
+      std::fprintf(stderr, "admission spec error: %s\n",
+                   admission.status().to_string().c_str());
+      return 1;
+    }
+    if (!tenant_rate.empty()) admission->tenant_rate = std::atof(tenant_rate.c_str());
+    if (!tenant_burst.empty()) {
+      auto burst = parse_duration_text(tenant_burst);
+      if (!burst.ok()) {
+        std::fprintf(stderr, "--tenant-burst error: %s\n",
+                     burst.status().to_string().c_str());
+        return 2;
+      }
+      admission->tenant_burst_s = to_seconds(*burst);
+    }
+    if (!shed_burn.empty()) admission->shed_burn = std::atof(shed_burn.c_str());
+    if (!shed_inflight.empty()) {
+      admission->shed_inflight = std::atof(shed_inflight.c_str());
+    }
+    server.enable_admission(*admission);
+    std::printf("tierad: admission control on (tenant_rate=%.0f/s "
+                "shed_burn=%.2f shed_inflight=%.2f)\n",
+                admission->tenant_rate, admission->shed_burn,
+                admission->shed_inflight);
+  }
   if (!server.start().ok()) {
     std::fprintf(stderr, "server failed to start\n");
     return 1;

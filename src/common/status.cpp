@@ -13,6 +13,7 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }

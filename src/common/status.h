@@ -25,6 +25,7 @@ enum class StatusCode {
   kInvalidArgument, // malformed request / spec
   kCorruption,      // checksum mismatch, bad file, failed decrypt/inflate
   kInternal,        // bug or unexpected condition
+  kOverloaded,      // admission control shed the request; retry with backoff
 };
 
 std::string_view to_string(StatusCode code);
@@ -60,6 +61,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string m = "internal error") {
     return {StatusCode::kInternal, std::move(m)};
   }
+  static Status Overloaded(std::string m = "overloaded") {
+    return {StatusCode::kOverloaded, std::move(m)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +75,7 @@ class [[nodiscard]] Status {
   bool is_capacity_exceeded() const {
     return code_ == StatusCode::kCapacityExceeded;
   }
+  bool is_overloaded() const { return code_ == StatusCode::kOverloaded; }
 
   std::string to_string() const;
 

@@ -1,0 +1,195 @@
+// AdmissionController: the overload front door for the request path.
+//
+// The paper's instances promise SLOs per workload; nothing in the original
+// system defends those SLOs when offered load exceeds capacity — requests
+// queue until the reactor's in-flight cap pauses reads and latency
+// collapses for everyone. This controller sheds load *before* that happens,
+// using two signals that already exist in the tree:
+//
+//   - the SLO engine's short-window burn rate (obs/slo.h), i.e. "how fast
+//     are we consuming error budget right now", and
+//   - the reactor's in-flight fraction (in-flight requests over the
+//     aggregate per-loop cap), i.e. "how close are we to queue collapse".
+//
+// Policy, in evaluation order per request:
+//
+//   1. Priority ladder. Every request carries a RequestPriority
+//      (admin > GET > PUT > background). A shed level derived from the
+//      pressure signals drops the lowest rungs first: level 3 sheds
+//      background work, level 2 additionally sheds PUTs, level 1
+//      additionally sheds GETs. Admin traffic (stats/top/spec) is never
+//      shed, so operators can always see *why* the server is shedding.
+//   2. Per-tenant token buckets. Each tenant (a request-header string,
+//      defaulting to "default") refills at `tenant_rate` requests per
+//      modelled second with `tenant_burst_s` seconds of burst capacity.
+//      A dry bucket throttles that tenant without touching the others.
+//      Admin traffic bypasses the buckets too.
+//
+// Hysteresis: the shed level escalates immediately when pressure rises but
+// de-escalates one step at a time, and only after the signals have stayed
+// calm for `resume_hold` modelled seconds — so a burn-rate spike cannot
+// make the shedder flap open/closed across evaluation ticks.
+//
+// Concurrency: admit() runs on reactor loop threads; the tenant map is
+// striped (16 mutexes) and all signal state is atomic. update_signals()
+// runs on one poller thread (net/tiera_service.cpp) or directly in tests.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace tiera {
+
+class MetricsRegistry;
+
+// Ordered most- to least-important; the shed ladder drops from the bottom.
+enum class RequestPriority : std::uint8_t {
+  kAdmin = 0,       // stats/top/spec/admin verbs — never shed
+  kGet = 1,         // reads (GET/STAT)
+  kPut = 2,         // writes (PUT/REMOVE/tag edits)
+  kBackground = 3,  // client-declared background work (scans, backfills)
+};
+
+std::string_view to_string(RequestPriority p);
+
+struct AdmissionConfig {
+  bool enabled = true;
+  // Per-tenant refill rate in requests per *modelled* second; 0 disables
+  // the buckets (shedding still applies). Scaled by the global time scale
+  // frozen at construction, matching the SLO engine's convention.
+  double tenant_rate = 0.0;
+  // Bucket capacity expressed as seconds of refill (burst absorbed before
+  // throttling kicks in).
+  double tenant_burst_s = 2.0;
+  // Bound on distinct tenant buckets; beyond it, unknown tenants share one
+  // overflow bucket so a tenant-id flood cannot grow memory unboundedly.
+  std::size_t max_tenants = 1024;
+
+  // Shedding thresholds. Pressure is
+  //   max(burn_short / shed_burn, inflight_fraction / shed_inflight)
+  // and maps to a shed level: >= 2.0 sheds GET+PUT+background, >= 1.0
+  // sheds PUT+background, >= 0.75 sheds background only.
+  double shed_burn = 2.0;       // burn_short that counts as pressure 1.0
+  double shed_inflight = 0.75;  // in-flight fraction that counts as 1.0
+  // De-escalation: both signals must sit below these for resume_hold
+  // modelled seconds before the shed level relaxes by one step.
+  double resume_burn = 1.0;
+  double resume_inflight = 0.5;
+  Duration resume_hold = std::chrono::seconds(2);
+};
+
+// Outcome of one admission decision.
+enum class AdmitResult : std::uint8_t {
+  kAdmitted = 0,
+  kShed,       // dropped by the shed ladder (overload)
+  kThrottled,  // dropped by the tenant's token bucket
+};
+
+class AdmissionController {
+ public:
+  // Shed levels, stored most-permissive-first: kNone admits everything;
+  // each step down sheds one more priority rung. Numeric values double as
+  // "lowest priority still admitted" + 1.
+  static constexpr int kShedNone = 4;        // admit all
+  static constexpr int kShedBackground = 3;  // shed background
+  static constexpr int kShedWrites = 2;      // shed background + PUT
+  static constexpr int kShedReads = 1;       // shed all but admin
+
+  AdmissionController(AdmissionConfig config, MetricsRegistry& registry);
+
+  // One decision on the request path. Returns OK when admitted; a
+  // kOverloaded status (with a message naming the cause) otherwise.
+  Status admit(std::string_view tenant, RequestPriority priority);
+  Status admit(std::string_view tenant, RequestPriority priority,
+               TimePoint now_tp);
+
+  // Feeds the pressure signals. burn_short is the max short-window burn
+  // rate over latency SLOs; inflight_fraction is reactor in-flight over
+  // capacity. Called periodically by the signal poller, directly by tests.
+  void update_signals(double burn_short, double inflight_fraction);
+  void update_signals(double burn_short, double inflight_fraction,
+                      TimePoint now_tp);
+
+  int shed_level() const {
+    return shed_level_.load(std::memory_order_relaxed);
+  }
+
+  struct TenantRow {
+    std::string tenant;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t throttled = 0;
+  };
+  struct Snapshot {
+    bool enabled = false;
+    int shed_level = kShedNone;
+    double burn_short = 0.0;
+    double inflight_fraction = 0.0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t throttled = 0;
+    std::vector<TenantRow> tenants;  // sorted by tenant name
+  };
+  Snapshot snapshot() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  struct TenantState {
+    double tokens = 0.0;
+    TimePoint last_refill{};
+    bool primed = false;  // first touch fills the bucket
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t throttled = 0;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, TenantState> tenants;
+  };
+  static constexpr std::size_t kStripes = 16;
+
+  Stripe& stripe_for(std::string_view tenant);
+  // Maps "" to "default" and, once max_tenants buckets exist, unknown
+  // tenants to the shared overflow bucket; creates the bucket on first use.
+  std::string_view resolve_tenant(std::string_view tenant);
+  // Takes one token from `tenant`'s bucket; false when the bucket is dry.
+  bool take_token(std::string_view tenant, TimePoint now_tp);
+  void count(std::string_view tenant, AdmitResult result);
+  static int target_level(double pressure);
+
+  const AdmissionConfig config_;
+  // Wall seconds per modelled second, frozen at construction like the SLO
+  // engine (guards against set_time_scale(0) used by unscaled benches).
+  const double wall_per_model_;
+  MetricsRegistry& registry_;
+
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<std::size_t> tenant_count_{0};
+
+  std::atomic<int> shed_level_{kShedNone};
+  std::atomic<double> burn_short_{0.0};
+  std::atomic<double> inflight_fraction_{0.0};
+  // Signal-evaluation state; update_signals is single-caller so a plain
+  // mutex keeps the hold-timer logic simple.
+  std::mutex signal_mu_;
+  TimePoint calm_since_{};
+  bool calm_valid_ = false;
+
+  // Global outcome counters (per-tenant live in the stripes; per-tenant
+  // metric series are created lazily in count()).
+  std::atomic<std::uint64_t> admitted_total_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::uint64_t> throttled_total_{0};
+};
+
+}  // namespace tiera

@@ -8,6 +8,7 @@
 
 #include "common/compress.h"
 #include "common/hash.h"
+#include "core/admission.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "obs/pool_metrics.h"
@@ -1477,6 +1478,41 @@ std::string TieraInstance::render_top(std::string_view sections) const {
     if (!pools.empty()) {
       out += '\n';
       out += pools;
+    }
+  }
+
+  // Overload front door: shed level, pressure signals and per-tenant
+  // admitted/shed/throttled counts (only when a server wired a controller).
+  const AdmissionController* admission =
+      admission_view_.load(std::memory_order_acquire);
+  if (want("admission") && admission != nullptr) {
+    const AdmissionController::Snapshot snap = admission->snapshot();
+    static constexpr const char* kLevelNames[] = {
+        "?", "shed-reads", "shed-writes", "shed-background", "none"};
+    const int level =
+        snap.shed_level >= 1 && snap.shed_level <= 4 ? snap.shed_level : 0;
+    out += '\n';
+    std::snprintf(line, sizeof(line),
+                  "ADMISSION  %s shedding=%s burn=%.2f inflight=%.0f%% "
+                  "admitted=%llu shed=%llu throttled=%llu\n",
+                  snap.enabled ? "enabled" : "disabled", kLevelNames[level],
+                  snap.burn_short, snap.inflight_fraction * 100.0,
+                  static_cast<unsigned long long>(snap.admitted),
+                  static_cast<unsigned long long>(snap.shed),
+                  static_cast<unsigned long long>(snap.throttled));
+    out += line;
+    if (!snap.tenants.empty()) {
+      std::snprintf(line, sizeof(line), "%-20s %10s %10s %10s\n", "TENANT",
+                    "ADMITTED", "SHED", "THROTTLED");
+      out += line;
+      for (const auto& tenant : snap.tenants) {
+        std::snprintf(line, sizeof(line), "%-20s %10llu %10llu %10llu\n",
+                      tenant.tenant.c_str(),
+                      static_cast<unsigned long long>(tenant.admitted),
+                      static_cast<unsigned long long>(tenant.shed),
+                      static_cast<unsigned long long>(tenant.throttled));
+        out += line;
+      }
     }
   }
   return out;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
@@ -35,6 +36,8 @@
 #include "store/tier_factory.h"
 
 namespace tiera {
+
+class AdmissionController;
 
 struct InstanceConfig {
   std::string name = "tiera";
@@ -223,9 +226,16 @@ class TieraInstance {
   const RequestTracer& tracer() const { return tracer_; }
   // Live per-tier / per-rule activity tables (the `tiera_cli top` view).
   // `sections` filters which tables print: a comma-separated subset of
-  // {header,tiers,slo,rules,pool,heat,cost}; empty renders everything.
-  // Unknown section names are ignored.
+  // {header,tiers,slo,rules,pool,heat,cost,admission}; empty renders
+  // everything. Unknown section names are ignored.
   std::string render_top(std::string_view sections = {}) const;
+
+  // Lets `top` render the ADMISSION table when a server-side admission
+  // controller fronts this instance (net/tiera_service.cpp wires it). The
+  // controller must outlive the instance or be cleared with nullptr first.
+  void set_admission_view(const AdmissionController* admission) {
+    admission_view_.store(admission, std::memory_order_release);
+  }
   double monthly_cost(double observed_seconds = 0) const;
   std::vector<TierCost> cost_breakdown(double observed_seconds = 0) const;
 
@@ -302,6 +312,8 @@ class TieraInstance {
   std::unique_ptr<ControlLayer> control_;
   InstanceStats stats_;
   SloEngine slo_{config_.name};
+  // Server-owned admission controller, observed (not owned) for `top`.
+  std::atomic<const AdmissionController*> admission_view_{nullptr};
   RequestTracer tracer_;
   // Heat & spend telemetry (null when config_.track_heat is false).
   std::unique_ptr<HeatTracker> heat_;

@@ -191,6 +191,22 @@ Result<double> parse_percent(std::string_view text) {
   }
 }
 
+// Whole-string non-negative double; also accepts "75%" as 0.75 so
+// fraction-valued admission knobs read naturally either way.
+Result<double> parse_fraction(const std::string& text, const char* what) {
+  if (ends_with(text, "%")) return parse_percent(text);
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || value < 0) {
+      return Status::InvalidArgument(std::string("bad ") + what + ": " + text);
+    }
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument(std::string("bad ") + what + ": " + text);
+  }
+}
+
 // Whole-string integer: rejects trailing garbage ("5x", "3s") that
 // std::stoi alone would silently accept as a numeric prefix.
 Result<int> parse_int_strict(const std::string& text, const char* what) {
@@ -207,6 +223,10 @@ Result<int> parse_int_strict(const std::string& text, const char* what) {
 }
 
 }  // namespace
+
+Result<Duration> parse_duration_text(std::string_view text) {
+  return parse_duration(text);
+}
 
 // Public (declared in spec_parser.h) so tierad's --retries/--deadline/
 // --breaker/--hedge flags share the exact grammar of the spec fields.
@@ -337,6 +357,14 @@ class SpecParser {
         if (!value.ok()) return value.status();
         spec.journal_batch_text_ = *value;
         TIERA_RETURN_IF_ERROR(expect_symbol(";"));
+      } else if (peek_ident("admission") && peek(1).text == ":" &&
+                 peek(2).text == "{") {
+        // `admission: { ... };` — same `label : { fields };` shape as a
+        // tier declaration, so "admission" stays usable as a tier label in
+        // old specs only if it ever was one (it was not).
+        Result<InstanceSpec::AdmissionDecl> admission = parse_admission();
+        if (!admission.ok()) return admission.status();
+        spec.admission_ = std::move(*admission);
       } else {
         Result<InstanceSpec::TierDecl> tier = parse_tier();
         if (!tier.ok()) return tier.status();
@@ -441,6 +469,47 @@ class SpecParser {
       return error("tier needs both name and size");
     }
     return tier;
+  }
+
+  Result<InstanceSpec::AdmissionDecl> parse_admission() {
+    InstanceSpec::AdmissionDecl decl;
+    decl.declared = true;
+    decl.line = peek().line;
+    TIERA_RETURN_IF_ERROR(expect_ident("admission"));
+    TIERA_RETURN_IF_ERROR(expect_symbol(":"));
+    TIERA_RETURN_IF_ERROR(expect_symbol("{"));
+    while (!peek_symbol("}")) {
+      Result<std::string> field = take_ident();
+      if (!field.ok()) return field.status();
+      TIERA_RETURN_IF_ERROR(expect_symbol(":"));
+      Result<std::string> value = take_value();
+      if (!value.ok()) return value.status();
+      if (*field == "enabled") {
+        decl.enabled_text = *value;
+      } else if (*field == "tenant_rate") {
+        decl.tenant_rate_text = *value;
+      } else if (*field == "tenant_burst") {
+        decl.tenant_burst_text = *value;
+      } else if (*field == "max_tenants") {
+        decl.max_tenants_text = *value;
+      } else if (*field == "shed_burn") {
+        decl.shed_burn_text = *value;
+      } else if (*field == "shed_inflight") {
+        decl.shed_inflight_text = *value;
+      } else if (*field == "resume_burn") {
+        decl.resume_burn_text = *value;
+      } else if (*field == "resume_inflight") {
+        decl.resume_inflight_text = *value;
+      } else if (*field == "resume_hold") {
+        decl.resume_hold_text = *value;
+      } else {
+        return error("unknown admission field '" + *field + "'");
+      }
+      if (!accept_symbol(",")) break;
+    }
+    TIERA_RETURN_IF_ERROR(expect_symbol("}"));
+    TIERA_RETURN_IF_ERROR(expect_symbol(";"));
+    return decl;
   }
 
   // Collect raw text until a closing ')' at depth 0 (used for event
@@ -1075,6 +1144,76 @@ Result<InstanceSpec> InstanceSpec::parse_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return parse(buffer.str());
+}
+
+Result<AdmissionConfig> InstanceSpec::admission_config() const {
+  AdmissionConfig config;
+  if (!admission_.declared) return config;
+  const auto field_error = [this](const Status& status) {
+    return Status::InvalidArgument("spec line " +
+                                   std::to_string(admission_.line) +
+                                   ": admission: " + status.message());
+  };
+  if (!admission_.enabled_text.empty()) {
+    const std::string& v = admission_.enabled_text;
+    if (v == "on" || v == "true") {
+      config.enabled = true;
+    } else if (v == "off" || v == "false") {
+      config.enabled = false;
+    } else {
+      return field_error(Status::InvalidArgument("bad enabled: " + v));
+    }
+  }
+  if (!admission_.tenant_rate_text.empty()) {
+    Result<double> rate =
+        parse_fraction(admission_.tenant_rate_text, "tenant_rate");
+    if (!rate.ok()) return field_error(rate.status());
+    config.tenant_rate = *rate;
+  }
+  if (!admission_.tenant_burst_text.empty()) {
+    Result<Duration> burst = parse_duration(admission_.tenant_burst_text);
+    if (!burst.ok()) return field_error(burst.status());
+    config.tenant_burst_s = to_seconds(*burst);
+  }
+  if (!admission_.max_tenants_text.empty()) {
+    Result<int> n = parse_int_strict(admission_.max_tenants_text,
+                                     "max_tenants");
+    if (!n.ok()) return field_error(n.status());
+    if (*n < 1) {
+      return field_error(Status::InvalidArgument(
+          "max_tenants must be >= 1: " + admission_.max_tenants_text));
+    }
+    config.max_tenants = static_cast<std::size_t>(*n);
+  }
+  if (!admission_.shed_burn_text.empty()) {
+    Result<double> v = parse_fraction(admission_.shed_burn_text, "shed_burn");
+    if (!v.ok()) return field_error(v.status());
+    config.shed_burn = *v;
+  }
+  if (!admission_.shed_inflight_text.empty()) {
+    Result<double> v =
+        parse_fraction(admission_.shed_inflight_text, "shed_inflight");
+    if (!v.ok()) return field_error(v.status());
+    config.shed_inflight = *v;
+  }
+  if (!admission_.resume_burn_text.empty()) {
+    Result<double> v =
+        parse_fraction(admission_.resume_burn_text, "resume_burn");
+    if (!v.ok()) return field_error(v.status());
+    config.resume_burn = *v;
+  }
+  if (!admission_.resume_inflight_text.empty()) {
+    Result<double> v =
+        parse_fraction(admission_.resume_inflight_text, "resume_inflight");
+    if (!v.ok()) return field_error(v.status());
+    config.resume_inflight = *v;
+  }
+  if (!admission_.resume_hold_text.empty()) {
+    Result<Duration> hold = parse_duration(admission_.resume_hold_text);
+    if (!hold.ok()) return field_error(hold.status());
+    config.resume_hold = *hold;
+  }
+  return config;
 }
 
 Status InstanceSpec::apply_to(

@@ -30,13 +30,16 @@
 // blocks; `insert.object.dirty = true;` assignments; SLO declarations
 // (`slo get_p99 < 2ms window 60s burn 5m/1h;`) and SLO threshold events
 // (`event(slo.get_p99 == violated)`); the `journal_batch: <size>;`
-// declaration bounding the metadata journal's group-commit batches.
+// declaration bounding the metadata journal's group-commit batches; and the
+// `admission: { ... };` block configuring the overload front door
+// (`admission: { tenant_rate: 500, shed_burn: 2.0, resume_hold: 2s };`).
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/instance.h"
 #include "core/templates.h"
 
@@ -49,6 +52,11 @@ Result<ResiliencePolicy> parse_resilience_fields(const std::string& retries,
                                                  const std::string& deadline,
                                                  const std::string& breaker,
                                                  const std::string& hedge);
+
+// The spec language's duration grammar ("30s", "2min", "500ms", "1h"; bare
+// numbers are seconds), exposed for command-line flags that mirror spec
+// fields (tierad --tenant-burst, the soak runner's phase lengths).
+Result<Duration> parse_duration_text(std::string_view text);
 
 class InstanceSpec {
  public:
@@ -64,6 +72,14 @@ class InstanceSpec {
   const std::string& journal_batch_text() const { return journal_batch_text_; }
   std::size_t rule_count() const { return rules_.size(); }
   std::size_t slo_count() const { return slos_.size(); }
+
+  // `admission: { ... };` — knobs for the overload front door the serving
+  // layer (net/tiera_service.h) installs. The spec only carries the
+  // configuration; wiring it to a server is the daemon's job.
+  bool has_admission() const { return admission_.declared; }
+  // Resolves the declared knob texts into an AdmissionConfig (defaults for
+  // omitted fields). Fields are literals — parameters are not substituted.
+  Result<AdmissionConfig> admission_config() const;
 
   // Build a running instance. `args` binds parameter names to literal values
   // (e.g. {{"t", "30s"}}).
@@ -132,6 +148,30 @@ class InstanceSpec {
     int line = 0;
   };
 
+  // Raw knob texts of the `admission: { ... };` block (empty = default):
+  //   enabled: on|off        master switch (declared block defaults on)
+  //   tenant_rate: 500       per-tenant requests per modelled second
+  //   tenant_burst: 2s       bucket depth in seconds of refill
+  //   max_tenants: 1024      bound on distinct tenant buckets
+  //   shed_burn: 2.0         burn_short that counts as full pressure
+  //   shed_inflight: 0.75    in-flight fraction that counts as full pressure
+  //   resume_burn: 1.0       calm threshold for de-escalation
+  //   resume_inflight: 0.5   calm threshold for de-escalation
+  //   resume_hold: 2s        calm time (modelled) before relaxing one step
+  struct AdmissionDecl {
+    bool declared = false;
+    std::string enabled_text;
+    std::string tenant_rate_text;
+    std::string tenant_burst_text;
+    std::string max_tenants_text;
+    std::string shed_burn_text;
+    std::string shed_inflight_text;
+    std::string resume_burn_text;
+    std::string resume_inflight_text;
+    std::string resume_hold_text;
+    int line = 0;
+  };
+
  private:
   friend class SpecParser;
 
@@ -144,6 +184,7 @@ class InstanceSpec {
   // journal. Empty = inherit TemplateOptions::journal_batch_bytes. May
   // reference a declared parameter.
   std::string journal_batch_text_;
+  AdmissionDecl admission_;
 };
 
 }  // namespace tiera

@@ -1,0 +1,82 @@
+// Pipelined RPC client: many outstanding calls on one connection.
+//
+// The blocking RpcClient serializes calls, so a closed-loop driver built on
+// it can never hold more requests in flight than it has connections — which
+// makes real overload (the thing admission control exists for) impossible
+// to generate from a single test process. This client decouples send from
+// receive: call_async() writes the request frame and returns immediately;
+// a reader thread correlates response frames back to callbacks by request
+// id. The soak harness runs its open-loop arrival schedule on a handful of
+// these, each carrying hundreds of outstanding requests.
+//
+// Concurrency: call_async() is thread-safe (send mutex); callbacks fire on
+// the reader thread and must not block it. On EOF or a socket error every
+// pending callback fails with kUnavailable and subsequent calls fail fast.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/tcp.h"
+
+namespace tiera {
+
+class AsyncRpcClient {
+ public:
+  // status is the handler's (or the transport's) verdict; body is the
+  // response payload when status is OK.
+  using Callback = std::function<void(Status status, Bytes body)>;
+
+  static Result<std::unique_ptr<AsyncRpcClient>> connect(
+      const std::string& host, std::uint16_t port);
+  ~AsyncRpcClient();
+
+  AsyncRpcClient(const AsyncRpcClient&) = delete;
+  AsyncRpcClient& operator=(const AsyncRpcClient&) = delete;
+
+  // Same request-header fields as RpcClient. Not thread-safe against
+  // concurrent call_async(); set them before the driver threads start.
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+  void set_background(bool background) { background_ = background; }
+
+  // Sends one request; `done` fires on the reader thread when the matching
+  // response arrives (or with the transport error that killed the
+  // connection). Returns non-OK — without invoking `done` — when the send
+  // itself fails.
+  Status call_async(std::uint8_t method, ByteView body, Callback done);
+
+  // Calls issued and not yet completed.
+  std::size_t outstanding() const { return outstanding_.load(); }
+
+ private:
+  explicit AsyncRpcClient(std::unique_ptr<TcpConnection> conn);
+
+  void reader_loop();
+  // Fails every pending callback with `status` and marks the client dead.
+  void fail_all(const Status& status);
+
+  std::unique_ptr<TcpConnection> conn_;
+  std::string tenant_;
+  bool background_ = false;
+
+  std::mutex send_mu_;  // serializes frame writes; also guards next_id_
+  std::uint64_t next_id_ = 1;
+
+  std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, Callback> pending_;
+  bool dead_ = false;  // guarded by pending_mu_
+  Status dead_status_;
+
+  std::atomic<std::size_t> outstanding_{0};
+  std::thread reader_;
+};
+
+}  // namespace tiera

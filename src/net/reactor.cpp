@@ -345,14 +345,75 @@ class ReactorServer::Loop {
     request.loop = index_;
     request.conn_id = conn->id;
     std::memcpy(&request.request_id, frame.data(), 8);
-    request.method = frame[8];
-    request.body.assign(frame.begin() + 9, frame.end());
+    const std::uint8_t raw_method = frame[8];
+    request.method = raw_method & kRpcMethodMask;
+    std::size_t body_off = 9;
+    std::string_view tenant;
+    if (raw_method & kRpcTenantFlag) {
+      // Tenant header: one wire string spliced in front of the body. Parsed
+      // and stripped here so handlers and the shard-key extractor see the
+      // exact pre-header body layout. A malformed header still gets an
+      // answer — a blocking caller must never hang on a dropped frame.
+      if (frame.size() < body_off + 4) {
+        server_.metrics_.errors->inc();
+        reject(conn, request.request_id,
+               Status::InvalidArgument("truncated tenant header"));
+        return;
+      }
+      std::uint32_t tenant_len = 0;
+      std::memcpy(&tenant_len, frame.data() + body_off, 4);
+      if (frame.size() - body_off - 4 < tenant_len) {
+        server_.metrics_.errors->inc();
+        reject(conn, request.request_id,
+               Status::InvalidArgument("truncated tenant header"));
+        return;
+      }
+      tenant = std::string_view(
+          reinterpret_cast<const char*>(frame.data()) + body_off + 4,
+          tenant_len);
+      body_off += 4 + static_cast<std::size_t>(tenant_len);
+    }
+    if (server_.admission_) {
+      const Status verdict = server_.admission_(
+          request.method, tenant, (raw_method & kRpcBackgroundFlag) != 0);
+      if (!verdict.ok()) {
+        reject(conn, request.request_id, verdict);
+        return;  // fast-fail: never dispatched, never counted in-flight
+      }
+    }
+    request.body.assign(frame.begin() + static_cast<long>(body_off),
+                        frame.end());
     ++conn->inflight;
     ++inflight_;
     inflight_snapshot_.store(inflight_);
     publish_gauges();
     maybe_pause();
     server_.dispatch(std::move(request));
+  }
+
+  // Answers a shed request from the loop thread. The frame is queued and
+  // EPOLLOUT-subscribed rather than written inline: flush_writes() can
+  // destroy the connection, and our caller (decode_frames) still holds the
+  // pointer. The deferred flush happens on the next epoll iteration.
+  void reject(ReactorConn* conn, std::uint64_t request_id,
+              const Status& verdict) {
+    WireWriter response;
+    response.u64(request_id);
+    response.u8(static_cast<std::uint8_t>(verdict.code()));
+    response.str(verdict.message());
+    response.bytes({});
+    const Bytes& payload = response.data();
+    Bytes frame;
+    frame.reserve(4 + payload.size());
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    frame.insert(frame.end(), reinterpret_cast<const std::uint8_t*>(&len),
+                 reinterpret_cast<const std::uint8_t*>(&len) + 4);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    conn->wqueue.push_back(std::move(frame));
+    if (!conn->want_write) {
+      conn->want_write = true;
+      update_interest(conn);
+    }
   }
 
   // --- write path ------------------------------------------------------
@@ -503,6 +564,10 @@ void ReactorServer::register_handler(std::uint8_t method, RpcHandler handler) {
 
 void ReactorServer::set_shard_key(ShardKeyFn fn) { shard_key_ = std::move(fn); }
 
+void ReactorServer::set_admission(AdmissionFn fn) {
+  admission_ = std::move(fn);
+}
+
 Status ReactorServer::start() {
   if (running_.load()) return Status::Ok();
 
@@ -605,6 +670,11 @@ std::size_t ReactorServer::inflight() const {
   std::size_t total = 0;
   for (const auto& loop : loops_) total += loop->inflight();
   return total;
+}
+
+std::size_t ReactorServer::inflight_capacity() const {
+  const std::size_t loops = loops_.empty() ? 1 : loops_.size();
+  return loops * options_.max_inflight_per_loop;
 }
 
 std::uint64_t ReactorServer::backpressure_pauses() const {

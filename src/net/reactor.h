@@ -50,6 +50,25 @@ namespace tiera {
 
 using RpcHandler = std::function<Result<Bytes>(ByteView body)>;
 
+// Admission decision, run on the loop thread the moment a frame is decoded
+// — before the request costs a shard dispatch or counts against the
+// in-flight cap. `method` is the low 6 bits of the wire method byte;
+// `tenant` comes from the optional tenant header (empty when absent);
+// `background` is the client-declared background-priority bit. Returning a
+// non-OK status fast-fails the request with that status (kOverloaded from
+// the admission controller). Must be cheap and thread-safe: every loop
+// thread calls it concurrently.
+using AdmissionFn = std::function<Status(
+    std::uint8_t method, std::string_view tenant, bool background)>;
+
+// Request-header flag bits carried in the top bits of the wire method byte.
+// Old clients never set them (methods are small), so a flag-free frame is
+// byte-identical to the pre-header wire format.
+inline constexpr std::uint8_t kRpcTenantFlag = 0x80;      // body starts with
+                                                          // a tenant string
+inline constexpr std::uint8_t kRpcBackgroundFlag = 0x40;  // background prio
+inline constexpr std::uint8_t kRpcMethodMask = 0x3f;
+
 // Maps a decoded request to an execution shard before the body is parsed.
 // Runs on the loop thread, so it must stay cheap (Tiera's extracts the
 // leading object-id string and hashes it). Return kAdminKey to run the
@@ -78,9 +97,13 @@ class ReactorServer {
   ReactorServer(const ReactorServer&) = delete;
   ReactorServer& operator=(const ReactorServer&) = delete;
 
-  // Both must be called before start().
+  // All must be called before start().
   void register_handler(std::uint8_t method, RpcHandler handler);
   void set_shard_key(ShardKeyFn fn);
+  // Optional overload front door (see AdmissionFn above). Rejected requests
+  // are answered from the loop thread and never reach a shard; they count
+  // in tiera_admission_* series, not tiera_rpc_errors_total.
+  void set_admission(AdmissionFn fn);
 
   // Bind + spin up the loops and shards.
   Status start();
@@ -96,6 +119,9 @@ class ReactorServer {
   std::size_t tracked_connections() const;
   // Decoded requests not yet answered, across all loops.
   std::size_t inflight() const;
+  // Aggregate in-flight budget (loops x max_inflight_per_loop); the
+  // admission controller's saturation signal is inflight()/capacity.
+  std::size_t inflight_capacity() const;
   // Times any loop hit its in-flight cap and paused socket reads.
   std::uint64_t backpressure_pauses() const;
 
@@ -121,6 +147,7 @@ class ReactorServer {
   const ReactorOptions options_;
   std::map<std::uint8_t, RpcHandler> handlers_;  // immutable after start()
   ShardKeyFn shard_key_;
+  AdmissionFn admission_;  // immutable after start()
 
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;

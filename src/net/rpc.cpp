@@ -25,12 +25,26 @@ Result<std::unique_ptr<RpcClient>> RpcClient::connect(const std::string& host,
   return std::unique_ptr<RpcClient>(new RpcClient(std::move(conn).value()));
 }
 
+void RpcClient::set_tenant(std::string tenant) {
+  std::lock_guard lock(mu_);
+  tenant_ = std::move(tenant);
+}
+
+void RpcClient::set_background(bool background) {
+  std::lock_guard lock(mu_);
+  background_ = background;
+}
+
 Result<Bytes> RpcClient::call(std::uint8_t method, ByteView body) {
   std::lock_guard lock(mu_);
   WireWriter request;
   const std::uint64_t id = next_id_++;
   request.u64(id);
-  request.u8(method);
+  std::uint8_t wire_method = method & kRpcMethodMask;
+  if (!tenant_.empty()) wire_method |= kRpcTenantFlag;
+  if (background_) wire_method |= kRpcBackgroundFlag;
+  request.u8(wire_method);
+  if (!tenant_.empty()) request.str(tenant_);
   Bytes frame = request.take();
   append(frame, body);
   TIERA_RETURN_IF_ERROR(conn_->send_frame(as_view(frame)));

@@ -36,6 +36,13 @@ class RpcClient {
   // handler produced.
   Result<Bytes> call(std::uint8_t method, ByteView body);
 
+  // Request-header fields applied to every subsequent call. A non-empty
+  // tenant rides in front of the body (kRpcTenantFlag); background marks
+  // calls as shed-first priority (kRpcBackgroundFlag). Both default off, so
+  // existing callers emit byte-identical frames.
+  void set_tenant(std::string tenant);
+  void set_background(bool background);
+
  private:
   explicit RpcClient(std::unique_ptr<TcpConnection> conn)
       : conn_(std::move(conn)) {}
@@ -43,6 +50,8 @@ class RpcClient {
   std::mutex mu_;
   std::unique_ptr<TcpConnection> conn_;
   std::uint64_t next_id_ = 1;
+  std::string tenant_;
+  bool background_ = false;
 };
 
 }  // namespace tiera

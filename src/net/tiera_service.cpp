@@ -1,5 +1,6 @@
 #include "net/tiera_service.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/hash.h"
@@ -53,6 +54,23 @@ std::uint64_t tiera_shard_key(std::uint8_t method, ByteView body) {
   }
 }
 
+// Maps a wire method to its rung on the admission ladder. Data verbs carry
+// real priorities; everything else is admin — precisely the traffic an
+// operator needs while the server sheds (top, stats, traces).
+RequestPriority tiera_priority(std::uint8_t method, bool background) {
+  switch (static_cast<TieraMethod>(method)) {
+    case TieraMethod::kGet:
+    case TieraMethod::kStat:
+      return background ? RequestPriority::kBackground : RequestPriority::kGet;
+    case TieraMethod::kPut:
+    case TieraMethod::kRemove:
+    case TieraMethod::kAddTags:
+      return background ? RequestPriority::kBackground : RequestPriority::kPut;
+    default:
+      return RequestPriority::kAdmin;
+  }
+}
+
 }  // namespace
 
 TieraServer::TieraServer(TieraInstance& instance, std::uint16_t port,
@@ -69,9 +87,57 @@ TieraServer::TieraServer(TieraInstance& instance, std::uint16_t port,
   register_handlers();
 }
 
-Status TieraServer::start() { return server_.start(); }
+TieraServer::~TieraServer() { stop(); }
 
-void TieraServer::stop() { server_.stop(); }
+void TieraServer::enable_admission(const AdmissionConfig& config) {
+  admission_ =
+      std::make_unique<AdmissionController>(config, MetricsRegistry::global());
+  server_.set_admission(
+      [this](std::uint8_t method, std::string_view tenant, bool background) {
+        return admission_->admit(tenant, tiera_priority(method, background));
+      });
+  instance_.set_admission_view(admission_.get());
+}
+
+// Feeds the controller its two pressure signals: the worst short-window
+// burn rate across the instance's SLOs, and how full the reactor's
+// in-flight budget is. 20ms of wall time per tick is fast enough to catch
+// a flash crowd well before the SLO windows fill, and cheap enough to
+// leave running for the server's lifetime.
+void TieraServer::admission_poll_loop() {
+  while (poller_running_.load(std::memory_order_acquire)) {
+    double burn = 0.0;
+    for (const SloStatus& row : instance_.slo().status()) {
+      burn = std::max(burn, row.burn_short);
+    }
+    const std::size_t capacity = server_.inflight_capacity();
+    const double inflight_fraction =
+        capacity == 0 ? 0.0
+                      : static_cast<double>(server_.inflight()) /
+                            static_cast<double>(capacity);
+    admission_->update_signals(burn, inflight_fraction);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Status TieraServer::start() {
+  TIERA_RETURN_IF_ERROR(server_.start());
+  if (admission_ && !admission_poller_.joinable()) {
+    poller_running_.store(true, std::memory_order_release);
+    admission_poller_ = std::thread([this] { admission_poll_loop(); });
+  }
+  return Status::Ok();
+}
+
+void TieraServer::stop() {
+  if (admission_poller_.joinable()) {
+    poller_running_.store(false, std::memory_order_release);
+    admission_poller_.join();
+  }
+  server_.stop();
+  // The controller dies with this server; stop `top` from dereferencing it.
+  if (admission_) instance_.set_admission_view(nullptr);
+}
 
 void TieraServer::register_handlers() {
   server_.register_handler(

@@ -4,8 +4,11 @@
 // PUT/GET surface the in-process API offers.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
+#include "core/admission.h"
 #include "core/instance.h"
 #include "net/rpc.h"
 
@@ -47,6 +50,18 @@ class TieraServer {
   TieraServer(TieraInstance& instance, std::uint16_t port,
               ReactorOptions options);
 
+  ~TieraServer();
+
+  // Installs the overload front door (core/admission.h): requests are
+  // admitted/shed on the reactor loop threads, and a poller thread feeds
+  // the controller the SLO burn-rate and reactor-saturation signals every
+  // ~20ms of wall time. Must be called before start(). Methods map to the
+  // priority ladder as: stats/trace/profile/... -> admin (never shed),
+  // GET/STAT -> get, PUT/REMOVE/ADD_TAGS -> put; the client-set background
+  // flag demotes any non-admin request to background.
+  void enable_admission(const AdmissionConfig& config);
+  const AdmissionController* admission() const { return admission_.get(); }
+
   Status start();
   void stop();
   std::uint16_t port() const { return server_.port(); }
@@ -55,9 +70,13 @@ class TieraServer {
 
  private:
   void register_handlers();
+  void admission_poll_loop();
 
   TieraInstance& instance_;
   RpcServer server_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::thread admission_poller_;
+  std::atomic<bool> poller_running_{false};
 };
 
 // Legacy binary reply of the kStats verb (empty request body).
@@ -162,7 +181,7 @@ class RemoteTieraClient {
   // Rendered metrics registry; `format` is "prom" (Prometheus text
   // exposition), "text" (human-readable) or "top" (live per-tier/per-rule
   // activity tables). "top:slo,pool,..." renders only the named top
-  // sections (header,tiers,slo,rules,pool,heat,cost).
+  // sections (header,tiers,slo,rules,pool,heat,cost,admission).
   Result<std::string> stats(std::string_view format);
   Result<RemoteStatsSummary> stats_summary();
   // Text trace of the server's last `last_n` requests.

@@ -1,0 +1,92 @@
+#include "workload/traffic.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace tiera {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+Result<OpMix> OpMix::parse(std::string_view text) {
+  if (text == "a" || text == "A") return ycsb_a();
+  if (text == "b" || text == "B") return ycsb_b();
+  if (text == "c" || text == "C") return ycsb_c();
+  char* end = nullptr;
+  const std::string owned(text);
+  const double fraction = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0' || fraction < 0 || fraction > 1) {
+    return Status::InvalidArgument("op mix: expected a|b|c or a read "
+                                   "fraction in [0,1], got '" +
+                                   owned + "'");
+  }
+  return OpMix{fraction};
+}
+
+double LoadCurve::qps_at(double t_s) const {
+  double qps = base_qps;
+  if (diurnal_amplitude > 0 && diurnal_period_s > 0) {
+    qps *= 1.0 + diurnal_amplitude * std::sin(kTwoPi * t_s / diurnal_period_s);
+  }
+  for (const FlashCrowd& crowd : crowds) {
+    if (t_s >= crowd.start_s && t_s < crowd.start_s + crowd.duration_s) {
+      qps *= crowd.multiplier;
+    }
+  }
+  return qps < 0 ? 0 : qps;
+}
+
+double LoadCurve::peak_qps() const {
+  // Overlapping crowds stack multiplicatively in qps_at, so the thinning
+  // envelope must too: the combined factor is piecewise-constant and only
+  // changes at window boundaries, so its max sits at one of them.
+  double crowd_peak = 1.0;
+  auto factor_at = [this](double t_s) {
+    double factor = 1.0;
+    for (const FlashCrowd& crowd : crowds) {
+      if (t_s >= crowd.start_s && t_s < crowd.start_s + crowd.duration_s) {
+        factor *= crowd.multiplier;
+      }
+    }
+    return factor;
+  };
+  for (const FlashCrowd& crowd : crowds) {
+    crowd_peak = std::max(crowd_peak, factor_at(crowd.start_s));
+    crowd_peak = std::max(crowd_peak, factor_at(crowd.start_s +
+                                                crowd.duration_s));
+  }
+  return base_qps * (1.0 + std::max(diurnal_amplitude, 0.0)) * crowd_peak;
+}
+
+TrafficSchedule::TrafficSchedule(const TrafficOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      keys_(options.users ? options.users : 1, options.zipf_theta,
+            /*scrambled=*/true),
+      peak_qps_(options.curve.peak_qps()) {}
+
+std::string TrafficSchedule::key_name(std::uint64_t user) const {
+  return options_.key_prefix + std::to_string(user);
+}
+
+bool TrafficSchedule::next(TrafficOp* op) {
+  if (peak_qps_ <= 0) return false;
+  // Non-homogeneous Poisson arrivals by thinning: draw candidate arrivals
+  // at the peak rate, keep each with probability rate(t)/peak.
+  while (true) {
+    t_ += -std::log(1.0 - rng_.next_double()) / peak_qps_;
+    if (t_ >= options_.duration_s) return false;
+    const double accept = options_.curve.qps_at(t_) / peak_qps_;
+    if (rng_.next_double() >= accept) continue;
+    op->at_s = t_;
+    op->kind = rng_.next_double() < options_.mix.read_fraction
+                   ? TrafficOpKind::kGet
+                   : TrafficOpKind::kPut;
+    op->user = keys_.next(rng_);
+    op->tenant = options_.tenants > 1 ? next_tenant_++ % options_.tenants : 0;
+    return true;
+  }
+}
+
+}  // namespace tiera

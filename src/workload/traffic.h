@@ -1,0 +1,126 @@
+// Composable open-loop traffic model for the soak harness.
+//
+// kv_workload.h drives closed-loop clients (each thread issues the next op
+// when the previous one returns), which is right for latency figures but
+// cannot overload a server: a slow server slows the clients down. The soak
+// harness needs *offered* load that keeps arriving regardless of how the
+// server is doing — that is what exposes the admission controller
+// (core/admission.h) to real pressure. This module generates that load as
+// an open-loop arrival schedule in modelled time:
+//
+//   * key popularity    — YCSB scrambled-zipfian over a simulated user
+//                         population (millions of keys; hot head, long tail)
+//   * op mix            — YCSB-A/B/C read/write fractions
+//   * load curve        — diurnal sine over a time-compressed "day", with
+//                         flash-crowd spikes multiplying the offered rate
+//   * failure storms    — windows in which a tier has a failure injected
+//                         (layered on Tier::inject_failure by the runner)
+//
+// Arrivals are Poisson at the curve's instantaneous rate (thinning method),
+// so bursts and lulls look like production traffic rather than a metronome.
+// The schedule is deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "store/tier.h"
+
+namespace tiera {
+
+// YCSB-style read/write mix. The standard workloads the paper benchmarks
+// with: A = 50/50 update-heavy, B = 95/5 read-mostly, C = read-only.
+struct OpMix {
+  double read_fraction = 0.95;
+
+  static OpMix ycsb_a() { return {0.5}; }
+  static OpMix ycsb_b() { return {0.95}; }
+  static OpMix ycsb_c() { return {1.0}; }
+  // "a" | "b" | "c" | a literal read fraction ("0.9").
+  static Result<OpMix> parse(std::string_view text);
+};
+
+// A flash crowd: offered load multiplied by `multiplier` for the window
+// [start_s, start_s + duration_s) of modelled time.
+struct FlashCrowd {
+  double start_s = 0;
+  double duration_s = 0;
+  double multiplier = 1.0;
+};
+
+// A failure storm: `tier_label` has `mode` injected for the window. The
+// schedule only carries the windows; whoever owns the tiers applies them
+// (bench/soak_runner calls Tier::inject_failure / heal at the boundaries).
+struct FailureStorm {
+  std::string tier_label;
+  double start_s = 0;
+  double duration_s = 0;
+  FailureMode mode = FailureMode::kFailStop;
+
+  bool active_at(double t_s) const {
+    return t_s >= start_s && t_s < start_s + duration_s;
+  }
+};
+
+// Offered load (requests per modelled second) over time: a base rate, an
+// optional diurnal sine, and flash crowds stacked multiplicatively.
+struct LoadCurve {
+  double base_qps = 1000;
+  // Diurnal swing as a fraction of base (0 = flat, 0.3 = +-30%).
+  double diurnal_amplitude = 0;
+  // Length of the compressed "day" the sine completes one cycle over.
+  double diurnal_period_s = 120;
+  std::vector<FlashCrowd> crowds;
+
+  double qps_at(double t_s) const;
+  // Upper bound of qps_at over all t (the thinning envelope).
+  double peak_qps() const;
+};
+
+enum class TrafficOpKind : std::uint8_t { kGet, kPut };
+
+// One scheduled arrival.
+struct TrafficOp {
+  double at_s = 0;          // modelled offset from schedule start
+  TrafficOpKind kind = TrafficOpKind::kGet;
+  std::uint64_t user = 0;   // key index in [0, users)
+  std::uint32_t tenant = 0; // round-robin tenant attribution
+};
+
+struct TrafficOptions {
+  std::uint64_t users = 1'000'000;  // simulated population = keyspace
+  double zipf_theta = 0.99;
+  OpMix mix = OpMix::ycsb_b();
+  LoadCurve curve;
+  std::vector<FailureStorm> storms;
+  double duration_s = 60;           // modelled schedule length
+  std::uint32_t tenants = 1;
+  std::uint64_t seed = 42;
+  std::string key_prefix = "u";
+};
+
+// Streaming generator of the arrival schedule (a million-user soak emits
+// too many ops to materialize). next() fills `op` and returns false once
+// the schedule is exhausted.
+class TrafficSchedule {
+ public:
+  explicit TrafficSchedule(const TrafficOptions& options);
+
+  bool next(TrafficOp* op);
+  const TrafficOptions& options() const { return options_; }
+  std::string key_name(std::uint64_t user) const;
+
+ private:
+  TrafficOptions options_;
+  Rng rng_;
+  ZipfianDistribution keys_;
+  double t_ = 0;
+  double peak_qps_ = 0;
+  std::uint32_t next_tenant_ = 0;
+};
+
+}  // namespace tiera

@@ -1,0 +1,328 @@
+// AdmissionController: token-bucket edges, the priority ladder, shed-level
+// hysteresis, and tenant-map concurrency (this suite runs under the TSan
+// gate via tools/check.sh's ^core_ filter).
+#include "core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/spec_parser.h"
+#include "obs/metrics.h"
+
+namespace tiera {
+namespace {
+
+AdmissionConfig base_config() {
+  AdmissionConfig config;
+  config.tenant_rate = 0;  // buckets off unless a test turns them on
+  return config;
+}
+
+TimePoint t0() {
+  static const TimePoint t = now();
+  return t;
+}
+
+TimePoint at(double seconds) {
+  return t0() + std::chrono::duration_cast<Duration>(
+                    std::chrono::duration<double>(seconds));
+}
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_time_scale(1.0); }
+};
+
+TEST_F(AdmissionTest, DisabledAdmitsEverything) {
+  AdmissionConfig config = base_config();
+  config.enabled = false;
+  AdmissionController admission(config, MetricsRegistry::global());
+  admission.update_signals(100.0, 1.0, at(0));
+  EXPECT_TRUE(admission.admit("t", RequestPriority::kBackground, at(0)).ok());
+}
+
+TEST_F(AdmissionTest, TokenBucketBurstAndRefillEdges) {
+  AdmissionConfig config = base_config();
+  config.tenant_rate = 10;     // 10 req/s
+  config.tenant_burst_s = 2;   // bucket capacity 20
+  AdmissionController admission(config, MetricsRegistry::global());
+
+  // First touch primes a full bucket: exactly `burst` requests pass.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(admission.admit("a", RequestPriority::kGet, at(0)).ok())
+        << "request " << i;
+  }
+  Status dry = admission.admit("a", RequestPriority::kGet, at(0));
+  EXPECT_TRUE(dry.is_overloaded()) << dry.to_string();
+
+  // One second of refill buys exactly rate more requests.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(admission.admit("a", RequestPriority::kGet, at(1)).ok());
+  }
+  EXPECT_TRUE(admission.admit("a", RequestPriority::kGet, at(1))
+                  .is_overloaded());
+
+  // A long idle stretch caps at burst, not rate * elapsed.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(admission.admit("a", RequestPriority::kGet, at(100)).ok());
+  }
+  EXPECT_TRUE(admission.admit("a", RequestPriority::kGet, at(100))
+                  .is_overloaded());
+}
+
+TEST_F(AdmissionTest, TenantBucketsAreIsolated) {
+  AdmissionConfig config = base_config();
+  config.tenant_rate = 5;
+  config.tenant_burst_s = 1;
+  AdmissionController admission(config, MetricsRegistry::global());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(admission.admit("noisy", RequestPriority::kGet, at(0)).ok());
+  }
+  EXPECT_TRUE(admission.admit("noisy", RequestPriority::kGet, at(0))
+                  .is_overloaded());
+  // The noisy tenant's dry bucket does not tax the quiet one.
+  EXPECT_TRUE(admission.admit("quiet", RequestPriority::kGet, at(0)).ok());
+}
+
+TEST_F(AdmissionTest, TenantFloodSharesOverflowBucket) {
+  AdmissionConfig config = base_config();
+  config.tenant_rate = 5;
+  config.tenant_burst_s = 1;
+  config.max_tenants = 2;
+  AdmissionController admission(config, MetricsRegistry::global());
+  EXPECT_TRUE(admission.admit("a", RequestPriority::kGet, at(0)).ok());
+  EXPECT_TRUE(admission.admit("b", RequestPriority::kGet, at(0)).ok());
+  // Tenants beyond the bound share one overflow bucket: draining it as "c"
+  // throttles "d" too, while the bounded tenants keep their own tokens.
+  for (int i = 0; i < 5; ++i) {
+    (void)admission.admit("c", RequestPriority::kGet, at(0));
+  }
+  EXPECT_TRUE(admission.admit("d", RequestPriority::kGet, at(0))
+                  .is_overloaded());
+  EXPECT_TRUE(admission.admit("a", RequestPriority::kGet, at(0)).ok());
+}
+
+TEST_F(AdmissionTest, PriorityLadderShedsBottomRungsFirst) {
+  AdmissionController admission(base_config(), MetricsRegistry::global());
+
+  // Pressure 0.8 (inflight 0.6 / threshold 0.75): background only.
+  admission.update_signals(0.0, 0.6, at(0));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedBackground);
+  EXPECT_TRUE(admission.admit("t", RequestPriority::kBackground, at(0))
+                  .is_overloaded());
+  EXPECT_TRUE(admission.admit("t", RequestPriority::kPut, at(0)).ok());
+  EXPECT_TRUE(admission.admit("t", RequestPriority::kGet, at(0)).ok());
+
+  // Pressure ~1.07: writes join the background on the floor.
+  admission.update_signals(0.0, 0.8, at(0.1));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedWrites);
+  EXPECT_TRUE(admission.admit("t", RequestPriority::kPut, at(0.1))
+                  .is_overloaded());
+  EXPECT_TRUE(admission.admit("t", RequestPriority::kGet, at(0.1)).ok());
+
+  // Pressure 2.0: everything but admin.
+  admission.update_signals(0.0, 1.5, at(0.2));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedReads);
+  EXPECT_TRUE(admission.admit("t", RequestPriority::kGet, at(0.2))
+                  .is_overloaded());
+  EXPECT_TRUE(admission.admit("t", RequestPriority::kAdmin, at(0.2)).ok());
+}
+
+TEST_F(AdmissionTest, AdminBypassesLadderAndBuckets) {
+  AdmissionConfig config = base_config();
+  config.tenant_rate = 1;
+  config.tenant_burst_s = 1;
+  AdmissionController admission(config, MetricsRegistry::global());
+  admission.update_signals(100.0, 1.0, at(0));  // worst possible pressure
+  (void)admission.admit("ops", RequestPriority::kGet, at(0));  // drain bucket
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(admission.admit("ops", RequestPriority::kAdmin, at(0)).ok());
+  }
+}
+
+TEST_F(AdmissionTest, BurnSignalShedsLikeInflight) {
+  AdmissionConfig config = base_config();  // shed_burn = 2.0
+  AdmissionController admission(config, MetricsRegistry::global());
+  admission.update_signals(2.1, 0.0, at(0));  // pressure just past 1.0
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedWrites);
+}
+
+TEST_F(AdmissionTest, HysteresisEscalatesFastRelaxesSlow) {
+  AdmissionConfig config = base_config();
+  config.resume_hold = std::chrono::seconds(2);
+  AdmissionController admission(config, MetricsRegistry::global());
+
+  // Escalation is immediate.
+  admission.update_signals(4.0, 0.0, at(0));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedReads);
+
+  // Calm signals do not relax the level before the hold elapses.
+  admission.update_signals(0.0, 0.0, at(0.1));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedReads);
+  admission.update_signals(0.0, 0.0, at(1.9));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedReads);
+
+  // After the hold: one rung per hold period, not a jump to none.
+  admission.update_signals(0.0, 0.0, at(2.2));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedWrites);
+  admission.update_signals(0.0, 0.0, at(2.3));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedWrites);
+  admission.update_signals(0.0, 0.0, at(4.5));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedBackground);
+  admission.update_signals(0.0, 0.0, at(6.8));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedNone);
+}
+
+TEST_F(AdmissionTest, OscillatingPressureDoesNotFlap) {
+  AdmissionConfig config = base_config();
+  config.resume_hold = std::chrono::seconds(2);
+  AdmissionController admission(config, MetricsRegistry::global());
+  admission.update_signals(4.0, 0.0, at(0));
+  EXPECT_EQ(admission.shed_level(), AdmissionController::kShedReads);
+  // A spiky signal (calm for 1s, hot again, repeatedly) keeps resetting the
+  // calm timer: the level must hold, never bouncing to none and back.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const double base = 0.2 + 2.0 * cycle;
+    admission.update_signals(0.0, 0.0, at(base));
+    EXPECT_EQ(admission.shed_level(), AdmissionController::kShedReads)
+        << "cycle " << cycle;
+    admission.update_signals(4.0, 0.0, at(base + 1.0));
+    EXPECT_EQ(admission.shed_level(), AdmissionController::kShedReads);
+  }
+}
+
+TEST_F(AdmissionTest, SnapshotCountsOutcomesPerTenant) {
+  AdmissionConfig config = base_config();
+  config.tenant_rate = 1;
+  config.tenant_burst_s = 1;
+  AdmissionController admission(config, MetricsRegistry::global());
+  EXPECT_TRUE(admission.admit("x", RequestPriority::kGet, at(0)).ok());
+  EXPECT_TRUE(admission.admit("x", RequestPriority::kGet, at(0))
+                  .is_overloaded());  // throttled
+  admission.update_signals(0.0, 0.7, at(0));
+  EXPECT_TRUE(admission.admit("x", RequestPriority::kBackground, at(0))
+                  .is_overloaded());  // shed
+
+  const AdmissionController::Snapshot snap = admission.snapshot();
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_EQ(snap.admitted, 1u);
+  EXPECT_EQ(snap.throttled, 1u);
+  EXPECT_EQ(snap.shed, 1u);
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  EXPECT_EQ(snap.tenants[0].tenant, "x");
+  EXPECT_EQ(snap.tenants[0].admitted, 1u);
+  EXPECT_EQ(snap.tenants[0].throttled, 1u);
+  EXPECT_EQ(snap.tenants[0].shed, 1u);
+}
+
+TEST_F(AdmissionTest, EmptyTenantMapsToDefault) {
+  AdmissionController admission(base_config(), MetricsRegistry::global());
+  EXPECT_TRUE(admission.admit("", RequestPriority::kGet, at(0)).ok());
+  const AdmissionController::Snapshot snap = admission.snapshot();
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  EXPECT_EQ(snap.tenants[0].tenant, "default");
+}
+
+TEST_F(AdmissionTest, SpecAdmissionBlockResolvesConfig) {
+  auto spec = InstanceSpec::parse(R"(
+    Tiera T() {
+      tier1: { name: Memcached, size: 8M };
+      admission : {
+        tenant_rate: 500,
+        tenant_burst: 3s,
+        max_tenants: 64,
+        shed_burn: 1.5,
+        shed_inflight: 60%,
+        resume_burn: 0.5,
+        resume_inflight: 25%,
+        resume_hold: 4s
+      };
+      event(insert.into) : response { store(what: insert.object, to: tier1); }
+    }
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  ASSERT_TRUE(spec->has_admission());
+  auto config = spec->admission_config();
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  EXPECT_TRUE(config->enabled);
+  EXPECT_DOUBLE_EQ(config->tenant_rate, 500);
+  EXPECT_DOUBLE_EQ(config->tenant_burst_s, 3);
+  EXPECT_EQ(config->max_tenants, 64u);
+  EXPECT_DOUBLE_EQ(config->shed_burn, 1.5);
+  EXPECT_DOUBLE_EQ(config->shed_inflight, 0.60);
+  EXPECT_DOUBLE_EQ(config->resume_burn, 0.5);
+  EXPECT_DOUBLE_EQ(config->resume_inflight, 0.25);
+  EXPECT_DOUBLE_EQ(to_seconds(config->resume_hold), 4);
+}
+
+TEST_F(AdmissionTest, SpecWithoutAdmissionBlockHasNone) {
+  auto spec = InstanceSpec::parse(R"(
+    Tiera T() {
+      tier1: { name: Memcached, size: 8M };
+      event(insert.into) : response { store(what: insert.object, to: tier1); }
+    }
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_FALSE(spec->has_admission());
+}
+
+TEST_F(AdmissionTest, SpecAdmissionBlockRejectsBadValues) {
+  auto spec = InstanceSpec::parse(R"(
+    Tiera T() {
+      tier1: { name: Memcached, size: 8M };
+      admission : { shed_inflight: bogus };
+      event(insert.into) : response { store(what: insert.object, to: tier1); }
+    }
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_FALSE(spec->admission_config().ok());
+}
+
+// Many threads, many tenants, one signal poller — the shape the reactor
+// gives the controller in production. Run under TSan by tools/check.sh.
+TEST_F(AdmissionTest, ConcurrentAdmitAcrossTenantsIsRaceFree) {
+  AdmissionConfig config = base_config();
+  config.tenant_rate = 1000;
+  config.max_tenants = 32;  // force overflow-bucket traffic too
+  AdmissionController admission(config, MetricsRegistry::global());
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<bool> stop{false};
+  std::thread poller([&admission, &stop] {
+    double burn = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      burn = burn > 0 ? 0.0 : 5.0;  // swing the ladder hard
+      admission.update_signals(burn, 0.0);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> decisions{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&admission, &decisions, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string tenant = "tenant" + std::to_string((t * 13 + i) % 48);
+        const auto priority = static_cast<RequestPriority>(i % 4);
+        (void)admission.admit(tenant, priority);
+        decisions.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_EQ(decisions.load(), kThreads * kOpsPerThread);
+  const AdmissionController::Snapshot snap = admission.snapshot();
+  EXPECT_EQ(snap.admitted + snap.shed + snap.throttled,
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  // The tenant map must have respected its bound (32 named + overflow).
+  EXPECT_LE(snap.tenants.size(), config.max_tenants + 1);
+}
+
+}  // namespace
+}  // namespace tiera

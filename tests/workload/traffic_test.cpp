@@ -1,0 +1,196 @@
+// TrafficSchedule: the open-loop arrival model behind bench/soak_runner.
+// Checks the load-curve math, the Poisson arrival counts against the
+// curve's integral, mix/skew/tenant attribution, and seed determinism.
+#include "workload/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace tiera {
+namespace {
+
+std::vector<TrafficOp> drain(const TrafficOptions& options) {
+  TrafficSchedule schedule(options);
+  std::vector<TrafficOp> ops;
+  TrafficOp op;
+  while (schedule.next(&op)) ops.push_back(op);
+  return ops;
+}
+
+TEST(OpMixTest, ParsesYcsbLettersAndFractions) {
+  EXPECT_DOUBLE_EQ(OpMix::parse("a")->read_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(OpMix::parse("b")->read_fraction, 0.95);
+  EXPECT_DOUBLE_EQ(OpMix::parse("c")->read_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(OpMix::parse("0.8")->read_fraction, 0.8);
+  EXPECT_FALSE(OpMix::parse("1.5").ok());
+  EXPECT_FALSE(OpMix::parse("-0.1").ok());
+  EXPECT_FALSE(OpMix::parse("ycsb").ok());
+}
+
+TEST(LoadCurveTest, FlatCurveIsBaseEverywhere) {
+  LoadCurve curve;
+  curve.base_qps = 500;
+  EXPECT_DOUBLE_EQ(curve.qps_at(0), 500);
+  EXPECT_DOUBLE_EQ(curve.qps_at(1234.5), 500);
+  EXPECT_DOUBLE_EQ(curve.peak_qps(), 500);
+}
+
+TEST(LoadCurveTest, DiurnalSineSwingsAroundBase) {
+  LoadCurve curve;
+  curve.base_qps = 1000;
+  curve.diurnal_amplitude = 0.3;
+  curve.diurnal_period_s = 100;
+  // Peak of the sine is a quarter period in; trough three quarters in.
+  EXPECT_NEAR(curve.qps_at(25), 1300, 1e-6);
+  EXPECT_NEAR(curve.qps_at(75), 700, 1e-6);
+  EXPECT_NEAR(curve.qps_at(0), 1000, 1e-6);
+  EXPECT_NEAR(curve.peak_qps(), 1300, 1e-6);
+}
+
+TEST(LoadCurveTest, FlashCrowdsMultiplyInsideTheirWindow) {
+  LoadCurve curve;
+  curve.base_qps = 100;
+  curve.crowds.push_back({10.0, 5.0, 8.0});
+  curve.crowds.push_back({12.0, 2.0, 2.0});  // overlapping crowds stack
+  EXPECT_DOUBLE_EQ(curve.qps_at(9.9), 100);
+  EXPECT_DOUBLE_EQ(curve.qps_at(10.0), 800);
+  EXPECT_DOUBLE_EQ(curve.qps_at(13.0), 1600);
+  EXPECT_DOUBLE_EQ(curve.qps_at(14.5), 800);
+  EXPECT_DOUBLE_EQ(curve.qps_at(15.0), 100);
+  EXPECT_DOUBLE_EQ(curve.peak_qps(), 1600);
+}
+
+TEST(LoadCurveTest, PeakIsAnEnvelopeOverTheWholeSchedule) {
+  LoadCurve curve;
+  curve.base_qps = 200;
+  curve.diurnal_amplitude = 0.5;
+  curve.diurnal_period_s = 60;
+  curve.crowds.push_back({30.0, 10.0, 4.0});
+  const double peak = curve.peak_qps();
+  for (double t = 0; t < 120; t += 0.25) {
+    ASSERT_LE(curve.qps_at(t), peak + 1e-9) << "t=" << t;
+  }
+}
+
+TEST(FailureStormTest, WindowIsHalfOpen) {
+  FailureStorm storm;
+  storm.start_s = 5;
+  storm.duration_s = 3;
+  EXPECT_FALSE(storm.active_at(4.999));
+  EXPECT_TRUE(storm.active_at(5.0));
+  EXPECT_TRUE(storm.active_at(7.999));
+  EXPECT_FALSE(storm.active_at(8.0));
+}
+
+TEST(TrafficScheduleTest, SameSeedSameSchedule) {
+  TrafficOptions options;
+  options.users = 10'000;
+  options.curve.base_qps = 500;
+  options.duration_s = 10;
+  options.tenants = 4;
+  options.seed = 7;
+  const auto a = drain(options);
+  const auto b = drain(options);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 1000u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i].at_s, b[i].at_s);
+    ASSERT_EQ(a[i].kind, b[i].kind);
+    ASSERT_EQ(a[i].user, b[i].user);
+    ASSERT_EQ(a[i].tenant, b[i].tenant);
+  }
+  options.seed = 8;
+  const auto c = drain(options);
+  // A different seed must actually change the draw, not just reshuffle.
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at_s != c[i].at_s || a[i].user != c[i].user;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TrafficScheduleTest, ArrivalCountTracksTheCurveIntegral) {
+  TrafficOptions options;
+  options.users = 1000;
+  options.duration_s = 40;
+  options.curve.base_qps = 250;
+  options.curve.crowds.push_back({20.0, 10.0, 4.0});
+  const auto ops = drain(options);
+  // Integral: 250*40 base + 250*3*10 extra during the crowd = 17500.
+  const double expected = 250 * 40 + 250 * 3 * 10;
+  EXPECT_NEAR(ops.size(), expected, 6 * std::sqrt(expected));
+
+  // The crowd window must hold ~10x the arrivals of a calm window of the
+  // same length (4x rate * 10s vs 250qps * 10s would be 4x; compare
+  // half-windows to keep the bands clearly separated).
+  std::size_t calm = 0, crowd = 0;
+  for (const auto& op : ops) {
+    ASSERT_GE(op.at_s, 0.0);
+    ASSERT_LT(op.at_s, options.duration_s);
+    if (op.at_s >= 5 && op.at_s < 15) calm++;
+    if (op.at_s >= 20 && op.at_s < 30) crowd++;
+  }
+  EXPECT_GT(crowd, 3 * calm);
+}
+
+TEST(TrafficScheduleTest, MixAndTenantsAttributedAsConfigured) {
+  TrafficOptions options;
+  options.users = 1000;
+  options.duration_s = 20;
+  options.curve.base_qps = 500;
+  options.mix = OpMix::ycsb_a();  // 50/50
+  options.tenants = 3;
+  const auto ops = drain(options);
+  ASSERT_GT(ops.size(), 5000u);
+  std::size_t reads = 0;
+  std::map<std::uint32_t, std::size_t> per_tenant;
+  for (const auto& op : ops) {
+    if (op.kind == TrafficOpKind::kGet) reads++;
+    per_tenant[op.tenant]++;
+  }
+  const double read_fraction = static_cast<double>(reads) / ops.size();
+  EXPECT_NEAR(read_fraction, 0.5, 0.05);
+  // Round-robin tenants: all three present, within one op of each other.
+  ASSERT_EQ(per_tenant.size(), 3u);
+  EXPECT_LE(per_tenant[0] - per_tenant[2], 1u);
+
+  options.mix = OpMix::ycsb_c();
+  for (const auto& op : drain(options)) {
+    ASSERT_EQ(op.kind, TrafficOpKind::kGet);
+  }
+}
+
+TEST(TrafficScheduleTest, ZipfianSkewConcentratesOnAHotSet) {
+  TrafficOptions options;
+  options.users = 100'000;
+  options.duration_s = 20;
+  options.curve.base_qps = 1000;
+  options.zipf_theta = 0.99;
+  const auto ops = drain(options);
+  std::map<std::uint64_t, std::size_t> hits;
+  for (const auto& op : ops) {
+    ASSERT_LT(op.user, options.users);
+    hits[op.user]++;
+  }
+  // Zipfian theta .99: the touched set is a small fraction of the
+  // population and the hottest key is far above the uniform expectation.
+  EXPECT_LT(hits.size(), ops.size() / 2);
+  std::size_t hottest = 0;
+  for (const auto& [user, count] : hits) hottest = std::max(hottest, count);
+  const double uniform = static_cast<double>(ops.size()) / options.users;
+  EXPECT_GT(hottest, 50 * uniform);
+}
+
+TEST(TrafficScheduleTest, KeyNamesAreStablePrefixedIndices) {
+  TrafficOptions options;
+  options.key_prefix = "soak";
+  TrafficSchedule schedule(options);
+  EXPECT_EQ(schedule.key_name(0), "soak0");
+  EXPECT_EQ(schedule.key_name(12345), "soak12345");
+}
+
+}  // namespace
+}  // namespace tiera

@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE CURRENT [--threshold 0.15] [--metric cpu_time]
+    tools/bench_diff.py --saturation FLOORS REPORT
 
 Exits non-zero when any benchmark present in both files regressed by more
 than the threshold (relative slowdown of the chosen metric). Benchmarks that
@@ -18,6 +19,13 @@ Microbenchmark timings wobble across machines and runs; 15% default
 threshold is deliberately loose — this is a tripwire for order-of-magnitude
 mistakes (an accidental O(n^2), a lock on the data path), not a precision
 instrument.
+
+--saturation folds end-to-end throughput into the same gate: FLOORS is the
+committed bench/BENCH_saturation.json ({"qps_threads_1": N, ...} absolute
+QPS floors, set far below any healthy machine's numbers), REPORT is the
+"key: value" report saturation_smoke wrote. Any matching qps_* line below
+its floor fails the check — a throughput collapse is a regression even when
+every microbenchmark is still green.
 """
 
 import argparse
@@ -56,10 +64,62 @@ def load_benchmarks(path, metric):
     return out
 
 
+def parse_report(path):
+    """Parses saturation_smoke's "key: value" report into {key: float}."""
+    out = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if ":" not in line:
+                continue
+            key, _, value = line.partition(":")
+            try:
+                out[key.strip()] = float(value.strip())
+            except ValueError:
+                continue
+    return out
+
+
+def check_saturation(floors_path, report_path):
+    with open(floors_path, "r", encoding="utf-8") as fh:
+        floors = {
+            k: v for k, v in json.load(fh).items() if not k.startswith("_")
+        }
+    report = parse_report(report_path)
+    failures = []
+    width = max(len(k) for k in floors) if floors else 10
+    print(f"{'throughput':<{width}}  {'floor':>12}  {'current':>12}")
+    for key in sorted(floors):
+        floor = float(floors[key])
+        current = report.get(key)
+        if current is None:
+            failures.append((key, "missing from report"))
+            print(f"{key:<{width}}  {floor:>12.0f}  {'-':>12}  << MISSING")
+            continue
+        flag = ""
+        if current < floor:
+            flag = "  << REGRESSION"
+            failures.append((key, f"{current:.0f} < floor {floor:.0f}"))
+        print(f"{key:<{width}}  {floor:>12.0f}  {current:>12.0f}{flag}")
+    if failures:
+        print(f"\nbench_diff: {len(failures)} throughput floor(s) violated:")
+        for key, why in failures:
+            print(f"  {key}: {why}")
+        return 1
+    print(f"\nbench_diff: OK ({len(floors)} throughput floors held)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly generated JSON")
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("current", nargs="?", help="freshly generated JSON")
+    parser.add_argument(
+        "--saturation",
+        nargs=2,
+        metavar=("FLOORS", "REPORT"),
+        help="check saturation_smoke REPORT against the FLOORS JSON "
+        "instead of (or in addition to) the microbenchmark diff",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -72,6 +132,15 @@ def main():
         help="benchmark field to compare (default cpu_time)",
     )
     args = parser.parse_args()
+
+    if args.saturation:
+        rc = check_saturation(args.saturation[0], args.saturation[1])
+        if args.baseline is None:
+            return rc
+        if rc != 0:
+            return rc
+    if args.baseline is None or args.current is None:
+        parser.error("BASELINE and CURRENT are required without --saturation")
 
     baseline = load_benchmarks(args.baseline, args.metric)
     current = load_benchmarks(args.current, args.metric)

@@ -45,6 +45,24 @@ def run_diff(baseline, current, extra_args=()):
         return proc.returncode, proc.stdout
 
 
+def run_saturation(floors, report_text):
+    with tempfile.TemporaryDirectory() as tmp:
+        floors_path = os.path.join(tmp, "floors.json")
+        report_path = os.path.join(tmp, "report.txt")
+        with open(floors_path, "w", encoding="utf-8") as fh:
+            json.dump(floors, fh)
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(report_text)
+        proc = subprocess.run(
+            [sys.executable, BENCH_DIFF, "--saturation", floors_path,
+             report_path],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        return proc.returncode, proc.stdout
+
+
 def expect(condition, label, output):
     if condition:
         print(f"ok: {label}")
@@ -116,6 +134,24 @@ def main():
         extra_args=("--threshold", "0.15"),
     )
     ok &= expect(code == 0, "threads:N baselines compare cleanly", out)
+
+    # --saturation mode: throughput at or above every floor passes, and
+    # the "_comment" key in the committed floors file is ignored.
+    floors = {"_comment": "doc", "qps_threads_1": 300, "qps_threads_4": 1000}
+    code, out = run_saturation(
+        floors, "qps_threads_1: 900\nqps_threads_4: 3500\nextra: 1\n")
+    ok &= expect(code == 0, "throughput above floors passes", out)
+
+    # A collapse below a floor fails even though no microbenchmark ran.
+    code, out = run_saturation(
+        floors, "qps_threads_1: 900\nqps_threads_4: 120\n")
+    ok &= expect(code == 1, "throughput below a floor fails", out)
+    ok &= expect("REGRESSION" in out, "floor violation flagged", out)
+
+    # A floor key missing from the report fails (a silently skipped
+    # saturation run must not read as green).
+    code, out = run_saturation(floors, "qps_threads_1: 900\n")
+    ok &= expect(code == 1, "missing floor key fails", out)
 
     print("bench_diff_test:", "PASS" if ok else "FAIL")
     return 0 if ok else 1

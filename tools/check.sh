@@ -26,8 +26,15 @@ if [[ $# -gt 0 ]]; then
   filter=("$@")
 fi
 
+# Opportunistic ccache (same wiring as tools/ci.sh): the TSan tree rebuilds
+# from scratch on CI runners, and compiler launches dominate that time.
+launcher=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 cmake -B "${build_dir}" -S "${repo_root}" -DTIERA_SANITIZE=thread \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo "${launcher[@]}"
 cmake --build "${build_dir}" -j "$(nproc)"
 
 # halt_on_error keeps CI logs short: the first unsuppressed race aborts the

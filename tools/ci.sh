@@ -7,20 +7,34 @@
 #   $ tools/ci.sh asan      # Debug + ASan/UBSan build + full ctest suite
 #   $ tools/ci.sh tsan      # tools/check.sh (TSan gate, concurrency tests)
 #   $ tools/ci.sh bench     # smoke-run micro benches, diff vs baseline
+#   $ tools/ci.sh soak      # compressed million-user soak + admission gates
 #   $ tools/ci.sh format    # clang-format check (skips if not installed)
 #   $ tools/ci.sh all       # everything above, in order
 #
 # Each stage uses its own build tree (build-ci-*/, gitignored via build-*/)
 # so they never contaminate a developer's default build/.
+#
+# The soak stage honours TIERA_SOAK_SCALE (phase-duration multiplier; the
+# nightly workflow runs 10x the PR soak) and the bench stage honours
+# TIERA_SATURATION_STRICT=1 (arms the 4-thread >= 3x 1-thread scaling gate,
+# which needs real cores).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
+# ccache makes the four compiled lanes mostly cache hits on warm runners
+# (ci.yml persists the cache dir across runs). Purely opportunistic: absent
+# ccache, the stages build exactly as before.
+cmake_launcher=()
+if command -v ccache >/dev/null 2>&1; then
+  cmake_launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 stage_release() {
   echo "=== ci: release build + tests ==="
   cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE=Release
+    -DCMAKE_BUILD_TYPE=Release "${cmake_launcher[@]}"
   cmake --build "${repo_root}/build-ci-release" -j "${jobs}"
   # --timeout caps each test so one hung binary fails fast instead of
   # stalling the lane until the job-level timeout.
@@ -31,7 +45,8 @@ stage_release() {
 stage_asan() {
   echo "=== ci: ASan+UBSan build + tests ==="
   cmake -B "${repo_root}/build-ci-asan" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE=Debug -DTIERA_SANITIZE=address,undefined
+    -DCMAKE_BUILD_TYPE=Debug -DTIERA_SANITIZE=address,undefined \
+    "${cmake_launcher[@]}"
   cmake --build "${repo_root}/build-ci-asan" -j "${jobs}"
   # halt_on_error surfaces UBSan findings as test failures, not just logs.
   # Sanitized binaries run slower; still cap each test (see stage_release).
@@ -49,7 +64,7 @@ stage_tsan() {
 stage_bench() {
   echo "=== ci: bench smoke + regression diff ==="
   cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE=Release
+    -DCMAKE_BUILD_TYPE=Release "${cmake_launcher[@]}"
   cmake --build "${repo_root}/build-ci-release" -j "${jobs}" \
     --target micro_primitives stage_smoke heat_smoke saturation_smoke
   # Reduced scale: this is a regression tripwire, not a measurement run.
@@ -89,6 +104,32 @@ stage_bench() {
   # pin us to one). The report is uploaded as a workflow artifact.
   "${repo_root}/build-ci-release/bench/saturation_smoke" \
     "${repo_root}/build-ci-release/saturation_report.txt"
+  # Fold the end-to-end QPS numbers into the regression report: the report's
+  # qps_threads_* lines are checked against the committed floors in
+  # bench/BENCH_saturation.json, so a throughput collapse fails the lane
+  # even when every microbenchmark is still green.
+  python3 "${repo_root}/tools/bench_diff.py" \
+    --saturation "${repo_root}/bench/BENCH_saturation.json" \
+    "${repo_root}/build-ci-release/saturation_report.txt" \
+    | tee -a "${repo_root}/build-ci-release/bench_diff_report.txt"
+}
+
+stage_soak() {
+  echo "=== ci: soak (compressed million-user replay + admission gates) ==="
+  cmake -B "${repo_root}/build-ci-release" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release "${cmake_launcher[@]}"
+  cmake --build "${repo_root}/build-ci-release" -j "${jobs}" \
+    --target soak_runner
+  # ~65 s of wall clock at the default scale: zipfian million-user traffic
+  # on a diurnal curve, one flash crowd past the fast tier's modelled
+  # capacity, one failure storm on the durable tier. Gates: zero unexpected
+  # client errors (sheds excluded), the shedder engaged during the crowd,
+  # peak RSS under the ceiling, and the run ends with breakers closed, SLOs
+  # green and the shed level back to none. The report is uploaded as a
+  # workflow artifact. TIERA_SOAK_SCALE multiplies the phase durations
+  # (nightly runs 10x).
+  "${repo_root}/build-ci-release/bench/soak_runner" \
+    "${repo_root}/build-ci-release/soak_report.txt"
 }
 
 stage_format() {
@@ -111,7 +152,7 @@ stage_format() {
 }
 
 usage() {
-  sed -n '2,14p' "$0"
+  sed -n '2,20p' "$0"
   exit 2
 }
 
@@ -121,6 +162,7 @@ case "$1" in
   asan) stage_asan ;;
   tsan) stage_tsan ;;
   bench) stage_bench ;;
+  soak) stage_soak ;;
   format) stage_format ;;
   all)
     stage_format
@@ -128,6 +170,7 @@ case "$1" in
     stage_asan
     stage_tsan
     stage_bench
+    stage_soak
     ;;
   *) usage ;;
 esac
